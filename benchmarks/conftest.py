@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's exhibits from the
+calibrated synthetic logs (seed 42 throughout, so the printed numbers
+are stable) and asserts the published *shape* — who wins, by roughly
+what factor, where the crossovers fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables and figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import FailureLog
+from repro.synth import generate_log
+
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def t2_log() -> FailureLog:
+    """Calibrated Tsubame-2 failure log (897 failures)."""
+    return generate_log("tsubame2", seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def t3_log() -> FailureLog:
+    """Calibrated Tsubame-3 failure log (338 failures)."""
+    return generate_log("tsubame3", seed=BENCH_SEED)

@@ -1,0 +1,91 @@
+"""Ablation benches — which generator mechanism produces which figure.
+
+Each ablation flips one GeneratorConfig switch and shows the
+corresponding published shape disappears, demonstrating the mechanism
+(not chance) carries the result.
+"""
+
+import numpy as np
+
+from repro.core.multigpu import multi_gpu_clustering
+from repro.core.seasonal import monthly_failure_counts, monthly_ttr
+from repro.core.spatial import gpu_slot_distribution
+from repro.machines.specs import TSUBAME2
+from repro.synth import GeneratorConfig, TraceGenerator, profile_for
+
+SEED = 42
+
+
+def _generate(machine="tsubame2", **overrides):
+    config = GeneratorConfig(seed=SEED, **overrides)
+    return TraceGenerator(profile_for(machine), config).generate()
+
+
+def test_ablation_burst_clustering_drives_fig8(benchmark):
+    log_off = benchmark(lambda: _generate(burst_clustering=False))
+    log_on = _generate()
+    on = multi_gpu_clustering(log_on).clustering_ratio
+    off = multi_gpu_clustering(log_off).clustering_ratio
+    print(f"\nclustering ratio: bursting on {on:.2f}, off {off:.2f}")
+    assert on > off
+    assert off < 1.4  # near-exchangeable without the mechanism
+
+
+def test_ablation_slot_weights_drive_fig5(benchmark):
+    log_flat = benchmark(
+        lambda: _generate(slot_weighting=False, topology_affinity=1.0)
+    )
+    log_weighted = _generate()
+    flat = gpu_slot_distribution(log_flat.gpu_failures(),
+                                 TSUBAME2.gpu_slots)
+    weighted = gpu_slot_distribution(log_weighted.gpu_failures(),
+                                     TSUBAME2.gpu_slots)
+    print(f"\nslot imbalance: weighted {weighted.imbalance():.2f}, "
+          f"flat {flat.imbalance():.2f}")
+    assert weighted.imbalance() > flat.imbalance()
+    assert flat.imbalance() < 1.2
+
+
+def test_ablation_month_weights_drive_fig12(benchmark):
+    log_flat = benchmark(lambda: _generate(arrival_seasonality=False))
+    log_seasonal = _generate()
+    flat = np.asarray(monthly_failure_counts(log_flat).series(),
+                      dtype=float)
+    seasonal = np.asarray(monthly_failure_counts(log_seasonal).series(),
+                          dtype=float)
+    flat_cv = flat.std() / flat.mean()
+    seasonal_cv = seasonal.std() / seasonal.mean()
+    print(f"\nmonthly count CV: seasonal {seasonal_cv:.3f}, "
+          f"flat {flat_cv:.3f}")
+    assert seasonal_cv > flat_cv
+
+
+def test_ablation_ttr_month_factors_drive_fig11(benchmark):
+    log_flat = benchmark(lambda: _generate(ttr_seasonality=False))
+    log_seasonal = _generate()
+    flat_first, flat_second = monthly_ttr(log_flat).half_year_means()
+    first, second = monthly_ttr(log_seasonal).half_year_means()
+    flat_gap = abs(flat_second - flat_first) / flat_first
+    seasonal_gap = (second - first) / first
+    print(f"\nT2 half-year TTR gap: seasonal {seasonal_gap:+.2f}, "
+          f"flat {flat_gap:+.2f}")
+    assert seasonal_gap > 0.15  # published Tsubame-2 effect
+    assert flat_gap < seasonal_gap
+
+
+def test_ablation_topology_affinity_drives_busmate_pairs(benchmark):
+    def pair_share(log):
+        pairs = [
+            record.gpus_involved
+            for record in log
+            if record.num_gpus_involved == 2
+        ]
+        same_hub = sum(1 for pair in pairs if pair == (1, 2))
+        return same_hub / len(pairs)
+
+    log_off = benchmark(lambda: _generate(topology_affinity=1.0))
+    log_on = _generate(topology_affinity=3.0)
+    on, off = pair_share(log_on), pair_share(log_off)
+    print(f"\nshare of 2-GPU failures on the shared hub (GPUs 1+2): "
+          f"affinity on {on:.2f}, off {off:.2f}")
+    assert on > off

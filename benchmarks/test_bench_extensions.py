@@ -1,0 +1,212 @@
+"""Extension benches — analyses beyond the paper's figures.
+
+Covers the paper's generalizability remark (rack-level non-uniformity),
+its future-work direction (proactive, prediction-driven recovery), and
+the reliability-growth view of the failure stream.
+"""
+
+from repro.core.spatial import rack_failure_distribution
+from repro.core.trends import crow_amsaa_fit, windowed_mtbf
+from repro.machines.racks import rack_layout_for
+from repro.predict import TemporalLocalityPredictor
+from repro.sim import ClusterSimulator, ProactiveMaintainer
+
+
+def test_rack_nonuniformity(benchmark, t2_log, t3_log):
+    layout2 = rack_layout_for("tsubame2")
+    result2 = benchmark(rack_failure_distribution, t2_log, layout2)
+    result3 = rack_failure_distribution(t3_log,
+                                        rack_layout_for("tsubame3"))
+    for label, result in (("tsubame2", result2), ("tsubame3", result3)):
+        print(f"\n{label}: gini {result.gini():.2f}, top-10% racks "
+              f"carry {100 * result.concentration(0.1):.0f}% of failures, "
+              f"top racks {result.top_racks(3)}")
+        # "the non-uniform distribution of failures among racks is also
+        # present in multi-GPU-per-node systems" — the paper gives no
+        # magnitude, so assert clear non-uniformity.
+        assert result.gini() > 0.2
+        assert result.concentration(0.1) > 0.15
+
+
+def test_reliability_growth_near_stationary(benchmark, t2_log):
+    fit = benchmark(crow_amsaa_fit, t2_log)
+    points = windowed_mtbf(t2_log, window_hours=720.0)
+    values = [point.value_hours for point in points]
+    print(f"\nCrow-AMSAA beta {fit.beta:.3f}; monthly-window MTBF range "
+          f"{min(values):.1f}-{max(values):.1f} h")
+    # The historical log shows no strong burn-in/wear-out trend.
+    assert 0.8 < fit.beta < 1.25
+
+
+def test_proactive_prestaging_cuts_waiting(benchmark):
+    def run(proactive):
+        simulator = ClusterSimulator(
+            "tsubame2", seed=5, initial_spares={"GPU": 0}, intensity=2.0
+        )
+        if proactive:
+            maintainer = ProactiveMaintainer(
+                simulator.engine,
+                simulator.repair,
+                TemporalLocalityPredictor(),
+                max_prestages=50,
+                cooldown_hours=0.0,
+            )
+            simulator.injector.add_record_listener(maintainer.on_failure)
+        return simulator.run(1500.0)
+
+    reactive = benchmark(lambda: run(False))
+    proactive = run(True)
+    print(f"\nreactive: wait {reactive.mean_waiting_hours:.0f} h, "
+          f"{reactive.spare_stockouts} stockouts; proactive: wait "
+          f"{proactive.mean_waiting_hours:.0f} h, "
+          f"{proactive.spare_stockouts} stockouts")
+    assert proactive.mean_waiting_hours < reactive.mean_waiting_hours
+
+
+def test_concurrent_outages_quantify_rq5_alarm(benchmark, t2_log, t3_log):
+    from repro.core.overlap import concurrent_outages
+
+    result2 = benchmark(concurrent_outages, t2_log)
+    result3 = concurrent_outages(t3_log)
+    for result in (result2, result3):
+        print(f"\n{result.machine}: mean open outages "
+              f"{result.mean_concurrent():.2f}, overlap "
+              f"{100 * result.overlap_fraction:.0f}% of the time, peak "
+              f"{result.max_concurrent}, crew for 99% coverage "
+              f"{result.implied_repair_parallelism()}")
+    # "the MTTR is very comparable to MTBF and hence, it is likely
+    # that multiple concurrent failures might impact the
+    # handling/repair of previous failures" — on Tsubame-2 overlapping
+    # repairs are the common case; still present on Tsubame-3.
+    assert result2.overlap_fraction > 0.5
+    assert result3.overlap_fraction > 0.1
+    assert result2.mean_concurrent() > result3.mean_concurrent()
+
+
+def test_gpu_rearrangement_flattens_card_wear(benchmark):
+    from repro.sim.wear import simulate_card_wear
+
+    def wear(rotation):
+        reports = [
+            simulate_card_wear(
+                "tsubame2",
+                num_nodes=200,
+                horizon_hours=5.0 * 8760.0,
+                rotation_period_hours=rotation,
+                seed=seed,
+            )
+            for seed in range(3)
+        ]
+        return sum(r.gini() for r in reports) / len(reports)
+
+    static = benchmark(lambda: wear(None))
+    rotated = wear(720.0)
+    print(f"\ncard-wear gini: static {static:.3f}, monthly rotation "
+          f"{rotated:.3f}")
+    # "the operations staff could also mitigate this by rearranging
+    # the GPUs periodically during maintenance."
+    assert rotated < static
+
+
+def test_job_interruption_probability_drops_across_generations():
+    from repro.core.metrics import job_interruption_probability
+
+    sizes = (16, 64, 256)
+    for nodes in sizes:
+        t2 = job_interruption_probability(15.3, 1408, nodes, 24.0)
+        t3 = job_interruption_probability(72.4, 540, nodes, 24.0)
+        print(f"\nP(interrupt | {nodes}-node, 24 h job): "
+              f"T2 {100 * t2:.1f}%, T3 {100 * t3:.1f}%")
+        assert t3 < t2
+
+
+def test_rate_predictor_sweep_frontier(benchmark, t3_log):
+    from repro.predict import best_by_f1, sweep_rate_predictor
+
+    points = benchmark(
+        sweep_rate_predictor, t3_log, (1000.0, 4000.0, 8000.0), (2, 3)
+    )
+    best = best_by_f1(points)
+    print(f"\nbest rate-predictor config: window "
+          f"{best.window_hours:.0f} h, threshold {best.threshold}, "
+          f"recall {best.outcome.recall:.2f}, precision "
+          f"{best.outcome.precision:.2f}, F1 {best.f1:.2f}")
+    assert best.f1 > 0.25
+
+
+def test_scenario_practice_transplant(benchmark):
+    from repro.core.multigpu import multi_gpu_involvement
+    from repro.synth import (
+        GeneratorConfig,
+        TraceGenerator,
+        profile_for,
+        with_operational_practices_of,
+    )
+
+    counterfactual = with_operational_practices_of(
+        profile_for("tsubame2"), profile_for("tsubame3")
+    )
+    log = benchmark(
+        lambda: TraceGenerator(
+            counterfactual, GeneratorConfig(seed=42)
+        ).generate()
+    )
+    involvement = multi_gpu_involvement(log, 3)
+    print(f"\nTsubame-2 under Tsubame-3 practices: multi-GPU share "
+          f"{100 * involvement.multi_gpu_share:.1f}% "
+          f"(historical 69.6%)")
+    # RQ3's explanation, tested: practice alone collapses the share.
+    assert involvement.multi_gpu_share < 0.15
+
+
+def test_tbf_forecaster_is_calibrated(benchmark, t2_log):
+    from repro.predict import evaluate_forecaster
+
+    calibration = benchmark(evaluate_forecaster, t2_log)
+    print(f"\nforecast coverage: "
+          f"{ {q: round(v, 3) for q, v in calibration.coverage.items()} }"
+          f", MAE {calibration.mean_absolute_error_hours:.1f} h over "
+          f"{calibration.num_forecasts} forecasts")
+    assert calibration.is_calibrated(tolerance=0.08)
+
+
+def test_failure_stream_is_overdispersed(benchmark, t2_log):
+    from repro.core.metrics import tbf_series_hours
+    from repro.stats import (
+        gap_coefficient_of_variation,
+        index_of_dispersion,
+        window_counts,
+    )
+
+    counts = benchmark(
+        window_counts, t2_log.timestamps_hours(), t2_log.span_hours, 60
+    )
+    dispersion = index_of_dispersion(counts)
+    cv = gap_coefficient_of_variation(tbf_series_hours(t2_log))
+    print(f"\nindex of dispersion {dispersion:.2f}, gap CV {cv:.2f} "
+          f"(Poisson would give ~1.0 for both)")
+    assert dispersion > 1.1
+    assert cv > 1.1
+
+
+def test_health_tests_reproduce_table3_reversal(benchmark):
+    from repro.core.multigpu import multi_gpu_involvement
+    from repro.sim import ClusterSimulator
+
+    def run(effectiveness):
+        simulator = ClusterSimulator(
+            "tsubame2", seed=8,
+            health_test_effectiveness=effectiveness,
+        )
+        simulator.run(20000.0)
+        return multi_gpu_involvement(simulator.injected_log(), 3)
+
+    untested = benchmark(lambda: run(0.0))
+    tested = run(0.9)
+    print(f"\nmulti-GPU share without health tests "
+          f"{100 * untested.multi_gpu_share:.0f}%, with 90%-effective "
+          f"health tests {100 * tested.multi_gpu_share:.0f}% "
+          f"(paper: 69.6% -> 7.4% across generations)")
+    # RQ3's operational mechanism, simulated end to end.
+    assert untested.multi_gpu_share > 0.5
+    assert tested.multi_gpu_share < 0.3

@@ -1,0 +1,57 @@
+"""Figure 10 — time to recovery per failure type.
+
+Paper: hardware categories show wider recovery-time spread than
+software ones; infrequent categories can carry extreme tails (SSD
+~290 h on Tsubame-2 at ~4% of failures; power board ~230 h on
+Tsubame-3 at ~1%).
+"""
+
+import pytest
+
+from repro.core.recovery import (
+    class_spread_comparison,
+    ttr_by_category,
+    ttr_distribution,
+)
+from repro.core.report import report_fig10
+from repro.core.taxonomy import FailureClass
+
+
+def test_fig10_tsubame2_ttr_by_type(benchmark, t2_log):
+    entries = benchmark(ttr_by_category, t2_log)
+    print("\n" + report_fig10(t2_log))
+    means = [e.mean_hours for e in entries]
+    assert means == sorted(means)
+    by_name = {e.category: e for e in entries}
+    ssd = by_name["SSD"]
+    assert ssd.share_of_failures == pytest.approx(0.04, abs=0.01)
+    assert ssd.max_hours > 150.0  # the long-recovery anecdote
+
+
+def test_fig10_tsubame3_ttr_by_type(benchmark, t3_log):
+    entries = benchmark(ttr_by_category, t3_log)
+    print("\n" + report_fig10(t3_log))
+    by_name = {e.category: e for e in entries}
+    power = by_name["Power-Board"]
+    assert power.share_of_failures < 0.02
+    assert power.max_hours > 100.0
+    # Rare but expensive: its mean TTR is well above the system MTTR.
+    assert power.mean_hours > 1.5 * ttr_distribution(t3_log).mttr_hours
+
+
+def test_fig10_hardware_spread_exceeds_software(t2_log, t3_log):
+    for log in (t2_log, t3_log):
+        spreads = class_spread_comparison(log)
+        assert (spreads[FailureClass.HARDWARE]
+                > spreads[FailureClass.SOFTWARE]), log.machine
+
+
+def test_fig10_frequency_does_not_predict_impact(t2_log):
+    entries = ttr_by_category(t2_log)
+    by_impact = sorted(entries, key=lambda e: -e.impact_hours)
+    by_share = sorted(entries, key=lambda e: -e.share_of_failures)
+    # The impact ranking differs from the frequency ranking: operators
+    # must not look only at frequent failures.
+    assert [e.category for e in by_impact[:5]] != [
+        e.category for e in by_share[:5]
+    ]

@@ -1,0 +1,36 @@
+"""Figure 11 — monthly time-to-recovery distributions.
+
+Paper: no clear seasonal impact overall; Tsubame-2 recoveries run
+somewhat higher in the second half of the year, Tsubame-3's do not;
+every month shows significant variance.
+"""
+
+from repro.core.report import report_fig11
+from repro.core.seasonal import monthly_ttr
+
+
+def test_fig11_tsubame2_monthly_ttr(benchmark, t2_log):
+    result = benchmark(monthly_ttr, t2_log)
+    print("\n" + report_fig11(t2_log))
+    first, second = result.half_year_means()
+    assert second > first  # the Tsubame-2-only half-year effect
+
+
+def test_fig11_tsubame3_monthly_ttr(benchmark, t3_log):
+    result = benchmark(monthly_ttr, t3_log)
+    print("\n" + report_fig11(t3_log))
+    first, second = result.half_year_means()
+    assert abs(second - first) / first < 0.35  # no clear trend
+
+
+def test_fig11_every_month_has_variance(t2_log, t3_log):
+    for log in (t2_log, t3_log):
+        result = monthly_ttr(log)
+        wide = sum(
+            1 for summary in result.summaries.values()
+            if summary.n >= 5 and summary.iqr > 0.3 * summary.median
+        )
+        populated = sum(
+            1 for summary in result.summaries.values() if summary.n >= 5
+        )
+        assert wide >= 0.7 * populated, log.machine

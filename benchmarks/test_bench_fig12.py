@@ -1,0 +1,38 @@
+"""Figure 12 — failures per month of occurrence.
+
+Paper: monthly failure counts vary visibly, but months with high
+failure density are *not* the months with long recoveries — the
+density/TTR correlation does not exist (RQ5).
+"""
+
+from repro.core.report import report_fig12
+from repro.core.seasonal import (
+    monthly_failure_counts,
+    ttr_density_correlation,
+)
+
+
+def test_fig12_tsubame2_monthly_counts(benchmark, t2_log):
+    result = benchmark(monthly_failure_counts, t2_log)
+    print("\n" + report_fig12(t2_log))
+    assert result.total == len(t2_log)
+    series = result.series()
+    assert max(series) > 1.3 * min(series)  # visible variation
+
+
+def test_fig12_tsubame3_monthly_counts(benchmark, t3_log):
+    result = benchmark(monthly_failure_counts, t3_log)
+    print("\n" + report_fig12(t3_log))
+    assert result.total == len(t3_log)
+    assert all(count > 0 for count in result.series())
+
+
+def test_fig12_density_does_not_predict_recovery(t2_log, t3_log):
+    for log in (t2_log, t3_log):
+        result = ttr_density_correlation(log)
+        print(f"\n{log.machine}: pearson r="
+              f"{result.pearson.coefficient:+.2f} "
+              f"(p={result.pearson.pvalue:.3f}), spearman rho="
+              f"{result.spearman.coefficient:+.2f} "
+              f"(p={result.spearman.pvalue:.3f})")
+        assert result.supports_no_correlation, log.machine

@@ -1,0 +1,33 @@
+"""Figure 2 — failure-category breakdown on both machines.
+
+Paper: GPU failures dominate Tsubame-2 (44.37%, CPU only 1.78%);
+software dominates Tsubame-3 (50.59%, GPU second at 27.81%, CPU 3.25%).
+"""
+
+import pytest
+
+from repro.core.breakdown import category_breakdown
+from repro.core.report import report_fig2
+
+
+def test_fig2a_tsubame2_breakdown(benchmark, t2_log):
+    result = benchmark(category_breakdown, t2_log)
+    print("\n" + report_fig2(t2_log))
+    assert result.dominant_category == "GPU"
+    assert result.share_of("GPU") == pytest.approx(0.4437, abs=0.002)
+    assert result.share_of("CPU") == pytest.approx(0.0178, abs=0.002)
+
+
+def test_fig2b_tsubame3_breakdown(benchmark, t3_log):
+    result = benchmark(category_breakdown, t3_log)
+    print("\n" + report_fig2(t3_log))
+    assert result.dominant_category == "Software"
+    assert result.share_of("Software") == pytest.approx(0.5059, abs=0.002)
+    assert result.share_of("GPU") == pytest.approx(0.2781, abs=0.002)
+    assert result.share_of("CPU") == pytest.approx(0.0325, abs=0.002)
+
+
+def test_fig2_gpu_far_exceeds_cpu_on_both(t2_log, t3_log):
+    for log in (t2_log, t3_log):
+        result = category_breakdown(log)
+        assert result.share_of("GPU") > 8 * result.share_of("CPU")

@@ -1,0 +1,23 @@
+"""Figure 3 — Tsubame-3 software-failure root loci (top 16).
+
+Paper: 171 reported root loci; ~43% GPU-driver-related; ~20% with no
+known cause; kernel panics and Lustre bugs are rare.
+"""
+
+import pytest
+
+from repro.core.breakdown import software_root_loci
+from repro.core.report import report_fig3
+
+
+def test_fig3_software_root_loci(benchmark, t3_log):
+    result = benchmark(software_root_loci, t3_log)
+    print("\n" + report_fig3(t3_log))
+    assert result.total_software == 171
+    assert result.share_of("gpu_driver") == pytest.approx(0.43, abs=0.02)
+    assert result.share_of("unknown") == pytest.approx(0.20, abs=0.02)
+    assert result.share_of("kernel_panic") < 0.03
+    assert result.share_of("lustre_bug") < 0.03
+    # gpu_driver is the top bar, unknown the second.
+    top = [entry.category for entry in result.top(2)]
+    assert top == ["gpu_driver", "unknown"]

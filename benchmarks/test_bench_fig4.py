@@ -1,0 +1,50 @@
+"""Figure 4 — per-node failure-count distribution.
+
+Paper: ~60% of affected Tsubame-2 nodes saw exactly one failure, while
+~60% of affected Tsubame-3 nodes saw more than one; ~10% of nodes saw
+exactly two on both; the three-failure share on Tsubame-3 is ~50%
+higher than on Tsubame-2.  On multi-failure nodes, Tsubame-2 repeats
+are almost all hardware while Tsubame-3 repeats are balanced.
+"""
+
+import pytest
+
+from repro.core.report import report_fig4
+from repro.core.spatial import (
+    node_failure_distribution,
+    repeat_failure_class_split,
+)
+
+
+def test_fig4a_tsubame2_node_distribution(benchmark, t2_log):
+    result = benchmark(node_failure_distribution, t2_log)
+    print("\n" + report_fig4(t2_log))
+    assert result.fraction_with_exactly(1) == pytest.approx(0.60, abs=0.06)
+    assert result.fraction_with_exactly(2) == pytest.approx(0.10, abs=0.05)
+
+
+def test_fig4b_tsubame3_node_distribution(benchmark, t3_log):
+    result = benchmark(node_failure_distribution, t3_log)
+    print("\n" + report_fig4(t3_log))
+    assert result.fraction_with_more_than(1) == pytest.approx(0.60,
+                                                              abs=0.10)
+    assert result.fraction_with_exactly(2) == pytest.approx(0.10, abs=0.05)
+
+
+def test_fig4_three_failure_crossover(t2_log, t3_log):
+    t2 = node_failure_distribution(t2_log).fraction_with_exactly(3)
+    t3 = node_failure_distribution(t3_log).fraction_with_exactly(3)
+    assert t3 > 1.2 * t2
+
+
+def test_fig4_repeat_class_split(t2_log, t3_log):
+    t2 = repeat_failure_class_split(t2_log)
+    t3 = repeat_failure_class_split(t3_log)
+    print(f"\nT2 repeats: {t2.hardware_failures} hardware / "
+          f"{t2.software_failures} software")
+    print(f"T3 repeats: {t3.hardware_failures} hardware / "
+          f"{t3.software_failures} software")
+    # Paper: 352 HW / 1 SW on Tsubame-2; 104 HW / 95 SW on Tsubame-3.
+    assert t2.software_failures / t2.total < 0.05
+    t3_soft = (t3.software_failures + t3.unknown_failures) / t3.total
+    assert 0.30 < t3_soft < 0.65

@@ -1,0 +1,34 @@
+"""Figure 5 — failure distribution across GPU slots within a node.
+
+Paper: on Tsubame-2, GPU 1 sees ~20% more failures than GPUs 0 and 2;
+on Tsubame-3, GPUs 0 and 3 see considerably more than GPUs 1 and 2.
+The distributions are non-identical on both machines.
+"""
+
+from repro.core.report import report_fig5
+from repro.core.spatial import gpu_slot_distribution
+from repro.machines.specs import TSUBAME2, TSUBAME3
+
+
+def test_fig5a_tsubame2_slots(benchmark, t2_log):
+    gpu = t2_log.gpu_failures()
+    result = benchmark(gpu_slot_distribution, gpu, TSUBAME2.gpu_slots)
+    print("\n" + report_fig5(t2_log))
+    assert result.counts[1] > result.counts[0]
+    assert result.counts[1] > result.counts[2]
+    assert 1.05 < result.relative_to_mean(1) < 1.40
+
+
+def test_fig5b_tsubame3_slots(benchmark, t3_log):
+    gpu = t3_log.gpu_failures()
+    result = benchmark(gpu_slot_distribution, gpu, TSUBAME3.gpu_slots)
+    print("\n" + report_fig5(t3_log))
+    inner_max = max(result.counts[1], result.counts[2])
+    assert result.counts[0] > inner_max
+    assert result.counts[3] > inner_max
+
+
+def test_fig5_non_identical_on_both(t2_log, t3_log):
+    for log, spec in ((t2_log, TSUBAME2), (t3_log, TSUBAME3)):
+        result = gpu_slot_distribution(log.gpu_failures(), spec.gpu_slots)
+        assert result.imbalance() > 1.15

@@ -1,0 +1,41 @@
+"""Figure 7 — time between failures per failure type.
+
+Paper: GPU and software failures have the lowest median TBF on both
+machines; memory- and CPU-related failures have much higher medians
+and higher spreads.
+"""
+
+from repro.core.report import report_fig7
+from repro.core.temporal import tbf_by_category
+
+
+def test_fig7_tsubame2_tbf_by_type(benchmark, t2_log):
+    entries = benchmark(tbf_by_category, t2_log)
+    print("\n" + report_fig7(t2_log))
+    by_name = {e.category: e for e in entries}
+    means = [e.mean_hours for e in entries]
+    assert means == sorted(means)  # sorted by mean, as the paper plots
+    assert by_name["GPU"].median_hours == min(
+        e.median_hours for e in entries
+    )
+    assert by_name["Memory"].median_hours > by_name["GPU"].median_hours
+    assert by_name["CPU"].median_hours > by_name["GPU"].median_hours
+
+
+def test_fig7_tsubame3_tbf_by_type(benchmark, t3_log):
+    entries = benchmark(tbf_by_category, t3_log)
+    print("\n" + report_fig7(t3_log))
+    by_name = {e.category: e for e in entries}
+    # Software is the most frequent type => smallest gaps.
+    assert by_name["Software"].median_hours == min(
+        e.median_hours for e in entries
+    )
+    assert by_name["Memory"].median_hours > by_name["GPU"].median_hours
+    assert by_name["CPU"].median_hours > by_name["GPU"].median_hours
+
+
+def test_fig7_rare_types_have_higher_absolute_spread(t2_log):
+    by_name = {e.category: e for e in tbf_by_category(t2_log)}
+    # CPU/Memory spread (in hours) far exceeds GPU's.
+    assert by_name["CPU"].spread_hours > by_name["GPU"].spread_hours
+    assert by_name["Memory"].spread_hours > by_name["GPU"].spread_hours

@@ -1,0 +1,35 @@
+"""Figure 8 — temporal distribution of multi-GPU failures.
+
+Paper: failures involving multiple GPUs within a node tend to happen
+close together in time — a multi-GPU failure is likely to be followed
+by another one soon.
+"""
+
+from repro.core.multigpu import multi_gpu_clustering
+from repro.core.report import report_fig8
+
+
+def test_fig8_tsubame2_clustering(benchmark, t2_log):
+    result = benchmark(multi_gpu_clustering, t2_log)
+    print("\n" + report_fig8(t2_log))
+    assert result.is_clustered()
+    assert result.clustering_ratio > 1.2
+
+
+def test_fig8_tsubame3_clustering(benchmark, t3_log):
+    result = benchmark(multi_gpu_clustering, t3_log)
+    print("\n" + report_fig8(t3_log))
+    assert result.is_clustered()
+
+
+def test_fig8_gap_after_multi_below_overall_mean_gap(t2_log):
+    result = multi_gpu_clustering(t2_log)
+    events = result.events
+    span = events[-1][0] - events[0][0]
+    mean_gap = span / (len(events) - 1)
+    multis = sum(1 for _, m in events if m > 1)
+    expected_random_gap = span / multis  # rate of multi events
+    # Conditional on a multi-GPU failure, the next one arrives sooner
+    # than the unconditional multi-failure spacing.
+    assert result.mean_gap_after_multi < expected_random_gap
+    assert mean_gap < result.mean_gap_after_multi  # sanity ordering

@@ -1,0 +1,42 @@
+"""Figure 9 — cumulative distribution of time to recovery.
+
+Paper: the MTTR is ~55 h on *both* machines and the CDF shapes are
+very similar — recovery did not improve across generations even
+though the MTBF improved >4x.
+"""
+
+import pytest
+
+from repro.core.recovery import ttr_distribution
+from repro.core.report import report_fig9
+from repro.core.temporal import tbf_distribution
+
+
+def test_fig9_tsubame2_ttr(benchmark, t2_log):
+    result = benchmark(ttr_distribution, t2_log)
+    assert result.mttr_hours == pytest.approx(55.0, rel=0.02)
+
+
+def test_fig9_tsubame3_ttr(benchmark, t3_log):
+    result = benchmark(ttr_distribution, t3_log)
+    assert result.mttr_hours == pytest.approx(55.0, rel=0.02)
+
+
+def test_fig9_cross_machine_shape(t2_log, t3_log):
+    print("\n" + report_fig9([t2_log, t3_log]))
+    t2 = ttr_distribution(t2_log)
+    t3 = ttr_distribution(t3_log)
+    # MTTR essentially unchanged across generations...
+    assert abs(t2.mttr_hours - t3.mttr_hours) / t2.mttr_hours < 0.10
+    # ...and the CDF shapes roughly coincide.
+    for hours in (10.0, 25.0, 50.0, 100.0, 200.0):
+        assert abs(t2.fraction_within(hours)
+                   - t3.fraction_within(hours)) < 0.15
+
+
+def test_fig9_mttr_comparable_to_mtbf_on_t3(t3_log):
+    # The paper's alarm: MTTR (~55 h) is the same order as the MTBF
+    # (~72 h), so concurrent failures can overlap repairs.
+    ttr = ttr_distribution(t3_log).mttr_hours
+    tbf = tbf_distribution(t3_log).mtbf_hours
+    assert 0.4 < ttr / tbf < 1.5

@@ -1,0 +1,56 @@
+"""RQ4 text numbers — per-component-class MTBF and the paper's
+performance-error-proportionality metric.
+
+Paper: GPU MTBF improved from 21.94 h to 226.48 h (~10x with the
+paper's estimator) though the GPU count only halved; CPU MTBF improved
+from 537.6 h to 1593.6 h (~3x) with the CPU count down ~3x.  Tsubame-3
+does far more useful work per failure-free period.  (We use the
+span/count estimator — absolute values differ, the ratios hold; see
+EXPERIMENTS.md.)
+"""
+
+from repro.core.metrics import performance_error_proportionality
+from repro.core.report import report_component_mtbf
+from repro.core.temporal import component_class_mtbf
+from repro.machines.specs import TSUBAME2, TSUBAME3
+
+
+def test_component_mtbf_tsubame2(benchmark, t2_log):
+    result = benchmark(component_class_mtbf, t2_log)
+    assert 25.0 < result.gpu_mtbf_hours < 45.0   # paper: 21.94 h
+    assert 500.0 < result.cpu_mtbf_hours < 1200.0  # paper: 537.6 h
+
+
+def test_component_mtbf_tsubame3(benchmark, t3_log):
+    result = benchmark(component_class_mtbf, t3_log)
+    assert 180.0 < result.gpu_mtbf_hours < 330.0   # paper: 226.48 h
+    assert 1300.0 < result.cpu_mtbf_hours < 3000.0  # paper: 1593.6 h
+
+
+def test_gpu_improvement_outpaces_component_reduction(t2_log, t3_log):
+    print("\n" + report_component_mtbf([t2_log, t3_log]))
+    t2 = component_class_mtbf(t2_log)
+    t3 = component_class_mtbf(t3_log)
+    gpu_gain = t3.gpu_improvement_over(t2)
+    gpu_count_drop = TSUBAME2.total_gpus / TSUBAME3.total_gpus
+    # The reliability gain (paper ~10x; ~7.5x with our estimator) far
+    # exceeds the mere 2x reduction in GPU inventory.
+    assert gpu_gain > 2.0 * gpu_count_drop
+    cpu_gain = t3.cpu_improvement_over(t2)
+    assert 1.5 < cpu_gain < 5.0  # paper: ~3x
+
+
+def test_performance_error_proportionality(t2_log, t3_log):
+    t2 = performance_error_proportionality(t2_log, TSUBAME2)
+    t3 = performance_error_proportionality(t3_log, TSUBAME3)
+    ratio = t3.ratio_to(t2)
+    print(f"\nFLOP per failure-free period: T2 "
+          f"{t2.flop_per_failure_free_period:.3e}, T3 "
+          f"{t3.flop_per_failure_free_period:.3e} ({ratio:.1f}x)")
+    # ~5.3x Rpeak and ~4.7x MTBF compound to >20x useful work per
+    # failure-free period.
+    assert ratio > 15.0
+    # But resilience-proportionality does NOT match raw compute growth
+    # alone: the MTBF factor contributes materially.
+    mtbf_factor = t3.mtbf_hours / t2.mtbf_hours
+    assert mtbf_factor > 4.0

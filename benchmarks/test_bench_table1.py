@@ -1,0 +1,17 @@
+"""Table I — Tsubame-2 / Tsubame-3 node configurations."""
+
+from repro.core.report import report_table1
+from repro.machines.specs import TSUBAME2, TSUBAME3
+
+
+def test_table1_node_configurations(benchmark):
+    text = benchmark(report_table1)
+    print("\n" + text)
+    # Paper row checks.
+    assert "Intel Xeon X5670" in text
+    assert "NVIDIA Tesla P100" in text
+    assert TSUBAME2.gpus_per_node == 3
+    assert TSUBAME3.gpus_per_node == 4
+    # The component-inventory argument quoted in Section III.
+    assert TSUBAME2.total_compute_components == 7040
+    assert TSUBAME3.total_compute_components == 3240

@@ -1,0 +1,15 @@
+"""Table II — failure categories reported per machine."""
+
+from repro.core.report import report_table2
+from repro.core.taxonomy import TSUBAME2_CATEGORIES, TSUBAME3_CATEGORIES
+
+
+def test_table2_failure_categories(benchmark):
+    text = benchmark(report_table2)
+    print("\n" + text)
+    assert len(TSUBAME2_CATEGORIES) == 17
+    assert len(TSUBAME3_CATEGORIES) == 16
+    for name in ("Boot", "PBS", "VM", "System Board"):
+        assert name in text
+    for name in ("Omni-Path", "SXM2-Board", "GPUDriver", "Lustre"):
+        assert name in text

@@ -1,0 +1,40 @@
+"""Table III — number of GPUs involved per node failure.
+
+Paper (exact counts): Tsubame-2 — 112 / 128 / 128 over 368 failures
+(~70% multi-GPU); Tsubame-3 — 75 / 4 / 2 / 0 over 81 failures (92.6%
+single-GPU, none involving all four).
+"""
+
+import pytest
+
+from repro.core.multigpu import multi_gpu_involvement
+from repro.core.report import report_table3
+
+
+def test_table3_tsubame2(benchmark, t2_log):
+    result = benchmark(multi_gpu_involvement, t2_log, 3)
+    print("\n" + report_table3(t2_log))
+    assert result.counts == {1: 112, 2: 128, 3: 128}
+    assert result.total == 368
+    assert result.share_of(1) == pytest.approx(0.3044, abs=0.001)
+    assert result.multi_gpu_share == pytest.approx(0.6956, abs=0.001)
+
+
+def test_table3_tsubame3(benchmark, t3_log):
+    result = benchmark(multi_gpu_involvement, t3_log, 4)
+    print("\n" + report_table3(t3_log))
+    assert result.counts.get(1) == 75
+    assert result.counts.get(2) == 4
+    assert result.counts.get(3) == 2
+    assert result.counts.get(4, 0) == 0
+    assert result.total == 81
+    assert result.share_of(1) == pytest.approx(0.926, abs=0.001)
+
+
+def test_table3_crossover_multi_gpu_share_flips(t2_log, t3_log):
+    # The surprising reversal: multi-GPU involvement collapses from
+    # ~70% to <8% despite one *more* GPU per node.
+    t2 = multi_gpu_involvement(t2_log, 3).multi_gpu_share
+    t3 = multi_gpu_involvement(t3_log, 4).multi_gpu_share
+    assert t2 > 0.6
+    assert t3 < 0.08

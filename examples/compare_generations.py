@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Cross-generation reliability study — the paper's full analysis.
+
+Reproduces every research question across Tsubame-2 and Tsubame-3,
+adds parametric distribution fits for the TBF/TTR data, and computes
+the paper's performance-error-proportionality metric.
+
+Run::
+
+    python examples/compare_generations.py
+"""
+
+from repro.core import (
+    category_breakdown,
+    component_class_mtbf,
+    multi_gpu_clustering,
+    multi_gpu_involvement,
+    performance_error_proportionality,
+    repeat_failure_class_split,
+    tbf_distribution,
+    ttr_distribution,
+)
+from repro.core.metrics import tbf_series_hours, ttr_series_hours
+from repro.machines import get_machine
+from repro.stats import fit_best, ks_two_sample
+from repro.synth import generate_log
+from repro.viz import render_table
+
+
+def main() -> None:
+    logs = {
+        machine: generate_log(machine, seed=42)
+        for machine in ("tsubame2", "tsubame3")
+    }
+    specs = {machine: get_machine(machine) for machine in logs}
+
+    rows = []
+    for machine, log in logs.items():
+        spec = specs[machine]
+        breakdown = category_breakdown(log)
+        tbf = tbf_distribution(log)
+        ttr = ttr_distribution(log)
+        classes = component_class_mtbf(log)
+        involvement = multi_gpu_involvement(log, spec.gpus_per_node)
+        pep = performance_error_proportionality(log, spec)
+        rows.append(
+            [
+                spec.display_name,
+                str(len(log)),
+                breakdown.dominant_category,
+                f"{tbf.mtbf_hours:.1f}",
+                f"{ttr.mttr_hours:.1f}",
+                f"{classes.gpu_mtbf_hours:.0f}",
+                f"{classes.cpu_mtbf_hours:.0f}",
+                f"{100 * involvement.multi_gpu_share:.0f}%",
+                f"{pep.flop_per_failure_free_period:.2e}",
+            ]
+        )
+    print(render_table(
+        ["machine", "failures", "dominant", "MTBF(h)", "MTTR(h)",
+         "GPU MTBF", "CPU MTBF", "multi-GPU", "FLOP/period"],
+        rows,
+        title="Cross-generation summary",
+    ))
+
+    print("\n-- Distribution fits (best family by AIC) --")
+    for machine, log in logs.items():
+        tbf_fit = fit_best(
+            [g for g in tbf_series_hours(log) if g > 0]
+        )
+        ttr_fit = fit_best(ttr_series_hours(log))
+        print(f"{machine}: TBF ~ {tbf_fit.name} "
+              f"(shape {tbf_fit.shape_parameter() or 1.0:.2f}, "
+              f"KS {tbf_fit.ks_statistic:.3f}); "
+              f"TTR ~ {ttr_fit.name} "
+              f"(shape {ttr_fit.shape_parameter() or 1.0:.2f})")
+
+    print("\n-- Are the distributions actually different? --")
+    tbf_test = ks_two_sample(
+        tbf_series_hours(logs["tsubame2"]),
+        tbf_series_hours(logs["tsubame3"]),
+    )
+    ttr_test = ks_two_sample(
+        ttr_series_hours(logs["tsubame2"]),
+        ttr_series_hours(logs["tsubame3"]),
+    )
+    print(f"TBF:  KS={tbf_test.statistic:.3f} p={tbf_test.pvalue:.2e} "
+          f"-> {'different' if tbf_test.rejects_null() else 'similar'} "
+          f"(paper: very different, Figure 6)")
+    print(f"TTR:  KS={ttr_test.statistic:.3f} p={ttr_test.pvalue:.2e} "
+          f"(paper: near-identical MTTR, similar shape, Figure 9)")
+
+    print("\n-- Repeat-failure class split (RQ2) --")
+    for machine, log in logs.items():
+        split = repeat_failure_class_split(log)
+        print(f"{machine}: multi-failure nodes carry "
+              f"{split.hardware_failures} hardware vs "
+              f"{split.software_failures} software failures")
+
+    print("\n-- Multi-GPU temporal clustering (Figure 8) --")
+    for machine, log in logs.items():
+        clustering = multi_gpu_clustering(log)
+        print(f"{machine}: clustering ratio "
+              f"{clustering.clustering_ratio:.2f} "
+              f"({'clustered' if clustering.is_clustered() else 'not clustered'})")
+
+
+if __name__ == "__main__":
+    main()

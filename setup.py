@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can fall back to the legacy editable path on
+offline machines where the PEP 517 build frontend cannot fetch the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

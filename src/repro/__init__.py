@@ -1,0 +1,24 @@
+"""repro — reproduction of "Examining Failures and Repairs on
+Supercomputers with Multi-GPU Compute Nodes" (DSN 2021).
+
+Quickstart::
+
+    from repro.synth import generate_log
+    from repro.core import category_breakdown, tbf_distribution
+
+    log = generate_log("tsubame2", seed=42)
+    print(category_breakdown(log).dominant_category)   # 'GPU'
+    print(tbf_distribution(log).mtbf_hours)            # ~15 h
+
+See the package docs:
+
+* :mod:`repro.core` — the paper's analyses (RQ1-RQ5).
+* :mod:`repro.machines` — Tsubame-2/3 specs and node topologies.
+* :mod:`repro.synth` — calibrated synthetic failure logs.
+* :mod:`repro.stats` — statistical primitives.
+* :mod:`repro.sim` — discrete-event failure/repair simulator.
+* :mod:`repro.predict` — failure prediction and spare provisioning.
+* :mod:`repro.io` — log serialization.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-failures generate --machine tsubame2 --seed 42 --out t2.csv
+    repro-failures analyze t2.csv
+    repro-failures report [--seed 42] [--out report.txt]
+    repro-failures simulate --machine tsubame3 --horizon 2000 \
+        --technicians 4
+
+``generate`` writes a calibrated synthetic log; ``analyze`` prints the
+headline metrics of an existing log file; ``report`` regenerates every
+table and figure for both machines; ``simulate`` runs the
+discrete-event cluster simulation and prints its operational report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import metrics
+from repro.core.breakdown import category_breakdown
+from repro.core.report import full_report
+from repro.errors import ReproError
+from repro.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.machines.specs import known_machines
+from repro.sim import ClusterSimulator, RepairPolicy
+from repro.synth import GeneratorConfig, TraceGenerator, profile_for
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-failures",
+        description="Failure/repair analysis toolkit for multi-GPU "
+                    "supercomputers (DSN 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a calibrated synthetic failure log"
+    )
+    generate.add_argument(
+        "--machine", choices=known_machines(), required=True
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--failures", type=int, default=None,
+                          help="override the log size")
+    generate.add_argument("--out", type=Path, required=True,
+                          help="output path (.csv or .jsonl)")
+
+    analyze = sub.add_parser(
+        "analyze", help="print headline metrics of a log file"
+    )
+    analyze.add_argument("path", type=Path)
+
+    report = sub.add_parser(
+        "report", help="regenerate every table and figure"
+    )
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--out", type=Path, default=None,
+                        help="write the report here instead of stdout")
+
+    simulate = sub.add_parser(
+        "simulate", help="run the failure/repair cluster simulation"
+    )
+    simulate.add_argument(
+        "--machine", choices=known_machines(), required=True
+    )
+    simulate.add_argument("--horizon", type=float, default=2000.0,
+                          help="simulated hours")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--technicians", type=int, default=4)
+    simulate.add_argument("--lead-time", type=float, default=168.0,
+                          help="spare procurement lead time in hours")
+
+    compare = sub.add_parser(
+        "compare", help="cross-generation comparison of two log files"
+    )
+    compare.add_argument("older", type=Path,
+                         help="older machine's log (.csv or .jsonl)")
+    compare.add_argument("newer", type=Path,
+                         help="newer machine's log (.csv or .jsonl)")
+
+    fit = sub.add_parser(
+        "fit", help="fit TBF/TTR distributions of a log file"
+    )
+    fit.add_argument("path", type=Path)
+
+    spares = sub.add_parser(
+        "spares", help="size a spare-part inventory from a log file"
+    )
+    spares.add_argument("path", type=Path)
+    spares.add_argument("--lead-time", type=float, default=168.0)
+    spares.add_argument("--stockout", type=float, default=0.05,
+                        help="target stockout probability")
+
+    trends = sub.add_parser(
+        "trends", help="reliability-growth and windowed trends of a log"
+    )
+    trends.add_argument("path", type=Path)
+    trends.add_argument("--window", type=float, default=720.0,
+                        help="window length in hours (default 30 days)")
+    return parser
+
+
+def _read_log(path: Path):
+    if path.suffix == ".jsonl":
+        return read_jsonl(path)
+    return read_csv(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = profile_for(args.machine)
+    config = GeneratorConfig(seed=args.seed, num_failures=args.failures)
+    log = TraceGenerator(profile, config).generate()
+    if args.out.suffix == ".jsonl":
+        write_jsonl(log, args.out)
+    else:
+        write_csv(log, args.out)
+    print(f"wrote {len(log)} failures for {args.machine} to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    log = _read_log(args.path)
+    breakdown = category_breakdown(log)
+    print(f"machine:          {log.machine}")
+    print(f"failures:         {len(log)}")
+    print(f"window:           {log.window_start} .. {log.window_end}")
+    print(f"MTBF:             {metrics.mtbf(log):.1f} h")
+    print(f"MTTR:             {metrics.mttr(log):.1f} h")
+    print(f"dominant:         {breakdown.dominant_category} "
+          f"({100 * breakdown.shares[0].share:.1f}%)")
+    print("top categories:")
+    for entry in breakdown.top(5):
+        print(f"  {entry.category:<16} {entry.count:>5} "
+              f"({100 * entry.share:.2f}%)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.synth import generate_log
+
+    t2 = generate_log("tsubame2", seed=args.seed)
+    t3 = generate_log("tsubame3", seed=args.seed)
+    text = full_report(t2, t3)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    simulator = ClusterSimulator(
+        args.machine,
+        repair_policy=RepairPolicy(
+            num_technicians=args.technicians,
+            spare_lead_time_hours=args.lead_time,
+        ),
+        seed=args.seed,
+    )
+    report = simulator.run(args.horizon)
+    print(f"machine:            {report.machine}")
+    print(f"horizon:            {report.horizon_hours:.0f} h")
+    print(f"failures injected:  {report.failures_injected}")
+    print(f"repairs completed:  {report.repairs_completed}")
+    print(f"effective MTTR:     {report.effective_mttr_hours:.1f} h")
+    print(f"  waiting share:    {100 * report.waiting_share_of_mttr:.1f}%")
+    print(f"availability:       {100 * report.availability:.3f}%")
+    print(f"spare stockouts:    {report.spare_stockouts}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_generations
+
+    older = _read_log(args.older)
+    newer = _read_log(args.newer)
+    comparison = compare_generations(older, newer)
+    for line in comparison.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.metrics import tbf_series_hours, ttr_series_hours
+    from repro.stats.fitting import fit_best
+
+    log = _read_log(args.path)
+    tbf = fit_best([gap for gap in tbf_series_hours(log) if gap > 0])
+    ttr = fit_best([t for t in ttr_series_hours(log) if t > 0])
+    for label, fit in (("TBF", tbf), ("TTR", ttr)):
+        shape = fit.shape_parameter()
+        shape_text = f", shape {shape:.3f}" if shape is not None else ""
+        print(f"{label}: {fit.name}{shape_text}, mean "
+              f"{fit.mean():.1f} h, KS {fit.ks_statistic:.3f} "
+              f"(p={fit.ks_pvalue:.3f}, n={fit.n})")
+    return 0
+
+
+def _cmd_spares(args: argparse.Namespace) -> int:
+    from repro.predict.provisioning import plan_spares
+
+    log = _read_log(args.path)
+    plan = plan_spares(
+        log,
+        lead_time_hours=args.lead_time,
+        target_stockout_probability=args.stockout,
+    )
+    print(f"machine: {plan.machine}; lead time "
+          f"{plan.lead_time_hours:.0f} h; target stockout "
+          f"{100 * plan.target_stockout_probability:.1f}%")
+    for entry in plan.entries:
+        print(f"  {entry.category:<16} stock {entry.recommended_stock:>3} "
+              f"(demand {entry.lead_time_demand:.2f}, "
+              f"P(stockout) {100 * entry.stockout_probability:.2f}%)")
+    print(f"total spares: {plan.total_stock}")
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    from repro.core.trends import crow_amsaa_fit, windowed_mtbf, windowed_mttr
+
+    log = _read_log(args.path)
+    growth = crow_amsaa_fit(log)
+    direction = "improving" if growth.is_improving else "deteriorating"
+    print(f"Crow-AMSAA: beta {growth.beta:.3f} ({direction}), "
+          f"lambda {growth.lam:.4g}, n={growth.n}")
+    print(f"{'window (h)':<22} {'failures':>8} {'MTBF (h)':>10} "
+          f"{'MTTR (h)':>10}")
+    mtbf_points = windowed_mtbf(log, args.window)
+    mttr_points = windowed_mttr(log, args.window)
+    for mtbf_point, mttr_point in zip(mtbf_points, mttr_points):
+        window = (f"{mtbf_point.window_start_hours:.0f}-"
+                  f"{mtbf_point.window_end_hours:.0f}")
+        mttr_text = (
+            f"{mttr_point.value_hours:>10.1f}"
+            if mttr_point.num_failures else f"{'-':>10}"
+        )
+        print(f"{window:<22} {mtbf_point.num_failures:>8} "
+              f"{mtbf_point.value_hours:>10.1f} {mttr_text}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "fit": _cmd_fit,
+    "spares": _cmd_spares,
+    "trends": _cmd_trends,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

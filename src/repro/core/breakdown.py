@@ -1,0 +1,157 @@
+"""RQ1 — failure-category breakdown (Figures 2 and 3).
+
+Answers "what is the distribution of most frequently occurring failure
+types?" by computing per-category counts and shares (Figure 2), the
+hardware/software split, and — for Tsubame-3 — the breakdown of the
+``Software`` category into root loci (Figure 3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core import taxonomy
+from repro.core.records import FailureLog
+from repro.core.taxonomy import FailureClass
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CategoryShare",
+    "CategoryBreakdown",
+    "category_breakdown",
+    "RootLocusBreakdown",
+    "software_root_loci",
+]
+
+
+@dataclass(frozen=True)
+class CategoryShare:
+    """One bar of Figure 2: a category's count and share of failures."""
+
+    category: str
+    count: int
+    share: float
+    failure_class: FailureClass
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """Full per-category breakdown of a log (Figure 2)."""
+
+    machine: str
+    total: int
+    shares: tuple[CategoryShare, ...]
+
+    def share_of(self, category: str) -> float:
+        """Return the share of one category (0.0 if absent)."""
+        for entry in self.shares:
+            if entry.category == category:
+                return entry.share
+        return 0.0
+
+    def count_of(self, category: str) -> int:
+        """Return the count of one category (0 if absent)."""
+        for entry in self.shares:
+            if entry.category == category:
+                return entry.count
+        return 0
+
+    def top(self, k: int = 5) -> tuple[CategoryShare, ...]:
+        """Return the k most frequent categories."""
+        return self.shares[:k]
+
+    def class_share(self, failure_class: FailureClass) -> float:
+        """Aggregate share of one hardware/software/unknown class."""
+        return sum(
+            entry.share
+            for entry in self.shares
+            if entry.failure_class is failure_class
+        )
+
+    @property
+    def dominant_category(self) -> str:
+        """Most frequent category (the paper's headline per machine)."""
+        return self.shares[0].category
+
+
+def category_breakdown(log: FailureLog) -> CategoryBreakdown:
+    """Compute the Figure 2 breakdown of ``log``.
+
+    Shares are sorted by descending count, ties broken by name so the
+    output is deterministic.
+
+    Raises:
+        AnalysisError: If the log is empty.
+    """
+    if len(log) == 0:
+        raise AnalysisError("category breakdown of an empty log is undefined")
+    counts = Counter(record.category for record in log)
+    total = len(log)
+    shares = tuple(
+        CategoryShare(
+            category=name,
+            count=count,
+            share=count / total,
+            failure_class=taxonomy.failure_class(log.machine, name),
+        )
+        for name, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    )
+    return CategoryBreakdown(machine=log.machine, total=total, shares=shares)
+
+
+@dataclass(frozen=True)
+class RootLocusBreakdown:
+    """Figure 3: shares of root loci within Tsubame-3 software failures."""
+
+    total_software: int
+    shares: tuple[CategoryShare, ...]
+
+    def share_of(self, locus: str) -> float:
+        """Return the share of one root locus (0.0 if absent)."""
+        for entry in self.shares:
+            if entry.category == locus:
+                return entry.share
+        return 0.0
+
+    def top(self, k: int = 16) -> tuple[CategoryShare, ...]:
+        """Return the top-k loci — Figure 3 shows the top 16."""
+        return self.shares[:k]
+
+
+def software_root_loci(
+    log: FailureLog, software_category: str = "Software"
+) -> RootLocusBreakdown:
+    """Compute the Figure 3 root-locus breakdown of software failures.
+
+    Records in the software category without a recorded locus are
+    grouped under ``"unknown"`` — the paper highlights that ~20% of
+    software failures have no known cause.
+
+    Raises:
+        AnalysisError: If the log has no software failures.
+    """
+    software = log.by_category(software_category)
+    if len(software) == 0:
+        raise AnalysisError(
+            f"log has no {software_category!r} failures to break down"
+        )
+    counts = Counter(
+        record.root_locus if record.root_locus else "unknown"
+        for record in software
+    )
+    total = len(software)
+    shares = tuple(
+        CategoryShare(
+            category=locus,
+            count=count,
+            share=count / total,
+            failure_class=FailureClass.SOFTWARE,
+        )
+        for locus, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    )
+    return RootLocusBreakdown(total_software=total, shares=shares)

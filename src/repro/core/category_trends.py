@@ -1,0 +1,107 @@
+"""Per-category rate trends and shift attribution.
+
+Combines the windowed view with changepoint detection per category:
+when the overall failure rate shifts, *which* failure types drove it?
+This is the diagnostic an operator reaches for after a Figure 12 spike
+— and the paper's observation that GPU-driver problems track driver
+rollouts is exactly a category-level rate shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.stats.changepoint import Changepoint, detect_changepoints
+
+__all__ = [
+    "CategoryShift",
+    "category_rate_shifts",
+    "category_window_counts",
+]
+
+
+def category_window_counts(
+    log: FailureLog, num_windows: int
+) -> dict[str, list[int]]:
+    """Per-category failure counts over equal time windows.
+
+    Raises:
+        AnalysisError: On an empty log or invalid window count.
+    """
+    if len(log) == 0:
+        raise AnalysisError(
+            "category window counts of an empty log are undefined"
+        )
+    if num_windows < 2:
+        raise AnalysisError(
+            f"num_windows must be >= 2, got {num_windows}"
+        )
+    span = log.span_hours
+    counts = {
+        name: [0] * num_windows for name in log.categories()
+    }
+    for record in log:
+        offset = log.hours_since_start(record)
+        index = min(int(num_windows * offset / span), num_windows - 1)
+        counts[record.category][index] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class CategoryShift:
+    """A detected per-category rate shift."""
+
+    category: str
+    changepoint: Changepoint
+    window_hours: float
+
+    @property
+    def shift_time_hours(self) -> float:
+        """Approximate time of the shift (start of the new regime)."""
+        return self.changepoint.index * self.window_hours
+
+    @property
+    def is_increase(self) -> bool:
+        return self.changepoint.right_rate > self.changepoint.left_rate
+
+
+def category_rate_shifts(
+    log: FailureLog,
+    num_windows: int = 12,
+    min_gain: float = 6.0,
+    min_category_failures: int = 20,
+) -> list[CategoryShift]:
+    """Detect rate shifts per category, strongest first.
+
+    Categories with fewer than ``min_category_failures`` records are
+    skipped — changepoint detection on a handful of events only finds
+    noise.
+
+    Raises:
+        AnalysisError: On invalid parameters or an empty log.
+    """
+    if min_category_failures < 1:
+        raise AnalysisError(
+            f"min_category_failures must be >= 1, got "
+            f"{min_category_failures}"
+        )
+    counts = category_window_counts(log, num_windows)
+    window_hours = log.span_hours / num_windows
+    shifts: list[CategoryShift] = []
+    for name, series in counts.items():
+        if sum(series) < min_category_failures:
+            continue
+        for changepoint in detect_changepoints(
+            series, min_gain=min_gain
+        ):
+            shifts.append(
+                CategoryShift(
+                    category=name,
+                    changepoint=changepoint,
+                    window_hours=window_hours,
+                )
+            )
+    shifts.sort(key=lambda shift: -shift.changepoint.gain)
+    return shifts

@@ -1,0 +1,134 @@
+"""Cross-generation comparison — the paper's central narrative as an
+API.
+
+:func:`compare_generations` condenses RQ1-RQ5 into one object: what
+got better (MTBF, GPU reliability, multi-GPU containment), what did
+not (MTTR), and what shifted (dominant failure class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import breakdown, metrics, multigpu, temporal
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.machines.specs import get_machine
+
+__all__ = ["GenerationComparison", "compare_generations"]
+
+
+@dataclass(frozen=True)
+class GenerationComparison:
+    """Headline deltas between an older and a newer machine."""
+
+    older: str
+    newer: str
+    mtbf_ratio: float
+    mttr_ratio: float
+    gpu_mtbf_ratio: float
+    cpu_mtbf_ratio: float
+    multi_gpu_share_older: float
+    multi_gpu_share_newer: float
+    dominant_older: str
+    dominant_newer: str
+    performance_error_proportionality_ratio: float
+    component_count_ratio: float
+
+    @property
+    def mtbf_improved(self) -> bool:
+        """True when the newer machine fails less often."""
+        return self.mtbf_ratio > 1.0
+
+    @property
+    def mttr_stagnated(self) -> bool:
+        """True when recovery time moved by less than 20% either way —
+        the paper's 'time to recovery is not improving' finding."""
+        return abs(self.mttr_ratio - 1.0) < 0.2
+
+    @property
+    def mtbf_gain_exceeds_size_reduction(self) -> bool:
+        """The paper's normalisation argument: the MTBF gain is not a
+        side effect of the smaller component inventory."""
+        return self.mtbf_ratio > self.component_count_ratio
+
+    @property
+    def multi_gpu_contained(self) -> bool:
+        """True when simultaneous multi-GPU failures became rarer."""
+        return self.multi_gpu_share_newer < self.multi_gpu_share_older
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest of the comparison."""
+        return [
+            f"{self.newer} vs {self.older}:",
+            f"  MTBF {self.mtbf_ratio:.1f}x "
+            f"(component inventory only "
+            f"{self.component_count_ratio:.1f}x smaller)",
+            f"  GPU MTBF {self.gpu_mtbf_ratio:.1f}x, "
+            f"CPU MTBF {self.cpu_mtbf_ratio:.1f}x",
+            f"  MTTR {self.mttr_ratio:.2f}x "
+            f"({'stagnant' if self.mttr_stagnated else 'changed'})",
+            f"  multi-GPU failure share "
+            f"{100 * self.multi_gpu_share_older:.0f}% -> "
+            f"{100 * self.multi_gpu_share_newer:.0f}%",
+            f"  dominant failure type {self.dominant_older} -> "
+            f"{self.dominant_newer}",
+            f"  useful FLOP per failure-free period "
+            f"{self.performance_error_proportionality_ratio:.1f}x",
+        ]
+
+
+def compare_generations(
+    older_log: FailureLog, newer_log: FailureLog
+) -> GenerationComparison:
+    """Compare two machines' logs, newer over older.
+
+    Raises:
+        AnalysisError: If both logs belong to the same machine or a
+            required analysis is undefined for either log.
+    """
+    if older_log.machine == newer_log.machine:
+        raise AnalysisError(
+            "comparison needs logs from two different machines"
+        )
+    older_spec = get_machine(older_log.machine)
+    newer_spec = get_machine(newer_log.machine)
+
+    older_classes = temporal.component_class_mtbf(older_log)
+    newer_classes = temporal.component_class_mtbf(newer_log)
+    older_involvement = multigpu.multi_gpu_involvement(
+        older_log, older_spec.gpus_per_node
+    )
+    newer_involvement = multigpu.multi_gpu_involvement(
+        newer_log, newer_spec.gpus_per_node
+    )
+    older_pep = metrics.performance_error_proportionality(
+        older_log, older_spec
+    )
+    newer_pep = metrics.performance_error_proportionality(
+        newer_log, newer_spec
+    )
+
+    return GenerationComparison(
+        older=older_log.machine,
+        newer=newer_log.machine,
+        mtbf_ratio=metrics.mtbf(newer_log) / metrics.mtbf(older_log),
+        mttr_ratio=metrics.mttr(newer_log) / metrics.mttr(older_log),
+        gpu_mtbf_ratio=newer_classes.gpu_improvement_over(older_classes),
+        cpu_mtbf_ratio=newer_classes.cpu_improvement_over(older_classes),
+        multi_gpu_share_older=older_involvement.multi_gpu_share,
+        multi_gpu_share_newer=newer_involvement.multi_gpu_share,
+        dominant_older=breakdown.category_breakdown(
+            older_log
+        ).dominant_category,
+        dominant_newer=breakdown.category_breakdown(
+            newer_log
+        ).dominant_category,
+        performance_error_proportionality_ratio=newer_pep.ratio_to(
+            older_pep
+        ),
+        component_count_ratio=(
+            older_spec.total_compute_components
+            / newer_spec.total_compute_components
+        ),
+    )

@@ -1,0 +1,124 @@
+"""User-facing failure-exposure reports.
+
+The paper's generalizability section argues HPC centres should "inform
+and help end-users" reason about failures.  This module assembles the
+existing primitives into the report a centre would hand a user: for a
+grid of job shapes, the probability of interruption, the expected
+number of interruptions, and the Young/Daly checkpoint interval that
+makes the job resilient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import job_interruption_probability, mtbf
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.machines.specs import get_machine
+
+__all__ = ["ExposureRow", "ExposureReport", "exposure_report"]
+
+
+@dataclass(frozen=True)
+class ExposureRow:
+    """Failure exposure of one job shape."""
+
+    job_nodes: int
+    job_hours: float
+    interruption_probability: float
+    expected_interruptions: float
+    checkpoint_interval_hours: float
+
+    @property
+    def needs_checkpointing(self) -> bool:
+        """True when the interruption probability exceeds 10% — the
+        conventional threshold for requiring fault tolerance."""
+        return self.interruption_probability > 0.10
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Exposure rows for a machine over a job-shape grid."""
+
+    machine: str
+    system_mtbf_hours: float
+    rows: tuple[ExposureRow, ...]
+
+    def row_for(self, job_nodes: int, job_hours: float) -> ExposureRow:
+        """Look up one job shape.
+
+        Raises:
+            AnalysisError: When the shape is not in the grid.
+        """
+        for row in self.rows:
+            if row.job_nodes == job_nodes and row.job_hours == job_hours:
+                return row
+        raise AnalysisError(
+            f"no exposure row for {job_nodes} nodes x {job_hours} h"
+        )
+
+    def fraction_needing_checkpointing(self) -> float:
+        """Share of the grid where checkpointing is warranted."""
+        if not self.rows:
+            return 0.0
+        needing = sum(1 for row in self.rows if row.needs_checkpointing)
+        return needing / len(self.rows)
+
+
+def exposure_report(
+    log: FailureLog,
+    job_nodes_grid: tuple[int, ...] = (1, 16, 64, 256),
+    job_hours_grid: tuple[float, ...] = (6.0, 24.0, 96.0),
+    checkpoint_cost_hours: float = 0.25,
+) -> ExposureReport:
+    """Build the user-exposure report from a machine's log.
+
+    Per-node MTBF comes from the log's system MTBF spread over the
+    fleet; the expected interruptions for a job follow the same Poisson
+    thinning as :func:`job_interruption_probability`; the checkpoint
+    interval is Young/Daly against the *job's* MTBF (system MTBF x
+    fleet / job nodes).
+
+    Raises:
+        AnalysisError: On invalid grids or checkpoint cost.
+    """
+    if not job_nodes_grid or not job_hours_grid:
+        raise AnalysisError("exposure grids must be non-empty")
+    if checkpoint_cost_hours <= 0:
+        raise AnalysisError(
+            f"checkpoint_cost_hours must be positive, got "
+            f"{checkpoint_cost_hours}"
+        )
+    spec = get_machine(log.machine)
+    system_mtbf = mtbf(log)
+    rows = []
+    for nodes in sorted(set(job_nodes_grid)):
+        for hours in sorted(set(job_hours_grid)):
+            probability = job_interruption_probability(
+                system_mtbf, spec.num_nodes, nodes, hours
+            )
+            expected = (
+                (hours / system_mtbf) * (nodes / spec.num_nodes)
+            )
+            job_mtbf = system_mtbf * spec.num_nodes / nodes
+            # Young/Daly first-order optimum sqrt(2 * C * MTBF) —
+            # inlined rather than imported from repro.sim.checkpoint
+            # so the core package carries no dependency on the
+            # simulator (tested equal in tests/core/test_exposure.py).
+            interval = math.sqrt(2.0 * checkpoint_cost_hours * job_mtbf)
+            rows.append(
+                ExposureRow(
+                    job_nodes=nodes,
+                    job_hours=hours,
+                    interruption_probability=probability,
+                    expected_interruptions=expected,
+                    checkpoint_interval_hours=interval,
+                )
+            )
+    return ExposureReport(
+        machine=log.machine,
+        system_mtbf_hours=system_mtbf,
+        rows=tuple(rows),
+    )

@@ -1,0 +1,121 @@
+"""Failure-impact ranking.
+
+RQ5: "we should not look to focus only on highly frequent failures,
+but instead assess their impact on the system too. Less frequent
+failure types with high recovery costs can affect the system more
+negatively."  The impact of a category is its expected downtime
+contribution — share x mean TTR — and the interesting output is how
+its impact rank diverges from its frequency rank (SSD and power board
+being the paper's examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.recovery import ttr_by_category
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+
+__all__ = ["ImpactEntry", "ImpactRanking", "impact_ranking"]
+
+
+@dataclass(frozen=True)
+class ImpactEntry:
+    """One category's frequency-vs-impact position."""
+
+    category: str
+    share_of_failures: float
+    mean_ttr_hours: float
+    downtime_share: float
+    frequency_rank: int
+    impact_rank: int
+
+    @property
+    def rank_shift(self) -> int:
+        """Positions gained when ranking by impact instead of
+        frequency; positive = more important than its frequency
+        suggests (the paper's SSD / power-board pattern)."""
+        return self.frequency_rank - self.impact_rank
+
+
+@dataclass(frozen=True)
+class ImpactRanking:
+    """All categories ranked by expected downtime contribution."""
+
+    machine: str
+    entries: tuple[ImpactEntry, ...]
+
+    def entry_for(self, category: str) -> ImpactEntry:
+        """Look up one category.
+
+        Raises:
+            AnalysisError: If the category is absent.
+        """
+        for entry in self.entries:
+            if entry.category == category:
+                return entry
+        raise AnalysisError(
+            f"category {category!r} not present in the ranking"
+        )
+
+    def underrated(self, min_shift: int = 2) -> list[ImpactEntry]:
+        """Categories whose impact rank beats their frequency rank by
+        at least ``min_shift`` positions — the rare-but-expensive
+        failures operators under-provision for."""
+        if min_shift < 1:
+            raise AnalysisError(
+                f"min_shift must be >= 1, got {min_shift}"
+            )
+        return [
+            entry for entry in self.entries
+            if entry.rank_shift >= min_shift
+        ]
+
+    def rank_divergence(self) -> float:
+        """Mean absolute rank shift — 0 when frequency fully predicts
+        impact."""
+        if not self.entries:
+            return 0.0
+        return sum(
+            abs(entry.rank_shift) for entry in self.entries
+        ) / len(self.entries)
+
+
+def impact_ranking(
+    log: FailureLog, min_failures: int = 2
+) -> ImpactRanking:
+    """Rank categories by expected downtime contribution.
+
+    Raises:
+        AnalysisError: Via :func:`ttr_by_category` on an empty log.
+    """
+    by_category = ttr_by_category(log, min_failures=min_failures)
+    total_impact = sum(entry.impact_hours for entry in by_category)
+    if total_impact <= 0:
+        raise AnalysisError("log carries no recovery time to rank")
+
+    by_frequency = sorted(
+        by_category,
+        key=lambda entry: (-entry.share_of_failures, entry.category),
+    )
+    frequency_rank = {
+        entry.category: rank
+        for rank, entry in enumerate(by_frequency, start=1)
+    }
+    by_impact = sorted(
+        by_category,
+        key=lambda entry: (-entry.impact_hours, entry.category),
+    )
+    entries = tuple(
+        ImpactEntry(
+            category=entry.category,
+            share_of_failures=entry.share_of_failures,
+            mean_ttr_hours=entry.mean_hours,
+            downtime_share=entry.impact_hours / total_impact,
+            frequency_rank=frequency_rank[entry.category],
+            impact_rank=rank,
+        )
+        for rank, entry in enumerate(by_impact, start=1)
+    )
+    return ImpactRanking(machine=log.machine, entries=entries)

@@ -1,0 +1,201 @@
+"""RQ3 — simultaneous multi-GPU failures (Table III and Figure 8).
+
+Can multiple GPUs within one node fail simultaneously?  Table III
+tabulates, over the GPU failures with recorded involvement, how many
+GPUs each failure touched.  Figure 8 shows that multi-GPU failures
+cluster in time: one is likely to be followed by another soon after.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.errors import AnalysisError
+
+__all__ = [
+    "MultiGpuInvolvement",
+    "multi_gpu_involvement",
+    "MultiGpuClustering",
+    "multi_gpu_clustering",
+]
+
+
+@dataclass(frozen=True)
+class MultiGpuInvolvement:
+    """Table III: #GPUs involved per failure, with counts and shares."""
+
+    machine: str
+    max_gpus: int
+    counts: dict[int, int]
+
+    @property
+    def total(self) -> int:
+        """GPU failures with recorded involvement (368 on Tsubame-2,
+        81 on Tsubame-3 in the paper)."""
+        return sum(self.counts.values())
+
+    def share_of(self, num_gpus: int) -> float:
+        """Share of failures involving exactly ``num_gpus`` GPUs."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(num_gpus, 0) / self.total
+
+    @property
+    def multi_gpu_share(self) -> float:
+        """Share of failures involving more than one GPU.
+
+        ~70% on Tsubame-2 versus <8% on Tsubame-3 in the paper.
+        """
+        if self.total == 0:
+            return 0.0
+        multi = sum(
+            count for num, count in self.counts.items() if num > 1
+        )
+        return multi / self.total
+
+    def rows(self) -> list[tuple[int, int, float]]:
+        """Return (num_gpus, count, share) rows for 1..max_gpus."""
+        return [
+            (num, self.counts.get(num, 0), self.share_of(num))
+            for num in range(1, self.max_gpus + 1)
+        ]
+
+
+def multi_gpu_involvement(
+    log: FailureLog, max_gpus: int
+) -> MultiGpuInvolvement:
+    """Compute Table III over a log's GPU failures.
+
+    Only records with recorded GPU involvement count; involvement
+    beyond the node's GPU count is rejected.
+
+    Raises:
+        AnalysisError: On an invalid ``max_gpus`` or out-of-range
+            involvement.
+    """
+    if max_gpus < 1:
+        raise AnalysisError(f"max_gpus must be >= 1, got {max_gpus}")
+    counts: Counter[int] = Counter()
+    for record in log:
+        involved = record.num_gpus_involved
+        if involved == 0:
+            continue
+        if involved > max_gpus:
+            raise AnalysisError(
+                f"record {record.record_id} involves {involved} GPUs but "
+                f"the node only has {max_gpus}"
+            )
+        counts[involved] += 1
+    return MultiGpuInvolvement(
+        machine=log.machine, max_gpus=max_gpus, counts=dict(counts)
+    )
+
+
+@dataclass(frozen=True)
+class MultiGpuClustering:
+    """Figure 8: temporal clustering of multi-GPU failures.
+
+    Compares the gaps that *follow a multi-GPU failure* against the
+    gaps that follow a single-GPU failure.  If multi-GPU failures
+    cluster, the gap from a multi-GPU failure to the next multi-GPU
+    failure is shorter than an independent-arrivals model predicts.
+
+    Attributes:
+        machine: Machine name.
+        events: (hours-since-start, num_gpus_involved) for every GPU
+            failure with recorded involvement, in time order — the raw
+            scatter Figure 8 plots.
+        gaps_after_multi: Hours from each multi-GPU failure to the next
+            multi-GPU failure.
+        gaps_after_single: Hours from each single-GPU failure to the
+            next multi-GPU failure.
+    """
+
+    machine: str
+    events: tuple[tuple[float, int], ...]
+    gaps_after_multi: tuple[float, ...]
+    gaps_after_single: tuple[float, ...]
+
+    @property
+    def mean_gap_after_multi(self) -> float:
+        """Mean hours to the next multi-GPU failure, given one just
+        happened (nan when no such gaps exist)."""
+        if not self.gaps_after_multi:
+            return float("nan")
+        return float(np.mean(self.gaps_after_multi))
+
+    @property
+    def mean_gap_after_single(self) -> float:
+        """Mean hours to the next multi-GPU failure after a single-GPU
+        failure (nan when no such gaps exist)."""
+        if not self.gaps_after_single:
+            return float("nan")
+        return float(np.mean(self.gaps_after_single))
+
+    @property
+    def clustering_ratio(self) -> float:
+        """mean(gap after single) / mean(gap after multi).
+
+        Values above 1 mean multi-GPU failures beget multi-GPU failures
+        sooner than single-GPU failures do — the Figure 8 claim.  When
+        multi-GPU failures chain so tightly that *no* single-GPU
+        failure ever precedes a later multi-GPU one, clustering is
+        maximal and the ratio is +inf.
+        """
+        after_multi = self.mean_gap_after_multi
+        if not np.isfinite(after_multi) or after_multi <= 0:
+            return float("nan")
+        if not self.gaps_after_single:
+            return float("inf")
+        return self.mean_gap_after_single / after_multi
+
+    def is_clustered(self) -> bool:
+        """True when the clustering ratio exceeds 1 (inf included)."""
+        ratio = self.clustering_ratio
+        return bool(not np.isnan(ratio) and ratio > 1.0)
+
+
+def multi_gpu_clustering(log: FailureLog) -> MultiGpuClustering:
+    """Compute the Figure 8 temporal-clustering view of GPU failures.
+
+    Raises:
+        AnalysisError: If the log has no GPU failures with recorded
+            involvement.
+    """
+    involved: list[tuple[float, FailureRecord]] = [
+        (log.hours_since_start(record), record)
+        for record in log
+        if record.num_gpus_involved > 0
+    ]
+    if not involved:
+        raise AnalysisError(
+            "log has no GPU failures with recorded involvement"
+        )
+    events = tuple(
+        (time, record.num_gpus_involved) for time, record in involved
+    )
+    gaps_after_multi: list[float] = []
+    gaps_after_single: list[float] = []
+    for index, (time, record) in enumerate(involved):
+        next_multi_time = None
+        for later_time, later_record in involved[index + 1:]:
+            if later_record.num_gpus_involved > 1:
+                next_multi_time = later_time
+                break
+        if next_multi_time is None:
+            continue
+        gap = next_multi_time - time
+        if record.num_gpus_involved > 1:
+            gaps_after_multi.append(gap)
+        else:
+            gaps_after_single.append(gap)
+    return MultiGpuClustering(
+        machine=log.machine,
+        events=events,
+        gaps_after_multi=tuple(gaps_after_multi),
+        gaps_after_single=tuple(gaps_after_single),
+    )

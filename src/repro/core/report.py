@@ -1,0 +1,333 @@
+"""Text report rendering for every table and figure in the paper.
+
+Each ``report_*`` function turns one analysis result into the text
+equivalent of the corresponding paper exhibit; :func:`full_report`
+stitches all of them together for a pair of logs.  The benchmark
+harness prints these, and EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    breakdown,
+    metrics,
+    multigpu,
+    recovery,
+    seasonal,
+    spatial,
+    temporal,
+)
+from repro.core.records import FailureLog
+from repro.core.taxonomy import categories_for
+from repro.errors import AnalysisError
+from repro.machines.specs import MachineSpec, get_machine
+from repro.viz import ascii as viz
+
+__all__ = [
+    "report_table1",
+    "report_table2",
+    "report_fig2",
+    "report_fig3",
+    "report_fig4",
+    "report_fig5",
+    "report_table3",
+    "report_fig6",
+    "report_fig7",
+    "report_fig8",
+    "report_fig9",
+    "report_fig10",
+    "report_fig11",
+    "report_fig12",
+    "report_component_mtbf",
+    "report_impact",
+    "full_report",
+]
+
+
+def report_table1(specs: list[MachineSpec] | None = None) -> str:
+    """Table I — node configurations."""
+    if specs is None:
+        specs = [get_machine("tsubame2"), get_machine("tsubame3")]
+    if not specs:
+        raise AnalysisError("report_table1 needs at least one machine")
+    labels = list(specs[0].table1_row())
+    rows = []
+    for label in labels:
+        rows.append([label] + [spec.table1_row()[label] for spec in specs])
+    headers = [""] + [spec.display_name for spec in specs]
+    return viz.render_table(headers, rows, title="Table I. Node configurations")
+
+
+def report_table2() -> str:
+    """Table II — failure categories per machine."""
+    t2 = sorted(cat.name for cat in categories_for("tsubame2"))
+    t3 = sorted(cat.name for cat in categories_for("tsubame3"))
+    length = max(len(t2), len(t3))
+    rows = [
+        [
+            t2[index] if index < len(t2) else "",
+            t3[index] if index < len(t3) else "",
+        ]
+        for index in range(length)
+    ]
+    return viz.render_table(
+        ["Tsubame-2", "Tsubame-3"], rows,
+        title="Table II. Failure categories",
+    )
+
+
+def report_fig2(log: FailureLog) -> str:
+    """Figure 2 — failure-category breakdown."""
+    result = breakdown.category_breakdown(log)
+    rows = [
+        (entry.category, 100.0 * entry.share) for entry in result.shares
+    ]
+    return viz.bar_chart(
+        rows,
+        value_format="{:.2f}%",
+        title=f"Fig 2 ({log.machine}). Failure categories, "
+              f"n={result.total}",
+    )
+
+
+def report_fig3(log: FailureLog) -> str:
+    """Figure 3 — Tsubame-3 software failure root loci (top 16)."""
+    result = breakdown.software_root_loci(log)
+    rows = [
+        (entry.category, 100.0 * entry.share) for entry in result.top(16)
+    ]
+    return viz.bar_chart(
+        rows,
+        value_format="{:.1f}%",
+        title=f"Fig 3 ({log.machine}). Software root loci, "
+              f"n={result.total_software}",
+    )
+
+
+def report_fig4(log: FailureLog) -> str:
+    """Figure 4 — per-node failure-count distribution."""
+    result = spatial.node_failure_distribution(log)
+    rows = [
+        (f"{k} failure(s)", 100.0 * result.fraction_with_exactly(k))
+        for k in sorted(result.histogram)
+    ]
+    return viz.bar_chart(
+        rows,
+        value_format="{:.1f}%",
+        title=f"Fig 4 ({log.machine}). Nodes by failure count, "
+              f"{result.num_affected_nodes} affected nodes",
+    )
+
+
+def report_fig5(log: FailureLog) -> str:
+    """Figure 5 — per-GPU-slot failure distribution."""
+    spec = get_machine(log.machine)
+    result = spatial.gpu_slot_distribution(
+        log.gpu_failures(), spec.gpu_slots
+    )
+    rows = [
+        (f"GPU {slot}", float(result.counts.get(slot, 0)))
+        for slot in spec.gpu_slots
+    ]
+    return viz.bar_chart(
+        rows,
+        value_format="{:.0f}",
+        title=f"Fig 5 ({log.machine}). Failures per GPU slot "
+              f"(total involvements {result.total})",
+    )
+
+
+def report_table3(log: FailureLog) -> str:
+    """Table III — number of GPUs involved in node failures."""
+    spec = get_machine(log.machine)
+    result = multigpu.multi_gpu_involvement(log, spec.gpus_per_node)
+    rows = [
+        [str(num), str(count), f"{100.0 * share:.2f}%"]
+        for num, count, share in result.rows()
+    ]
+    rows.append(["Total", str(result.total), "100%"])
+    return viz.render_table(
+        ["#GPUs", "count", "share"], rows,
+        title=f"Table III ({log.machine}). GPUs involved per failure",
+    )
+
+
+def report_fig6(logs: list[FailureLog]) -> str:
+    """Figure 6 — cumulative distribution of time between failures."""
+    curves = {}
+    summary_lines = []
+    for log in logs:
+        dist = temporal.tbf_distribution(log)
+        curves[log.machine] = dist.ecdf
+        summary_lines.append(
+            f"{log.machine}: MTBF {dist.mtbf_hours:.1f} h "
+            f"(span estimator {dist.mtbf_span_hours:.1f} h), "
+            f"p75 {dist.p75_hours():.1f} h"
+        )
+    chart = viz.cdf_chart(
+        curves, title="Fig 6. Time between failures (CDF)"
+    )
+    return chart + "\n" + "\n".join(summary_lines)
+
+
+def report_fig7(log: FailureLog, min_failures: int = 3) -> str:
+    """Figure 7 — TBF distribution per failure type."""
+    entries = temporal.tbf_by_category(log, min_failures=min_failures)
+    rows = [(entry.category, entry.summary) for entry in entries]
+    return viz.boxplot_table(
+        rows,
+        title=f"Fig 7 ({log.machine}). Time between failures by type "
+              f"(sorted by mean)",
+    )
+
+
+def report_fig8(log: FailureLog) -> str:
+    """Figure 8 — temporal distribution of (multi-)GPU failures."""
+    result = multigpu.multi_gpu_clustering(log)
+    chart = viz.timeline(
+        result.events,
+        span=log.span_hours,
+        title=f"Fig 8 ({log.machine}). GPU failures over time "
+              f"(digits = #GPUs involved)",
+    )
+    return (
+        chart
+        + f"\nmean gap to next multi-GPU failure: after multi "
+          f"{result.mean_gap_after_multi:.1f} h, after single "
+          f"{result.mean_gap_after_single:.1f} h "
+          f"(clustering ratio {result.clustering_ratio:.2f})"
+    )
+
+
+def report_fig9(logs: list[FailureLog]) -> str:
+    """Figure 9 — cumulative distribution of time to recovery."""
+    curves = {}
+    summary_lines = []
+    for log in logs:
+        dist = recovery.ttr_distribution(log)
+        curves[log.machine] = dist.ecdf
+        summary_lines.append(
+            f"{log.machine}: MTTR {dist.mttr_hours:.1f} h, "
+            f"median {dist.quantile(0.5):.1f} h"
+        )
+    chart = viz.cdf_chart(curves, title="Fig 9. Time to recovery (CDF)")
+    return chart + "\n" + "\n".join(summary_lines)
+
+
+def report_fig10(log: FailureLog, min_failures: int = 2) -> str:
+    """Figure 10 — TTR distribution per failure type."""
+    entries = recovery.ttr_by_category(log, min_failures=min_failures)
+    rows = [(entry.category, entry.summary) for entry in entries]
+    return viz.boxplot_table(
+        rows,
+        title=f"Fig 10 ({log.machine}). Time to recovery by type "
+              f"(sorted by mean)",
+    )
+
+
+def report_fig11(log: FailureLog) -> str:
+    """Figure 11 — monthly time-to-recovery distribution."""
+    result = seasonal.monthly_ttr(log)
+    rows = [
+        (f"month {month:>2}", result.summaries[month])
+        for month in sorted(result.summaries)
+    ]
+    return viz.boxplot_table(
+        rows,
+        title=f"Fig 11 ({log.machine}). Time to recovery by month",
+    )
+
+
+def report_fig12(log: FailureLog) -> str:
+    """Figure 12 — failures by month of occurrence."""
+    result = seasonal.monthly_failure_counts(log)
+    rows = [(name, float(count)) for name, count in result.rows()]
+    return viz.bar_chart(
+        rows,
+        value_format="{:.0f}",
+        title=f"Fig 12 ({log.machine}). Failures per month, "
+              f"total {result.total}",
+    )
+
+
+def report_impact(log: FailureLog) -> str:
+    """Impact ranking — RQ5's frequency-vs-impact point as a table."""
+    from repro.core.impact import impact_ranking
+
+    ranking = impact_ranking(log)
+    rows = [
+        [
+            entry.category,
+            f"{100 * entry.share_of_failures:.2f}%",
+            f"{entry.mean_ttr_hours:.1f}",
+            f"{100 * entry.downtime_share:.2f}%",
+            str(entry.frequency_rank),
+            str(entry.impact_rank),
+            f"{entry.rank_shift:+d}",
+        ]
+        for entry in ranking.entries
+    ]
+    return viz.render_table(
+        ["category", "failure share", "mean TTR (h)", "downtime share",
+         "freq rank", "impact rank", "shift"],
+        rows,
+        title=f"Impact ranking ({log.machine}): frequency is not "
+              f"impact",
+    )
+
+
+def report_component_mtbf(logs: list[FailureLog]) -> str:
+    """RQ4 text — GPU/CPU MTBF per machine plus the paper's metric."""
+    rows = []
+    for log in logs:
+        spec = get_machine(log.machine)
+        classes = temporal.component_class_mtbf(log)
+        pep = metrics.performance_error_proportionality(log, spec)
+        rows.append(
+            [
+                log.machine,
+                f"{metrics.mtbf(log):.1f}",
+                f"{classes.gpu_mtbf_hours:.1f}",
+                f"{classes.cpu_mtbf_hours:.1f}",
+                f"{pep.flop_per_failure_free_period:.3e}",
+            ]
+        )
+    return viz.render_table(
+        ["machine", "MTBF (h)", "GPU MTBF (h)", "CPU MTBF (h)",
+         "FLOP per failure-free period"],
+        rows,
+        title="Component-class MTBF and performance-error-proportionality",
+    )
+
+
+def full_report(t2_log: FailureLog, t3_log: FailureLog) -> str:
+    """Render every exhibit for a Tsubame-2 / Tsubame-3 log pair."""
+    sections = [
+        report_table1(),
+        report_table2(),
+        report_fig2(t2_log),
+        report_fig2(t3_log),
+        report_fig3(t3_log),
+        report_fig4(t2_log),
+        report_fig4(t3_log),
+        report_fig5(t2_log),
+        report_fig5(t3_log),
+        report_table3(t2_log),
+        report_table3(t3_log),
+        report_fig6([t2_log, t3_log]),
+        report_fig7(t2_log),
+        report_fig7(t3_log),
+        report_fig8(t2_log),
+        report_fig8(t3_log),
+        report_fig9([t2_log, t3_log]),
+        report_fig10(t2_log),
+        report_fig10(t3_log),
+        report_fig11(t2_log),
+        report_fig11(t3_log),
+        report_fig12(t2_log),
+        report_fig12(t3_log),
+        report_component_mtbf([t2_log, t3_log]),
+        report_impact(t2_log),
+        report_impact(t3_log),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,199 @@
+"""Failure-category taxonomy for the Tsubame supercomputers.
+
+The DSN 2021 paper (Table II) reports distinct failure categories for
+Tsubame-2 and Tsubame-3.  Each category is classified as hardware,
+software, or unknown; the paper's RQ2 analysis ("352 hardware failures
+and 1 software failure ...") depends on this classification, and the
+RQ1 analysis of Tsubame-3 additionally breaks the ``Software`` category
+into *root loci* (Figure 3).
+
+This module is the single source of truth for category names, their
+hardware/software classing, and the software root-locus taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TaxonomyError
+
+__all__ = [
+    "FailureClass",
+    "Category",
+    "TSUBAME2_CATEGORIES",
+    "TSUBAME3_CATEGORIES",
+    "SOFTWARE_ROOT_LOCI",
+    "categories_for",
+    "category",
+    "failure_class",
+    "is_gpu_category",
+    "root_loci_names",
+]
+
+
+class FailureClass(enum.Enum):
+    """Coarse classification of a failure category."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Category:
+    """A failure category as reported in a Tsubame failure log.
+
+    Attributes:
+        name: Canonical category name (as spelled in Table II).
+        failure_class: Hardware/software/unknown classification.
+        description: One-line description of what the category covers.
+        gpu_related: True when the category describes failures incident
+            on GPU cards (used by the RQ2/RQ3 spatial analyses).
+    """
+
+    name: str
+    failure_class: FailureClass
+    description: str
+    gpu_related: bool = False
+
+
+def _hw(name: str, description: str, gpu_related: bool = False) -> Category:
+    return Category(name, FailureClass.HARDWARE, description, gpu_related)
+
+
+def _sw(name: str, description: str, gpu_related: bool = False) -> Category:
+    return Category(name, FailureClass.SOFTWARE, description, gpu_related)
+
+
+#: Tsubame-2 failure categories (Table II, left column).
+TSUBAME2_CATEGORIES: tuple[Category, ...] = (
+    _sw("Boot", "Node failed to boot or hung during boot."),
+    _hw("CPU", "CPU hardware failure."),
+    _hw("Disk", "Local spinning-disk failure."),
+    _sw("Down", "Node found down with no more specific diagnosis."),
+    _hw("FAN", "Cooling-fan failure."),
+    _hw("GPU", "GPU card hardware failure.", gpu_related=True),
+    _hw("IB", "InfiniBand host adapter or link failure."),
+    _hw("Memory", "DRAM DIMM failure (uncorrectable errors)."),
+    _hw("Network", "Ethernet / management-network failure."),
+    _hw("OtherHW", "Hardware failure outside the named categories."),
+    _sw("OtherSW", "Software failure outside the named categories."),
+    _sw("PBS", "Portable Batch System (scheduler) failure."),
+    _hw("PSU", "Power supply unit failure."),
+    _hw("Rack", "Rack-level failure (power or cooling distribution)."),
+    _hw("SSD", "Local SSD failure."),
+    _hw("System Board", "Motherboard / system-board failure."),
+    _sw("VM", "Virtual machine layer failure."),
+)
+
+#: Tsubame-3 failure categories (Table II, right column).
+TSUBAME3_CATEGORIES: tuple[Category, ...] = (
+    _hw("CPU", "CPU hardware failure."),
+    _hw("CRC", "Cyclic redundancy check errors on a link."),
+    _hw("Disk", "Local disk failure."),
+    _hw("GPU", "GPU card hardware failure.", gpu_related=True),
+    _sw("GPUDriver", "GPU driver fault reported as its own category.",
+        gpu_related=True),
+    _hw("IP", "IP motherboard failure."),
+    _hw("Led Front Panel", "Front-panel LED / chassis indicator failure."),
+    _sw("Lustre", "Lustre parallel file system failure."),
+    _hw("Memory", "DRAM DIMM failure (uncorrectable errors)."),
+    _hw("Omni-Path", "Intel Omni-Path fabric adapter or link failure."),
+    _hw("Power-Board", "Power distribution board failure."),
+    _hw("Ribbon Cable", "Internal ribbon-cable failure."),
+    _sw("Software", "Software failure (see root loci, Figure 3)."),
+    _hw("SXM2_Cable", "SXM2 interposer cable failure.", gpu_related=True),
+    _hw("SXM2-Board", "SXM2 carrier board failure.", gpu_related=True),
+    Category("Unknown", FailureClass.UNKNOWN,
+             "Failure whose category could not be determined."),
+)
+
+#: Root loci of Tsubame-3 ``Software`` failures (Figure 3, top 16).
+#:
+#: The paper names only a handful of loci explicitly: GPU-driver-related
+#: problems (~43% of software failures), failures with no known cause
+#: (~20%), and low counts of kernel panics and Lustre bugs.  The
+#: remaining loci here are plausible stand-ins for the unnamed bars of
+#: Figure 3; see DESIGN.md for the substitution rationale.
+SOFTWARE_ROOT_LOCI: tuple[str, ...] = (
+    "gpu_driver",
+    "unknown",
+    "cuda_version_mismatch",
+    "omnipath_driver",
+    "gpu_direct",
+    "mpi_library",
+    "batch_script",
+    "filesystem_client",
+    "nfs_mount",
+    "container_runtime",
+    "python_stack",
+    "memory_leak",
+    "firmware_mismatch",
+    "license_server",
+    "lustre_bug",
+    "kernel_panic",
+)
+
+_BY_MACHINE: dict[str, tuple[Category, ...]] = {
+    "tsubame2": TSUBAME2_CATEGORIES,
+    "tsubame3": TSUBAME3_CATEGORIES,
+}
+
+_INDEX: dict[str, dict[str, Category]] = {
+    machine: {cat.name: cat for cat in cats}
+    for machine, cats in _BY_MACHINE.items()
+}
+
+
+def categories_for(machine: str) -> tuple[Category, ...]:
+    """Return the category tuple for ``machine``.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+
+    Raises:
+        TaxonomyError: If the machine name is unknown.
+    """
+    try:
+        return _BY_MACHINE[machine]
+    except KeyError:
+        raise TaxonomyError(
+            f"unknown machine {machine!r}; expected one of "
+            f"{sorted(_BY_MACHINE)}"
+        ) from None
+
+
+def category(machine: str, name: str) -> Category:
+    """Look up a single category by machine and name.
+
+    Raises:
+        TaxonomyError: If the machine or category name is unknown.
+    """
+    index = _INDEX.get(machine)
+    if index is None:
+        raise TaxonomyError(
+            f"unknown machine {machine!r}; expected one of "
+            f"{sorted(_BY_MACHINE)}"
+        )
+    try:
+        return index[name]
+    except KeyError:
+        raise TaxonomyError(
+            f"unknown category {name!r} for machine {machine!r}"
+        ) from None
+
+
+def failure_class(machine: str, name: str) -> FailureClass:
+    """Return the hardware/software/unknown class of a category."""
+    return category(machine, name).failure_class
+
+
+def is_gpu_category(machine: str, name: str) -> bool:
+    """Return True when the category describes GPU-incident failures."""
+    return category(machine, name).gpu_related
+
+
+def root_loci_names() -> tuple[str, ...]:
+    """Return the canonical Tsubame-3 software root-locus names."""
+    return SOFTWARE_ROOT_LOCI

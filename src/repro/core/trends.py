@@ -1,0 +1,208 @@
+"""Reliability trends over a log's lifetime.
+
+Field studies ask not only *what* the MTBF/MTTR are but whether they
+drift: does the machine burn in (fewer failures over time), wear out,
+or hold steady?  Three tools:
+
+* **Windowed series** — MTBF/MTTR computed over consecutive windows,
+  the time-resolved view behind "the MTBF improved across
+  generations".
+* **Crow-AMSAA (NHPP power-law) growth model** — the standard
+  reliability-growth estimator.  beta < 1 means the failure intensity
+  is falling (reliability growth, burn-in); beta > 1 means wear-out.
+* **Recovery survival** — Kaplan-Meier over TTR with right-censoring
+  for repairs still open when the observation window closes, the
+  statistically honest version of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.stats.survival import KaplanMeier
+
+__all__ = [
+    "WindowPoint",
+    "windowed_mtbf",
+    "windowed_mttr",
+    "CrowAmsaaFit",
+    "crow_amsaa_fit",
+    "ttr_survival",
+]
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One point of a windowed reliability series."""
+
+    window_start_hours: float
+    window_end_hours: float
+    num_failures: int
+    value_hours: float
+
+    @property
+    def center_hours(self) -> float:
+        return 0.5 * (self.window_start_hours + self.window_end_hours)
+
+
+def _windows(log: FailureLog, window_hours: float):
+    if window_hours <= 0:
+        raise AnalysisError(
+            f"window_hours must be positive, got {window_hours}"
+        )
+    if len(log) == 0:
+        raise AnalysisError("windowed series of an empty log is undefined")
+    span = log.span_hours
+    if window_hours > span:
+        raise AnalysisError(
+            f"window of {window_hours} h exceeds the {span:.0f} h span"
+        )
+    edges = []
+    start = 0.0
+    while start < span:
+        edges.append((start, min(start + window_hours, span)))
+        start += window_hours
+    stamps = log.timestamps_hours()
+    grouped: list[list[float]] = [[] for _ in edges]
+    ttrs: list[list[float]] = [[] for _ in edges]
+    for record, stamp in zip(log, stamps):
+        index = min(int(stamp // window_hours), len(edges) - 1)
+        grouped[index].append(stamp)
+        ttrs[index].append(record.ttr_hours)
+    return edges, grouped, ttrs
+
+
+def windowed_mtbf(
+    log: FailureLog, window_hours: float
+) -> list[WindowPoint]:
+    """MTBF per window (window length / failure count).
+
+    Windows with no failures report the window length itself as a
+    lower bound on the local MTBF.
+    """
+    edges, grouped, _ = _windows(log, window_hours)
+    points = []
+    for (start, end), stamps in zip(edges, grouped):
+        length = end - start
+        value = length / len(stamps) if stamps else length
+        points.append(
+            WindowPoint(
+                window_start_hours=start,
+                window_end_hours=end,
+                num_failures=len(stamps),
+                value_hours=value,
+            )
+        )
+    return points
+
+
+def windowed_mttr(
+    log: FailureLog, window_hours: float
+) -> list[WindowPoint]:
+    """Mean TTR per window (nan for windows with no failures)."""
+    edges, _, ttrs = _windows(log, window_hours)
+    points = []
+    for (start, end), values in zip(edges, ttrs):
+        mean = sum(values) / len(values) if values else float("nan")
+        points.append(
+            WindowPoint(
+                window_start_hours=start,
+                window_end_hours=end,
+                num_failures=len(values),
+                value_hours=mean,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class CrowAmsaaFit:
+    """Crow-AMSAA power-law NHPP fit N(t) = lambda * t^beta.
+
+    Attributes:
+        beta: Shape — <1 reliability growth, ~1 stationary (HPP),
+            >1 deterioration.
+        lam: Scale (lambda-hat).
+        n: Number of failures used.
+        total_time_hours: Observation length T.
+    """
+
+    beta: float
+    lam: float
+    n: int
+    total_time_hours: float
+
+    @property
+    def is_improving(self) -> bool:
+        """True when the failure intensity is falling over time."""
+        return self.beta < 1.0
+
+    def intensity_at(self, t_hours: float) -> float:
+        """Instantaneous failure intensity lambda*beta*t^(beta-1)."""
+        if t_hours <= 0:
+            raise AnalysisError(f"t must be positive, got {t_hours}")
+        return self.lam * self.beta * t_hours ** (self.beta - 1.0)
+
+    def expected_failures(self, t_hours: float) -> float:
+        """Expected cumulative failures by time t."""
+        if t_hours < 0:
+            raise AnalysisError(f"t must be >= 0, got {t_hours}")
+        return self.lam * t_hours**self.beta
+
+
+def crow_amsaa_fit(log: FailureLog) -> CrowAmsaaFit:
+    """MLE of the Crow-AMSAA model (time-truncated test).
+
+    beta-hat = n / sum(ln(T / t_i)), lambda-hat = n / T^beta.
+
+    Raises:
+        AnalysisError: With fewer than 3 failures or degenerate
+            timestamps.
+    """
+    if len(log) < 3:
+        raise AnalysisError(
+            f"Crow-AMSAA needs at least 3 failures, got {len(log)}"
+        )
+    total = log.span_hours
+    stamps = [max(t, 1e-9) for t in log.timestamps_hours()]
+    denominator = sum(math.log(total / t) for t in stamps)
+    if denominator <= 0:
+        raise AnalysisError(
+            "all failures sit at the window end; cannot fit Crow-AMSAA"
+        )
+    beta = len(stamps) / denominator
+    lam = len(stamps) / total**beta
+    return CrowAmsaaFit(
+        beta=beta, lam=lam, n=len(stamps), total_time_hours=total
+    )
+
+
+def ttr_survival(log: FailureLog) -> KaplanMeier:
+    """Kaplan-Meier estimate of P[still unrepaired after t hours].
+
+    A repair that would complete after the observation window closes
+    is right-censored at the window end — the estimator uses the
+    partial information instead of pretending the full logged duration
+    was observed.
+
+    Raises:
+        AnalysisError: On an empty log.
+    """
+    if len(log) == 0:
+        raise AnalysisError("TTR survival of an empty log is undefined")
+    span = log.span_hours
+    durations = []
+    observed = []
+    for record in log:
+        start = log.hours_since_start(record)
+        remaining = span - start
+        if record.ttr_hours <= remaining:
+            durations.append(record.ttr_hours)
+            observed.append(True)
+        else:
+            durations.append(remaining)
+            observed.append(False)
+    return KaplanMeier(durations, observed)

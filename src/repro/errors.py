@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """A record, log, or configuration value failed validation."""
+
+
+class TaxonomyError(ReproError):
+    """An unknown failure category, class, or root locus was referenced."""
+
+
+class MachineError(ReproError):
+    """An unknown machine was referenced or a topology is inconsistent."""
+
+
+class CalibrationError(ReproError):
+    """A synthetic-trace profile could not be calibrated to its targets."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on data it cannot interpret."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SerializationError(ReproError):
+    """A failure log could not be read from or written to disk."""

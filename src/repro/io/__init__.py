@@ -1,0 +1,23 @@
+"""Failure-log serialization.
+
+Defines a documented interchange schema (the columns Section II of the
+paper describes: occurrence time, recovery time, category, plus node
+and GPU locality) and reads/writes it as CSV or JSON Lines.
+"""
+
+from repro.io.csvio import read_csv, write_csv
+from repro.io.jsonio import read_jsonl, write_jsonl
+from repro.io.rawlog import normalize_category, read_raw_csv
+from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
+
+__all__ = [
+    "CSV_COLUMNS",
+    "normalize_category",
+    "read_csv",
+    "read_jsonl",
+    "read_raw_csv",
+    "record_from_row",
+    "record_to_row",
+    "write_csv",
+    "write_jsonl",
+]

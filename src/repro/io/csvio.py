@@ -1,0 +1,91 @@
+"""CSV reading and writing of failure logs.
+
+The CSV carries a small comment header (lines starting with ``#``)
+recording the machine name and observation window, so a file round-trips
+into an identical :class:`~repro.core.records.FailureLog`.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime
+from pathlib import Path
+
+from repro.core.records import FailureLog
+from repro.errors import SerializationError
+from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
+
+__all__ = ["write_csv", "read_csv"]
+
+_META_PREFIX = "#"
+
+
+def write_csv(log: FailureLog, path: str | Path) -> None:
+    """Write a failure log to ``path`` as CSV with a metadata header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"{_META_PREFIX} machine={log.machine}\n")
+        handle.write(
+            f"{_META_PREFIX} window_start={log.window_start.isoformat()}\n"
+        )
+        handle.write(
+            f"{_META_PREFIX} window_end={log.window_end.isoformat()}\n"
+        )
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        for record in log:
+            writer.writerow(record_to_row(record))
+
+
+def _parse_metadata(lines: list[str]) -> dict[str, str]:
+    metadata: dict[str, str] = {}
+    for line in lines:
+        body = line[len(_META_PREFIX):].strip()
+        if "=" not in body:
+            raise SerializationError(
+                f"malformed metadata line {line.strip()!r}"
+            )
+        key, _, value = body.partition("=")
+        metadata[key.strip()] = value.strip()
+    return metadata
+
+
+def read_csv(path: str | Path) -> FailureLog:
+    """Read a failure log written by :func:`write_csv`.
+
+    Raises:
+        SerializationError: On missing metadata or malformed rows.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        meta_lines: list[str] = []
+        position = handle.tell()
+        while True:
+            line = handle.readline()
+            if line.startswith(_META_PREFIX):
+                meta_lines.append(line)
+                position = handle.tell()
+            else:
+                handle.seek(position)
+                break
+        metadata = _parse_metadata(meta_lines)
+        for key in ("machine", "window_start", "window_end"):
+            if key not in metadata:
+                raise SerializationError(
+                    f"{path} is missing the {key!r} metadata line"
+                )
+        reader = csv.DictReader(handle)
+        records = [record_from_row(row) for row in reader]
+    try:
+        window_start = datetime.fromisoformat(metadata["window_start"])
+        window_end = datetime.fromisoformat(metadata["window_end"])
+    except ValueError as exc:
+        raise SerializationError(
+            f"{path} has malformed window timestamps: {exc}"
+        ) from exc
+    return FailureLog(
+        machine=metadata["machine"],
+        records=tuple(records),
+        window_start=window_start,
+        window_end=window_end,
+    )

@@ -1,0 +1,108 @@
+"""JSON Lines reading and writing of failure logs.
+
+The first line is a header object (``{"machine": ..., "window_start":
+..., "window_end": ...}``); every further line is one failure record.
+JSONL suits streaming pipelines better than CSV and is the format the
+command-line tool emits by default.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from pathlib import Path
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.errors import SerializationError
+
+__all__ = ["write_jsonl", "read_jsonl"]
+
+
+def _record_to_object(record: FailureRecord) -> dict:
+    return {
+        "record_id": record.record_id,
+        "timestamp": record.timestamp.isoformat(),
+        "node_id": record.node_id,
+        "category": record.category,
+        "ttr_hours": record.ttr_hours,
+        "gpus_involved": list(record.gpus_involved),
+        "root_locus": record.root_locus,
+    }
+
+
+def _record_from_object(obj: dict) -> FailureRecord:
+    try:
+        return FailureRecord(
+            record_id=int(obj["record_id"]),
+            timestamp=datetime.fromisoformat(obj["timestamp"]),
+            node_id=int(obj["node_id"]),
+            category=str(obj["category"]),
+            ttr_hours=float(obj["ttr_hours"]),
+            gpus_involved=tuple(int(s) for s in obj.get("gpus_involved", [])),
+            root_locus=obj.get("root_locus"),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed record object: {exc}") from exc
+
+
+def write_jsonl(log: FailureLog, path: str | Path) -> None:
+    """Write a failure log to ``path`` as JSON Lines."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {
+            "machine": log.machine,
+            "window_start": log.window_start.isoformat(),
+            "window_end": log.window_end.isoformat(),
+            "num_records": len(log),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in log:
+            handle.write(json.dumps(_record_to_object(record)) + "\n")
+
+
+def read_jsonl(path: str | Path) -> FailureLog:
+    """Read a failure log written by :func:`write_jsonl`.
+
+    Raises:
+        SerializationError: On a missing/malformed header or records.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise SerializationError(f"{path} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path} has a malformed header: {exc}"
+            ) from exc
+        for key in ("machine", "window_start", "window_end"):
+            if key not in header:
+                raise SerializationError(
+                    f"{path} header is missing {key!r}"
+                )
+        records = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{path}:{line_number} is malformed JSON: {exc}"
+                ) from exc
+            records.append(_record_from_object(obj))
+    try:
+        window_start = datetime.fromisoformat(header["window_start"])
+        window_end = datetime.fromisoformat(header["window_end"])
+    except (ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"{path} has malformed window timestamps: {exc}"
+        ) from exc
+    return FailureLog(
+        machine=str(header["machine"]),
+        records=tuple(records),
+        window_start=window_start,
+        window_end=window_end,
+    )

@@ -1,0 +1,256 @@
+"""Parser for raw operator-log exports.
+
+Operator logs rarely arrive in a clean interchange schema.  This
+module ingests the messier dialect such exports typically use — and
+that the paper's released dataset resembles — with:
+
+* assorted timestamp formats (``1/7/2012 13:45``, ``2012-01-07``, ...),
+* free-form category spellings (``gpu failure``, ``GPU Driver``,
+  ``power supply``) normalised onto the Table II taxonomy,
+* recovery durations given in hours *or* days,
+* optional/missing columns (node, GPU list).
+
+The output is a validated :class:`~repro.core.records.FailureLog`.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime
+from pathlib import Path
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.taxonomy import categories_for
+from repro.errors import SerializationError, TaxonomyError
+
+__all__ = ["normalize_category", "read_raw_csv", "RAW_TIME_FORMATS"]
+
+#: Accepted timestamp formats, tried in order.
+RAW_TIME_FORMATS: tuple[str, ...] = (
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+    "%m/%d/%Y %H:%M",
+    "%m/%d/%Y",
+)
+
+#: Free-form spellings -> canonical Table II names, per machine.
+_ALIASES: dict[str, dict[str, str]] = {
+    "tsubame2": {
+        "gpu failure": "GPU",
+        "gpu error": "GPU",
+        "graphics card": "GPU",
+        "cpu error": "CPU",
+        "processor": "CPU",
+        "hdd": "Disk",
+        "hard disk": "Disk",
+        "fan": "FAN",
+        "cooling fan": "FAN",
+        "infiniband": "IB",
+        "ib link": "IB",
+        "dimm": "Memory",
+        "ram": "Memory",
+        "ethernet": "Network",
+        "power supply": "PSU",
+        "power supply unit": "PSU",
+        "motherboard": "System Board",
+        "mainboard": "System Board",
+        "scheduler": "PBS",
+        "batch system": "PBS",
+        "virtual machine": "VM",
+        "node down": "Down",
+        "boot failure": "Boot",
+        "other hardware": "OtherHW",
+        "other software": "OtherSW",
+        "ssd failure": "SSD",
+        "rack power": "Rack",
+    },
+    "tsubame3": {
+        "gpu failure": "GPU",
+        "gpu error": "GPU",
+        "gpu driver": "GPUDriver",
+        "driver": "GPUDriver",
+        "cpu error": "CPU",
+        "crc error": "CRC",
+        "hdd": "Disk",
+        "lustre fs": "Lustre",
+        "dimm": "Memory",
+        "ram": "Memory",
+        "omnipath": "Omni-Path",
+        "omni path": "Omni-Path",
+        "opa": "Omni-Path",
+        "power board": "Power-Board",
+        "powerboard": "Power-Board",
+        "ribbon": "Ribbon Cable",
+        "sxm2 cable": "SXM2_Cable",
+        "sxm2 board": "SXM2-Board",
+        "software error": "Software",
+        "sw": "Software",
+        "ip motherboard": "IP",
+        "front panel": "Led Front Panel",
+        "led": "Led Front Panel",
+        "unclassified": "Unknown",
+        "n/a": "Unknown",
+    },
+}
+
+
+def normalize_category(machine: str, raw: str) -> str:
+    """Map a free-form category spelling onto the Table II taxonomy.
+
+    Resolution order: exact canonical name, case-insensitive canonical
+    name, then the alias table.
+
+    Raises:
+        TaxonomyError: When the spelling cannot be resolved.
+    """
+    text = raw.strip()
+    if not text:
+        raise TaxonomyError("empty category string")
+    canon = {cat.name for cat in categories_for(machine)}
+    if text in canon:
+        return text
+    lowered = text.lower()
+    by_lower = {name.lower(): name for name in canon}
+    if lowered in by_lower:
+        return by_lower[lowered]
+    aliases = _ALIASES.get(machine, {})
+    if lowered in aliases:
+        return aliases[lowered]
+    raise TaxonomyError(
+        f"cannot normalise category {raw!r} for machine {machine!r}"
+    )
+
+
+def _parse_timestamp(text: str) -> datetime:
+    for fmt in RAW_TIME_FORMATS:
+        try:
+            return datetime.strptime(text.strip(), fmt)
+        except ValueError:
+            continue
+    raise SerializationError(f"unparseable timestamp {text!r}")
+
+
+def _parse_duration_hours(text: str) -> float:
+    """Parse ``"55"``, ``"55 h"``, ``"55 hours"``, ``"2.5 days"``."""
+    body = text.strip().lower()
+    if not body:
+        raise SerializationError("empty duration")
+    factor = 1.0
+    for suffix, multiplier in (
+        ("hours", 1.0), ("hour", 1.0), ("hrs", 1.0), ("h", 1.0),
+        ("days", 24.0), ("day", 24.0), ("d", 24.0),
+    ):
+        if body.endswith(suffix):
+            body = body[: -len(suffix)].strip()
+            factor = multiplier
+            break
+    try:
+        value = float(body)
+    except ValueError as exc:
+        raise SerializationError(
+            f"unparseable duration {text!r}"
+        ) from exc
+    if value < 0:
+        raise SerializationError(f"negative duration {text!r}")
+    return value * factor
+
+
+def read_raw_csv(
+    path: str | Path,
+    machine: str,
+    skip_unparseable: bool = False,
+) -> FailureLog:
+    """Read a raw operator-log CSV into a validated failure log.
+
+    Expected columns (header names are matched case-insensitively):
+    ``date`` (or ``time``/``timestamp``), ``category`` (or ``type``/
+    ``failure``), ``recovery`` (or ``ttr``/``repair_time``); optional
+    ``node`` and ``gpus``.
+
+    Args:
+        path: CSV path.
+        machine: Which taxonomy to normalise against.
+        skip_unparseable: When True, rows that fail to parse are
+            dropped instead of aborting the load (field exports often
+            contain a few garbage lines).
+
+    Raises:
+        SerializationError: On a missing required column, or on the
+            first bad row when ``skip_unparseable`` is False, or when
+            nothing parseable remains.
+    """
+    path = Path(path)
+    column_aliases = {
+        "date": ("date", "time", "timestamp", "failure_time"),
+        "category": ("category", "type", "failure", "failure_type"),
+        "recovery": ("recovery", "ttr", "repair_time", "time_to_recovery"),
+        "node": ("node", "node_id", "hostname"),
+        "gpus": ("gpus", "gpu", "gpus_involved"),
+    }
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SerializationError(f"{path} has no header row")
+        lookup = {name.lower().strip(): name for name in reader.fieldnames}
+
+        def find(kind: str, required: bool) -> str | None:
+            for alias in column_aliases[kind]:
+                if alias in lookup:
+                    return lookup[alias]
+            if required:
+                raise SerializationError(
+                    f"{path} is missing a {kind!r} column (any of "
+                    f"{column_aliases[kind]})"
+                )
+            return None
+
+        date_column = find("date", required=True)
+        category_column = find("category", required=True)
+        recovery_column = find("recovery", required=True)
+        node_column = find("node", required=False)
+        gpus_column = find("gpus", required=False)
+
+        records = []
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                timestamp = _parse_timestamp(row[date_column])
+                category = normalize_category(
+                    machine, row[category_column]
+                )
+                ttr = _parse_duration_hours(row[recovery_column])
+                node = (
+                    int(row[node_column])
+                    if node_column and row[node_column].strip()
+                    else 0
+                )
+                gpus: tuple[int, ...] = ()
+                if gpus_column and row[gpus_column].strip():
+                    gpus = tuple(
+                        sorted(
+                            int(part)
+                            for part in row[gpus_column].replace(
+                                "+", " "
+                            ).split()
+                        )
+                    )
+                records.append(
+                    FailureRecord(
+                        record_id=len(records),
+                        timestamp=timestamp,
+                        node_id=node,
+                        category=category,
+                        ttr_hours=ttr,
+                        gpus_involved=gpus,
+                    )
+                )
+            except (SerializationError, TaxonomyError, ValueError) as exc:
+                if skip_unparseable:
+                    continue
+                raise SerializationError(
+                    f"{path}:{line_number}: {exc}"
+                ) from exc
+    if not records:
+        raise SerializationError(f"{path} contains no parseable rows")
+    return FailureLog.from_records(machine, records)

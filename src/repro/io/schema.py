@@ -1,0 +1,85 @@
+"""Interchange schema for failure logs.
+
+One row per failure with the following columns:
+
+========== ===========================================================
+column     meaning
+========== ===========================================================
+record_id  integer id, unique within the log
+timestamp  failure occurrence, ISO-8601 (``2017-05-09T13:45:00``)
+node_id    integer node index
+category   failure category (Table II spelling)
+ttr_hours  time to recovery in hours (float)
+gpus       GPU slots involved, ``+``-separated (``"1+2"``), empty when
+           unrecorded / not GPU-incident
+root_locus software root locus (Figure 3) or empty
+========== ===========================================================
+
+Timestamps are naive local time, matching how operator logs are kept.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Mapping
+
+from repro.core.records import FailureRecord
+from repro.errors import SerializationError
+
+__all__ = ["CSV_COLUMNS", "record_to_row", "record_from_row"]
+
+CSV_COLUMNS: tuple[str, ...] = (
+    "record_id",
+    "timestamp",
+    "node_id",
+    "category",
+    "ttr_hours",
+    "gpus",
+    "root_locus",
+)
+
+_GPU_SEPARATOR = "+"
+
+
+def record_to_row(record: FailureRecord) -> dict[str, str]:
+    """Render a record as a flat string-valued row."""
+    return {
+        "record_id": str(record.record_id),
+        "timestamp": record.timestamp.isoformat(),
+        "node_id": str(record.node_id),
+        "category": record.category,
+        "ttr_hours": repr(record.ttr_hours),
+        "gpus": _GPU_SEPARATOR.join(
+            str(slot) for slot in record.gpus_involved
+        ),
+        "root_locus": record.root_locus or "",
+    }
+
+
+def record_from_row(row: Mapping[str, str]) -> FailureRecord:
+    """Parse one row back into a record.
+
+    Raises:
+        SerializationError: On missing columns or malformed values.
+    """
+    missing = [column for column in CSV_COLUMNS if column not in row]
+    if missing:
+        raise SerializationError(f"row is missing columns {missing}")
+    try:
+        gpus_field = row["gpus"].strip()
+        gpus = (
+            tuple(int(part) for part in gpus_field.split(_GPU_SEPARATOR))
+            if gpus_field
+            else ()
+        )
+        return FailureRecord(
+            record_id=int(row["record_id"]),
+            timestamp=datetime.fromisoformat(row["timestamp"]),
+            node_id=int(row["node_id"]),
+            category=row["category"],
+            ttr_hours=float(row["ttr_hours"]),
+            gpus_involved=gpus,
+            root_locus=row["root_locus"] or None,
+        )
+    except (ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed row {dict(row)!r}: {exc}") from exc

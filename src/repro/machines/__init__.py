@@ -1,0 +1,32 @@
+"""Machine models for the Tsubame supercomputers.
+
+This package encodes Table I (node configurations), Figure 1 (node
+topologies) and the fleet-level component inventory the paper's MTBF
+normalisation argument relies on ("7040 for Tsubame-2 and 3240 for
+Tsubame-3").
+"""
+
+from repro.machines.components import Component, ComponentKind
+from repro.machines.racks import RackLayout, rack_layout_for
+from repro.machines.specs import (
+    MachineSpec,
+    TSUBAME2,
+    TSUBAME3,
+    get_machine,
+    known_machines,
+)
+from repro.machines.topology import NodeTopology, build_node_topology
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "MachineSpec",
+    "NodeTopology",
+    "RackLayout",
+    "TSUBAME2",
+    "TSUBAME3",
+    "build_node_topology",
+    "get_machine",
+    "known_machines",
+    "rack_layout_for",
+]

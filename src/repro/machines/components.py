@@ -1,0 +1,62 @@
+"""Component model for node topologies.
+
+A :class:`Component` is a vertex of a node's hardware topology graph
+(Figure 1): a CPU socket, a GPU card, a PCIe switch, a NIC port, and so
+on.  Components carry a kind and a slot index so that analyses can ask
+topology questions such as "which GPU slots share a PCIe switch with
+GPU 1?" — relevant to the paper's observation that failure counts are
+non-uniform across GPU slots (Figure 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["ComponentKind", "Component"]
+
+
+class ComponentKind(enum.Enum):
+    """Kinds of hardware components in a node topology."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    MEMORY = "memory"
+    PCIE_SWITCH = "pcie_switch"
+    NIC = "nic"
+    SSD = "ssd"
+    SYSTEM_BOARD = "system_board"
+
+
+@dataclass(frozen=True, slots=True)
+class Component:
+    """A vertex in a node topology graph.
+
+    Attributes:
+        kind: What the component is.
+        slot: Index among components of the same kind in the node
+            (e.g. GPU slot 0..3 on Tsubame-3).
+        model: Human-readable model name (e.g. "NVIDIA Tesla P100").
+    """
+
+    kind: ComponentKind
+    slot: int
+    model: str = ""
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValidationError(
+                f"component slot must be non-negative, got {self.slot}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Stable graph-node name, e.g. ``"gpu1"``."""
+        return f"{self.kind.value}{self.slot}"
+
+    def __str__(self) -> str:
+        if self.model:
+            return f"{self.name} ({self.model})"
+        return self.name

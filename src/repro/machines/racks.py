@@ -1,0 +1,105 @@
+"""Rack layout: mapping nodes to racks.
+
+The paper's generalizability discussion notes that "the non-uniform
+distribution of failures among racks is also present in
+multi-GPU-per-node systems".  A :class:`RackLayout` gives every node a
+rack, enabling the rack-level spatial analysis in
+:mod:`repro.core.spatial` and rack-skewed placement in the generator.
+
+Tsubame-2 housed its 1408 thin nodes in 44-rack rows (32 nodes per
+rack); Tsubame-3 packs 540 nodes into 20 SGI ICE XA racks (27 per
+rack).  Exact historical racking is not public; these layouts preserve
+the fleet sizes and realistic rack granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.machines.specs import get_machine
+
+__all__ = ["RackLayout", "rack_layout_for"]
+
+
+@dataclass(frozen=True)
+class RackLayout:
+    """Assignment of node ids to racks.
+
+    Nodes are racked contiguously: rack r holds nodes
+    [r * nodes_per_rack, (r+1) * nodes_per_rack), with the final rack
+    possibly short.
+    """
+
+    machine: str
+    num_nodes: int
+    nodes_per_rack: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise MachineError(
+                f"num_nodes must be positive, got {self.num_nodes}"
+            )
+        if self.nodes_per_rack < 1:
+            raise MachineError(
+                f"nodes_per_rack must be positive, got "
+                f"{self.nodes_per_rack}"
+            )
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks (last one may be partially filled)."""
+        return -(-self.num_nodes // self.nodes_per_rack)
+
+    def rack_of(self, node_id: int) -> int:
+        """Return the rack index of a node.
+
+        Raises:
+            MachineError: On an out-of-range node id.
+        """
+        if not 0 <= node_id < self.num_nodes:
+            raise MachineError(
+                f"node id {node_id} out of range [0, {self.num_nodes})"
+            )
+        return node_id // self.nodes_per_rack
+
+    def nodes_in_rack(self, rack_id: int) -> range:
+        """Return the node-id range of one rack.
+
+        Raises:
+            MachineError: On an out-of-range rack id.
+        """
+        if not 0 <= rack_id < self.num_racks:
+            raise MachineError(
+                f"rack id {rack_id} out of range [0, {self.num_racks})"
+            )
+        start = rack_id * self.nodes_per_rack
+        end = min(start + self.nodes_per_rack, self.num_nodes)
+        return range(start, end)
+
+    def rack_size(self, rack_id: int) -> int:
+        """Number of nodes in one rack."""
+        return len(self.nodes_in_rack(rack_id))
+
+
+_NODES_PER_RACK = {
+    "tsubame2": 32,
+    "tsubame3": 27,
+}
+
+
+def rack_layout_for(machine: str) -> RackLayout:
+    """Return the rack layout for a machine.
+
+    Raises:
+        MachineError: If the machine is unknown.
+    """
+    spec = get_machine(machine)
+    nodes_per_rack = _NODES_PER_RACK.get(machine)
+    if nodes_per_rack is None:
+        raise MachineError(f"no rack layout for machine {machine!r}")
+    return RackLayout(
+        machine=machine,
+        num_nodes=spec.num_nodes,
+        nodes_per_rack=nodes_per_rack,
+    )

@@ -1,0 +1,157 @@
+"""Machine specifications for Tsubame-2 and Tsubame-3 (Table I).
+
+The spec carries everything the paper's system-level arguments use:
+per-node CPU/GPU counts (for the component-inventory normalisation of
+the MTBF comparison), node counts, and the theoretical peak performance
+(Rpeak) used by the *performance-error-proportionality* metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.errors import MachineError
+
+__all__ = [
+    "MachineSpec",
+    "TSUBAME2",
+    "TSUBAME3",
+    "get_machine",
+    "known_machines",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one Tsubame generation.
+
+    Attributes mirror Table I of the paper plus the fleet-level facts
+    quoted in the text (node count, Rpeak, log observation window).
+    """
+
+    name: str
+    display_name: str
+    cpu_model: str
+    cpu_cores: int
+    cpu_threads: int
+    cpus_per_node: int
+    memory_gb: int
+    gpu_model: str
+    gpus_per_node: int
+    ssd: str
+    interconnect: str
+    num_nodes: int
+    rpeak_pflops: float
+    power_mw: float
+    log_start: datetime
+    log_end: datetime
+    reported_failures: int
+
+    @property
+    def total_cpus(self) -> int:
+        """Fleet-wide CPU socket count."""
+        return self.num_nodes * self.cpus_per_node
+
+    @property
+    def total_gpus(self) -> int:
+        """Fleet-wide GPU card count."""
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def total_compute_components(self) -> int:
+        """CPU + GPU component inventory.
+
+        The paper quotes 7040 for Tsubame-2 and 3240 for Tsubame-3 and
+        argues the MTBF improvement is not merely a side effect of the
+        smaller inventory.
+        """
+        return self.total_cpus + self.total_gpus
+
+    @property
+    def log_span_hours(self) -> float:
+        """Length of the failure-log observation window in hours."""
+        return (self.log_end - self.log_start).total_seconds() / 3600.0
+
+    @property
+    def gpu_slots(self) -> tuple[int, ...]:
+        """GPU slot indices on one node (0-based, as in Figure 1)."""
+        return tuple(range(self.gpus_per_node))
+
+    def table1_row(self) -> dict[str, str]:
+        """Return this machine's column of Table I as label -> value."""
+        return {
+            "CPU": self.cpu_model,
+            "Cores/Threads per CPU": f"{self.cpu_cores} cores / "
+                                     f"{self.cpu_threads} threads",
+            "Num CPUs": str(self.cpus_per_node),
+            "Memory per Node": f"{self.memory_gb}GB",
+            "GPU": self.gpu_model,
+            "Num GPUs": str(self.gpus_per_node),
+            "SSD": self.ssd,
+            "Interconnect": self.interconnect,
+        }
+
+
+#: Tsubame-2 (2010): 1408 nodes, 3x NVIDIA K20X per node.
+TSUBAME2 = MachineSpec(
+    name="tsubame2",
+    display_name="Tsubame-2",
+    cpu_model="Intel Xeon X5670 (Westmere-EP, 2.93GHz)",
+    cpu_cores=6,
+    cpu_threads=12,
+    cpus_per_node=2,
+    memory_gb=58,
+    gpu_model="NVIDIA Tesla K20X (GK110)",
+    gpus_per_node=3,
+    ssd="120 GB",
+    interconnect="4X QDR InfiniBand - 2 ports",
+    num_nodes=1408,
+    rpeak_pflops=2.3,
+    power_mw=1.4,
+    log_start=datetime(2012, 1, 7),
+    log_end=datetime(2013, 8, 1),
+    reported_failures=897,
+)
+
+#: Tsubame-3 (2017): 540 nodes, 4x NVIDIA P100 per node.
+TSUBAME3 = MachineSpec(
+    name="tsubame3",
+    display_name="Tsubame-3",
+    cpu_model="Intel Xeon E5-2680 V4 (Broadwell-EP, 2.4GHz)",
+    cpu_cores=14,
+    cpu_threads=28,
+    cpus_per_node=2,
+    memory_gb=256,
+    gpu_model="NVIDIA Tesla P100 (NVlink-Optimized)",
+    gpus_per_node=4,
+    ssd="2TB",
+    interconnect="Intel Omni-Path HFI 100Gbps - 4 ports",
+    num_nodes=540,
+    rpeak_pflops=12.1,
+    power_mw=0.792,
+    log_start=datetime(2017, 5, 9),
+    log_end=datetime(2020, 2, 22),
+    reported_failures=338,
+)
+
+_MACHINES = {spec.name: spec for spec in (TSUBAME2, TSUBAME3)}
+
+
+def known_machines() -> tuple[str, ...]:
+    """Return the names of all modelled machines."""
+    return tuple(sorted(_MACHINES))
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by name.
+
+    Raises:
+        MachineError: If the name is unknown.
+    """
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise MachineError(
+            f"unknown machine {name!r}; expected one of {known_machines()}"
+        ) from None

@@ -1,0 +1,45 @@
+"""Failure prediction and proactive provisioning.
+
+Implements the paper's RQ5 recommendation — "leveraging failure
+prediction to initiate recovery proactively" — as runnable components:
+streaming predictors, an evaluation harness (precision / recall / lead
+time), and a Poisson spare-provisioning planner.
+"""
+
+from repro.predict.base import Alarm, Predictor
+from repro.predict.evaluation import PredictionOutcome, evaluate_predictor
+from repro.predict.forecast import (
+    ForecastCalibration,
+    TbfForecaster,
+    evaluate_forecaster,
+)
+from repro.predict.locality import TemporalLocalityPredictor
+from repro.predict.markov import (
+    CategoryMarkovModel,
+    fit_markov_model,
+    sequence_gain,
+)
+from repro.predict.provisioning import SparePlan, SparePlanEntry, plan_spares
+from repro.predict.rate import RateBasedPredictor
+from repro.predict.tuning import SweepPoint, best_by_f1, sweep_rate_predictor
+
+__all__ = [
+    "Alarm",
+    "CategoryMarkovModel",
+    "ForecastCalibration",
+    "PredictionOutcome",
+    "Predictor",
+    "TbfForecaster",
+    "RateBasedPredictor",
+    "SparePlan",
+    "SparePlanEntry",
+    "SweepPoint",
+    "TemporalLocalityPredictor",
+    "best_by_f1",
+    "evaluate_forecaster",
+    "evaluate_predictor",
+    "fit_markov_model",
+    "plan_spares",
+    "sequence_gain",
+    "sweep_rate_predictor",
+]

@@ -1,0 +1,72 @@
+"""Predictor interface.
+
+The paper closes RQ5 with: "lowering the time to recovery requires ...
+leveraging failure prediction to initiate recovery proactively where
+possible."  A predictor consumes the failure stream record by record
+and, at any point, names the nodes it believes will fail within its
+prediction horizon.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.records import FailureRecord
+from repro.errors import ValidationError
+
+__all__ = ["Alarm", "Predictor"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """A prediction: ``node_id`` is expected to fail soon.
+
+    Attributes:
+        node_id: The node at risk.
+        raised_at_hours: Time (hours since window start) the alarm was
+            raised.
+        horizon_hours: How far ahead the alarm claims validity.
+        score: Relative confidence (higher = more confident).
+    """
+
+    node_id: int
+    raised_at_hours: float
+    horizon_hours: float
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_hours <= 0:
+            raise ValidationError(
+                f"alarm horizon must be positive, got {self.horizon_hours}"
+            )
+
+    @property
+    def expires_at_hours(self) -> float:
+        return self.raised_at_hours + self.horizon_hours
+
+    def covers(self, node_id: int, time_hours: float) -> bool:
+        """True when a failure of ``node_id`` at ``time_hours`` counts
+        as predicted by this alarm."""
+        return (
+            node_id == self.node_id
+            and self.raised_at_hours < time_hours <= self.expires_at_hours
+        )
+
+
+class Predictor(abc.ABC):
+    """Streaming failure predictor.
+
+    Subclasses see each failure via :meth:`observe` (time-ordered) and
+    may return alarms; the evaluation harness scores the alarms against
+    the subsequent failures.
+    """
+
+    @abc.abstractmethod
+    def observe(
+        self, record: FailureRecord, time_hours: float
+    ) -> list[Alarm]:
+        """Consume one failure; return any alarms raised by it."""
+
+    def reset(self) -> None:
+        """Clear internal state between evaluation runs."""

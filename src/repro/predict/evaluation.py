@@ -1,0 +1,106 @@
+"""Predictor evaluation: precision, recall, and lead time.
+
+Replays a failure log through a predictor.  A later failure counts as
+*predicted* when some live alarm covers (node, time); an alarm counts
+as *useful* when at least one failure lands inside its window.  Lead
+time is how far in advance the earliest covering alarm fired — the
+budget a proactive action (draining the node, pre-staging a spare)
+would have had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.predict.base import Alarm, Predictor
+
+__all__ = ["PredictionOutcome", "evaluate_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """Scores from replaying a log through a predictor."""
+
+    total_failures: int
+    predicted_failures: int
+    total_alarms: int
+    useful_alarms: int
+    lead_times_hours: tuple[float, ...]
+
+    @property
+    def recall(self) -> float:
+        """Fraction of failures some alarm covered."""
+        if self.total_failures == 0:
+            return 0.0
+        return self.predicted_failures / self.total_failures
+
+    @property
+    def precision(self) -> float:
+        """Fraction of alarms that covered at least one failure."""
+        if self.total_alarms == 0:
+            return 0.0
+        return self.useful_alarms / self.total_alarms
+
+    @property
+    def mean_lead_time_hours(self) -> float:
+        """Mean warning margin over predicted failures (nan if none)."""
+        if not self.lead_times_hours:
+            return float("nan")
+        return float(np.mean(self.lead_times_hours))
+
+
+def evaluate_predictor(
+    predictor: Predictor, log: FailureLog
+) -> PredictionOutcome:
+    """Replay ``log`` through ``predictor`` and score it.
+
+    The predictor observes failures in time order; each failure is
+    first scored against the alarms raised by *earlier* failures, then
+    fed to the predictor (no peeking).
+
+    Raises:
+        AnalysisError: On an empty log.
+    """
+    if len(log) == 0:
+        raise AnalysisError("cannot evaluate a predictor on an empty log")
+    predictor.reset()
+    live_alarms: list[Alarm] = []
+    alarm_was_useful: list[bool] = []
+    predicted = 0
+    lead_times: list[float] = []
+    total_alarms = 0
+
+    for record in log:
+        time_hours = log.hours_since_start(record)
+        # Score this failure against previously raised alarms.
+        covering = [
+            index
+            for index, alarm in enumerate(live_alarms)
+            if alarm.covers(record.node_id, time_hours)
+        ]
+        if covering:
+            predicted += 1
+            earliest = min(
+                live_alarms[index].raised_at_hours for index in covering
+            )
+            lead_times.append(time_hours - earliest)
+            for index in covering:
+                alarm_was_useful[index] = True
+        # Then let the predictor see it.
+        new_alarms = predictor.observe(record, time_hours)
+        total_alarms += len(new_alarms)
+        live_alarms.extend(new_alarms)
+        alarm_was_useful.extend([False] * len(new_alarms))
+
+    useful = sum(alarm_was_useful)
+    return PredictionOutcome(
+        total_failures=len(log),
+        predicted_failures=predicted,
+        total_alarms=total_alarms,
+        useful_alarms=useful,
+        lead_times_hours=tuple(lead_times),
+    )

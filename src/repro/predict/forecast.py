@@ -1,0 +1,159 @@
+"""Time-to-next-failure forecasting.
+
+A spare-provisioning or drain decision needs "when is the next failure
+likely?", not just the MTBF.  The forecaster fits a Weibull renewal
+model to the observed TBF series and issues quantile forecasts for the
+gap to the next failure; :func:`evaluate_forecaster` replays a log and
+checks the forecasts' *calibration* — a q-quantile forecast should
+cover the realised gap about q of the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import tbf_series_hours
+from repro.core.records import FailureLog
+from repro.errors import AnalysisError
+from repro.stats.fitting import FitResult, fit_distribution
+
+__all__ = ["TbfForecaster", "ForecastCalibration", "evaluate_forecaster"]
+
+
+class TbfForecaster:
+    """Weibull renewal forecaster for the gap to the next failure."""
+
+    def __init__(self, min_history: int = 30) -> None:
+        if min_history < 5:
+            raise AnalysisError(
+                f"min_history must be >= 5, got {min_history}"
+            )
+        self._min_history = min_history
+        self._gaps: list[float] = []
+        self._fit: FitResult | None = None
+        self._dirty = False
+
+    @property
+    def ready(self) -> bool:
+        """True once enough history has been observed to forecast."""
+        return len(self._gaps) >= self._min_history
+
+    @property
+    def num_observed(self) -> int:
+        """Gaps observed so far."""
+        return len(self._gaps)
+
+    def observe_gap(self, gap_hours: float) -> None:
+        """Feed one realised inter-failure gap.
+
+        Zero gaps (simultaneous failures) are floored to a minute; the
+        Weibull support is (0, inf).
+
+        Raises:
+            AnalysisError: On a negative gap.
+        """
+        if gap_hours < 0:
+            raise AnalysisError(f"gap must be >= 0, got {gap_hours}")
+        self._gaps.append(max(gap_hours, 1.0 / 60.0))
+        self._dirty = True
+
+    def _current_fit(self) -> FitResult:
+        if not self.ready:
+            raise AnalysisError(
+                f"forecaster needs {self._min_history} gaps, has "
+                f"{len(self._gaps)}"
+            )
+        if self._fit is None or self._dirty:
+            self._fit = fit_distribution(self._gaps, "weibull")
+            self._dirty = False
+        return self._fit
+
+    def quantile_hours(self, q: float) -> float:
+        """Forecast the q-quantile of the gap to the next failure."""
+        return self._current_fit().quantile(q)
+
+    def expected_hours(self) -> float:
+        """Forecast the mean gap to the next failure."""
+        return self._current_fit().mean()
+
+    def probability_within(self, hours: float) -> float:
+        """Forecast P[next failure within ``hours``].
+
+        Raises:
+            AnalysisError: On a negative horizon.
+        """
+        if hours < 0:
+            raise AnalysisError(f"hours must be >= 0, got {hours}")
+        fit = self._current_fit()
+        from scipy import stats as sps
+
+        return float(sps.weibull_min.cdf(hours, *fit.params))
+
+
+@dataclass(frozen=True)
+class ForecastCalibration:
+    """Calibration of quantile forecasts over a replayed log.
+
+    ``coverage[q]`` is the fraction of realised gaps that fell below
+    the q-quantile forecast issued before them; a calibrated
+    forecaster has coverage ~= q.
+    """
+
+    num_forecasts: int
+    coverage: dict[float, float]
+    mean_absolute_error_hours: float
+
+    def is_calibrated(self, tolerance: float = 0.1) -> bool:
+        """True when every quantile's coverage is within tolerance."""
+        if not 0.0 < tolerance < 1.0:
+            raise AnalysisError(
+                f"tolerance must be in (0, 1), got {tolerance}"
+            )
+        return all(
+            abs(observed - q) <= tolerance
+            for q, observed in self.coverage.items()
+        )
+
+
+def evaluate_forecaster(
+    log: FailureLog,
+    quantiles: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9),
+    min_history: int = 30,
+) -> ForecastCalibration:
+    """Replay a log through a forecaster and score calibration.
+
+    At each failure (once warmed up), the forecaster predicts the gap
+    to the next failure from history only, then observes the truth.
+
+    Raises:
+        AnalysisError: If the log leaves no room for held-out
+            forecasts.
+    """
+    for q in quantiles:
+        if not 0.0 < q < 1.0:
+            raise AnalysisError(f"quantiles must be in (0, 1), got {q}")
+    gaps = tbf_series_hours(log)
+    if len(gaps) <= min_history + 5:
+        raise AnalysisError(
+            f"log with {len(gaps)} gaps leaves no held-out forecasts "
+            f"after a warm-up of {min_history}"
+        )
+    forecaster = TbfForecaster(min_history=min_history)
+    hits = {q: 0 for q in quantiles}
+    errors = []
+    scored = 0
+    for gap in gaps:
+        if forecaster.ready:
+            for q in quantiles:
+                if gap <= forecaster.quantile_hours(q):
+                    hits[q] += 1
+            errors.append(abs(gap - forecaster.expected_hours()))
+            scored += 1
+        forecaster.observe_gap(gap)
+    return ForecastCalibration(
+        num_forecasts=scored,
+        coverage={q: hits[q] / scored for q in quantiles},
+        mean_absolute_error_hours=float(np.mean(errors)),
+    )

@@ -1,0 +1,84 @@
+"""Temporal-locality predictor for multi-GPU failures.
+
+Figure 8's finding — a multi-GPU failure is likely to be followed by
+another multi-GPU failure soon — directly suggests a predictor: after
+seeing a failure that involved several GPUs, alarm the *system's*
+GPU-heavy nodes for a window.  Because the follow-up failure can land
+on a different node, the predictor alarms the recently-GPU-failing
+node set rather than only the node just hit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.records import FailureRecord
+from repro.errors import ValidationError
+from repro.predict.base import Alarm, Predictor
+
+__all__ = ["TemporalLocalityPredictor"]
+
+
+class TemporalLocalityPredictor(Predictor):
+    """Alarms GPU-failure-prone nodes right after a multi-GPU failure.
+
+    Args:
+        horizon_hours: Validity window of raised alarms.
+        memory_hours: How long a node stays in the "recently had a GPU
+            failure" set.
+        min_gpus: Number of involved GPUs that makes a failure count
+            as multi-GPU (2 in the paper's Figure 8).
+    """
+
+    def __init__(
+        self,
+        horizon_hours: float = 168.0,
+        memory_hours: float = 720.0,
+        min_gpus: int = 2,
+    ) -> None:
+        if horizon_hours <= 0:
+            raise ValidationError(
+                f"horizon_hours must be positive, got {horizon_hours}"
+            )
+        if memory_hours <= 0:
+            raise ValidationError(
+                f"memory_hours must be positive, got {memory_hours}"
+            )
+        if min_gpus < 2:
+            raise ValidationError(
+                f"min_gpus must be >= 2 for a multi-GPU definition, "
+                f"got {min_gpus}"
+            )
+        self._horizon_hours = horizon_hours
+        self._memory_hours = memory_hours
+        self._min_gpus = min_gpus
+        self._recent_gpu_nodes: deque[tuple[float, int]] = deque()
+
+    def observe(
+        self, record: FailureRecord, time_hours: float
+    ) -> list[Alarm]:
+        cutoff = time_hours - self._memory_hours
+        while self._recent_gpu_nodes and self._recent_gpu_nodes[0][0] < cutoff:
+            self._recent_gpu_nodes.popleft()
+
+        alarms: list[Alarm] = []
+        if record.num_gpus_involved >= self._min_gpus:
+            # Burst trigger: everything in the recent GPU-failure set
+            # (plus the node just hit) is at elevated risk.
+            at_risk = {node for _, node in self._recent_gpu_nodes}
+            at_risk.add(record.node_id)
+            alarms = [
+                Alarm(
+                    node_id=node,
+                    raised_at_hours=time_hours,
+                    horizon_hours=self._horizon_hours,
+                    score=2.0 if node == record.node_id else 1.0,
+                )
+                for node in sorted(at_risk)
+            ]
+        if record.num_gpus_involved > 0:
+            self._recent_gpu_nodes.append((time_hours, record.node_id))
+        return alarms
+
+    def reset(self) -> None:
+        self._recent_gpu_nodes.clear()

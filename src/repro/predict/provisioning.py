@@ -1,0 +1,127 @@
+"""Spare-part provisioning.
+
+RQ5's closing point: long recovery tails (SSD ~290 h on Tsubame-2,
+power board ~230 h on Tsubame-3) "highlight the need for appropriate
+spare provisioning of parts."  This module sizes per-category spare
+inventories: failures of category c arrive (approximately) Poisson at
+rate n_c / span; during one procurement lead time L the demand is
+Poisson(lambda_c * L), and the stock level s_c needed to keep the
+stockout probability below a target is the corresponding Poisson
+quantile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats as sps
+
+from repro.core import taxonomy
+from repro.core.breakdown import category_breakdown
+from repro.core.records import FailureLog
+from repro.core.taxonomy import FailureClass
+from repro.errors import ValidationError
+
+__all__ = ["SparePlanEntry", "SparePlan", "plan_spares"]
+
+
+@dataclass(frozen=True)
+class SparePlanEntry:
+    """Recommended stock for one hardware category."""
+
+    category: str
+    failure_rate_per_hour: float
+    lead_time_demand: float
+    recommended_stock: int
+    stockout_probability: float
+
+
+@dataclass(frozen=True)
+class SparePlan:
+    """A full per-category provisioning plan."""
+
+    machine: str
+    lead_time_hours: float
+    target_stockout_probability: float
+    entries: tuple[SparePlanEntry, ...]
+
+    @property
+    def total_stock(self) -> int:
+        """Total spares across categories."""
+        return sum(entry.recommended_stock for entry in self.entries)
+
+    def stock_for(self, category: str) -> int:
+        """Recommended stock for one category (0 if not planned)."""
+        for entry in self.entries:
+            if entry.category == category:
+                return entry.recommended_stock
+        return 0
+
+    def as_mapping(self) -> dict[str, int]:
+        """Plan as a category -> stock dict (feeds the simulator)."""
+        return {
+            entry.category: entry.recommended_stock
+            for entry in self.entries
+        }
+
+
+def plan_spares(
+    log: FailureLog,
+    lead_time_hours: float = 168.0,
+    target_stockout_probability: float = 0.05,
+) -> SparePlan:
+    """Size spare inventories from observed failure rates.
+
+    Only hardware categories are planned (software repairs consume no
+    parts).  For each, the recommended stock is the smallest s with
+    P[Poisson(rate x lead_time) > s] <= target.
+
+    Raises:
+        ValidationError: On invalid parameters or an empty log.
+    """
+    if lead_time_hours <= 0:
+        raise ValidationError(
+            f"lead_time_hours must be positive, got {lead_time_hours}"
+        )
+    if not 0.0 < target_stockout_probability < 1.0:
+        raise ValidationError(
+            f"target_stockout_probability must be in (0, 1), got "
+            f"{target_stockout_probability}"
+        )
+    if len(log) == 0:
+        raise ValidationError("cannot plan spares from an empty log")
+
+    breakdown = category_breakdown(log)
+    span = log.span_hours
+    entries = []
+    for share in breakdown.shares:
+        if (
+            taxonomy.failure_class(log.machine, share.category)
+            is not FailureClass.HARDWARE
+        ):
+            continue
+        rate = share.count / span
+        demand = rate * lead_time_hours
+        # Smallest s with P[Poisson(demand) > s] <= target, i.e. the
+        # (1 - target) quantile.
+        stock = int(sps.poisson.ppf(1.0 - target_stockout_probability,
+                                    demand))
+        stockout = float(sps.poisson.sf(stock, demand))
+        entries.append(
+            SparePlanEntry(
+                category=share.category,
+                failure_rate_per_hour=rate,
+                lead_time_demand=demand,
+                recommended_stock=stock,
+                stockout_probability=stockout,
+            )
+        )
+    return SparePlan(
+        machine=log.machine,
+        lead_time_hours=lead_time_hours,
+        target_stockout_probability=target_stockout_probability,
+        entries=tuple(
+            sorted(entries, key=lambda e: (-e.recommended_stock,
+                                           e.category))
+        ),
+    )

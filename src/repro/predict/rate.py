@@ -1,0 +1,73 @@
+"""Rate-based predictor: repeat offenders keep offending.
+
+Figure 4 shows failure counts per node are heavily skewed; nodes that
+failed recently are disproportionately likely to fail again.  This
+predictor raises an alarm for a node whenever its failure count within
+a sliding window reaches a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.records import FailureRecord
+from repro.errors import ValidationError
+from repro.predict.base import Alarm, Predictor
+
+__all__ = ["RateBasedPredictor"]
+
+
+class RateBasedPredictor(Predictor):
+    """Alarms on nodes exceeding a failure rate.
+
+    Args:
+        window_hours: Length of the sliding observation window.
+        threshold: Failures within the window (including the current
+            one) needed to raise an alarm.
+        horizon_hours: Validity horizon of raised alarms.
+    """
+
+    def __init__(
+        self,
+        window_hours: float = 336.0,
+        threshold: int = 2,
+        horizon_hours: float = 336.0,
+    ) -> None:
+        if window_hours <= 0:
+            raise ValidationError(
+                f"window_hours must be positive, got {window_hours}"
+            )
+        if threshold < 1:
+            raise ValidationError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        if horizon_hours <= 0:
+            raise ValidationError(
+                f"horizon_hours must be positive, got {horizon_hours}"
+            )
+        self._window_hours = window_hours
+        self._threshold = threshold
+        self._horizon_hours = horizon_hours
+        self._recent: dict[int, deque[float]] = {}
+
+    def observe(
+        self, record: FailureRecord, time_hours: float
+    ) -> list[Alarm]:
+        history = self._recent.setdefault(record.node_id, deque())
+        history.append(time_hours)
+        cutoff = time_hours - self._window_hours
+        while history and history[0] < cutoff:
+            history.popleft()
+        if len(history) >= self._threshold:
+            return [
+                Alarm(
+                    node_id=record.node_id,
+                    raised_at_hours=time_hours,
+                    horizon_hours=self._horizon_hours,
+                    score=float(len(history)),
+                )
+            ]
+        return []
+
+    def reset(self) -> None:
+        self._recent.clear()

@@ -1,0 +1,55 @@
+"""Discrete-event simulator of supercomputer failures and repairs.
+
+Used to *evaluate* the paper's operational implications rather than
+merely assert them: what staffing/spare levels pin the effective MTTR,
+how checkpointing converts MTBF into goodput, and how prediction-driven
+pre-staging shortens outages.
+"""
+
+from repro.sim.checkpoint import (
+    CheckpointPolicy,
+    effective_goodput_fraction,
+    expected_waste_fraction,
+    young_daly_interval,
+)
+from repro.sim.cluster import Cluster, DowntimeInterval, Node, NodeState
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import FaultInjector
+from repro.sim.jobs import Job, JobState, WorkloadConfig, WorkloadGenerator
+from repro.sim.proactive import ProactiveMaintainer
+from repro.sim.repair import RepairPolicy, RepairService, SparePool
+from repro.sim.scheduler import Scheduler, SchedulerStats
+from repro.sim.simulator import (
+    ClusterSimulator,
+    SimulationReport,
+    hardware_categories,
+)
+from repro.sim.wear import CardWearReport, simulate_card_wear
+
+__all__ = [
+    "CardWearReport",
+    "CheckpointPolicy",
+    "Cluster",
+    "ClusterSimulator",
+    "DowntimeInterval",
+    "FaultInjector",
+    "Job",
+    "JobState",
+    "Node",
+    "NodeState",
+    "ProactiveMaintainer",
+    "RepairPolicy",
+    "RepairService",
+    "Scheduler",
+    "SchedulerStats",
+    "SimulationEngine",
+    "SimulationReport",
+    "SparePool",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "effective_goodput_fraction",
+    "expected_waste_fraction",
+    "hardware_categories",
+    "simulate_card_wear",
+    "young_daly_interval",
+]

@@ -1,0 +1,110 @@
+"""Checkpoint/restart model.
+
+The paper motivates software mitigation (checkpointing) as the main
+defence against GPU failures.  This module implements the classic
+Young/Daly optimal checkpoint interval and the resulting waste model,
+so the benchmarks can quantify how the 4x MTBF improvement between
+Tsubame-2 and Tsubame-3 translates into goodput for a checkpointing
+application — the *performance-error-proportionality* story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "CheckpointPolicy",
+    "young_daly_interval",
+    "expected_waste_fraction",
+    "effective_goodput_fraction",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Checkpointing parameters for a simulated job.
+
+    Attributes:
+        interval_hours: Wall-clock time between checkpoint starts; use
+            :func:`young_daly_interval` for the optimum.
+        cost_hours: Time one checkpoint takes (job makes no progress).
+        restart_cost_hours: Time to restore state after a failure.
+    """
+
+    interval_hours: float
+    cost_hours: float
+    restart_cost_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval_hours <= 0:
+            raise ValidationError(
+                f"interval_hours must be positive, got {self.interval_hours}"
+            )
+        if self.cost_hours < 0:
+            raise ValidationError(
+                f"cost_hours must be >= 0, got {self.cost_hours}"
+            )
+        if self.cost_hours >= self.interval_hours:
+            raise ValidationError(
+                "checkpoint cost must be smaller than the interval"
+            )
+        if self.restart_cost_hours < 0:
+            raise ValidationError(
+                f"restart_cost_hours must be >= 0, got "
+                f"{self.restart_cost_hours}"
+            )
+
+    @property
+    def committed_per_interval_hours(self) -> float:
+        """Useful work committed by each completed interval."""
+        return self.interval_hours - self.cost_hours
+
+
+def young_daly_interval(
+    checkpoint_cost_hours: float, mtbf_hours: float
+) -> float:
+    """Young/Daly first-order optimal interval sqrt(2 * C * MTBF).
+
+    Raises:
+        ValidationError: On non-positive inputs.
+    """
+    if checkpoint_cost_hours <= 0:
+        raise ValidationError(
+            f"checkpoint cost must be positive, got {checkpoint_cost_hours}"
+        )
+    if mtbf_hours <= 0:
+        raise ValidationError(
+            f"MTBF must be positive, got {mtbf_hours}"
+        )
+    return math.sqrt(2.0 * checkpoint_cost_hours * mtbf_hours)
+
+
+def expected_waste_fraction(
+    policy: CheckpointPolicy, mtbf_hours: float
+) -> float:
+    """First-order expected fraction of wall-clock time wasted.
+
+    Waste = checkpoint overhead (C / T) + expected rework after a
+    failure (T/2 per failure) + restart cost per failure, all relative
+    to the failure-free timeline.  Valid in the usual regime
+    T << MTBF; the result is clamped to [0, 1].
+
+    Raises:
+        ValidationError: On a non-positive MTBF.
+    """
+    if mtbf_hours <= 0:
+        raise ValidationError(f"MTBF must be positive, got {mtbf_hours}")
+    overhead = policy.cost_hours / policy.interval_hours
+    rework = (policy.interval_hours / 2.0) / mtbf_hours
+    restart = policy.restart_cost_hours / mtbf_hours
+    return min(1.0, max(0.0, overhead + rework + restart))
+
+
+def effective_goodput_fraction(
+    policy: CheckpointPolicy, mtbf_hours: float
+) -> float:
+    """Fraction of wall-clock time spent on useful, committed work."""
+    return 1.0 - expected_waste_fraction(policy, mtbf_hours)

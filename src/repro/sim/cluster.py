@@ -1,0 +1,234 @@
+"""Cluster state: node and GPU health over simulated time.
+
+Each node is a small state machine (HEALTHY -> FAILED -> REPAIRING ->
+HEALTHY) with per-GPU-slot health for GPU-incident failures.  The
+cluster records every downtime interval so availability and effective
+repair times can be computed after a run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.machines.specs import MachineSpec
+
+__all__ = ["NodeState", "DowntimeInterval", "Node", "Cluster"]
+
+
+class NodeState(enum.Enum):
+    """Health states of a compute node."""
+
+    HEALTHY = "healthy"
+    FAILED = "failed"
+    REPAIRING = "repairing"
+
+
+@dataclass(frozen=True)
+class DowntimeInterval:
+    """One completed outage of a node.
+
+    ``waiting_hours`` is time between failure and repair start (queue
+    for a technician / spare part); ``repair_hours`` is hands-on time.
+    """
+
+    node_id: int
+    category: str
+    failed_at: float
+    repair_started_at: float
+    repaired_at: float
+
+    @property
+    def waiting_hours(self) -> float:
+        return self.repair_started_at - self.failed_at
+
+    @property
+    def repair_hours(self) -> float:
+        return self.repaired_at - self.repair_started_at
+
+    @property
+    def total_hours(self) -> float:
+        """Effective time to recovery as a job scheduler sees it."""
+        return self.repaired_at - self.failed_at
+
+
+@dataclass
+class Node:
+    """Mutable health of one node."""
+
+    node_id: int
+    num_gpus: int
+    state: NodeState = NodeState.HEALTHY
+    failed_gpus: set[int] = field(default_factory=set)
+    current_category: str | None = None
+    failed_at: float | None = None
+    repair_started_at: float | None = None
+
+    @property
+    def is_available(self) -> bool:
+        return self.state is NodeState.HEALTHY
+
+
+class Cluster:
+    """The fleet of nodes plus the outage history."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self._spec = spec
+        self._nodes = [
+            Node(node_id=index, num_gpus=spec.gpus_per_node)
+            for index in range(spec.num_nodes)
+        ]
+        self._history: list[DowntimeInterval] = []
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self._spec
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def history(self) -> tuple[DowntimeInterval, ...]:
+        """Completed outages, in completion order."""
+        return tuple(self._history)
+
+    def node(self, node_id: int) -> Node:
+        """Return one node's state.
+
+        Raises:
+            SimulationError: On an out-of-range id.
+        """
+        if not 0 <= node_id < len(self._nodes):
+            raise SimulationError(
+                f"node id {node_id} out of range [0, {len(self._nodes)})"
+            )
+        return self._nodes[node_id]
+
+    def available_nodes(self) -> list[int]:
+        """Ids of nodes currently healthy."""
+        return [n.node_id for n in self._nodes if n.is_available]
+
+    def num_available(self) -> int:
+        """Count of healthy nodes."""
+        return sum(1 for n in self._nodes if n.is_available)
+
+    # -- state transitions -------------------------------------------------
+
+    def fail(
+        self,
+        node_id: int,
+        category: str,
+        time: float,
+        gpus_involved: tuple[int, ...] = (),
+    ) -> None:
+        """Mark a node failed at ``time``.
+
+        A failure on an already-failed node is absorbed into the
+        ongoing outage (field logs show repeated hits during repair);
+        it does not reset the failure clock.
+
+        Raises:
+            SimulationError: On invalid GPU slots.
+        """
+        node = self.node(node_id)
+        for slot in gpus_involved:
+            if not 0 <= slot < node.num_gpus:
+                raise SimulationError(
+                    f"GPU slot {slot} out of range on node {node_id}"
+                )
+            node.failed_gpus.add(slot)
+        if node.state is not NodeState.HEALTHY:
+            return
+        node.state = NodeState.FAILED
+        node.current_category = category
+        node.failed_at = time
+        node.repair_started_at = None
+
+    def start_repair(self, node_id: int, time: float) -> None:
+        """Mark a technician as having started on a failed node.
+
+        Raises:
+            SimulationError: If the node is not in the FAILED state.
+        """
+        node = self.node(node_id)
+        if node.state is not NodeState.FAILED:
+            raise SimulationError(
+                f"cannot start repair on node {node_id} in state "
+                f"{node.state.value}"
+            )
+        node.state = NodeState.REPAIRING
+        node.repair_started_at = time
+
+    def complete_repair(self, node_id: int, time: float) -> DowntimeInterval:
+        """Return a repaired node to service and log the outage.
+
+        Raises:
+            SimulationError: If the node is not being repaired.
+        """
+        node = self.node(node_id)
+        if node.state is not NodeState.REPAIRING:
+            raise SimulationError(
+                f"cannot complete repair on node {node_id} in state "
+                f"{node.state.value}"
+            )
+        if node.failed_at is None or node.repair_started_at is None:
+            raise SimulationError(
+                f"node {node_id} has inconsistent repair bookkeeping"
+            )
+        interval = DowntimeInterval(
+            node_id=node_id,
+            category=node.current_category or "unknown",
+            failed_at=node.failed_at,
+            repair_started_at=node.repair_started_at,
+            repaired_at=time,
+        )
+        self._history.append(interval)
+        node.state = NodeState.HEALTHY
+        node.failed_gpus.clear()
+        node.current_category = None
+        node.failed_at = None
+        node.repair_started_at = None
+        return interval
+
+    # -- aggregate metrics ---------------------------------------------------
+
+    def total_downtime_hours(self) -> float:
+        """Sum of completed outage durations."""
+        return sum(i.total_hours for i in self._history)
+
+    def availability(self, horizon_hours: float) -> float:
+        """Fleet availability over a run of ``horizon_hours``.
+
+        Only completed outages count; a run should finish repairs (or
+        accept a small optimistic bias) before reading this.
+        """
+        if horizon_hours <= 0:
+            raise SimulationError(
+                f"horizon must be positive, got {horizon_hours}"
+            )
+        capacity = self.num_nodes * horizon_hours
+        return max(0.0, 1.0 - self.total_downtime_hours() / capacity)
+
+    def effective_mttr_hours(self) -> float:
+        """Mean effective recovery time (waiting + repair).
+
+        Raises:
+            SimulationError: If no outage has completed yet.
+        """
+        if not self._history:
+            raise SimulationError("no completed repairs yet")
+        return sum(i.total_hours for i in self._history) / len(self._history)
+
+    def mean_waiting_hours(self) -> float:
+        """Mean time failures spend waiting for repair to begin.
+
+        Raises:
+            SimulationError: If no outage has completed yet.
+        """
+        if not self._history:
+            raise SimulationError("no completed repairs yet")
+        return sum(i.waiting_hours for i in self._history) / len(
+            self._history
+        )

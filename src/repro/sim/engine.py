@@ -1,0 +1,110 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are (time, sequence,
+callback) triples on a binary heap; ties in time break by insertion
+order, so a seeded simulation replays identically.  Time is in hours,
+matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Event-driven simulation clock and queue."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in hours."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet processed."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> None:
+        """Schedule a callback at an absolute time.
+
+        Raises:
+            SimulationError: If the time lies in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} h; the clock is already at "
+                f"{self._now} h"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Schedule a callback ``delay`` hours from now.
+
+        Raises:
+            SimulationError: If the delay is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run_until(self, horizon: float) -> None:
+        """Process events in order until the horizon.
+
+        Events scheduled exactly at the horizon still run; the clock
+        finishes at ``horizon``.
+
+        Raises:
+            SimulationError: If the horizon lies in the past.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} h is before the current time "
+                f"{self._now} h"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            time, _, callback = heapq.heappop(self._queue)
+            self._now = time
+            self._processed += 1
+            callback()
+        self._now = horizon
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Process every pending event (with a runaway guard).
+
+        Raises:
+            SimulationError: If more than ``max_events`` fire, which
+                almost always means an event keeps rescheduling itself.
+        """
+        fired = 0
+        while self._queue:
+            time, _, callback = heapq.heappop(self._queue)
+            self._now = time
+            self._processed += 1
+            callback()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"more than {max_events} events processed; "
+                    f"likely a self-rescheduling loop"
+                )

@@ -1,0 +1,237 @@
+"""Fault injection for the simulator.
+
+Streams failures into a running simulation with the same calibrated
+statistics the trace generator uses: Weibull renewal arrivals, the
+profile's category mix, GPU involvement and per-category lognormal
+repair durations.  Unlike the offline generator, the injector reacts
+to cluster state — failures land on nodes that are currently up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.errors import SimulationError
+from repro.machines.specs import get_machine
+from repro.machines.topology import build_node_topology
+from repro.sim.cluster import Cluster, NodeState
+from repro.sim.engine import SimulationEngine
+from repro.sim.repair import RepairService
+from repro.synth.arrivals import calibrate_weibull
+from repro.synth.involvement import choose_slots
+from repro.synth.profiles import MachineProfile
+from repro.synth.recovery import LognormalTtrSampler
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives failures into a cluster simulation.
+
+    Args:
+        engine: The simulation engine.
+        cluster: The cluster to fail nodes on.
+        repair: The repair service receiving work.
+        profile: Calibration profile for rates and mixes.
+        seed: RNG seed.
+        intensity: Multiplier on the failure rate (1.0 = the profile's
+            historical rate); used by stress benchmarks.
+        health_test_effectiveness: Probability that a would-be
+            multi-GPU failure is caught early and contained to a
+            single GPU.  Models the Tsubame-3 operational practice the
+            paper credits for Table III's reversal: "more health-tests
+            for multi-GPU cards on the same node and proactive
+            replacements".  0 reproduces the profile's involvement
+            shares unchanged.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: Cluster,
+        repair: RepairService,
+        profile: MachineProfile,
+        seed: int = 0,
+        intensity: float = 1.0,
+        health_test_effectiveness: float = 0.0,
+    ) -> None:
+        if intensity <= 0:
+            raise SimulationError(
+                f"intensity must be positive, got {intensity}"
+            )
+        if not 0.0 <= health_test_effectiveness <= 1.0:
+            raise SimulationError(
+                f"health_test_effectiveness must lie in [0, 1], got "
+                f"{health_test_effectiveness}"
+            )
+        self._health_test_effectiveness = health_test_effectiveness
+        self._engine = engine
+        self._cluster = cluster
+        self._repair = repair
+        self._profile = profile
+        self._rng = np.random.default_rng(seed)
+        self._spec = get_machine(profile.machine)
+        self._topology = build_node_topology(profile.machine)
+        self._renewal = calibrate_weibull(
+            mean_hours=profile.tbf_mean_hours / intensity,
+            p75_hours=profile.tbf_p75_hours / intensity,
+        )
+        names = sorted(profile.category_counts)
+        weights = np.asarray(
+            [profile.category_counts[name] for name in names], dtype=float
+        )
+        self._category_names = names
+        self._category_probabilities = weights / weights.sum()
+        self._ttr_samplers = {
+            name: LognormalTtrSampler(
+                profile.category_ttr_mean_hours[name],
+                profile.category_ttr_sigma[name],
+            )
+            for name in names
+        }
+        recorded = sum(profile.gpu_involvement_counts.values())
+        total_gpu = recorded + profile.gpu_involvement_unrecorded
+        self._involvement_values = [0] + sorted(
+            profile.gpu_involvement_counts
+        )
+        self._involvement_probabilities = np.asarray(
+            [profile.gpu_involvement_unrecorded / total_gpu]
+            + [
+                profile.gpu_involvement_counts[k] / total_gpu
+                for k in sorted(profile.gpu_involvement_counts)
+            ]
+        )
+        self._injected: list[FailureRecord] = []
+        self._next_record_id = 0
+        self._contained_multi_gpu = 0
+        self._failure_listeners: list = []
+        self._record_listeners: list = []
+
+    @property
+    def contained_multi_gpu(self) -> int:
+        """Would-be multi-GPU failures contained by health tests."""
+        return self._contained_multi_gpu
+
+    def add_failure_listener(self, callback) -> None:
+        """Register ``callback(node_id, category)`` to run per failure."""
+        self._failure_listeners.append(callback)
+
+    def add_record_listener(self, callback) -> None:
+        """Register ``callback(record, time_hours)`` to run per failure.
+
+        Receives the full :class:`FailureRecord`, for consumers that
+        need involvement details — e.g. streaming predictors.
+        """
+        self._record_listeners.append(callback)
+
+    @property
+    def injected_count(self) -> int:
+        """Failures injected so far."""
+        return self._next_record_id
+
+    def start(self) -> None:
+        """Schedule the first failure."""
+        self._schedule_next()
+
+    def injected_log(self) -> FailureLog:
+        """Return the injected failures as a validated log.
+
+        Timestamps are offsets from the machine's log start; TTRs are
+        the *hands-on* durations handed to the repair service (queueing
+        delays live in the cluster history instead).
+
+        Raises:
+            SimulationError: If nothing has been injected yet.
+        """
+        if not self._injected:
+            raise SimulationError("no failures injected yet")
+        from datetime import timedelta
+
+        start = self._spec.log_start
+        end = start + timedelta(hours=self._engine.now + 1.0)
+        return FailureLog(
+            machine=self._profile.machine,
+            records=tuple(self._injected),
+            window_start=start,
+            window_end=end,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        gap = float(self._renewal.sample_gaps(self._rng, 1)[0])
+        # Degenerate zero gaps would stall heap ordering determinism.
+        self._engine.schedule_in(max(gap, 1e-6), self._fire)
+
+    def _fire(self) -> None:
+        category = str(
+            self._rng.choice(
+                self._category_names, p=self._category_probabilities
+            )
+        )
+        node_id = self._pick_node()
+        gpus: tuple[int, ...] = ()
+        if category == "GPU":
+            involved = int(
+                self._rng.choice(
+                    self._involvement_values,
+                    p=self._involvement_probabilities,
+                )
+            )
+            if (
+                involved > 1
+                and self._rng.random() < self._health_test_effectiveness
+            ):
+                # A health test caught the degrading bus-mates early;
+                # only one GPU actually fails in service.
+                involved = 1
+                self._contained_multi_gpu += 1
+            if involved > 0:
+                gpus = choose_slots(
+                    self._rng,
+                    involved,
+                    self._profile.gpu_slot_weights,
+                    topology=self._topology,
+                )
+        duration = self._ttr_samplers[category].sample(self._rng)
+        was_healthy = (
+            self._cluster.node(node_id).state is NodeState.HEALTHY
+        )
+        self._cluster.fail(node_id, category, self._engine.now, gpus)
+        if was_healthy:
+            self._repair.submit(node_id, category, duration)
+        self._record(node_id, category, duration, gpus)
+        for callback in self._failure_listeners:
+            callback(node_id, category)
+        self._schedule_next()
+
+    def _pick_node(self) -> int:
+        available = self._cluster.available_nodes()
+        if available:
+            return int(self._rng.choice(available))
+        # Whole fleet down: hit a random node anyway (absorbed outage).
+        return int(self._rng.integers(self._cluster.num_nodes))
+
+    def _record(
+        self,
+        node_id: int,
+        category: str,
+        duration: float,
+        gpus: tuple[int, ...],
+    ) -> None:
+        from datetime import timedelta
+
+        record = FailureRecord(
+            record_id=self._next_record_id,
+            timestamp=self._spec.log_start
+            + timedelta(hours=self._engine.now),
+            node_id=node_id,
+            category=category,
+            ttr_hours=duration,
+            gpus_involved=gpus,
+        )
+        self._injected.append(record)
+        self._next_record_id += 1
+        for callback in self._record_listeners:
+            callback(record, self._engine.now)

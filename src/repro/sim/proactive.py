@@ -1,0 +1,101 @@
+"""Prediction-driven proactive maintenance inside the simulator.
+
+Closes the loop on the paper's RQ5 recommendation ("leveraging failure
+prediction to initiate recovery proactively"): a
+:class:`ProactiveMaintainer` watches the live failure stream through a
+streaming predictor and pre-stages spare parts when alarms fire, so
+that when the predicted failure arrives the repair does not wait on
+procurement.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import FailureRecord
+from repro.errors import SimulationError, ValidationError
+from repro.predict.base import Predictor
+from repro.sim.engine import SimulationEngine
+from repro.sim.repair import RepairService
+
+__all__ = ["ProactiveMaintainer"]
+
+
+class ProactiveMaintainer:
+    """Pre-stages spares on prediction alarms.
+
+    Args:
+        engine: The simulation engine (for the clock).
+        repair: The repair service whose pool gets pre-staged parts.
+        predictor: A streaming predictor fed every injected failure.
+        prestage_category: Category of spare to stage per alarm
+            (GPU by default — the dominant hardware consumer).
+        max_prestages: Budget cap; staging is an operational cost the
+            paper warns about, so it is bounded.
+        cooldown_hours: Minimum time between two stagings, so an alarm
+            burst does not dump the entire budget at once.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        repair: RepairService,
+        predictor: Predictor,
+        prestage_category: str = "GPU",
+        max_prestages: int = 20,
+        cooldown_hours: float = 24.0,
+    ) -> None:
+        if max_prestages < 1:
+            raise ValidationError(
+                f"max_prestages must be >= 1, got {max_prestages}"
+            )
+        if cooldown_hours < 0:
+            raise ValidationError(
+                f"cooldown_hours must be >= 0, got {cooldown_hours}"
+            )
+        self._engine = engine
+        self._repair = repair
+        self._predictor = predictor
+        self._category = prestage_category
+        self._max_prestages = max_prestages
+        self._cooldown_hours = cooldown_hours
+        self._prestaged = 0
+        self._alarms_seen = 0
+        self._last_prestage_at: float | None = None
+
+    @property
+    def prestaged(self) -> int:
+        """Spares staged so far."""
+        return self._prestaged
+
+    @property
+    def alarms_seen(self) -> int:
+        """Alarms the predictor has raised so far."""
+        return self._alarms_seen
+
+    def on_failure(self, record: FailureRecord, time_hours: float) -> None:
+        """Feed one injected failure to the predictor; act on alarms.
+
+        Raises:
+            SimulationError: If the reported time runs backwards.
+        """
+        if (
+            self._last_prestage_at is not None
+            and time_hours < self._last_prestage_at
+        ):
+            raise SimulationError(
+                f"failure at {time_hours} h arrived before the last "
+                f"prestage at {self._last_prestage_at} h"
+            )
+        alarms = self._predictor.observe(record, time_hours)
+        self._alarms_seen += len(alarms)
+        if not alarms:
+            return
+        if self._prestaged >= self._max_prestages:
+            return
+        if (
+            self._last_prestage_at is not None
+            and time_hours - self._last_prestage_at < self._cooldown_hours
+        ):
+            return
+        self._repair.prestage_spare(self._category)
+        self._prestaged += 1
+        self._last_prestage_at = time_hours

@@ -1,0 +1,224 @@
+"""Repair service: technicians and spare parts.
+
+The paper's RQ5 discussion argues MTTR is governed by operational
+choices — "one can significantly reduce the MTTR by overly proactive
+measures such as keeping an excessive number of spare components
+on-site or more staff devoted to failure monitoring, but this comes at
+an increased operational cost."  This module makes that trade-off a
+simulated quantity: a failed node waits for (a) a free technician and
+(b) a spare part for its category; spares replenish after a
+procurement lead time.  Prediction-driven *pre-staging* (see
+:mod:`repro.predict`) can place a spare before the failure arrives,
+cutting the waiting component of the effective MTTR.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+
+__all__ = ["RepairPolicy", "SparePool", "RepairService"]
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Operational parameters of the repair organisation.
+
+    Attributes:
+        num_technicians: Concurrent repairs possible.
+        spare_lead_time_hours: Procurement delay to replenish one
+            consumed spare.
+        hardware_categories: Categories that consume a spare part;
+            software repairs need a technician only.
+    """
+
+    num_technicians: int = 4
+    spare_lead_time_hours: float = 168.0
+    hardware_categories: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.num_technicians < 1:
+            raise ValidationError(
+                f"num_technicians must be >= 1, got {self.num_technicians}"
+            )
+        if self.spare_lead_time_hours < 0:
+            raise ValidationError(
+                f"spare_lead_time_hours must be >= 0, got "
+                f"{self.spare_lead_time_hours}"
+            )
+
+
+class SparePool:
+    """Per-category spare-part inventory with replenishment."""
+
+    def __init__(self, initial: dict[str, int]) -> None:
+        for category, count in initial.items():
+            if count < 0:
+                raise ValidationError(
+                    f"spare count for {category!r} must be >= 0, "
+                    f"got {count}"
+                )
+        self._stock = dict(initial)
+        self._consumed = 0
+        self._stockouts = 0
+
+    @property
+    def consumed(self) -> int:
+        """Total spares consumed."""
+        return self._consumed
+
+    @property
+    def stockouts(self) -> int:
+        """Times a repair had to wait because no spare was on hand."""
+        return self._stockouts
+
+    def level(self, category: str) -> int:
+        """Current stock for one category (0 when untracked)."""
+        return self._stock.get(category, 0)
+
+    def try_take(self, category: str) -> bool:
+        """Consume one spare if available; record a stockout if not."""
+        if self._stock.get(category, 0) > 0:
+            self._stock[category] -= 1
+            self._consumed += 1
+            return True
+        self._stockouts += 1
+        return False
+
+    def restock(self, category: str, count: int = 1) -> None:
+        """Add spares back to the pool (replenishment arrival)."""
+        if count < 1:
+            raise ValidationError(f"count must be >= 1, got {count}")
+        self._stock[category] = self._stock.get(category, 0) + count
+
+
+@dataclass
+class _PendingRepair:
+    node_id: int
+    category: str
+    duration_hours: float
+    needs_spare: bool
+    has_spare: bool = False
+
+
+class RepairService:
+    """Dispatches technicians and spares to failed nodes.
+
+    Wire-up: the fault injector calls :meth:`submit` when a node
+    fails; the service starts the repair once a technician and (for
+    hardware) a spare are available, and completes it after the
+    failure's hands-on duration.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: Cluster,
+        policy: RepairPolicy,
+        spares: SparePool,
+    ) -> None:
+        self._engine = engine
+        self._cluster = cluster
+        self._policy = policy
+        self._spares = spares
+        self._busy_technicians = 0
+        self._queue: deque[_PendingRepair] = deque()
+        self._waiting_for_spare: list[_PendingRepair] = []
+        self._completed = 0
+        self._completion_listeners: list = []
+
+    def add_completion_listener(self, callback) -> None:
+        """Register ``callback(node_id)`` to run after each repair."""
+        self._completion_listeners.append(callback)
+
+    @property
+    def completed(self) -> int:
+        """Repairs completed so far."""
+        return self._completed
+
+    @property
+    def queue_length(self) -> int:
+        """Repairs waiting for a technician."""
+        return len(self._queue)
+
+    @property
+    def waiting_for_spares(self) -> int:
+        """Repairs waiting for a part."""
+        return len(self._waiting_for_spare)
+
+    def submit(
+        self, node_id: int, category: str, duration_hours: float
+    ) -> None:
+        """Enqueue a repair for a node that just failed.
+
+        Raises:
+            SimulationError: On a non-positive duration.
+        """
+        if duration_hours <= 0:
+            raise SimulationError(
+                f"repair duration must be positive, got {duration_hours}"
+            )
+        pending = _PendingRepair(
+            node_id=node_id,
+            category=category,
+            duration_hours=duration_hours,
+            needs_spare=category in self._policy.hardware_categories,
+        )
+        if pending.needs_spare:
+            if self._spares.try_take(category):
+                pending.has_spare = True
+                self._order_replacement(category)
+            else:
+                # Back-order: part arrives after the lead time, then
+                # the repair joins the technician queue.
+                self._waiting_for_spare.append(pending)
+                self._engine.schedule_in(
+                    self._policy.spare_lead_time_hours,
+                    lambda p=pending: self._spare_arrived(p),
+                )
+                return
+        self._queue.append(pending)
+        self._dispatch()
+
+    def prestage_spare(self, category: str, count: int = 1) -> None:
+        """Proactively add spares (prediction-driven provisioning)."""
+        self._spares.restock(category, count)
+
+    # -- internals -----------------------------------------------------------
+
+    def _order_replacement(self, category: str) -> None:
+        self._engine.schedule_in(
+            self._policy.spare_lead_time_hours,
+            lambda: self._spares.restock(category),
+        )
+
+    def _spare_arrived(self, pending: _PendingRepair) -> None:
+        self._waiting_for_spare.remove(pending)
+        pending.has_spare = True
+        self._queue.append(pending)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while (
+            self._queue
+            and self._busy_technicians < self._policy.num_technicians
+        ):
+            pending = self._queue.popleft()
+            self._busy_technicians += 1
+            self._cluster.start_repair(pending.node_id, self._engine.now)
+            self._engine.schedule_in(
+                pending.duration_hours,
+                lambda p=pending: self._complete(p),
+            )
+
+    def _complete(self, pending: _PendingRepair) -> None:
+        self._cluster.complete_repair(pending.node_id, self._engine.now)
+        self._busy_technicians -= 1
+        self._completed += 1
+        self._dispatch()
+        for callback in self._completion_listeners:
+            callback(pending.node_id)

@@ -1,0 +1,185 @@
+"""High-level simulation facade.
+
+:class:`ClusterSimulator` wires the engine, cluster, repair service,
+fault injector, and (optionally) the scheduler + workload together,
+runs a horizon, and returns a :class:`SimulationReport` with the
+operational metrics the paper's RQ5 discussion cares about: effective
+MTTR (including queueing for technicians and spares), availability,
+spare stockouts, and — with a workload — goodput and queue waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import taxonomy
+from repro.core.records import FailureLog
+from repro.core.taxonomy import FailureClass
+from repro.errors import SimulationError
+from repro.machines.specs import get_machine
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import FaultInjector
+from repro.sim.jobs import WorkloadConfig, WorkloadGenerator
+from repro.sim.repair import RepairPolicy, RepairService, SparePool
+from repro.sim.scheduler import Scheduler, SchedulerStats
+from repro.synth.profiles import MachineProfile, profile_for
+
+__all__ = ["SimulationReport", "ClusterSimulator", "hardware_categories"]
+
+
+def hardware_categories(machine: str) -> frozenset[str]:
+    """Category names whose repair consumes a spare part."""
+    return frozenset(
+        cat.name
+        for cat in taxonomy.categories_for(machine)
+        if cat.failure_class is FailureClass.HARDWARE
+    )
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one simulated horizon."""
+
+    machine: str
+    horizon_hours: float
+    failures_injected: int
+    repairs_completed: int
+    effective_mttr_hours: float
+    mean_waiting_hours: float
+    availability: float
+    spare_stockouts: int
+    spares_consumed: int
+    scheduler: SchedulerStats | None = None
+
+    @property
+    def waiting_share_of_mttr(self) -> float:
+        """Fraction of the effective MTTR spent waiting, not repairing."""
+        if self.effective_mttr_hours <= 0:
+            return 0.0
+        return self.mean_waiting_hours / self.effective_mttr_hours
+
+
+class ClusterSimulator:
+    """One-stop simulation runner for a machine profile.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        repair_policy: Staffing / lead-time parameters (defaults to 4
+            technicians, one-week part lead time).
+        initial_spares: Per-category starting inventory; defaults to
+            two spares for every hardware category.
+        seed: RNG seed shared by faults and workload.
+        intensity: Failure-rate multiplier.
+        workload: Optional workload config; enables the scheduler.
+        checkpoint_policy: Optional checkpoint policy for jobs.
+        profile: Override the calibration profile (defaults to the
+            machine's published profile).
+        health_test_effectiveness: Probability a would-be multi-GPU
+            failure is contained to one GPU by proactive health tests
+            (the Tsubame-3 practice; see
+            :class:`repro.sim.faults.FaultInjector`).
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        repair_policy: RepairPolicy | None = None,
+        initial_spares: dict[str, int] | None = None,
+        seed: int = 0,
+        intensity: float = 1.0,
+        workload: WorkloadConfig | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        profile: MachineProfile | None = None,
+        health_test_effectiveness: float = 0.0,
+    ) -> None:
+        self._profile = profile or profile_for(machine)
+        if self._profile.machine != machine:
+            raise SimulationError(
+                f"profile is for {self._profile.machine!r}, not {machine!r}"
+            )
+        self._spec = get_machine(machine)
+        hardware = hardware_categories(machine)
+        if repair_policy is None:
+            repair_policy = RepairPolicy(hardware_categories=hardware)
+        elif not repair_policy.hardware_categories:
+            repair_policy = RepairPolicy(
+                num_technicians=repair_policy.num_technicians,
+                spare_lead_time_hours=repair_policy.spare_lead_time_hours,
+                hardware_categories=hardware,
+            )
+        if initial_spares is None:
+            initial_spares = {name: 2 for name in hardware}
+
+        self.engine = SimulationEngine()
+        self.cluster = Cluster(self._spec)
+        self.spares = SparePool(initial_spares)
+        self.repair = RepairService(
+            self.engine, self.cluster, repair_policy, self.spares
+        )
+        self.injector = FaultInjector(
+            self.engine,
+            self.cluster,
+            self.repair,
+            self._profile,
+            seed=seed,
+            intensity=intensity,
+            health_test_effectiveness=health_test_effectiveness,
+        )
+        self.scheduler: Scheduler | None = None
+        self._workload_jobs = []
+        if workload is not None:
+            self.scheduler = Scheduler(
+                self.engine, self.cluster, checkpoint_policy
+            )
+            generator = WorkloadGenerator(workload, seed=seed + 1)
+            self._workload = generator
+            self._workload_config = workload
+            self.injector.add_failure_listener(
+                lambda node_id, _category:
+                self.scheduler.handle_node_failure(node_id)
+            )
+            self.repair.add_completion_listener(
+                self.scheduler.handle_node_repair
+            )
+
+    def run(self, horizon_hours: float) -> SimulationReport:
+        """Run the simulation and summarise it.
+
+        Raises:
+            SimulationError: On a non-positive horizon.
+        """
+        if horizon_hours <= 0:
+            raise SimulationError(
+                f"horizon must be positive, got {horizon_hours}"
+            )
+        if self.scheduler is not None:
+            jobs = self._workload.jobs_until(horizon_hours)
+            self._workload_jobs = jobs
+            self.scheduler.submit_all(jobs)
+        self.injector.start()
+        self.engine.run_until(horizon_hours)
+        history = self.cluster.history
+        return SimulationReport(
+            machine=self._spec.name,
+            horizon_hours=horizon_hours,
+            failures_injected=self.injector.injected_count,
+            repairs_completed=len(history),
+            effective_mttr_hours=(
+                self.cluster.effective_mttr_hours() if history else 0.0
+            ),
+            mean_waiting_hours=(
+                self.cluster.mean_waiting_hours() if history else 0.0
+            ),
+            availability=self.cluster.availability(horizon_hours),
+            spare_stockouts=self.spares.stockouts,
+            spares_consumed=self.spares.consumed,
+            scheduler=(
+                self.scheduler.stats if self.scheduler is not None else None
+            ),
+        )
+
+    def injected_log(self) -> FailureLog:
+        """Failures injected during the run, as an analyzable log."""
+        return self.injector.injected_log()

@@ -1,0 +1,169 @@
+"""GPU card wear and periodic rearrangement.
+
+Figure 5 shows GPU *slots* accumulate failures unevenly.  The paper's
+suggested mitigation: "the operations staff could also mitigate this by
+rearranging the GPUs periodically during maintenance."  This module
+simulates exactly that question: slots keep their (environmental)
+failure propensity, cards move.  Without rotation the cards stuck in
+hot slots absorb disproportionate wear; with periodic rotation each
+card time-shares the hot slots and per-card wear flattens — at the
+cost of maintenance events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machines.specs import get_machine
+from repro.synth.profiles import profile_for
+
+__all__ = ["CardWearReport", "simulate_card_wear"]
+
+
+@dataclass(frozen=True)
+class CardWearReport:
+    """Per-card failure accumulation after a simulated horizon.
+
+    Attributes:
+        machine: Machine name.
+        horizon_hours: Simulated duration.
+        rotation_period_hours: Rotation cadence (None = never rotated).
+        card_failures: Failure count per card, indexed by card id.
+        rotations_performed: Maintenance rotations executed.
+    """
+
+    machine: str
+    horizon_hours: float
+    rotation_period_hours: float | None
+    card_failures: tuple[int, ...]
+    rotations_performed: int
+
+    @property
+    def total_failures(self) -> int:
+        return sum(self.card_failures)
+
+    @property
+    def max_card_failures(self) -> int:
+        """Worst-hit card — the card an operator would RMA first."""
+        return max(self.card_failures, default=0)
+
+    def gini(self) -> float:
+        """Gini coefficient of per-card wear (0 = perfectly even)."""
+        total = self.total_failures
+        if total == 0:
+            return 0.0
+        values = sorted(self.card_failures)
+        n = len(values)
+        cumulative = sum(
+            index * value for index, value in enumerate(values, start=1)
+        )
+        return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+    def top_card_share(self, fraction: float = 0.1) -> float:
+        """Share of failures absorbed by the most-worn cards."""
+        if not 0.0 < fraction <= 1.0:
+            raise SimulationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        total = self.total_failures
+        if total == 0:
+            return 0.0
+        k = max(1, int(round(fraction * len(self.card_failures))))
+        worst = sorted(self.card_failures, reverse=True)[:k]
+        return sum(worst) / total
+
+
+def simulate_card_wear(
+    machine: str,
+    num_nodes: int = 64,
+    horizon_hours: float = 3.0 * 8760.0,
+    rotation_period_hours: float | None = None,
+    seed: int = 0,
+) -> CardWearReport:
+    """Simulate per-card GPU failure accumulation on a node subset.
+
+    Each node carries one card per GPU slot; slot failure propensities
+    come from the machine profile (Figure 5).  GPU-failure events
+    arrive per node as a Poisson stream at the machine's historical
+    per-node GPU failure rate, land on a slot by propensity, and charge
+    the card currently seated there.  Rotation shifts every node's
+    cards one slot over at each maintenance point.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        num_nodes: Nodes simulated (wear is i.i.d. across nodes; a
+            subset keeps the simulation cheap).
+        horizon_hours: Simulated duration (default: three years).
+        rotation_period_hours: Rotation cadence; None disables it.
+        seed: RNG seed.
+
+    Raises:
+        SimulationError: On invalid parameters.
+    """
+    if num_nodes < 1:
+        raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+    if horizon_hours <= 0:
+        raise SimulationError(
+            f"horizon_hours must be positive, got {horizon_hours}"
+        )
+    if rotation_period_hours is not None and rotation_period_hours <= 0:
+        raise SimulationError(
+            f"rotation_period_hours must be positive, got "
+            f"{rotation_period_hours}"
+        )
+    spec = get_machine(machine)
+    profile = profile_for(machine)
+    slots = spec.gpus_per_node
+    weights = np.asarray(profile.gpu_slot_weights, dtype=float)
+    slot_probabilities = weights / weights.sum()
+
+    # Historical per-node GPU failure rate: GPU failures / span / nodes.
+    gpu_failures = profile.category_counts.get("GPU", 0)
+    rate_per_node = gpu_failures / spec.log_span_hours / spec.num_nodes
+    expected_events = rate_per_node * horizon_hours * num_nodes
+
+    rng = np.random.default_rng(seed)
+    num_events = int(rng.poisson(expected_events))
+    event_times = np.sort(
+        rng.uniform(0.0, horizon_hours, size=num_events)
+    )
+    event_nodes = rng.integers(0, num_nodes, size=num_events)
+    event_slots = rng.choice(slots, size=num_events, p=slot_probabilities)
+
+    # seating[node][slot] = card id currently in that slot.
+    seating = [
+        [node * slots + slot for slot in range(slots)]
+        for node in range(num_nodes)
+    ]
+    card_failures = [0] * (num_nodes * slots)
+
+    rotations = 0
+    next_rotation = (
+        rotation_period_hours if rotation_period_hours is not None
+        else float("inf")
+    )
+    for time, node, slot in zip(event_times, event_nodes, event_slots):
+        while time >= next_rotation:
+            for seats in seating:
+                seats.insert(0, seats.pop())  # rotate one slot over
+            rotations += 1
+            next_rotation += rotation_period_hours
+        card_failures[seating[int(node)][int(slot)]] += 1
+    # Complete any remaining scheduled rotations within the horizon.
+    if rotation_period_hours is not None:
+        while next_rotation <= horizon_hours:
+            for seats in seating:
+                seats.insert(0, seats.pop())
+            rotations += 1
+            next_rotation += rotation_period_hours
+
+    return CardWearReport(
+        machine=machine,
+        horizon_hours=horizon_hours,
+        rotation_period_hours=rotation_period_hours,
+        card_failures=tuple(card_failures),
+        rotations_performed=rotations,
+    )

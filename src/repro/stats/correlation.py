@@ -1,0 +1,82 @@
+"""Correlation measures.
+
+RQ5 asks whether monthly time-to-recovery tracks monthly failure
+density ("months with higher failure density are likely to see higher
+time to recovery") and concludes that no such correlation exists.  The
+seasonal analysis quantifies that claim with Pearson and Spearman
+coefficients between the two monthly series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import ValidationError
+
+__all__ = ["CorrelationResult", "pearson", "spearman"]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """A correlation coefficient with its p-value and sample size."""
+
+    coefficient: float
+    pvalue: float
+    n: int
+
+    @property
+    def is_significant(self) -> bool:
+        """True at the conventional 5% level."""
+        return self.pvalue < 0.05
+
+
+def _validate_pair(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size:
+        raise ValidationError(
+            f"correlation needs equal-length series, got {x.size} and {y.size}"
+        )
+    if x.size < 3:
+        raise ValidationError(
+            f"correlation needs at least 3 paired observations, got {x.size}"
+        )
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ValidationError("correlation series must be finite")
+    return x, y
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> CorrelationResult:
+    """Pearson (linear) correlation between two paired series.
+
+    When either series is constant, the coefficient is defined as 0
+    with p-value 1 (no evidence of association).
+    """
+    x, y = _validate_pair(xs, ys)
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return CorrelationResult(coefficient=0.0, pvalue=1.0, n=x.size)
+    result = sps.pearsonr(x, y)
+    return CorrelationResult(
+        coefficient=float(result.statistic),
+        pvalue=float(result.pvalue),
+        n=x.size,
+    )
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> CorrelationResult:
+    """Spearman (rank) correlation between two paired series."""
+    x, y = _validate_pair(xs, ys)
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return CorrelationResult(coefficient=0.0, pvalue=1.0, n=x.size)
+    result = sps.spearmanr(x, y)
+    return CorrelationResult(
+        coefficient=float(result.statistic),
+        pvalue=float(result.pvalue),
+        n=x.size,
+    )

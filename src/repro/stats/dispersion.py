@@ -1,0 +1,114 @@
+"""Dispersion and burstiness measures for event streams.
+
+Failure arrivals in the field are rarely Poisson: they cluster
+(correlated reboots, environment episodes, Figure 8).  Two standard
+measures quantify that:
+
+* **Index of dispersion** — variance/mean of counts in equal windows;
+  1 for Poisson, > 1 for clustered (overdispersed) streams.
+* **Coefficient of variation of gaps** — std/mean of inter-arrival
+  times; 1 for exponential gaps, > 1 for heavy-tailed/bursty ones.
+* **Lag-k autocorrelation of window counts** — positive values mean
+  busy windows follow busy windows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "index_of_dispersion",
+    "gap_coefficient_of_variation",
+    "count_autocorrelation",
+    "window_counts",
+]
+
+
+def window_counts(
+    event_times: Sequence[float],
+    span: float,
+    num_windows: int,
+) -> list[int]:
+    """Bucket event times into equal windows covering [0, span].
+
+    Raises:
+        ValidationError: On invalid parameters or out-of-range times.
+    """
+    if span <= 0:
+        raise ValidationError(f"span must be positive, got {span}")
+    if num_windows < 1:
+        raise ValidationError(
+            f"num_windows must be >= 1, got {num_windows}"
+        )
+    counts = [0] * num_windows
+    for time in event_times:
+        if not 0.0 <= time <= span:
+            raise ValidationError(
+                f"event time {time} outside [0, {span}]"
+            )
+        index = min(int(num_windows * time / span), num_windows - 1)
+        counts[index] += 1
+    return counts
+
+
+def index_of_dispersion(counts: Sequence[int]) -> float:
+    """Variance-to-mean ratio of a count series.
+
+    Raises:
+        ValidationError: On fewer than 2 windows or an all-zero series.
+    """
+    values = np.asarray(counts, dtype=float)
+    if values.size < 2:
+        raise ValidationError(
+            f"index of dispersion needs >= 2 windows, got {values.size}"
+        )
+    mean = values.mean()
+    if mean == 0.0:
+        raise ValidationError(
+            "index of dispersion of an all-zero series is undefined"
+        )
+    return float(values.var(ddof=1) / mean)
+
+
+def gap_coefficient_of_variation(gaps: Sequence[float]) -> float:
+    """std/mean of inter-arrival gaps (1 for exponential).
+
+    Raises:
+        ValidationError: On fewer than 2 gaps, negatives, or a
+            zero-mean series.
+    """
+    values = np.asarray(gaps, dtype=float)
+    if values.size < 2:
+        raise ValidationError(f"CV needs >= 2 gaps, got {values.size}")
+    if np.any(values < 0):
+        raise ValidationError("gaps must be non-negative")
+    mean = values.mean()
+    if mean == 0.0:
+        raise ValidationError("CV of zero-mean gaps is undefined")
+    return float(values.std(ddof=1) / mean)
+
+
+def count_autocorrelation(counts: Sequence[int], lag: int = 1) -> float:
+    """Lag-k Pearson autocorrelation of a count series.
+
+    Returns 0 for a constant series (no variation to correlate).
+
+    Raises:
+        ValidationError: On an invalid lag or too-short series.
+    """
+    values = np.asarray(counts, dtype=float)
+    if lag < 1:
+        raise ValidationError(f"lag must be >= 1, got {lag}")
+    if values.size < lag + 2:
+        raise ValidationError(
+            f"series of {values.size} is too short for lag {lag}"
+        )
+    head = values[:-lag]
+    tail = values[lag:]
+    if np.all(head == head[0]) or np.all(tail == tail[0]):
+        return 0.0
+    return float(np.corrcoef(head, tail)[0, 1])

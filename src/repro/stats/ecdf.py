@@ -1,0 +1,90 @@
+"""Empirical cumulative distribution functions.
+
+The paper presents its headline temporal results as CDFs: Figure 6
+(time between failures) and Figure 9 (time to recovery).  :class:`ECDF`
+is the right-continuous step estimator F(x) = #{x_i <= x} / n, with
+inverse (quantile) lookup and resampling onto a fixed grid so two
+systems' curves can be printed side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ECDF"]
+
+
+class ECDF:
+    """Right-continuous empirical CDF of a one-dimensional sample."""
+
+    def __init__(self, sample: Sequence[float]) -> None:
+        values = np.asarray(sample, dtype=float)
+        if values.size == 0:
+            raise ValidationError("ECDF requires a non-empty sample")
+        if not np.all(np.isfinite(values)):
+            raise ValidationError("ECDF sample must be finite")
+        self._sorted = np.sort(values)
+        self._n = values.size
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return self._n
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """Minimum and maximum of the sample."""
+        return float(self._sorted[0]), float(self._sorted[-1])
+
+    def __call__(self, x: float) -> float:
+        """Evaluate F(x) = P[X <= x]."""
+        return float(np.searchsorted(self._sorted, x, side="right") / self._n)
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised evaluation of F at each point of ``xs``."""
+        grid = np.asarray(xs, dtype=float)
+        counts = np.searchsorted(self._sorted, grid, side="right")
+        return counts / self._n
+
+    def quantile(self, q: float) -> float:
+        """Return the q-th quantile (inverse CDF), 0 < q <= 1.
+
+        Uses the left-continuous generalized inverse
+        ``inf{x : F(x) >= q}``, i.e. the order statistic
+        ``x_(ceil(q*n))``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValidationError(f"quantile q must be in (0, 1], got {q}")
+        index = int(np.ceil(q * self._n)) - 1
+        return float(self._sorted[index])
+
+    def median(self) -> float:
+        """Return the 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """Return the sample mean."""
+        return float(self._sorted.mean())
+
+    def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (x, F(x)) at each sample point, for plotting/printing."""
+        return self._sorted.copy(), np.arange(1, self._n + 1) / self._n
+
+    def on_grid(self, num_points: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """Resample the CDF on an even grid spanning the support.
+
+        Returns a pair of arrays (grid, F(grid)) with ``num_points``
+        entries, convenient for printing two systems' curves on a
+        shared axis.
+        """
+        if num_points < 2:
+            raise ValidationError(
+                f"on_grid needs at least 2 points, got {num_points}"
+            )
+        lo, hi = self.support
+        grid = np.linspace(lo, hi, num_points)
+        return grid, self.evaluate(grid)

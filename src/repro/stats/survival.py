@@ -1,0 +1,107 @@
+"""Kaplan-Meier survival estimation.
+
+Time-to-recovery data is naturally read as a survival problem: what is
+the probability a component is *still unavailable* t hours after
+failing?  The Kaplan-Meier estimator also supports right-censoring,
+which arises when a log's observation window closes while a repair is
+still in progress.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["KaplanMeier"]
+
+
+class KaplanMeier:
+    """Product-limit estimator of the survival function S(t).
+
+    Args:
+        durations: Observed durations (event time or censoring time).
+        observed: Per-duration flags; True when the event (repair
+            completion) was observed, False when censored.  Defaults to
+            fully observed data.
+    """
+
+    def __init__(
+        self,
+        durations: Sequence[float],
+        observed: Sequence[bool] | None = None,
+    ) -> None:
+        times = np.asarray(durations, dtype=float)
+        if times.size == 0:
+            raise ValidationError("KaplanMeier requires a non-empty sample")
+        if not np.all(np.isfinite(times)) or np.any(times < 0):
+            raise ValidationError(
+                "KaplanMeier durations must be finite and non-negative"
+            )
+        if observed is None:
+            events = np.ones(times.size, dtype=bool)
+        else:
+            events = np.asarray(observed, dtype=bool)
+            if events.size != times.size:
+                raise ValidationError(
+                    f"durations ({times.size}) and observed "
+                    f"({events.size}) must have equal length"
+                )
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        events = events[order]
+
+        event_times: list[float] = []
+        survival: list[float] = []
+        at_risk = times.size
+        current = 1.0
+        index = 0
+        while index < times.size:
+            t = times[index]
+            deaths = 0
+            removed = 0
+            while index < times.size and times[index] == t:
+                deaths += int(events[index])
+                removed += 1
+                index += 1
+            if deaths:
+                current *= 1.0 - deaths / at_risk
+                event_times.append(float(t))
+                survival.append(current)
+            at_risk -= removed
+        self._event_times = np.asarray(event_times)
+        self._survival = np.asarray(survival)
+        self._n = times.size
+        self._num_events = int(events.sum())
+
+    @property
+    def n(self) -> int:
+        """Number of observations (events plus censored)."""
+        return self._n
+
+    @property
+    def num_events(self) -> int:
+        """Number of observed (uncensored) events."""
+        return self._num_events
+
+    def survival_at(self, t: float) -> float:
+        """Return S(t), the probability of remaining unrepaired at t."""
+        if t < 0:
+            raise ValidationError(f"time must be non-negative, got {t}")
+        index = np.searchsorted(self._event_times, t, side="right")
+        if index == 0:
+            return 1.0
+        return float(self._survival[index - 1])
+
+    def median_survival(self) -> float | None:
+        """Return the first time S(t) drops to <= 0.5, or None."""
+        below = np.nonzero(self._survival <= 0.5)[0]
+        if below.size == 0:
+            return None
+        return float(self._event_times[below[0]])
+
+    def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (event_times, S(event_times)) for plotting/printing."""
+        return self._event_times.copy(), self._survival.copy()

@@ -1,0 +1,100 @@
+"""Hypothesis tests used by the analyses and their validation suite.
+
+Two tests cover everything the reproduction needs:
+
+* the two-sample Kolmogorov-Smirnov test, for asking whether two
+  machines' TBF/TTR distributions differ (Figures 6 and 9 claim the
+  TBF distributions differ markedly while the TTR distributions are
+  "very similar"), and
+* the chi-square goodness-of-fit test, for asking whether an observed
+  categorical histogram (failure-category mix, GPU-slot counts,
+  monthly counts) is consistent with a target distribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import ValidationError
+
+__all__ = ["TestResult", "ks_two_sample", "chi_square_gof"]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test."""
+
+    statistic: float
+    pvalue: float
+    n: int
+
+    def rejects_null(self, alpha: float = 0.05) -> bool:
+        """True when the null hypothesis is rejected at level alpha."""
+        if not 0.0 < alpha < 1.0:
+            raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+        return self.pvalue < alpha
+
+
+def ks_two_sample(
+    first: Sequence[float], second: Sequence[float]
+) -> TestResult:
+    """Two-sample KS test of H0: both samples share one distribution."""
+    x = np.asarray(first, dtype=float)
+    y = np.asarray(second, dtype=float)
+    if x.size == 0 or y.size == 0:
+        raise ValidationError("ks_two_sample requires non-empty samples")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ValidationError("ks_two_sample samples must be finite")
+    result = sps.ks_2samp(x, y)
+    return TestResult(
+        statistic=float(result.statistic),
+        pvalue=float(result.pvalue),
+        n=x.size + y.size,
+    )
+
+
+def chi_square_gof(
+    observed_counts: Sequence[int],
+    expected_shares: Sequence[float],
+) -> TestResult:
+    """Chi-square test of observed counts against expected shares.
+
+    Args:
+        observed_counts: Non-negative integer counts per cell.
+        expected_shares: Expected probability per cell; normalised if
+            they do not already sum to one.
+
+    Raises:
+        ValidationError: On length mismatch, negative inputs, or an
+            all-zero expected vector.
+    """
+    observed = np.asarray(observed_counts, dtype=float)
+    shares = np.asarray(expected_shares, dtype=float)
+    if observed.size != shares.size:
+        raise ValidationError(
+            f"observed ({observed.size}) and expected ({shares.size}) "
+            f"must have equal length"
+        )
+    if observed.size < 2:
+        raise ValidationError("chi_square_gof needs at least 2 cells")
+    if np.any(observed < 0) or np.any(shares < 0):
+        raise ValidationError("chi_square_gof inputs must be non-negative")
+    total_share = shares.sum()
+    if total_share <= 0:
+        raise ValidationError("expected shares must not all be zero")
+    expected = observed.sum() * shares / total_share
+    # Cells the model says are impossible cannot enter the statistic.
+    keep = expected > 0
+    if np.any(observed[~keep] > 0):
+        return TestResult(statistic=float("inf"), pvalue=0.0,
+                          n=int(observed.sum()))
+    result = sps.chisquare(observed[keep], expected[keep])
+    return TestResult(
+        statistic=float(result.statistic),
+        pvalue=float(result.pvalue),
+        n=int(observed.sum()),
+    )

@@ -1,0 +1,373 @@
+"""Synthetic failure-trace generator.
+
+:class:`TraceGenerator` turns a calibrated
+:class:`~repro.synth.profiles.MachineProfile` into a
+:class:`~repro.core.records.FailureLog` that reproduces the paper's
+published statistics: category mix (Figure 2), software root loci
+(Figure 3), per-node counts (Figure 4), GPU slot skew (Figure 5),
+multi-GPU involvement (Table III), TBF shape (Figures 6-7), multi-GPU
+temporal clustering (Figure 8), TTR shape (Figures 9-10) and
+seasonality (Figures 11-12).
+
+Every stochastic choice flows from one seeded
+:class:`numpy.random.Generator`, so a (profile, config) pair is fully
+reproducible.  :class:`GeneratorConfig` exposes ablation switches that
+the ablation benchmarks flip to show which mechanism produces which
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.core import taxonomy
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.taxonomy import FailureClass
+from repro.errors import ValidationError
+from repro.machines.racks import rack_layout_for
+from repro.machines.specs import get_machine
+from repro.machines.topology import NodeTopology, build_node_topology
+from repro.synth.arrivals import (
+    MonthlyIntensityWarp,
+    arrival_offsets_hours,
+    calibrate_weibull,
+)
+from repro.synth.involvement import assign_involvement_labels, choose_slots
+from repro.synth.placement import (
+    assign_failures_to_nodes,
+    sample_node_multiplicities,
+)
+from repro.synth.profiles import MachineProfile, profile_for
+from repro.synth.recovery import LognormalTtrSampler, normalize_to_mean
+from repro.synth.sampling import allocate_counts, shuffled
+
+__all__ = ["GeneratorConfig", "TraceGenerator", "generate_log"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for one generation run.
+
+    Attributes:
+        seed: RNG seed; identical seeds give identical logs.
+        num_failures: Optional override of the profile's log size; the
+            category mix, involvement table and root loci are rescaled
+            proportionally (largest-remainder).
+        arrival_seasonality: Warp arrival times by the profile's month
+            weights (Figure 12).  Off = homogeneous arrivals.
+        ttr_seasonality: Apply the profile's monthly TTR factors
+            (Figure 11).  Off = stationary recovery times.
+        burst_clustering: Cluster multi-GPU failures in time
+            (Figure 8).  Off = involvement labels are exchangeable.
+        slot_weighting: Use the profile's per-slot GPU propensities
+            (Figure 5).  Off = uniform slots.
+        topology_affinity: Bonus multiplier pulling co-failing GPUs
+            onto bus-mates; 1.0 disables the topology effect.
+        normalize_mttr: Rescale recovery times so the log's mean TTR
+            equals the profile target exactly (Figure 9).
+        rack_skew: Concentrate affected nodes onto rack-correlated
+            hotspots (the paper's non-uniform rack distribution).  Off
+            = affected nodes drawn uniformly from the fleet.
+    """
+
+    seed: int = 0
+    num_failures: int | None = None
+    arrival_seasonality: bool = True
+    ttr_seasonality: bool = True
+    burst_clustering: bool = True
+    slot_weighting: bool = True
+    topology_affinity: float = 3.0
+    normalize_mttr: bool = True
+    rack_skew: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_failures is not None and self.num_failures < 2:
+            raise ValidationError(
+                f"num_failures must be >= 2, got {self.num_failures}"
+            )
+        if self.topology_affinity < 1.0:
+            raise ValidationError(
+                f"topology_affinity must be >= 1, got "
+                f"{self.topology_affinity}"
+            )
+
+
+class TraceGenerator:
+    """Generates calibrated synthetic failure logs for one machine."""
+
+    def __init__(
+        self,
+        profile: MachineProfile,
+        config: GeneratorConfig | None = None,
+    ) -> None:
+        self._profile = profile
+        self._config = config or GeneratorConfig()
+        self._spec = get_machine(profile.machine)
+        self._topology: NodeTopology = build_node_topology(profile.machine)
+
+    @property
+    def profile(self) -> MachineProfile:
+        return self._profile
+
+    @property
+    def config(self) -> GeneratorConfig:
+        return self._config
+
+    # -- pipeline stages -------------------------------------------------
+
+    def _scaled_counts(self, total: int) -> dict[str, int]:
+        """Category counts for a (possibly overridden) log size."""
+        if total == self._profile.total_failures:
+            return dict(self._profile.category_counts)
+        weights = {
+            name: float(count)
+            for name, count in self._profile.category_counts.items()
+        }
+        return allocate_counts(weights, total)
+
+    def _category_sequence(
+        self, rng: np.random.Generator, counts: dict[str, int]
+    ) -> list[str]:
+        sequence: list[str] = []
+        for name in sorted(counts):
+            sequence.extend([name] * counts[name])
+        return shuffled(rng, sequence)
+
+    def _arrival_offsets(
+        self, rng: np.random.Generator, total: int
+    ) -> np.ndarray:
+        span = self._spec.log_span_hours
+        renewal = calibrate_weibull(
+            mean_hours=span / total,
+            p75_hours=self._profile.tbf_p75_hours
+            * (self._profile.total_failures / total)
+            if total != self._profile.total_failures
+            else self._profile.tbf_p75_hours,
+        )
+        offsets = arrival_offsets_hours(rng, renewal, total, span)
+        if self._config.arrival_seasonality:
+            warp = MonthlyIntensityWarp(
+                self._spec.log_start,
+                self._spec.log_end,
+                self._profile.month_weights,
+            )
+            offsets = warp.warp(offsets)
+        return offsets
+
+    def _involvement(
+        self,
+        rng: np.random.Generator,
+        num_gpu_failures: int,
+    ) -> list[tuple[int, ...]]:
+        """Slots involved for each GPU failure, in time order."""
+        profile = self._profile
+        recorded_total = sum(profile.gpu_involvement_counts.values())
+        base_total = recorded_total + profile.gpu_involvement_unrecorded
+        if num_gpu_failures == base_total:
+            involvement_counts = dict(profile.gpu_involvement_counts)
+            unrecorded = profile.gpu_involvement_unrecorded
+        else:
+            weights = {
+                str(k): float(v)
+                for k, v in profile.gpu_involvement_counts.items()
+            }
+            weights["0"] = float(profile.gpu_involvement_unrecorded)
+            scaled = allocate_counts(weights, num_gpu_failures)
+            unrecorded = scaled.pop("0")
+            involvement_counts = {int(k): v for k, v in scaled.items()}
+        burst = (
+            profile.burst_continue_probability
+            if self._config.burst_clustering
+            else 0.0
+        )
+        labels = assign_involvement_labels(
+            rng, involvement_counts, unrecorded, burst
+        )
+        slot_weights = (
+            self._profile.gpu_slot_weights
+            if self._config.slot_weighting
+            else tuple(1.0 for _ in self._profile.gpu_slot_weights)
+        )
+        topology = (
+            self._topology if self._config.topology_affinity > 1.0 else None
+        )
+        slots: list[tuple[int, ...]] = []
+        for label in labels:
+            if label == 0:
+                slots.append(())
+            else:
+                slots.append(
+                    choose_slots(
+                        rng,
+                        label,
+                        slot_weights,
+                        topology=topology,
+                        affinity=self._config.topology_affinity,
+                    )
+                )
+        return slots
+
+    def _root_loci(
+        self, rng: np.random.Generator, num_software: int
+    ) -> list[str]:
+        counts = self._profile.root_locus_counts
+        if counts is None or num_software == 0:
+            return []
+        if sum(counts.values()) != num_software:
+            weights = {name: float(c) for name, c in counts.items()}
+            scaled = allocate_counts(weights, num_software)
+        else:
+            scaled = dict(counts)
+        sequence: list[str] = []
+        for name in sorted(scaled):
+            sequence.extend([name] * scaled[name])
+        return shuffled(rng, sequence)
+
+    def _recovery_times(
+        self,
+        rng: np.random.Generator,
+        categories: list[str],
+        months: list[int],
+    ) -> list[float]:
+        # Dedicated substream: recovery times must not shift when an
+        # unrelated stage (placement, involvement) changes how much
+        # randomness it consumes.
+        del rng
+        rng = np.random.default_rng([self._config.seed, 880011])
+        samplers = {
+            name: LognormalTtrSampler(
+                self._profile.category_ttr_mean_hours[name],
+                self._profile.category_ttr_sigma[name],
+            )
+            for name in set(categories)
+        }
+        values = []
+        for name, month in zip(categories, months):
+            ttr = samplers[name].sample(rng)
+            if self._config.ttr_seasonality:
+                ttr *= self._profile.ttr_month_factors[month - 1]
+            values.append(ttr)
+        if self._config.normalize_mttr:
+            values = normalize_to_mean(
+                values, self._profile.mttr_target_hours
+            )
+        return values
+
+    def _node_weights(self, rng: np.random.Generator):
+        """Rack-correlated node selection weights (None when disabled).
+
+        Drawn from a dedicated substream (seeded off the config seed,
+        not ``rng``) so that toggling rack skew does not perturb every
+        other sampled quantity of the trace.
+        """
+        del rng  # signature kept symmetric with the other stages
+        if not self._config.rack_skew:
+            return None
+        sigma = self._profile.rack_skew_sigma
+        if sigma <= 0:
+            return None
+        layout = rack_layout_for(self._profile.machine)
+        rack_rng = np.random.default_rng([self._config.seed, 771221])
+        rack_weights = rack_rng.lognormal(0.0, sigma,
+                                          size=layout.num_racks)
+        return np.asarray(
+            [
+                rack_weights[layout.rack_of(node)]
+                for node in range(self._spec.num_nodes)
+            ]
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def generate(self) -> FailureLog:
+        """Generate one complete failure log."""
+        rng = np.random.default_rng(self._config.seed)
+        total = self._config.num_failures or self._profile.total_failures
+
+        counts = self._scaled_counts(total)
+        categories = self._category_sequence(rng, counts)
+        offsets = self._arrival_offsets(rng, total)
+        stamps = [
+            self._spec.log_start + timedelta(hours=float(offset))
+            for offset in offsets
+        ]
+
+        # GPU involvement along the time-ordered GPU failure indices.
+        gpu_indices = [
+            i for i, name in enumerate(categories) if name == "GPU"
+        ]
+        gpu_slots = self._involvement(rng, len(gpu_indices))
+        slots_by_index: dict[int, tuple[int, ...]] = dict(
+            zip(gpu_indices, gpu_slots)
+        )
+
+        # Root loci for Tsubame-3 software failures.
+        software_indices = [
+            i for i, name in enumerate(categories) if name == "Software"
+        ]
+        loci = self._root_loci(rng, len(software_indices))
+        locus_by_index = dict(zip(software_indices, loci))
+
+        # Node placement with the hardware/software steering.
+        is_software = [
+            taxonomy.failure_class(self._profile.machine, name)
+            is not FailureClass.HARDWARE
+            for name in categories
+        ]
+        multiplicities = sample_node_multiplicities(
+            rng,
+            self._profile.node_count_distribution,
+            total,
+            self._spec.num_nodes,
+        )
+        nodes = assign_failures_to_nodes(
+            rng,
+            is_software,
+            multiplicities,
+            self._spec.num_nodes,
+            self._profile.multi_node_software_share,
+            node_weights=self._node_weights(rng),
+        )
+
+        months = [stamp.month for stamp in stamps]
+        ttrs = self._recovery_times(rng, categories, months)
+
+        records = [
+            FailureRecord(
+                record_id=index,
+                timestamp=stamps[index],
+                node_id=nodes[index],
+                category=categories[index],
+                ttr_hours=ttrs[index],
+                gpus_involved=slots_by_index.get(index, ()),
+                root_locus=locus_by_index.get(index),
+            )
+            for index in range(total)
+        ]
+        return FailureLog(
+            machine=self._profile.machine,
+            records=tuple(records),
+            window_start=self._spec.log_start,
+            window_end=self._spec.log_end,
+        )
+
+
+def generate_log(
+    machine: str,
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+) -> FailureLog:
+    """Convenience one-call generation of a machine's calibrated log.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        seed: RNG seed, ignored when ``config`` is given.
+        config: Full configuration (overrides ``seed``).
+    """
+    profile = profile_for(machine)
+    if config is None:
+        config = GeneratorConfig(seed=seed)
+    return TraceGenerator(profile, config).generate()

@@ -1,0 +1,183 @@
+"""Node placement: which node each failure lands on.
+
+Reproduces Figure 4 (per-node failure-count distribution) and the RQ2
+class split (on Tsubame-2 repeat failures are almost exclusively
+hardware — 352 vs 1; on Tsubame-3 they are roughly balanced — 104 vs
+95).  Placement happens in two steps:
+
+1. sample per-node multiplicities from the profile's count
+   distribution so the Figure 4 histogram matches, then
+2. fill the node "slots" with concrete failures, steering software
+   failures toward or away from multi-failure nodes according to the
+   profile's ``multi_node_software_share``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CalibrationError, ValidationError
+from repro.synth.sampling import shuffled
+
+__all__ = ["sample_node_multiplicities", "assign_failures_to_nodes"]
+
+
+def sample_node_multiplicities(
+    rng: np.random.Generator,
+    distribution: dict[int, float],
+    total_failures: int,
+    num_nodes: int,
+) -> list[int]:
+    """Sample per-affected-node failure counts summing to the total.
+
+    Counts are drawn i.i.d. from ``distribution`` until the running sum
+    reaches ``total_failures``; the final draw is clipped so the sum is
+    exact.  The resulting histogram converges on the target
+    distribution for the log sizes used here (hundreds of failures).
+
+    Raises:
+        ValidationError: On invalid inputs.
+        CalibrationError: If more nodes would be affected than exist.
+    """
+    if total_failures < 1:
+        raise ValidationError(
+            f"total_failures must be positive, got {total_failures}"
+        )
+    if num_nodes < 1:
+        raise ValidationError(f"num_nodes must be positive, got {num_nodes}")
+    if not distribution:
+        raise ValidationError("node count distribution must be non-empty")
+    counts = sorted(distribution)
+    probabilities = np.asarray(
+        [distribution[k] for k in counts], dtype=float
+    )
+    if np.any(probabilities < 0) or probabilities.sum() <= 0:
+        raise ValidationError(
+            "node count distribution must have non-negative probabilities "
+            "with a positive sum"
+        )
+    probabilities = probabilities / probabilities.sum()
+
+    multiplicities: list[int] = []
+    remaining = total_failures
+    while remaining > 0:
+        draw = int(rng.choice(counts, p=probabilities))
+        draw = min(draw, remaining)
+        multiplicities.append(draw)
+        remaining -= draw
+        if len(multiplicities) > num_nodes:
+            raise CalibrationError(
+                f"placing {total_failures} failures needs more than the "
+                f"{num_nodes} nodes available"
+            )
+    return multiplicities
+
+
+def assign_failures_to_nodes(
+    rng: np.random.Generator,
+    is_software: list[bool],
+    multiplicities: list[int],
+    num_nodes: int,
+    multi_node_software_share: float,
+    node_weights: np.ndarray | None = None,
+) -> list[int]:
+    """Assign each failure (by index) to a node id.
+
+    Args:
+        rng: Seeded generator.
+        is_software: Per-failure flag — True for software (and unknown)
+            failures, False for hardware.  Order matches the failure
+            sequence; the returned node list uses the same order.
+        multiplicities: Per-affected-node failure counts (from
+            :func:`sample_node_multiplicities`).
+        num_nodes: Fleet size; affected node ids are drawn from it
+            without replacement.
+        multi_node_software_share: Target fraction of the failures on
+            multi-failure nodes that are software.
+        node_weights: Optional per-node selection propensity (length
+            ``num_nodes``).  Rack-correlated weights reproduce the
+            non-uniform rack distribution the paper's generalizability
+            discussion mentions; None selects nodes uniformly.
+
+    Returns:
+        A node id for every failure index.
+
+    Raises:
+        ValidationError: If the multiplicities do not cover the
+            failures exactly or the weights are invalid.
+    """
+    total = len(is_software)
+    if sum(multiplicities) != total:
+        raise ValidationError(
+            f"multiplicities sum to {sum(multiplicities)} but there are "
+            f"{total} failures"
+        )
+    if not 0.0 <= multi_node_software_share <= 1.0:
+        raise ValidationError(
+            "multi_node_software_share must lie in [0, 1]"
+        )
+    if node_weights is None:
+        node_ids = rng.choice(num_nodes, size=len(multiplicities),
+                              replace=False)
+    else:
+        weights = np.asarray(node_weights, dtype=float)
+        if weights.shape != (num_nodes,):
+            raise ValidationError(
+                f"node_weights must have length {num_nodes}, got shape "
+                f"{weights.shape}"
+            )
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValidationError(
+                "node_weights must be non-negative with a positive sum"
+            )
+        node_ids = rng.choice(
+            num_nodes,
+            size=len(multiplicities),
+            replace=False,
+            p=weights / weights.sum(),
+        )
+
+    # Build the slot pools: one slot per failure a node will host.
+    multi_slots: list[int] = []
+    single_slots: list[int] = []
+    for node_id, count in zip(node_ids, multiplicities):
+        if count > 1:
+            multi_slots.extend([int(node_id)] * count)
+        else:
+            single_slots.append(int(node_id))
+
+    software_indices = shuffled(
+        rng, [i for i, flag in enumerate(is_software) if flag]
+    )
+    hardware_indices = shuffled(
+        rng, [i for i, flag in enumerate(is_software) if not flag]
+    )
+
+    # Decide which failures land on multi-failure nodes.
+    target_software = int(round(multi_node_software_share
+                                * len(multi_slots)))
+    target_software = min(target_software, len(software_indices),
+                          len(multi_slots))
+    multi_members = software_indices[:target_software]
+    needed_hardware = len(multi_slots) - len(multi_members)
+    if needed_hardware > len(hardware_indices):
+        # Not enough hardware failures: top up with software ones.
+        shortfall = needed_hardware - len(hardware_indices)
+        multi_members += hardware_indices
+        multi_members += software_indices[
+            target_software:target_software + shortfall
+        ]
+        single_members = software_indices[target_software + shortfall:]
+    else:
+        multi_members += hardware_indices[:needed_hardware]
+        single_members = (
+            software_indices[target_software:]
+            + hardware_indices[needed_hardware:]
+        )
+
+    assignment = [0] * total
+    for index, node in zip(shuffled(rng, multi_members), multi_slots):
+        assignment[index] = node
+    for index, node in zip(shuffled(rng, single_members), single_slots):
+        assignment[index] = node
+    return assignment

@@ -1,0 +1,84 @@
+"""Recovery-time (TTR) sampling.
+
+Each category's recovery time is lognormal: repairs are multiplicative
+processes (diagnose, order part, swap, re-test) and field TTR data is
+strongly right-skewed.  The per-category (mean, sigma) pairs come from
+the machine profile; hardware categories carry larger sigmas, which is
+what makes Figure 10's hardware-vs-software spread comparison come out.
+A final global rescale pins the overall mean to the profile's MTTR
+target (~55 h on both machines, Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CalibrationError, ValidationError
+
+__all__ = ["LognormalTtrSampler", "normalize_to_mean"]
+
+
+class LognormalTtrSampler:
+    """Samples recovery times for one category.
+
+    Args:
+        mean_hours: Target mean of the (unnormalised) TTR distribution.
+        sigma: Log-space standard deviation; larger means more spread.
+    """
+
+    def __init__(self, mean_hours: float, sigma: float) -> None:
+        if mean_hours <= 0:
+            raise CalibrationError(
+                f"TTR mean must be positive, got {mean_hours}"
+            )
+        if sigma < 0:
+            raise CalibrationError(f"TTR sigma must be >= 0, got {sigma}")
+        self._sigma = sigma
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        self._mu = math.log(mean_hours) - 0.5 * sigma * sigma
+
+    @property
+    def mean_hours(self) -> float:
+        """Mean of the sampled distribution."""
+        return math.exp(self._mu + 0.5 * self._sigma * self._sigma)
+
+    @property
+    def sigma(self) -> float:
+        """Log-space standard deviation."""
+        return self._sigma
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one recovery time in hours."""
+        if self._sigma == 0.0:
+            return math.exp(self._mu)
+        return float(rng.lognormal(self._mu, self._sigma))
+
+
+def normalize_to_mean(
+    values: list[float], target_mean: float
+) -> list[float]:
+    """Rescale a positive sample so its mean equals ``target_mean``.
+
+    A pure rescale preserves every *relative* property the analyses
+    look at — the ECDF shape, per-category ordering, and spread ratios
+    — while pinning the headline MTTR.
+
+    Raises:
+        ValidationError: On an empty sample, non-positive target, or a
+            sample with non-positive mean.
+    """
+    if not values:
+        raise ValidationError("cannot normalise an empty sample")
+    if target_mean <= 0:
+        raise ValidationError(
+            f"target mean must be positive, got {target_mean}"
+        )
+    current = float(np.mean(values))
+    if current <= 0:
+        raise ValidationError(
+            f"sample mean must be positive, got {current}"
+        )
+    factor = target_mean / current
+    return [value * factor for value in values]

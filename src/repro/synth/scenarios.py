@@ -1,0 +1,185 @@
+"""Scenario library: derived calibration profiles for what-if studies.
+
+The paper's implications invite extrapolation: "the number of GPUs per
+node is likely to increase [24], [25]" (RQ3), software failures are
+growing (RQ1), and operational practice (health tests, proactive
+replacement) is what contained multi-GPU failures on Tsubame-3.  Each
+scenario here derives a new :class:`MachineProfile` from a published
+one by a controlled, documented transformation, so the analysis
+pipeline can answer counterfactuals with the same machinery it uses
+for the historical logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import CalibrationError
+from repro.synth.profiles import MachineProfile
+from repro.synth.sampling import allocate_counts
+
+__all__ = [
+    "with_failure_rate_scaled",
+    "with_operational_practices_of",
+    "with_software_share",
+]
+
+
+def with_failure_rate_scaled(
+    profile: MachineProfile, factor: float
+) -> MachineProfile:
+    """Scale a profile's overall failure rate by ``factor``.
+
+    The observation window is fixed, so the log size scales; the
+    category mix, involvement shares and every other target are
+    preserved proportionally.  Use factors > 1 for stress scenarios
+    (e.g. end-of-life hardware) and < 1 for optimistic ones.
+
+    Raises:
+        CalibrationError: If the scaled log would be too small.
+    """
+    if factor <= 0:
+        raise CalibrationError(f"factor must be positive, got {factor}")
+    total = int(round(profile.total_failures * factor))
+    if total < 10:
+        raise CalibrationError(
+            f"scaled log of {total} failures is too small to calibrate"
+        )
+    category_counts = allocate_counts(
+        {k: float(v) for k, v in profile.category_counts.items()}, total
+    )
+    gpu_total = category_counts.get("GPU", 0)
+    involvement_weights = {
+        str(k): float(v) for k, v in profile.gpu_involvement_counts.items()
+    }
+    involvement_weights["0"] = float(profile.gpu_involvement_unrecorded)
+    scaled_involvement = allocate_counts(involvement_weights, gpu_total)
+    unrecorded = scaled_involvement.pop("0")
+    root_locus_counts = profile.root_locus_counts
+    if root_locus_counts is not None:
+        root_locus_counts = allocate_counts(
+            {k: float(v) for k, v in root_locus_counts.items()},
+            category_counts.get("Software", 0),
+        )
+    # p75 scales with the mean gap (shape preserved).
+    p75 = profile.tbf_p75_hours * profile.total_failures / total
+    return replace(
+        profile,
+        total_failures=total,
+        category_counts=category_counts,
+        gpu_involvement_counts={
+            int(k): v for k, v in scaled_involvement.items()
+        },
+        gpu_involvement_unrecorded=unrecorded,
+        tbf_p75_hours=p75,
+        root_locus_counts=root_locus_counts,
+    )
+
+
+def with_operational_practices_of(
+    profile: MachineProfile, donor: MachineProfile
+) -> MachineProfile:
+    """Transplant a donor's multi-GPU operational practice.
+
+    RQ3 attributes Tsubame-3's collapse in simultaneous multi-GPU
+    failures to operational practice (health tests for multi-GPU
+    cards, proactive replacement, better-debugged multi-GPU jobs), not
+    hardware.  This scenario keeps the base profile's rates and mixes
+    but adopts the donor's involvement *shares* and burst behaviour,
+    answering "what would Tsubame-2's Table III have looked like under
+    Tsubame-3's practices?".
+
+    Involvement beyond the base machine's GPU count folds into the
+    largest feasible bucket.
+
+    Raises:
+        CalibrationError: If either profile lacks GPU failures.
+    """
+    base_gpu = profile.category_counts.get("GPU", 0)
+    donor_total = (
+        sum(donor.gpu_involvement_counts.values())
+        + donor.gpu_involvement_unrecorded
+    )
+    if base_gpu == 0 or donor_total == 0:
+        raise CalibrationError(
+            "both profiles need GPU failures to transplant practices"
+        )
+    max_slots = len(profile.gpu_slot_weights)
+    weights: dict[str, float] = {
+        "0": float(donor.gpu_involvement_unrecorded)
+    }
+    for k, count in donor.gpu_involvement_counts.items():
+        bucket = str(min(k, max_slots))
+        weights[bucket] = weights.get(bucket, 0.0) + float(count)
+    scaled = allocate_counts(weights, base_gpu)
+    unrecorded = scaled.pop("0", 0)
+    return replace(
+        profile,
+        gpu_involvement_counts={int(k): v for k, v in scaled.items()},
+        gpu_involvement_unrecorded=unrecorded,
+        burst_continue_probability=donor.burst_continue_probability,
+    )
+
+
+def with_software_share(
+    profile: MachineProfile, software_share: float,
+    software_category: str = "OtherSW",
+) -> MachineProfile:
+    """Grow (or shrink) the software share of a profile's failures.
+
+    RQ1's trend — software becoming the dominant failure type as AI/ML
+    workloads arrive — extended to arbitrary shares.  The total failure
+    count is preserved; the software category absorbs/releases counts
+    and all other categories rescale proportionally.
+
+    Raises:
+        CalibrationError: On an unattainable share or unknown category.
+    """
+    if not 0.0 <= software_share < 1.0:
+        raise CalibrationError(
+            f"software_share must lie in [0, 1), got {software_share}"
+        )
+    if software_category not in profile.category_counts:
+        raise CalibrationError(
+            f"profile has no category {software_category!r}"
+        )
+    total = profile.total_failures
+    software_count = int(round(software_share * total))
+    others = {
+        name: float(count)
+        for name, count in profile.category_counts.items()
+        if name != software_category
+    }
+    if not others or all(v == 0 for v in others.values()):
+        raise CalibrationError(
+            "profile needs non-software categories to rescale"
+        )
+    scaled_others = allocate_counts(others, total - software_count)
+    category_counts = dict(scaled_others)
+    category_counts[software_category] = software_count
+
+    # GPU involvement must keep matching the (possibly changed) GPU
+    # category count.
+    gpu_total = category_counts.get("GPU", 0)
+    involvement_weights = {
+        str(k): float(v) for k, v in profile.gpu_involvement_counts.items()
+    }
+    involvement_weights["0"] = float(profile.gpu_involvement_unrecorded)
+    scaled_involvement = allocate_counts(involvement_weights, gpu_total)
+    unrecorded = scaled_involvement.pop("0")
+
+    root_locus_counts = profile.root_locus_counts
+    if root_locus_counts is not None and software_category == "Software":
+        root_locus_counts = allocate_counts(
+            {k: float(v) for k, v in root_locus_counts.items()},
+            software_count,
+        )
+    return replace(
+        profile,
+        category_counts=category_counts,
+        gpu_involvement_counts={
+            int(k): v for k, v in scaled_involvement.items()
+        },
+        gpu_involvement_unrecorded=unrecorded,
+        root_locus_counts=root_locus_counts,
+    )

@@ -1,0 +1,26 @@
+"""Text rendering of the paper's chart types.
+
+The benchmark harness regenerates every figure as text: horizontal bar
+charts (Figures 2-5 and 12), CDF curves (Figures 6 and 9), boxplot
+tables (Figures 7, 10 and 11) and event timelines (Figure 8).
+"""
+
+from repro.viz.ascii import (
+    bar_chart,
+    cdf_chart,
+    boxplot_table,
+    histogram,
+    render_table,
+    sparkline,
+    timeline,
+)
+
+__all__ = [
+    "bar_chart",
+    "boxplot_table",
+    "cdf_chart",
+    "histogram",
+    "render_table",
+    "sparkline",
+    "timeline",
+]

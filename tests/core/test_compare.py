@@ -1,0 +1,62 @@
+"""Tests for the cross-generation comparison API."""
+
+import pytest
+
+from repro.core.compare import compare_generations
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def comparison(t2_log, t3_log):
+    return compare_generations(t2_log, t3_log)
+
+
+class TestCompareGenerations:
+    def test_mtbf_improved_over_4x(self, comparison):
+        assert comparison.mtbf_improved
+        assert comparison.mtbf_ratio > 4.0
+
+    def test_mttr_stagnated(self, comparison):
+        assert comparison.mttr_stagnated
+        assert comparison.mttr_ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_gpu_gain_exceeds_cpu_gain(self, comparison):
+        assert comparison.gpu_mtbf_ratio > comparison.cpu_mtbf_ratio
+
+    def test_mtbf_gain_exceeds_size_reduction(self, comparison):
+        assert comparison.mtbf_gain_exceeds_size_reduction
+        assert comparison.component_count_ratio == pytest.approx(
+            7040 / 3240
+        )
+
+    def test_multi_gpu_contained(self, comparison):
+        assert comparison.multi_gpu_contained
+        assert comparison.multi_gpu_share_older > 0.6
+        assert comparison.multi_gpu_share_newer < 0.08
+
+    def test_dominant_shift(self, comparison):
+        assert comparison.dominant_older == "GPU"
+        assert comparison.dominant_newer == "Software"
+
+    def test_pep_ratio(self, comparison):
+        assert comparison.performance_error_proportionality_ratio > 15.0
+
+    def test_summary_lines_readable(self, comparison):
+        lines = comparison.summary_lines()
+        text = "\n".join(lines)
+        assert "MTBF" in text
+        assert "stagnant" in text
+        assert "GPU -> Software" in text
+
+    def test_same_machine_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            compare_generations(t2_log, t2_log)
+
+    def test_reversed_comparison_inverts_ratios(
+        self, t2_log, t3_log, comparison
+    ):
+        reverse = compare_generations(t3_log, t2_log)
+        assert reverse.mtbf_ratio == pytest.approx(
+            1.0 / comparison.mtbf_ratio
+        )
+        assert not reverse.mtbf_improved

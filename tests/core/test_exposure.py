@@ -1,0 +1,83 @@
+"""Tests for the user-exposure report."""
+
+import pytest
+
+from repro.core.exposure import exposure_report
+from repro.errors import AnalysisError
+
+
+class TestExposureReport:
+    def test_grid_covered(self, t2_log):
+        report = exposure_report(
+            t2_log, job_nodes_grid=(1, 64), job_hours_grid=(6.0, 24.0)
+        )
+        assert len(report.rows) == 4
+        assert report.row_for(64, 24.0).job_nodes == 64
+
+    def test_probability_monotone_in_size_and_duration(self, t2_log):
+        report = exposure_report(t2_log)
+        small = report.row_for(1, 6.0)
+        big = report.row_for(256, 96.0)
+        assert big.interruption_probability > (
+            small.interruption_probability
+        )
+        longer = report.row_for(16, 96.0)
+        shorter = report.row_for(16, 6.0)
+        assert longer.interruption_probability > (
+            shorter.interruption_probability
+        )
+
+    def test_checkpoint_interval_shrinks_with_job_size(self, t2_log):
+        report = exposure_report(t2_log)
+        assert (report.row_for(256, 24.0).checkpoint_interval_hours
+                < report.row_for(1, 24.0).checkpoint_interval_hours)
+
+    def test_expected_interruptions_consistent(self, t2_log):
+        import math
+
+        report = exposure_report(t2_log)
+        for row in report.rows:
+            assert row.interruption_probability == pytest.approx(
+                1.0 - math.exp(-row.expected_interruptions)
+            )
+
+    def test_t3_safer_than_t2_for_same_job(self, t2_log, t3_log):
+        t2 = exposure_report(t2_log).row_for(64, 24.0)
+        t3 = exposure_report(t3_log).row_for(64, 24.0)
+        assert (t3.interruption_probability
+                < t2.interruption_probability)
+
+    def test_needs_checkpointing_threshold(self, t2_log):
+        report = exposure_report(t2_log)
+        big = report.row_for(256, 96.0)
+        assert big.needs_checkpointing
+        assert 0.0 <= report.fraction_needing_checkpointing() <= 1.0
+
+    def test_missing_shape_rejected(self, t2_log):
+        report = exposure_report(t2_log)
+        with pytest.raises(AnalysisError):
+            report.row_for(3, 7.0)
+
+    def test_invalid_inputs_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            exposure_report(t2_log, job_nodes_grid=())
+        with pytest.raises(AnalysisError):
+            exposure_report(t2_log, checkpoint_cost_hours=0.0)
+
+
+class TestYoungDalyConsistency:
+    def test_inlined_formula_matches_sim_checkpoint(self, t2_log):
+        # exposure inlines sqrt(2 C M) to avoid a core -> sim import
+        # cycle; it must stay equal to the simulator's implementation.
+        from repro.sim.checkpoint import young_daly_interval
+
+        report = exposure_report(t2_log, checkpoint_cost_hours=0.25)
+        from repro.machines import get_machine
+
+        spec = get_machine(t2_log.machine)
+        for row in report.rows:
+            job_mtbf = (report.system_mtbf_hours * spec.num_nodes
+                        / row.job_nodes)
+            assert row.checkpoint_interval_hours == pytest.approx(
+                young_daly_interval(0.25, job_mtbf)
+            )

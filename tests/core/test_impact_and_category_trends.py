@@ -1,0 +1,138 @@
+"""Tests for impact ranking and per-category rate shifts."""
+
+import pytest
+
+from repro.core.category_trends import (
+    category_rate_shifts,
+    category_window_counts,
+)
+from repro.core.impact import impact_ranking
+from repro.errors import AnalysisError
+from tests.conftest import make_log, make_record
+
+
+class TestImpactRanking:
+    def _log(self):
+        # GPU: frequent but quick; SSD: rare but very slow.
+        records = [
+            make_record(i, hours=i + 1.0, category="GPU", ttr_hours=5.0)
+            for i in range(8)
+        ] + [
+            make_record(10 + i, hours=50 + i, category="SSD",
+                        ttr_hours=200.0)
+            for i in range(2)
+        ]
+        return make_log(records)
+
+    def test_downtime_shares_sum_to_one(self):
+        ranking = impact_ranking(self._log())
+        assert sum(e.downtime_share for e in ranking.entries) == (
+            pytest.approx(1.0)
+        )
+
+    def test_rare_expensive_category_outranks_frequent_cheap(self):
+        ranking = impact_ranking(self._log())
+        ssd = ranking.entry_for("SSD")
+        gpu = ranking.entry_for("GPU")
+        assert ssd.frequency_rank > gpu.frequency_rank  # rarer
+        assert ssd.impact_rank < gpu.impact_rank        # more impactful
+        assert ssd.rank_shift > 0
+
+    def test_underrated_detection(self):
+        ranking = impact_ranking(self._log())
+        underrated = ranking.underrated(min_shift=1)
+        assert [e.category for e in underrated] == ["SSD"]
+
+    def test_missing_category_rejected(self):
+        ranking = impact_ranking(self._log())
+        with pytest.raises(AnalysisError):
+            ranking.entry_for("Lustre")
+
+    def test_bad_min_shift_rejected(self):
+        ranking = impact_ranking(self._log())
+        with pytest.raises(AnalysisError):
+            ranking.underrated(min_shift=0)
+
+    def test_calibrated_t2_divergence(self, t2_log):
+        # The paper's point: frequency does not equal impact.
+        ranking = impact_ranking(t2_log)
+        assert ranking.rank_divergence() > 0.5
+
+    def test_calibrated_t2_ssd_underrated(self, t2_log):
+        ranking = impact_ranking(t2_log)
+        assert ranking.entry_for("SSD").rank_shift > 0
+
+    def test_calibrated_t3_power_board_underrated(self, t3_log):
+        ranking = impact_ranking(t3_log)
+        assert ranking.entry_for("Power-Board").rank_shift > 0
+
+
+class TestCategoryWindowCounts:
+    def test_counts_partition_log(self, t2_log):
+        counts = category_window_counts(t2_log, num_windows=10)
+        assert sum(sum(series) for series in counts.values()) == (
+            len(t2_log)
+        )
+        assert all(len(series) == 10 for series in counts.values())
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            category_window_counts(make_log([]), num_windows=4)
+
+    def test_bad_window_count_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            category_window_counts(t2_log, num_windows=1)
+
+
+class TestCategoryRateShifts:
+    def test_engineered_shift_attributed(self):
+        # GPU rate jumps 5x halfway; CPU stays flat.
+        records = []
+        rid = 0
+        for window in range(12):
+            base = 100.0 * window
+            gpu_count = 3 if window < 6 else 15
+            for index in range(gpu_count):
+                records.append(
+                    make_record(rid, hours=base + index + 0.5,
+                                category="GPU")
+                )
+                rid += 1
+            for index in range(4):
+                records.append(
+                    make_record(rid, hours=base + 50 + index,
+                                category="CPU")
+                )
+                rid += 1
+        log = make_log(records, span_hours=1200.0)
+        shifts = category_rate_shifts(log, num_windows=12, min_gain=6.0)
+        assert shifts, "engineered shift went undetected"
+        top = shifts[0]
+        assert top.category == "GPU"
+        assert top.is_increase
+        assert top.changepoint.index == 6
+        assert top.shift_time_hours == pytest.approx(600.0)
+
+    def test_small_categories_skipped(self):
+        records = [
+            make_record(i, hours=i + 1.0, category="Rack")
+            for i in range(5)
+        ] + [
+            make_record(100 + i, hours=10 * i + 2.0, category="GPU")
+            for i in range(50)
+        ]
+        log = make_log(records)
+        shifts = category_rate_shifts(
+            log, num_windows=6, min_category_failures=20
+        )
+        assert all(shift.category != "Rack" for shift in shifts)
+
+    def test_calibrated_logs_have_no_strong_shifts(self, t3_log):
+        # Seasonality is mild; no category should show a regime change
+        # at a strong threshold.
+        shifts = category_rate_shifts(t3_log, min_gain=15.0)
+        assert len(shifts) <= 1
+
+    def test_invalid_params_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            category_rate_shifts(t2_log, min_category_failures=0)

@@ -1,0 +1,137 @@
+"""Tests for MTBF / MTTR / availability / the paper's metric."""
+
+import pytest
+
+from repro.core import metrics
+from repro.errors import AnalysisError
+from repro.machines.specs import TSUBAME2, TSUBAME3
+from tests.conftest import make_log, make_record
+
+
+def _evenly_spaced_log(n: int, gap: float, ttr: float = 10.0,
+                       span: float = 1000.0):
+    records = [
+        make_record(i, hours=gap * (i + 1), ttr_hours=ttr)
+        for i in range(n)
+    ]
+    return make_log(records, span_hours=span)
+
+
+class TestTbfSeries:
+    def test_even_spacing(self):
+        log = _evenly_spaced_log(5, gap=10.0)
+        assert metrics.tbf_series_hours(log) == pytest.approx(
+            [10.0, 10.0, 10.0, 10.0]
+        )
+
+    def test_simultaneous_failures_give_zero_gap(self):
+        log = make_log([make_record(0, hours=5), make_record(1, hours=5)])
+        assert metrics.tbf_series_hours(log) == [0.0]
+
+    def test_single_failure_rejected(self):
+        log = make_log([make_record(0, hours=5)])
+        with pytest.raises(AnalysisError):
+            metrics.tbf_series_hours(log)
+
+    def test_series_length(self):
+        log = _evenly_spaced_log(7, gap=3.0)
+        assert len(metrics.tbf_series_hours(log)) == 6
+
+
+class TestMtbf:
+    def test_mtbf_mean_of_gaps(self):
+        log = _evenly_spaced_log(11, gap=7.0)
+        assert metrics.mtbf(log) == pytest.approx(7.0)
+
+    def test_mtbf_span(self):
+        log = _evenly_spaced_log(10, gap=5.0, span=1000.0)
+        assert metrics.mtbf_span(log) == pytest.approx(100.0)
+
+    def test_mtbf_span_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            metrics.mtbf_span(make_log([]))
+
+    def test_mtbf_span_single_failure_ok(self):
+        log = make_log([make_record(0, hours=5)], span_hours=500.0)
+        assert metrics.mtbf_span(log) == pytest.approx(500.0)
+
+
+class TestMttr:
+    def test_mttr_mean(self):
+        log = make_log(
+            [
+                make_record(0, hours=1, ttr_hours=10.0),
+                make_record(1, hours=2, ttr_hours=30.0),
+            ]
+        )
+        assert metrics.mttr(log) == pytest.approx(20.0)
+
+    def test_mttr_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            metrics.mttr(make_log([]))
+
+    def test_ttr_series_in_time_order(self):
+        log = make_log(
+            [
+                make_record(0, hours=20, ttr_hours=2.0),
+                make_record(1, hours=10, ttr_hours=1.0),
+            ]
+        )
+        assert metrics.ttr_series_hours(log) == [1.0, 2.0]
+
+
+class TestAvailability:
+    def test_no_downtime_is_fully_available(self):
+        log = make_log([make_record(0, hours=1, ttr_hours=0.0)])
+        assert metrics.availability(log, num_nodes=10) == pytest.approx(1.0)
+
+    def test_downtime_reduces_availability(self):
+        # 2 failures x 50 h downtime over 10 nodes x 1000 h.
+        log = make_log(
+            [
+                make_record(0, hours=1, ttr_hours=50.0),
+                make_record(1, hours=2, ttr_hours=50.0),
+            ]
+        )
+        assert metrics.availability(log, num_nodes=10) == pytest.approx(
+            1.0 - 100.0 / 10000.0
+        )
+
+    def test_invalid_node_count_rejected(self):
+        log = make_log([make_record(0, hours=1)])
+        with pytest.raises(AnalysisError):
+            metrics.availability(log, num_nodes=0)
+
+    def test_availability_clamped_at_zero(self):
+        log = make_log([make_record(0, hours=1, ttr_hours=5000.0)])
+        assert metrics.availability(log, num_nodes=1) == 0.0
+
+
+class TestPerformanceErrorProportionality:
+    def test_flop_per_failure_free_period(self):
+        log = _evenly_spaced_log(11, gap=7.0)
+        result = metrics.performance_error_proportionality(log, TSUBAME2)
+        expected = 2.3e15 * 7.0 * 3600.0
+        assert result.flop_per_failure_free_period == pytest.approx(expected)
+        assert result.mtbf_hours == pytest.approx(7.0)
+
+    def test_machine_mismatch_rejected(self):
+        log = _evenly_spaced_log(5, gap=10.0)  # a tsubame2 log
+        with pytest.raises(AnalysisError):
+            metrics.performance_error_proportionality(log, TSUBAME3)
+
+    def test_ratio_between_machines(self, t2_log, t3_log):
+        t2 = metrics.performance_error_proportionality(t2_log, TSUBAME2)
+        t3 = metrics.performance_error_proportionality(t3_log, TSUBAME3)
+        # Tsubame-3 does far more useful work per failure-free period:
+        # ~5.3x the Rpeak and ~4.7x the MTBF => >20x the metric.
+        assert t3.ratio_to(t2) > 15.0
+
+    def test_ratio_against_zero_rejected(self):
+        log = _evenly_spaced_log(5, gap=10.0)
+        good = metrics.performance_error_proportionality(log, TSUBAME2)
+        from dataclasses import replace
+
+        broken = replace(good, flop_per_failure_free_period=0.0)
+        with pytest.raises(AnalysisError):
+            good.ratio_to(broken)

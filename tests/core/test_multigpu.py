@@ -1,0 +1,144 @@
+"""Tests for RQ3 — multi-GPU involvement and temporal clustering."""
+
+import math
+
+import pytest
+
+from repro.core.multigpu import multi_gpu_clustering, multi_gpu_involvement
+from repro.errors import AnalysisError
+from tests.conftest import make_log, make_record
+
+
+def _involvement_log():
+    records = [
+        make_record(0, hours=1, category="GPU", gpus_involved=(0,)),
+        make_record(1, hours=2, category="GPU", gpus_involved=(0, 1)),
+        make_record(2, hours=3, category="GPU", gpus_involved=(0, 1, 2)),
+        make_record(3, hours=4, category="GPU"),  # unrecorded
+        make_record(4, hours=5, category="CPU"),  # not GPU at all
+    ]
+    return make_log(records)
+
+
+class TestMultiGpuInvolvement:
+    def test_counts_only_recorded(self):
+        result = multi_gpu_involvement(_involvement_log(), max_gpus=3)
+        assert result.counts == {1: 1, 2: 1, 3: 1}
+        assert result.total == 3
+
+    def test_shares(self):
+        result = multi_gpu_involvement(_involvement_log(), max_gpus=3)
+        assert result.share_of(2) == pytest.approx(1 / 3)
+        assert result.share_of(4) == 0.0
+
+    def test_multi_gpu_share(self):
+        result = multi_gpu_involvement(_involvement_log(), max_gpus=3)
+        assert result.multi_gpu_share == pytest.approx(2 / 3)
+
+    def test_rows_cover_one_to_max(self):
+        result = multi_gpu_involvement(_involvement_log(), max_gpus=4)
+        assert [row[0] for row in result.rows()] == [1, 2, 3, 4]
+        assert result.rows()[3] == (4, 0, 0.0)
+
+    def test_involvement_above_max_rejected(self):
+        with pytest.raises(AnalysisError):
+            multi_gpu_involvement(_involvement_log(), max_gpus=2)
+
+    def test_invalid_max_rejected(self):
+        with pytest.raises(AnalysisError):
+            multi_gpu_involvement(_involvement_log(), max_gpus=0)
+
+    def test_empty_involvement_is_empty_table(self):
+        log = make_log([make_record(0, hours=1, category="CPU")])
+        result = multi_gpu_involvement(log, max_gpus=3)
+        assert result.total == 0
+        assert result.multi_gpu_share == 0.0
+
+
+class TestCalibratedInvolvement:
+    """Table III on the calibrated logs (exact by construction)."""
+
+    def test_t2_table3_counts(self, t2_log):
+        result = multi_gpu_involvement(t2_log, max_gpus=3)
+        assert result.counts == {1: 112, 2: 128, 3: 128}
+        assert result.total == 368
+
+    def test_t2_multi_share_near_70_percent(self, t2_log):
+        result = multi_gpu_involvement(t2_log, max_gpus=3)
+        assert result.multi_gpu_share == pytest.approx(0.6956, abs=0.001)
+
+    def test_t3_table3_counts(self, t3_log):
+        result = multi_gpu_involvement(t3_log, max_gpus=4)
+        assert result.counts.get(1) == 75
+        assert result.counts.get(2) == 4
+        assert result.counts.get(3) == 2
+        assert result.counts.get(4, 0) == 0
+        assert result.total == 81
+
+    def test_t3_single_share_above_92_percent(self, t3_log):
+        result = multi_gpu_involvement(t3_log, max_gpus=4)
+        assert result.share_of(1) > 0.92
+
+    def test_t3_no_failure_hits_all_four(self, t3_log):
+        result = multi_gpu_involvement(t3_log, max_gpus=4)
+        assert result.share_of(4) == 0.0
+
+
+class TestMultiGpuClustering:
+    def test_gap_bookkeeping(self):
+        # multi at t=10, single at t=20, multi at t=30, single at t=40.
+        records = [
+            make_record(0, hours=10, category="GPU", gpus_involved=(0, 1)),
+            make_record(1, hours=20, category="GPU", gpus_involved=(2,)),
+            make_record(2, hours=30, category="GPU", gpus_involved=(0, 2)),
+            make_record(3, hours=40, category="GPU", gpus_involved=(1,)),
+        ]
+        result = multi_gpu_clustering(make_log(records))
+        assert result.gaps_after_multi == (20.0,)
+        assert result.gaps_after_single == (10.0,)
+        assert result.clustering_ratio == pytest.approx(0.5)
+        assert not result.is_clustered()
+
+    def test_clustered_sequence(self):
+        # Two multis back to back, then a lone single far away from a
+        # later multi.
+        records = [
+            make_record(0, hours=10, category="GPU", gpus_involved=(0, 1)),
+            make_record(1, hours=12, category="GPU", gpus_involved=(1, 2)),
+            make_record(2, hours=100, category="GPU", gpus_involved=(0,)),
+            make_record(3, hours=300, category="GPU", gpus_involved=(0, 1)),
+        ]
+        result = multi_gpu_clustering(make_log(records))
+        assert result.is_clustered()
+        assert result.clustering_ratio > 1.0
+
+    def test_events_expose_magnitudes(self):
+        records = [
+            make_record(0, hours=5, category="GPU", gpus_involved=(0,)),
+            make_record(1, hours=6, category="GPU", gpus_involved=(0, 1)),
+        ]
+        result = multi_gpu_clustering(make_log(records))
+        assert result.events == ((5.0, 1), (6.0, 2))
+
+    def test_no_multi_failures_gives_nan_ratio(self):
+        records = [
+            make_record(0, hours=5, category="GPU", gpus_involved=(0,)),
+            make_record(1, hours=6, category="GPU", gpus_involved=(1,)),
+        ]
+        result = multi_gpu_clustering(make_log(records))
+        assert math.isnan(result.clustering_ratio)
+        assert not result.is_clustered()
+
+    def test_no_involvement_rejected(self):
+        log = make_log([make_record(0, hours=1, category="CPU")])
+        with pytest.raises(AnalysisError):
+            multi_gpu_clustering(log)
+
+    def test_calibrated_logs_are_clustered(self, t2_log, t3_log):
+        # Figure 8: multi-GPU failures beget multi-GPU failures sooner.
+        for log in (t2_log, t3_log):
+            result = multi_gpu_clustering(log)
+            assert result.is_clustered(), (
+                f"{log.machine} clustering ratio "
+                f"{result.clustering_ratio:.2f}"
+            )

@@ -1,0 +1,127 @@
+"""Tests for the concurrent-outage analysis."""
+
+import pytest
+
+from repro.core.overlap import concurrent_outages
+from repro.errors import AnalysisError
+from tests.conftest import make_log, make_record
+
+
+class TestConcurrentOutages:
+    def test_non_overlapping_outages(self):
+        log = make_log(
+            [
+                make_record(0, hours=10, ttr_hours=5.0),
+                make_record(1, hours=100, ttr_hours=5.0),
+            ],
+            span_hours=1000.0,
+        )
+        result = concurrent_outages(log)
+        assert result.max_concurrent == 1
+        assert result.time_at_level[1] == pytest.approx(10.0)
+        assert result.time_at_level[0] == pytest.approx(990.0)
+        assert result.overlap_fraction == 0.0
+
+    def test_overlapping_outages(self):
+        # [10, 40) and [20, 50): overlap [20, 40).
+        log = make_log(
+            [
+                make_record(0, hours=10, ttr_hours=30.0),
+                make_record(1, hours=20, ttr_hours=30.0),
+            ],
+            span_hours=100.0,
+        )
+        result = concurrent_outages(log)
+        assert result.max_concurrent == 2
+        assert result.time_at_level[2] == pytest.approx(20.0)
+        assert result.time_at_level[1] == pytest.approx(20.0)
+        assert result.overlap_fraction == pytest.approx(0.2)
+        assert result.any_outage_fraction == pytest.approx(0.4)
+
+    def test_levels_partition_the_span(self):
+        log = make_log(
+            [
+                make_record(i, hours=10.0 * i + 5, ttr_hours=25.0)
+                for i in range(10)
+            ],
+            span_hours=500.0,
+        )
+        result = concurrent_outages(log)
+        assert sum(result.time_at_level.values()) == pytest.approx(500.0)
+
+    def test_outage_truncated_at_window_end(self):
+        log = make_log(
+            [make_record(0, hours=990, ttr_hours=100.0)],
+            span_hours=1000.0,
+        )
+        result = concurrent_outages(log)
+        assert result.time_at_level[1] == pytest.approx(10.0)
+
+    def test_zero_ttr_contributes_nothing(self):
+        log = make_log(
+            [make_record(0, hours=10, ttr_hours=0.0)], span_hours=100.0
+        )
+        result = concurrent_outages(log)
+        assert result.max_concurrent == 0
+        assert result.any_outage_fraction == 0.0
+
+    def test_mean_concurrent_is_load(self):
+        # One outage of 50 h over a 100 h span: L = 0.5.
+        log = make_log(
+            [make_record(0, hours=10, ttr_hours=50.0)], span_hours=100.0
+        )
+        assert concurrent_outages(log).mean_concurrent() == (
+            pytest.approx(0.5)
+        )
+
+    def test_implied_parallelism(self):
+        log = make_log(
+            [
+                make_record(0, hours=10, ttr_hours=30.0),
+                make_record(1, hours=20, ttr_hours=30.0),
+            ],
+            span_hours=100.0,
+        )
+        result = concurrent_outages(log)
+        assert result.implied_repair_parallelism(coverage=1.0) == 2
+        # 80% coverage tolerates the 20 h of depth-2 overlap.
+        assert result.implied_repair_parallelism(coverage=0.8) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            concurrent_outages(make_log([]))
+        log = make_log([make_record(0, hours=1)], span_hours=10.0)
+        result = concurrent_outages(log)
+        with pytest.raises(AnalysisError):
+            result.fraction_at_least(-1)
+        with pytest.raises(AnalysisError):
+            result.implied_repair_parallelism(coverage=0.0)
+
+
+class TestCalibratedOverlap:
+    def test_mean_concurrent_tracks_mttr_over_mtbf(self, t2_log):
+        from repro.core.metrics import mtbf, mttr
+
+        result = concurrent_outages(t2_log)
+        littles_law = mttr(t2_log) / mtbf(t2_log)
+        assert result.mean_concurrent() == pytest.approx(
+            littles_law, rel=0.05
+        )
+
+    def test_overlap_is_the_norm_on_t2(self, t2_log):
+        # MTTR (~55 h) >> MTBF (~15 h): repairs overlap most of the
+        # time — the paper's RQ5 alarm, quantified.
+        result = concurrent_outages(t2_log)
+        assert result.overlap_fraction > 0.5
+        assert result.max_concurrent >= 6
+
+    def test_overlap_still_present_on_t3(self, t3_log):
+        # Even with MTBF ~72 h vs MTTR ~55 h, overlap persists.
+        result = concurrent_outages(t3_log)
+        assert result.overlap_fraction > 0.1
+        assert result.max_concurrent >= 3
+
+    def test_parallelism_requirement_higher_on_t2(self, t2_log, t3_log):
+        t2 = concurrent_outages(t2_log).implied_repair_parallelism()
+        t3 = concurrent_outages(t3_log).implied_repair_parallelism()
+        assert t2 > t3

@@ -1,0 +1,120 @@
+"""Tests for the rack-level spatial analysis."""
+
+import pytest
+
+from repro.core.spatial import rack_failure_distribution
+from repro.errors import AnalysisError
+from repro.machines.racks import RackLayout, rack_layout_for
+from repro.synth import GeneratorConfig, TraceGenerator, profile_for
+from tests.conftest import make_log, make_record
+
+
+def _layout(num_nodes=100, per_rack=10):
+    return RackLayout("tsubame2", num_nodes=num_nodes,
+                      nodes_per_rack=per_rack)
+
+
+class TestRackDistribution:
+    def test_counts_aggregate_by_rack(self):
+        log = make_log(
+            [
+                make_record(0, hours=1, node_id=3),    # rack 0
+                make_record(1, hours=2, node_id=9),    # rack 0
+                make_record(2, hours=3, node_id=15),   # rack 1
+            ]
+        )
+        result = rack_failure_distribution(log, _layout())
+        assert result.counts == {0: 2, 1: 1}
+        assert result.total == 3
+        assert result.affected_racks == 2
+        assert result.count_for(5) == 0
+
+    def test_top_racks(self):
+        log = make_log(
+            [make_record(i, hours=i + 1, node_id=0) for i in range(3)]
+            + [make_record(10, hours=50, node_id=50)]
+        )
+        result = rack_failure_distribution(log, _layout())
+        assert result.top_racks(1) == [(0, 3)]
+
+    def test_concentration_uniform_vs_skewed(self):
+        uniform = make_log(
+            [
+                make_record(i, hours=i + 1, node_id=(i * 10) % 100)
+                for i in range(10)
+            ]
+        )
+        skewed = make_log(
+            [make_record(i, hours=i + 1, node_id=5) for i in range(10)]
+        )
+        layout = _layout()
+        assert (rack_failure_distribution(skewed, layout)
+                .concentration(0.1)
+                == pytest.approx(1.0))
+        assert (rack_failure_distribution(uniform, layout)
+                .concentration(0.1)
+                == pytest.approx(0.1))
+
+    def test_gini_bounds(self):
+        skewed = make_log(
+            [make_record(i, hours=i + 1, node_id=5) for i in range(10)]
+        )
+        result = rack_failure_distribution(skewed, _layout())
+        assert 0.85 <= result.gini() <= 1.0
+
+    def test_gini_uniform_is_zero(self):
+        # One failure in every rack.
+        log = make_log(
+            [
+                make_record(i, hours=i + 1, node_id=i * 10)
+                for i in range(10)
+            ]
+        )
+        assert rack_failure_distribution(log, _layout()).gini() == (
+            pytest.approx(0.0)
+        )
+
+    def test_machine_mismatch_rejected(self):
+        log = make_log([make_record(0, hours=1)], machine="tsubame3")
+        with pytest.raises(AnalysisError):
+            rack_failure_distribution(log, _layout())
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            rack_failure_distribution(make_log([]), _layout())
+
+    def test_bad_fraction_rejected(self):
+        log = make_log([make_record(0, hours=1)])
+        result = rack_failure_distribution(log, _layout())
+        with pytest.raises(AnalysisError):
+            result.concentration(0.0)
+
+
+class TestGeneratedRackSkew:
+    def test_rack_skew_raises_gini(self):
+        profile = profile_for("tsubame2")
+        layout = rack_layout_for("tsubame2")
+        skewed = TraceGenerator(
+            profile, GeneratorConfig(seed=42)
+        ).generate()
+        flat = TraceGenerator(
+            profile, GeneratorConfig(seed=42, rack_skew=False)
+        ).generate()
+        skewed_gini = rack_failure_distribution(skewed, layout).gini()
+        flat_gini = rack_failure_distribution(flat, layout).gini()
+        assert skewed_gini > flat_gini
+
+    def test_rack_skew_preserves_node_distribution(self, t2_log):
+        # Figure 4's per-node histogram must survive the rack skew.
+        from repro.core.spatial import node_failure_distribution
+
+        result = node_failure_distribution(t2_log)
+        assert result.fraction_with_exactly(1) == pytest.approx(
+            0.60, abs=0.06
+        )
+
+    def test_calibrated_logs_show_rack_nonuniformity(self, t2_log, t3_log):
+        for log in (t2_log, t3_log):
+            layout = rack_layout_for(log.machine)
+            result = rack_failure_distribution(log, layout)
+            assert result.concentration(0.1) > 0.15

@@ -1,0 +1,223 @@
+"""Tests for the failure-record data model."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.taxonomy import FailureClass
+from repro.errors import ValidationError
+from tests.conftest import T0, make_log, make_record
+
+
+class TestFailureRecordValidation:
+    def test_valid_record_constructs(self):
+        record = make_record()
+        assert record.category == "GPU"
+        assert record.ttr_hours == 10.0
+
+    def test_negative_record_id_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(record_id=-1)
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(node_id=-5)
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(category="")
+
+    def test_negative_ttr_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(ttr_hours=-0.1)
+
+    def test_nan_ttr_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(ttr_hours=float("nan"))
+
+    def test_zero_ttr_allowed(self):
+        assert make_record(ttr_hours=0.0).ttr_hours == 0.0
+
+    def test_negative_gpu_slot_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(gpus_involved=(0, -1))
+
+    def test_duplicate_gpu_slots_rejected(self):
+        with pytest.raises(ValidationError):
+            make_record(gpus_involved=(1, 1))
+
+    def test_unsorted_gpu_slots_normalised(self):
+        record = make_record(gpus_involved=(2, 0, 1))
+        assert record.gpus_involved == (0, 1, 2)
+
+    def test_num_gpus_involved(self):
+        assert make_record(gpus_involved=(0, 2)).num_gpus_involved == 2
+        assert make_record().num_gpus_involved == 0
+
+    def test_recovered_at(self):
+        record = make_record(hours=0.0, ttr_hours=12.0)
+        assert record.recovered_at == T0 + timedelta(hours=12)
+
+    def test_with_ttr_returns_copy(self):
+        record = make_record(ttr_hours=10.0)
+        updated = record.with_ttr(20.0)
+        assert updated.ttr_hours == 20.0
+        assert record.ttr_hours == 10.0
+        assert updated.record_id == record.record_id
+
+    def test_records_are_hashable_and_frozen(self):
+        record = make_record()
+        assert hash(record) == hash(make_record())
+        with pytest.raises(AttributeError):
+            record.node_id = 3
+
+
+class TestFailureLogConstruction:
+    def test_records_sorted_by_timestamp(self):
+        log = make_log([make_record(0, hours=50), make_record(1, hours=10)])
+        assert [r.record_id for r in log] == [1, 0]
+
+    def test_timestamp_ties_break_by_record_id(self):
+        log = make_log([make_record(5, hours=10), make_record(2, hours=10)])
+        assert [r.record_id for r in log] == [2, 5]
+
+    def test_duplicate_record_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            make_log([make_record(0, hours=1), make_record(0, hours=2)])
+
+    def test_record_outside_window_rejected(self):
+        with pytest.raises(ValidationError):
+            make_log([make_record(0, hours=2000)], span_hours=1000)
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureLog(
+                machine="tsubame2",
+                records=(),
+                window_start=T0,
+                window_end=T0,
+            )
+
+    def test_unknown_category_rejected_when_strict(self):
+        with pytest.raises(ValidationError):
+            make_log([make_record(category="Gremlins")])
+
+    def test_unknown_category_allowed_when_lenient(self):
+        log = make_log(
+            [make_record(category="Gremlins")], strict_taxonomy=False
+        )
+        assert log[0].category == "Gremlins"
+
+    def test_t3_category_rejected_on_t2(self):
+        with pytest.raises(ValidationError):
+            make_log([make_record(category="Omni-Path")], machine="tsubame2")
+
+    def test_empty_log_is_valid_with_window(self):
+        log = make_log([])
+        assert len(log) == 0
+
+    def test_from_records_infers_padded_window(self):
+        records = [make_record(0, hours=5), make_record(1, hours=25)]
+        log = FailureLog.from_records("tsubame2", records)
+        assert log.window_start == T0 + timedelta(hours=4)
+        assert log.window_end == T0 + timedelta(hours=26)
+
+    def test_from_records_empty_without_window_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureLog.from_records("tsubame2", [])
+
+    def test_from_records_explicit_window(self):
+        log = FailureLog.from_records(
+            "tsubame2",
+            [make_record(0, hours=5)],
+            window_start=T0,
+            window_end=T0 + timedelta(hours=10),
+        )
+        assert log.span_hours == pytest.approx(10.0)
+
+
+class TestFailureLogQueries:
+    def _log(self) -> FailureLog:
+        return make_log(
+            [
+                make_record(0, hours=10, node_id=1, category="GPU",
+                            gpus_involved=(0,)),
+                make_record(1, hours=20, node_id=2, category="CPU"),
+                make_record(2, hours=30, node_id=1, category="PBS"),
+                make_record(3, hours=40, node_id=3, category="GPU"),
+            ]
+        )
+
+    def test_len_iter_getitem(self):
+        log = self._log()
+        assert len(log) == 4
+        assert [r.record_id for r in log] == [0, 1, 2, 3]
+        assert log[2].category == "PBS"
+
+    def test_span_hours(self):
+        assert self._log().span_hours == pytest.approx(1000.0)
+
+    def test_hours_since_start(self):
+        log = self._log()
+        assert log.hours_since_start(log[1]) == pytest.approx(20.0)
+
+    def test_timestamps_hours_sorted(self):
+        assert self._log().timestamps_hours() == [10.0, 20.0, 30.0, 40.0]
+
+    def test_categories_sorted_unique(self):
+        assert self._log().categories() == ["CPU", "GPU", "PBS"]
+
+    def test_node_ids(self):
+        assert self._log().node_ids() == [1, 2, 3]
+
+    def test_by_category(self):
+        gpu = self._log().by_category("GPU")
+        assert len(gpu) == 2
+        assert all(r.category == "GPU" for r in gpu)
+
+    def test_by_category_multiple_names(self):
+        sub = self._log().by_category("GPU", "CPU")
+        assert len(sub) == 3
+
+    def test_by_class_hardware(self):
+        hardware = self._log().by_class(FailureClass.HARDWARE)
+        assert {r.category for r in hardware} == {"GPU", "CPU"}
+
+    def test_by_class_software(self):
+        software = self._log().by_class(FailureClass.SOFTWARE)
+        assert {r.category for r in software} == {"PBS"}
+
+    def test_gpu_failures_includes_category_and_involvement(self):
+        log = self._log()
+        gpu = log.gpu_failures()
+        # Both GPU-category records qualify, involvement or not.
+        assert {r.record_id for r in gpu} == {0, 3}
+
+    def test_by_node(self):
+        node1 = self._log().by_node(1)
+        assert {r.record_id for r in node1} == {0, 2}
+
+    def test_between_half_open(self):
+        log = self._log()
+        sub = log.between(
+            T0 + timedelta(hours=20), T0 + timedelta(hours=40)
+        )
+        assert {r.record_id for r in sub} == {1, 2}
+
+    def test_between_invalid_range_rejected(self):
+        log = self._log()
+        with pytest.raises(ValidationError):
+            log.between(T0 + timedelta(hours=5), T0)
+
+    def test_filter_preserves_window(self):
+        log = self._log()
+        sub = log.filter(lambda r: r.node_id == 1)
+        assert sub.window_start == log.window_start
+        assert sub.window_end == log.window_end
+
+    def test_filter_returns_new_log(self):
+        log = self._log()
+        sub = log.filter(lambda r: False)
+        assert len(sub) == 0
+        assert len(log) == 4

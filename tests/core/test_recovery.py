@@ -1,0 +1,151 @@
+"""Tests for RQ5 — time-to-recovery distributions."""
+
+import pytest
+
+from repro.core.recovery import (
+    class_spread_comparison,
+    ttr_by_category,
+    ttr_distribution,
+)
+from repro.core.taxonomy import FailureClass
+from repro.errors import AnalysisError
+from tests.conftest import make_log, make_record
+
+
+def _ttr_log():
+    records = [
+        make_record(0, hours=1, category="GPU", ttr_hours=10.0),
+        make_record(1, hours=2, category="GPU", ttr_hours=30.0),
+        make_record(2, hours=3, category="PBS", ttr_hours=5.0),
+        make_record(3, hours=4, category="PBS", ttr_hours=7.0),
+    ]
+    return make_log(records)
+
+
+class TestTtrDistribution:
+    def test_mttr(self):
+        dist = ttr_distribution(_ttr_log())
+        assert dist.mttr_hours == pytest.approx(13.0)
+
+    def test_fraction_within(self):
+        dist = ttr_distribution(_ttr_log())
+        assert dist.fraction_within(10.0) == pytest.approx(0.75)
+        assert dist.fraction_within(4.0) == 0.0
+
+    def test_quantile(self):
+        dist = ttr_distribution(_ttr_log())
+        assert dist.quantile(1.0) == pytest.approx(30.0)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            ttr_distribution(make_log([]))
+
+    def test_mttr_near_55_on_both_machines(self, t2_log, t3_log):
+        for log in (t2_log, t3_log):
+            dist = ttr_distribution(log)
+            assert dist.mttr_hours == pytest.approx(55.0, rel=0.02)
+
+    def test_mttr_similar_across_generations(self, t2_log, t3_log):
+        t2 = ttr_distribution(t2_log).mttr_hours
+        t3 = ttr_distribution(t3_log).mttr_hours
+        assert abs(t2 - t3) / t2 < 0.10  # "roughly the same"
+
+    def test_distribution_shapes_similar(self, t2_log, t3_log):
+        # Figure 9: the CDF shapes roughly coincide (unlike Figure 6).
+        t2 = ttr_distribution(t2_log)
+        t3 = ttr_distribution(t3_log)
+        for hours in (20.0, 50.0, 100.0):
+            assert abs(t2.fraction_within(hours)
+                       - t3.fraction_within(hours)) < 0.15
+
+
+class TestTtrByCategory:
+    def test_sorted_by_mean(self):
+        entries = ttr_by_category(_ttr_log())
+        assert [e.category for e in entries] == ["PBS", "GPU"]
+
+    def test_share_of_failures(self):
+        entries = ttr_by_category(_ttr_log())
+        assert all(e.share_of_failures == pytest.approx(0.5)
+                   for e in entries)
+
+    def test_impact_is_share_times_mean(self):
+        entry = ttr_by_category(_ttr_log())[1]
+        assert entry.impact_hours == pytest.approx(0.5 * 20.0)
+
+    def test_min_failures_filter(self):
+        records = [
+            make_record(0, hours=1, category="GPU", ttr_hours=1.0),
+            make_record(1, hours=2, category="Rack", ttr_hours=1.0),
+            make_record(2, hours=3, category="GPU", ttr_hours=2.0),
+        ]
+        entries = ttr_by_category(make_log(records), min_failures=2)
+        assert [e.category for e in entries] == ["GPU"]
+
+    def test_invalid_min_failures_rejected(self):
+        with pytest.raises(AnalysisError):
+            ttr_by_category(_ttr_log(), min_failures=0)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            ttr_by_category(make_log([]))
+
+    def test_failure_class_attached(self):
+        entries = {e.category: e for e in ttr_by_category(_ttr_log())}
+        assert entries["GPU"].failure_class is FailureClass.HARDWARE
+        assert entries["PBS"].failure_class is FailureClass.SOFTWARE
+
+
+class TestCalibratedRecoveryTails:
+    """Figure 10's anecdotes on the calibrated logs."""
+
+    def test_t2_ssd_recovery_tail(self, t2_log):
+        entries = {e.category: e for e in ttr_by_category(t2_log)}
+        # "recovering from some SSD failures requires ~290 hours".
+        assert entries["SSD"].max_hours > 150.0
+
+    def test_t2_ssd_is_rare_but_heavy(self, t2_log):
+        entries = {e.category: e for e in ttr_by_category(t2_log)}
+        ssd = entries["SSD"]
+        assert ssd.share_of_failures == pytest.approx(0.04, abs=0.01)
+        assert ssd.mean_hours > ttr_distribution(t2_log).mttr_hours
+
+    def test_t3_power_board_recovery_tail(self, t3_log):
+        entries = {e.category: e for e in ttr_by_category(t3_log)}
+        power = entries["Power-Board"]
+        # ~1% of failures, recovery "can take up to 230 hours".
+        assert power.share_of_failures < 0.02
+        assert power.max_hours > 100.0
+
+    def test_low_mean_does_not_imply_low_spread(self, t2_log):
+        entries = ttr_by_category(t2_log)
+        spreads = [e.spread_hours for e in entries]
+        # Spread is not monotone in the mean: some later (higher-mean)
+        # category has lower spread than an earlier one.
+        assert any(
+            spreads[i] > spreads[j]
+            for i in range(len(spreads))
+            for j in range(i + 1, len(spreads))
+        )
+
+
+class TestClassSpreadComparison:
+    def test_hardware_spread_exceeds_software_on_both(
+        self, t2_log, t3_log
+    ):
+        for log in (t2_log, t3_log):
+            spreads = class_spread_comparison(log)
+            assert (spreads[FailureClass.HARDWARE]
+                    > spreads[FailureClass.SOFTWARE])
+
+    def test_hand_built_spreads(self):
+        records = [
+            make_record(0, hours=1, category="GPU", ttr_hours=1.0),
+            make_record(1, hours=2, category="GPU", ttr_hours=100.0),
+            make_record(2, hours=3, category="PBS", ttr_hours=10.0),
+            make_record(3, hours=4, category="PBS", ttr_hours=11.0),
+        ]
+        spreads = class_spread_comparison(make_log(records))
+        assert spreads[FailureClass.HARDWARE] > 10 * spreads[
+            FailureClass.SOFTWARE
+        ]

@@ -1,0 +1,104 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.core import report
+from repro.errors import AnalysisError
+
+
+class TestIndividualReports:
+    def test_table1_lists_both_machines(self):
+        text = report.report_table1()
+        assert "Tsubame-2" in text
+        assert "Tsubame-3" in text
+        assert "NVIDIA Tesla K20X" in text
+
+    def test_table2_lists_categories(self):
+        text = report.report_table2()
+        assert "Omni-Path" in text
+        assert "PBS" in text
+
+    def test_fig2_shows_shares(self, t2_log):
+        text = report.report_fig2(t2_log)
+        assert "44.37%" in text
+        assert "GPU" in text
+
+    def test_fig3_top16(self, t3_log):
+        text = report.report_fig3(t3_log)
+        assert "gpu_driver" in text
+        assert "n=171" in text
+
+    def test_fig4_node_counts(self, t3_log):
+        text = report.report_fig4(t3_log)
+        assert "1 failure(s)" in text
+        assert "affected nodes" in text
+
+    def test_fig5_gpu_slots(self, t2_log):
+        text = report.report_fig5(t2_log)
+        assert "GPU 0" in text
+        assert "GPU 2" in text
+
+    def test_table3_rows(self, t2_log):
+        text = report.report_table3(t2_log)
+        assert "368" in text
+        assert "Total" in text
+
+    def test_fig6_mtbf_summary(self, t2_log, t3_log):
+        text = report.report_fig6([t2_log, t3_log])
+        assert "MTBF" in text
+        assert "tsubame2" in text
+        assert "tsubame3" in text
+
+    def test_fig7_sorted_boxplots(self, t2_log):
+        text = report.report_fig7(t2_log)
+        assert "sorted by mean" in text
+        assert "GPU" in text
+
+    def test_fig8_timeline_and_ratio(self, t2_log):
+        text = report.report_fig8(t2_log)
+        assert "clustering ratio" in text
+        assert "|" in text
+
+    def test_fig9_mttr_summary(self, t2_log, t3_log):
+        text = report.report_fig9([t2_log, t3_log])
+        assert "MTTR 55.0 h" in text
+
+    def test_fig10_by_type(self, t3_log):
+        text = report.report_fig10(t3_log)
+        assert "Power-Board" in text
+
+    def test_fig11_by_month(self, t2_log):
+        text = report.report_fig11(t2_log)
+        assert "month  1" in text or "month 1" in text
+
+    def test_fig12_monthly_counts(self, t3_log):
+        text = report.report_fig12(t3_log)
+        assert "Jan" in text
+        assert "Dec" in text
+        assert "total 338" in text
+
+    def test_component_mtbf_table(self, t2_log, t3_log):
+        text = report.report_component_mtbf([t2_log, t3_log])
+        assert "GPU MTBF" in text
+        assert "FLOP per failure-free period" in text
+
+    def test_table1_needs_machines(self):
+        with pytest.raises(AnalysisError):
+            report.report_table1([])
+
+
+class TestFullReport:
+    def test_contains_every_exhibit(self, t2_log, t3_log):
+        text = report.full_report(t2_log, t3_log)
+        for marker in (
+            "Table I.", "Table II.", "Fig 2 (tsubame2)",
+            "Fig 2 (tsubame3)", "Fig 3 (tsubame3)", "Fig 4 (tsubame2)",
+            "Fig 5 (tsubame3)", "Table III (tsubame2)", "Fig 6.",
+            "Fig 7 (tsubame2)", "Fig 8 (tsubame3)", "Fig 9.",
+            "Fig 10 (tsubame3)", "Fig 11 (tsubame2)", "Fig 12 (tsubame3)",
+        ):
+            assert marker in text, marker
+
+    def test_report_is_plain_ascii(self, t2_log, t3_log):
+        text = report.full_report(t2_log, t3_log)
+        assert text.isascii()

@@ -1,0 +1,266 @@
+"""Tests for the monthly (seasonal) analyses — Figures 11 and 12."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.seasonal import (
+    monthly_failure_counts,
+    monthly_ttr,
+    ttr_density_correlation,
+)
+from repro.errors import AnalysisError
+from tests.conftest import make_log
+
+
+def _record_in_month(record_id, month, ttr=10.0, day=5):
+    return FailureRecord(
+        record_id=record_id,
+        timestamp=datetime(2020, month, day),
+        node_id=0,
+        category="GPU",
+        ttr_hours=ttr,
+    )
+
+
+def _year_log(records):
+    return FailureLog(
+        machine="tsubame2",
+        records=tuple(records),
+        window_start=datetime(2020, 1, 1),
+        window_end=datetime(2021, 1, 1),
+    )
+
+
+class TestMonthlyTtr:
+    def test_summaries_per_month(self):
+        log = _year_log(
+            [
+                _record_in_month(0, 1, ttr=10.0),
+                _record_in_month(1, 1, ttr=30.0, day=9),
+                _record_in_month(2, 6, ttr=5.0),
+            ]
+        )
+        result = monthly_ttr(log)
+        assert result.summaries[1].mean == pytest.approx(20.0)
+        assert result.summaries[6].mean == pytest.approx(5.0)
+        assert 2 not in result.summaries
+
+    def test_mean_for_missing_month_is_nan(self):
+        log = _year_log([_record_in_month(0, 1)])
+        import math
+
+        assert math.isnan(monthly_ttr(log).mean_for(3))
+
+    def test_means_has_12_entries(self):
+        log = _year_log([_record_in_month(0, 1)])
+        assert len(monthly_ttr(log).means()) == 12
+
+    def test_half_year_means(self):
+        log = _year_log(
+            [
+                _record_in_month(0, 2, ttr=10.0),
+                _record_in_month(1, 9, ttr=50.0),
+            ]
+        )
+        first, second = monthly_ttr(log).half_year_means()
+        assert first == pytest.approx(10.0)
+        assert second == pytest.approx(50.0)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            monthly_ttr(make_log([]))
+
+    def test_t2_second_half_recovers_slower(self, t2_log):
+        # Figure 11a: Tsubame-2 TTR runs higher Jul-Dec.
+        first, second = monthly_ttr(t2_log).half_year_means()
+        assert second > first
+
+    def test_t3_no_half_year_trend(self, t3_log):
+        first, second = monthly_ttr(t3_log).half_year_means()
+        assert abs(second - first) / first < 0.35
+
+
+class TestMonthlyFailureCounts:
+    def test_counts(self):
+        log = _year_log(
+            [
+                _record_in_month(0, 3),
+                _record_in_month(1, 3, day=9),
+                _record_in_month(2, 12),
+            ]
+        )
+        result = monthly_failure_counts(log)
+        assert result.count_for(3) == 2
+        assert result.count_for(12) == 1
+        assert result.count_for(7) == 0
+        assert result.total == 3
+
+    def test_series_and_rows(self):
+        log = _year_log([_record_in_month(0, 5)])
+        result = monthly_failure_counts(log)
+        assert len(result.series()) == 12
+        assert result.rows()[4] == ("May", 1)
+
+    def test_peak_month(self):
+        log = _year_log(
+            [
+                _record_in_month(0, 2),
+                _record_in_month(1, 8),
+                _record_in_month(2, 8, day=9),
+            ]
+        )
+        assert monthly_failure_counts(log).peak_month() == 8
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            monthly_failure_counts(make_log([]))
+
+    def test_calibrated_counts_sum_to_log_size(self, t2_log, t3_log):
+        for log in (t2_log, t3_log):
+            assert monthly_failure_counts(log).total == len(log)
+
+    def test_calibrated_counts_non_uniform(self, t2_log):
+        # Figure 12 shows visible month-to-month variation.
+        series = monthly_failure_counts(t2_log).series()
+        assert max(series) > 1.3 * min(series)
+
+
+class TestSeasonalCorrelation:
+    def test_needs_three_months(self):
+        log = _year_log([_record_in_month(0, 1), _record_in_month(1, 2)])
+        with pytest.raises(AnalysisError):
+            ttr_density_correlation(log)
+
+    def test_detects_engineered_correlation(self):
+        # Months with more failures get much longer recoveries.
+        records = []
+        rid = 0
+        for month, count in ((1, 1), (4, 3), (8, 6)):
+            for index in range(count):
+                records.append(
+                    _record_in_month(
+                        rid, month, ttr=10.0 * count, day=2 + index
+                    )
+                )
+                rid += 1
+        result = ttr_density_correlation(_year_log(records))
+        assert result.pearson.coefficient > 0.9
+
+    def test_no_density_correlation_on_calibrated_logs(
+        self, t2_log, t3_log
+    ):
+        # The paper's RQ5 conclusion: monthly TTR does not track
+        # monthly failure density.
+        for log in (t2_log, t3_log):
+            result = ttr_density_correlation(log)
+            assert result.supports_no_correlation, (
+                f"{log.machine}: r={result.pearson.coefficient:.2f} "
+                f"p={result.pearson.pvalue:.3f}"
+            )
+
+    def test_months_used_counted(self, t2_log):
+        result = ttr_density_correlation(t2_log)
+        assert 3 <= result.months_used <= 12
+
+
+class TestWeekdayProfile:
+    def test_counts_by_weekday(self):
+        from repro.core.seasonal import weekday_profile
+
+        # 2020-01-06 is a Monday.
+        log = _year_log(
+            [
+                _record_in_month(0, 1, day=6),   # Monday
+                _record_in_month(1, 1, day=7),   # Tuesday
+                _record_in_month(2, 1, day=11),  # Saturday
+            ]
+        )
+        profile = weekday_profile(log)
+        assert profile.counts[0] == 1
+        assert profile.counts[1] == 1
+        assert profile.counts[5] == 1
+        assert profile.total == 3
+        assert profile.weekend_share() == pytest.approx(1 / 3)
+
+    def test_share_bounds_validated(self):
+        from repro.core.seasonal import weekday_profile
+
+        profile = weekday_profile(_year_log([_record_in_month(0, 1)]))
+        with pytest.raises(AnalysisError):
+            profile.share_of(7)
+
+    def test_empty_log_rejected(self):
+        from repro.core.seasonal import weekday_profile
+
+        with pytest.raises(AnalysisError):
+            weekday_profile(make_log([]))
+
+    def test_generated_logs_roughly_flat(self, t2_log):
+        from repro.core.seasonal import weekday_profile
+
+        profile = weekday_profile(t2_log)
+        # No weekday structure is encoded in the generator.
+        assert profile.max_min_ratio() < 1.6
+        assert profile.weekend_share() == pytest.approx(2 / 7, abs=0.08)
+
+
+class TestHourOfDayProfile:
+    def test_counts_by_hour(self):
+        from datetime import datetime
+
+        from repro.core.records import FailureRecord
+        from repro.core.seasonal import hour_of_day_profile
+
+        records = [
+            FailureRecord(record_id=i,
+                          timestamp=datetime(2020, 3, 5, hour),
+                          node_id=0, category="GPU", ttr_hours=1.0)
+            for i, hour in enumerate((2, 2, 14))
+        ]
+        log = _year_log(records)
+        profile = hour_of_day_profile(log)
+        assert profile.counts[2] == 2
+        assert profile.counts[14] == 1
+        assert profile.share_of(2) == pytest.approx(2 / 3)
+
+    def test_business_hours_share(self):
+        from datetime import datetime
+
+        from repro.core.records import FailureRecord
+        from repro.core.seasonal import hour_of_day_profile
+
+        records = [
+            FailureRecord(record_id=i,
+                          timestamp=datetime(2020, 3, 5, hour),
+                          node_id=0, category="GPU", ttr_hours=1.0)
+            for i, hour in enumerate((10, 11, 22))
+        ]
+        profile = hour_of_day_profile(_year_log(records))
+        assert profile.business_hours_share() == pytest.approx(2 / 3)
+        with pytest.raises(AnalysisError):
+            profile.business_hours_share(start=10, end=10)
+
+    def test_invalid_hour_rejected(self):
+        from repro.core.seasonal import hour_of_day_profile
+
+        profile = hour_of_day_profile(
+            _year_log([_record_in_month(0, 1)])
+        )
+        with pytest.raises(AnalysisError):
+            profile.share_of(24)
+
+    def test_empty_log_rejected(self):
+        from repro.core.seasonal import hour_of_day_profile
+
+        with pytest.raises(AnalysisError):
+            hour_of_day_profile(make_log([]))
+
+    def test_generated_logs_roughly_flat(self, t3_log):
+        from repro.core.seasonal import hour_of_day_profile
+
+        profile = hour_of_day_profile(t3_log)
+        assert profile.business_hours_share() == pytest.approx(
+            9 / 24, abs=0.12
+        )

@@ -1,0 +1,202 @@
+"""Tests for RQ2 — per-node and per-GPU-slot distributions."""
+
+import pytest
+
+from repro.core.spatial import (
+    gpu_slot_distribution,
+    node_failure_distribution,
+    repeat_failure_class_split,
+)
+from repro.errors import AnalysisError
+from repro.machines.specs import TSUBAME2, TSUBAME3
+from tests.conftest import make_log, make_record
+
+
+def _node_log():
+    # node 1: three failures; node 2: two; nodes 3, 4: one each.
+    hours = iter(range(1, 100))
+    records = []
+    rid = iter(range(100))
+    for node, count in ((1, 3), (2, 2), (3, 1), (4, 1)):
+        for _ in range(count):
+            records.append(
+                make_record(next(rid), hours=next(hours), node_id=node)
+            )
+    return make_log(records)
+
+
+class TestNodeFailureDistribution:
+    def test_counts_per_node(self):
+        result = node_failure_distribution(_node_log())
+        assert result.counts_per_node == {1: 3, 2: 2, 3: 1, 4: 1}
+
+    def test_histogram(self):
+        result = node_failure_distribution(_node_log())
+        assert result.histogram == {3: 1, 2: 1, 1: 2}
+
+    def test_fractions(self):
+        result = node_failure_distribution(_node_log())
+        assert result.fraction_with_exactly(1) == pytest.approx(0.5)
+        assert result.fraction_with_more_than(1) == pytest.approx(0.5)
+        assert result.fraction_with_more_than(3) == 0.0
+
+    def test_totals(self):
+        result = node_failure_distribution(_node_log())
+        assert result.num_affected_nodes == 4
+        assert result.total_failures == 7
+
+    def test_cdf_points_monotone_to_one(self):
+        points = node_failure_distribution(_node_log()).cdf_points()
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_top_nodes(self):
+        result = node_failure_distribution(_node_log())
+        assert result.top_nodes(2) == [(1, 3), (2, 2)]
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            node_failure_distribution(make_log([]))
+
+
+class TestCalibratedNodeDistribution:
+    """Figure 4 on the calibrated logs."""
+
+    def test_t2_most_nodes_fail_once(self, t2_log):
+        result = node_failure_distribution(t2_log)
+        assert result.fraction_with_exactly(1) == pytest.approx(0.60,
+                                                                abs=0.06)
+
+    def test_t3_most_nodes_fail_more_than_once(self, t3_log):
+        result = node_failure_distribution(t3_log)
+        assert result.fraction_with_more_than(1) == pytest.approx(0.60,
+                                                                  abs=0.10)
+
+    def test_two_failure_share_near_ten_percent_on_both(
+        self, t2_log, t3_log
+    ):
+        for log in (t2_log, t3_log):
+            result = node_failure_distribution(log)
+            assert result.fraction_with_exactly(2) == pytest.approx(
+                0.10, abs=0.05
+            )
+
+    def test_t3_three_failure_share_higher_than_t2(self, t2_log, t3_log):
+        t2 = node_failure_distribution(t2_log).fraction_with_exactly(3)
+        t3 = node_failure_distribution(t3_log).fraction_with_exactly(3)
+        assert t3 > 1.2 * t2  # paper: ~50% more
+
+    def test_affected_nodes_fit_fleet(self, t2_log, t3_log):
+        assert (node_failure_distribution(t2_log).num_affected_nodes
+                <= TSUBAME2.num_nodes)
+        assert (node_failure_distribution(t3_log).num_affected_nodes
+                <= TSUBAME3.num_nodes)
+
+
+class TestRepeatFailureClassSplit:
+    def test_split_on_hand_built_log(self):
+        records = [
+            # node 1 fails three times: two hardware, one software.
+            make_record(0, hours=1, node_id=1, category="GPU"),
+            make_record(1, hours=2, node_id=1, category="Disk"),
+            make_record(2, hours=3, node_id=1, category="PBS"),
+            # node 2 fails once (excluded from the split).
+            make_record(3, hours=4, node_id=2, category="GPU"),
+        ]
+        split = repeat_failure_class_split(make_log(records))
+        assert split.num_multi_failure_nodes == 1
+        assert split.hardware_failures == 2
+        assert split.software_failures == 1
+        assert split.total == 3
+
+    def test_t2_repeats_almost_all_hardware(self, t2_log):
+        split = repeat_failure_class_split(t2_log)
+        software_share = split.software_failures / split.total
+        assert software_share < 0.05  # paper: 1 of 353
+
+    def test_t3_repeats_balanced(self, t3_log):
+        split = repeat_failure_class_split(t3_log)
+        software_share = (
+            (split.software_failures + split.unknown_failures) / split.total
+        )
+        assert 0.30 < software_share < 0.65  # paper: 95 of 199
+
+
+class TestGpuSlotDistribution:
+    def test_counts_weighted_by_involvement(self):
+        records = [
+            make_record(0, hours=1, category="GPU", gpus_involved=(0,)),
+            make_record(1, hours=2, category="GPU", gpus_involved=(1, 2)),
+            make_record(2, hours=3, category="GPU", gpus_involved=(1,)),
+        ]
+        result = gpu_slot_distribution(make_log(records), (0, 1, 2))
+        assert result.counts == {0: 1, 1: 2, 2: 1}
+        assert result.total == 4
+
+    def test_unrecorded_involvement_ignored(self):
+        records = [make_record(0, hours=1, category="GPU")]
+        result = gpu_slot_distribution(make_log(records), (0, 1, 2))
+        assert result.total == 0
+
+    def test_share_and_relative(self):
+        records = [
+            make_record(0, hours=1, category="GPU", gpus_involved=(0,)),
+            make_record(1, hours=2, category="GPU", gpus_involved=(0,)),
+            make_record(2, hours=3, category="GPU", gpus_involved=(1,)),
+        ]
+        result = gpu_slot_distribution(make_log(records), (0, 1, 2))
+        assert result.share_of(0) == pytest.approx(2 / 3)
+        assert result.relative_to_mean(0) == pytest.approx(2.0)
+        assert result.relative_to_mean(2) == 0.0
+
+    def test_out_of_range_slot_rejected(self):
+        records = [make_record(0, hours=1, category="GPU",
+                               gpus_involved=(5,))]
+        with pytest.raises(AnalysisError):
+            gpu_slot_distribution(make_log(records), (0, 1, 2))
+
+    def test_empty_slots_rejected(self):
+        with pytest.raises(AnalysisError):
+            gpu_slot_distribution(make_log([]), ())
+
+    def test_imbalance_uniform_is_one(self):
+        records = [
+            make_record(i, hours=i + 1, category="GPU", gpus_involved=(i,))
+            for i in range(3)
+        ]
+        result = gpu_slot_distribution(make_log(records), (0, 1, 2))
+        assert result.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_with_zero_slot_is_infinite(self):
+        records = [make_record(0, hours=1, category="GPU",
+                               gpus_involved=(0,))]
+        result = gpu_slot_distribution(make_log(records), (0, 1))
+        assert result.imbalance() == float("inf")
+
+
+class TestCalibratedSlotDistribution:
+    """Figure 5 on the calibrated logs."""
+
+    def test_t2_gpu1_fails_most(self, t2_log):
+        result = gpu_slot_distribution(
+            t2_log.gpu_failures(), TSUBAME2.gpu_slots
+        )
+        assert result.counts[1] > result.counts[0]
+        assert result.counts[1] > result.counts[2]
+        # ~20% more than the per-slot mean.
+        assert 1.05 < result.relative_to_mean(1) < 1.40
+
+    def test_t3_outer_gpus_fail_most(self, t3_log):
+        result = gpu_slot_distribution(
+            t3_log.gpu_failures(), TSUBAME3.gpu_slots
+        )
+        inner = max(result.counts[1], result.counts[2])
+        assert result.counts[0] > inner
+        assert result.counts[3] > inner
+
+    def test_non_identical_distribution_on_both(self, t2_log, t3_log):
+        for log, spec in ((t2_log, TSUBAME2), (t3_log, TSUBAME3)):
+            result = gpu_slot_distribution(log.gpu_failures(),
+                                           spec.gpu_slots)
+            assert result.imbalance() > 1.15

@@ -1,0 +1,101 @@
+"""Tests for the failure-category taxonomy."""
+
+import pytest
+
+from repro.core import taxonomy
+from repro.core.taxonomy import FailureClass
+from repro.errors import TaxonomyError
+
+
+class TestCategoryTables:
+    def test_tsubame2_has_17_categories(self):
+        assert len(taxonomy.TSUBAME2_CATEGORIES) == 17
+
+    def test_tsubame3_has_16_categories(self):
+        assert len(taxonomy.TSUBAME3_CATEGORIES) == 16
+
+    def test_table2_tsubame2_names(self):
+        names = {c.name for c in taxonomy.TSUBAME2_CATEGORIES}
+        assert names == {
+            "Boot", "CPU", "Disk", "Down", "FAN", "GPU", "IB", "Memory",
+            "Network", "OtherHW", "OtherSW", "PBS", "PSU", "Rack", "SSD",
+            "System Board", "VM",
+        }
+
+    def test_table2_tsubame3_names(self):
+        names = {c.name for c in taxonomy.TSUBAME3_CATEGORIES}
+        assert names == {
+            "CPU", "CRC", "Disk", "GPU", "GPUDriver", "IP",
+            "Led Front Panel", "Lustre", "Memory", "Omni-Path",
+            "Power-Board", "Ribbon Cable", "Software", "SXM2_Cable",
+            "SXM2-Board", "Unknown",
+        }
+
+    def test_category_names_unique_per_machine(self):
+        for cats in (taxonomy.TSUBAME2_CATEGORIES,
+                     taxonomy.TSUBAME3_CATEGORIES):
+            names = [c.name for c in cats]
+            assert len(names) == len(set(names))
+
+
+class TestClassification:
+    def test_gpu_is_hardware_on_both(self):
+        for machine in ("tsubame2", "tsubame3"):
+            assert (taxonomy.failure_class(machine, "GPU")
+                    is FailureClass.HARDWARE)
+
+    def test_software_classes_tsubame2(self):
+        for name in ("Boot", "Down", "OtherSW", "PBS", "VM"):
+            assert (taxonomy.failure_class("tsubame2", name)
+                    is FailureClass.SOFTWARE)
+
+    def test_software_classes_tsubame3(self):
+        for name in ("Software", "GPUDriver", "Lustre"):
+            assert (taxonomy.failure_class("tsubame3", name)
+                    is FailureClass.SOFTWARE)
+
+    def test_unknown_class_tsubame3(self):
+        assert (taxonomy.failure_class("tsubame3", "Unknown")
+                is FailureClass.UNKNOWN)
+
+    def test_gpu_related_flags(self):
+        assert taxonomy.is_gpu_category("tsubame2", "GPU")
+        assert not taxonomy.is_gpu_category("tsubame2", "CPU")
+        assert taxonomy.is_gpu_category("tsubame3", "GPUDriver")
+        assert taxonomy.is_gpu_category("tsubame3", "SXM2-Board")
+        assert not taxonomy.is_gpu_category("tsubame3", "Lustre")
+
+
+class TestLookups:
+    def test_categories_for_unknown_machine(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy.categories_for("tsubame9")
+
+    def test_category_unknown_name(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy.category("tsubame2", "Omni-Path")
+
+    def test_category_unknown_machine(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy.category("frontier", "GPU")
+
+    def test_category_lookup_returns_metadata(self):
+        cat = taxonomy.category("tsubame3", "Power-Board")
+        assert cat.failure_class is FailureClass.HARDWARE
+        assert cat.description
+
+
+class TestRootLoci:
+    def test_sixteen_loci(self):
+        assert len(taxonomy.root_loci_names()) == 16
+
+    def test_paper_named_loci_present(self):
+        loci = set(taxonomy.root_loci_names())
+        assert "gpu_driver" in loci
+        assert "unknown" in loci
+        assert "kernel_panic" in loci
+        assert "lustre_bug" in loci
+
+    def test_loci_unique(self):
+        loci = taxonomy.root_loci_names()
+        assert len(loci) == len(set(loci))

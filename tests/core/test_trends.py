@@ -1,0 +1,167 @@
+"""Tests for the reliability-trend analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.trends import (
+    crow_amsaa_fit,
+    ttr_survival,
+    windowed_mtbf,
+    windowed_mttr,
+)
+from repro.errors import AnalysisError
+from tests.conftest import make_log, make_record
+
+
+def _log_with_times(hours, ttr=10.0, span=1000.0):
+    records = [
+        make_record(i, hours=h, ttr_hours=ttr)
+        for i, h in enumerate(hours)
+    ]
+    return make_log(records, span_hours=span)
+
+
+class TestWindowedSeries:
+    def test_mtbf_per_window(self):
+        log = _log_with_times([50, 150, 250, 350], span=400.0)
+        points = windowed_mtbf(log, window_hours=200.0)
+        assert len(points) == 2
+        assert points[0].num_failures == 2
+        assert points[0].value_hours == pytest.approx(100.0)
+
+    def test_empty_window_reports_lower_bound(self):
+        log = _log_with_times([50.0], span=400.0)
+        points = windowed_mtbf(log, window_hours=200.0)
+        assert points[1].num_failures == 0
+        assert points[1].value_hours == pytest.approx(200.0)
+
+    def test_mttr_per_window(self):
+        records = [
+            make_record(0, hours=50, ttr_hours=10.0),
+            make_record(1, hours=60, ttr_hours=30.0),
+            make_record(2, hours=250, ttr_hours=100.0),
+        ]
+        log = make_log(records, span_hours=400.0)
+        points = windowed_mttr(log, window_hours=200.0)
+        assert points[0].value_hours == pytest.approx(20.0)
+        assert points[1].value_hours == pytest.approx(100.0)
+
+    def test_empty_mttr_window_is_nan(self):
+        log = _log_with_times([50.0], span=400.0)
+        points = windowed_mttr(log, window_hours=200.0)
+        assert math.isnan(points[1].value_hours)
+
+    def test_center_hours(self):
+        log = _log_with_times([50.0], span=400.0)
+        points = windowed_mtbf(log, window_hours=200.0)
+        assert points[0].center_hours == pytest.approx(100.0)
+
+    def test_window_counts_conserve_failures(self, t2_log):
+        points = windowed_mtbf(t2_log, window_hours=720.0)
+        assert sum(p.num_failures for p in points) == len(t2_log)
+
+    def test_invalid_windows_rejected(self):
+        log = _log_with_times([50.0], span=400.0)
+        with pytest.raises(AnalysisError):
+            windowed_mtbf(log, window_hours=0.0)
+        with pytest.raises(AnalysisError):
+            windowed_mtbf(log, window_hours=4000.0)
+        with pytest.raises(AnalysisError):
+            windowed_mtbf(make_log([]), window_hours=100.0)
+
+
+class TestCrowAmsaa:
+    def test_stationary_process_beta_near_one(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 1000.0, size=400))
+        log = _log_with_times(times.tolist(), span=1000.0)
+        fit = crow_amsaa_fit(log)
+        assert fit.beta == pytest.approx(1.0, abs=0.12)
+
+    def test_improving_process_beta_below_one(self):
+        # Failure times concentrated early (burn-in): t ~ u^2 scaled.
+        rng = np.random.default_rng(1)
+        times = np.sort(1000.0 * rng.uniform(0, 1, size=400) ** 2)
+        log = _log_with_times(times.tolist(), span=1000.0)
+        fit = crow_amsaa_fit(log)
+        assert fit.beta < 0.8
+        assert fit.is_improving
+
+    def test_deteriorating_process_beta_above_one(self):
+        rng = np.random.default_rng(2)
+        times = np.sort(1000.0 * rng.uniform(0, 1, size=400) ** 0.5)
+        log = _log_with_times(times.tolist(), span=1000.0)
+        fit = crow_amsaa_fit(log)
+        assert fit.beta > 1.3
+        assert not fit.is_improving
+
+    def test_expected_failures_matches_count_at_t(self):
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0, 1000.0, size=300))
+        log = _log_with_times(times.tolist(), span=1000.0)
+        fit = crow_amsaa_fit(log)
+        assert fit.expected_failures(1000.0) == pytest.approx(300, rel=0.01)
+
+    def test_intensity_positive(self):
+        log = _log_with_times([10, 20, 30, 40], span=100.0)
+        fit = crow_amsaa_fit(log)
+        assert fit.intensity_at(50.0) > 0
+        with pytest.raises(AnalysisError):
+            fit.intensity_at(0.0)
+
+    def test_too_few_failures_rejected(self):
+        with pytest.raises(AnalysisError):
+            crow_amsaa_fit(_log_with_times([10, 20], span=100.0))
+
+    def test_calibrated_logs_near_stationary(self, t2_log, t3_log):
+        # The generator uses a (warped) renewal process, so no strong
+        # growth/deterioration trend should appear.
+        for log in (t2_log, t3_log):
+            fit = crow_amsaa_fit(log)
+            assert 0.8 < fit.beta < 1.25, log.machine
+
+
+class TestTtrSurvival:
+    def test_fully_observed_matches_km(self):
+        records = [
+            make_record(0, hours=10, ttr_hours=5.0),
+            make_record(1, hours=20, ttr_hours=15.0),
+        ]
+        log = make_log(records, span_hours=1000.0)
+        km = ttr_survival(log)
+        assert km.num_events == 2
+        assert km.survival_at(5.0) == pytest.approx(0.5)
+
+    def test_repair_crossing_window_end_censored(self):
+        records = [
+            make_record(0, hours=990, ttr_hours=100.0),  # open at end
+            make_record(1, hours=10, ttr_hours=5.0),
+        ]
+        log = make_log(records, span_hours=1000.0)
+        km = ttr_survival(log)
+        assert km.n == 2
+        assert km.num_events == 1
+
+    def test_censoring_keeps_curve_higher(self, t2_log):
+        from repro.core.metrics import ttr_series_hours
+        from repro.stats.survival import KaplanMeier
+
+        naive = KaplanMeier(ttr_series_hours(t2_log))
+        censored = ttr_survival(t2_log)
+        # With right-censoring the estimate at large t is >= the naive
+        # fully-observed estimate.
+        assert (censored.survival_at(200.0)
+                >= naive.survival_at(200.0) - 1e-12)
+
+    def test_median_survival_near_median_ttr(self, t3_log):
+        km = ttr_survival(t3_log)
+        from repro.core.recovery import ttr_distribution
+
+        median = ttr_distribution(t3_log).quantile(0.5)
+        assert km.median_survival() == pytest.approx(median, rel=0.10)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            ttr_survival(make_log([]))

@@ -1,0 +1,138 @@
+"""Tests for the raw operator-log parser."""
+
+import pytest
+
+from repro.errors import SerializationError, TaxonomyError
+from repro.io.rawlog import normalize_category, read_raw_csv
+
+
+class TestNormalizeCategory:
+    def test_canonical_passthrough(self):
+        assert normalize_category("tsubame2", "GPU") == "GPU"
+        assert normalize_category("tsubame3", "Power-Board") == "Power-Board"
+
+    def test_case_insensitive_canonical(self):
+        assert normalize_category("tsubame2", "gpu") == "GPU"
+        assert normalize_category("tsubame2", "system board") == \
+            "System Board"
+
+    def test_aliases_tsubame2(self):
+        assert normalize_category("tsubame2", "GPU failure") == "GPU"
+        assert normalize_category("tsubame2", "power supply") == "PSU"
+        assert normalize_category("tsubame2", "Infiniband") == "IB"
+        assert normalize_category("tsubame2", "batch system") == "PBS"
+
+    def test_aliases_tsubame3(self):
+        assert normalize_category("tsubame3", "OmniPath") == "Omni-Path"
+        assert normalize_category("tsubame3", "gpu driver") == "GPUDriver"
+        assert normalize_category("tsubame3", "power board") == \
+            "Power-Board"
+        assert normalize_category("tsubame3", "N/A") == "Unknown"
+
+    def test_whitespace_stripped(self):
+        assert normalize_category("tsubame2", "  fan  ") == "FAN"
+
+    def test_unresolvable_rejected(self):
+        with pytest.raises(TaxonomyError):
+            normalize_category("tsubame2", "quantum flux")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            normalize_category("tsubame2", "   ")
+
+
+class TestReadRawCsv:
+    def test_typical_export(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text(
+            "Date,Node,Type,Recovery\n"
+            "1/7/2012 13:45,12,GPU failure,55 h\n"
+            "2012-02-01,7,power supply,2.5 days\n"
+            "2012-03-15 08:00,12,fan,12\n"
+        )
+        log = read_raw_csv(path, "tsubame2")
+        assert len(log) == 3
+        assert log[0].category == "GPU"
+        assert log[0].timestamp.month == 1
+        assert log[1].category == "PSU"
+        assert log[1].ttr_hours == pytest.approx(60.0)
+        assert log[2].category == "FAN"
+        assert log[2].ttr_hours == pytest.approx(12.0)
+
+    def test_gpu_column_parsed(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text(
+            "timestamp,failure_type,ttr,gpus\n"
+            "2017-06-01,gpu error,10,1+2\n"
+        )
+        log = read_raw_csv(path, "tsubame3")
+        assert log[0].gpus_involved == (1, 2)
+
+    def test_alternate_column_names(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text(
+            "time,failure,repair_time,hostname\n"
+            "2017-06-01 10:00,lustre fs,4 hours,77\n"
+        )
+        log = read_raw_csv(path, "tsubame3")
+        assert log[0].category == "Lustre"
+        assert log[0].node_id == 77
+
+    def test_missing_required_column_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("date,category\n2017-06-01,GPU\n")
+        with pytest.raises(SerializationError):
+            read_raw_csv(path, "tsubame3")
+
+    def test_bad_row_aborts_by_default(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text(
+            "date,type,ttr\n"
+            "2017-06-01,GPU,10\n"
+            "not-a-date,GPU,10\n"
+        )
+        with pytest.raises(SerializationError):
+            read_raw_csv(path, "tsubame3")
+
+    def test_skip_unparseable_drops_bad_rows(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text(
+            "date,type,ttr\n"
+            "2017-06-01,GPU,10\n"
+            "not-a-date,GPU,10\n"
+            "2017-06-03,mystery category,10\n"
+            "2017-06-04,CPU,5\n"
+        )
+        log = read_raw_csv(path, "tsubame3", skip_unparseable=True)
+        assert len(log) == 2
+        assert [r.category for r in log] == ["GPU", "CPU"]
+
+    def test_all_rows_bad_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("date,type,ttr\njunk,junk,junk\n")
+        with pytest.raises(SerializationError):
+            read_raw_csv(path, "tsubame3", skip_unparseable=True)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            read_raw_csv(path, "tsubame3")
+
+    def test_negative_duration_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("date,type,ttr\n2017-06-01,GPU,-5\n")
+        with pytest.raises(SerializationError):
+            read_raw_csv(path, "tsubame3")
+
+    def test_result_feeds_analyses(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        rows = "\n".join(
+            f"2017-{month:02d}-01,gpu failure,{10 * month}"
+            for month in range(1, 7)
+        )
+        path.write_text("date,type,ttr\n" + rows + "\n")
+        log = read_raw_csv(path, "tsubame3")
+        from repro.core.breakdown import category_breakdown
+
+        assert category_breakdown(log).share_of("GPU") == 1.0

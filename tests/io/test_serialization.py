@@ -1,0 +1,151 @@
+"""Tests for CSV/JSONL serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io import (
+    read_csv,
+    read_jsonl,
+    record_from_row,
+    record_to_row,
+    write_csv,
+    write_jsonl,
+)
+from tests.conftest import make_log, make_record
+
+
+def _sample_log():
+    records = [
+        make_record(0, hours=1, category="GPU", gpus_involved=(0, 2),
+                    ttr_hours=12.5),
+        make_record(1, hours=2, category="CPU", node_id=7),
+    ]
+    return make_log(records)
+
+
+class TestRowSchema:
+    def test_roundtrip(self):
+        record = make_record(3, hours=9, category="GPU",
+                             gpus_involved=(1, 2), ttr_hours=3.25)
+        assert record_from_row(record_to_row(record)) == record
+
+    def test_empty_gpus_roundtrip(self):
+        record = make_record(0, hours=1)
+        row = record_to_row(record)
+        assert row["gpus"] == ""
+        assert record_from_row(row).gpus_involved == ()
+
+    def test_root_locus_roundtrip(self):
+        record = make_record(0, hours=1, category="Software",
+                             root_locus="gpu_driver")
+        assert record_from_row(record_to_row(record)).root_locus == \
+            "gpu_driver"
+
+    def test_ttr_precision_preserved(self):
+        record = make_record(0, hours=1, ttr_hours=55.123456789012)
+        assert record_from_row(record_to_row(record)).ttr_hours == \
+            record.ttr_hours
+
+    def test_missing_column_rejected(self):
+        row = record_to_row(make_record(0, hours=1))
+        del row["category"]
+        with pytest.raises(SerializationError):
+            record_from_row(row)
+
+    def test_malformed_value_rejected(self):
+        row = record_to_row(make_record(0, hours=1))
+        row["node_id"] = "not-a-number"
+        with pytest.raises(SerializationError):
+            record_from_row(row)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "log.csv"
+        write_csv(log, path)
+        back = read_csv(path)
+        assert back.machine == log.machine
+        assert back.window_start == log.window_start
+        assert back.window_end == log.window_end
+        assert back.records == log.records
+
+    def test_calibrated_log_roundtrip(self, tmp_path, t3_log):
+        path = tmp_path / "t3.csv"
+        write_csv(t3_log, path)
+        assert read_csv(path).records == t3_log.records
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,timestamp\n")
+        with pytest.raises(SerializationError):
+            read_csv(path)
+
+    def test_malformed_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# machine tsubame2\n")
+        with pytest.raises(SerializationError):
+            read_csv(path)
+
+    def test_empty_log_roundtrip(self, tmp_path):
+        log = make_log([])
+        path = tmp_path / "empty.csv"
+        write_csv(log, path)
+        assert len(read_csv(path)) == 0
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "log.jsonl"
+        write_jsonl(log, path)
+        back = read_jsonl(path)
+        assert back.machine == log.machine
+        assert back.records == log.records
+
+    def test_calibrated_log_roundtrip(self, tmp_path, t2_log):
+        path = tmp_path / "t2.jsonl"
+        write_jsonl(t2_log, path)
+        assert read_jsonl(path).records == t2_log.records
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_header_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"machine": "tsubame2"}\n')
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_malformed_record_line_rejected(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "log.jsonl"
+        write_jsonl(log, path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "log.jsonl"
+        write_jsonl(log, path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(read_jsonl(path)) == len(log)
+
+    def test_csv_and_jsonl_agree(self, tmp_path):
+        log = _sample_log()
+        write_csv(log, tmp_path / "a.csv")
+        write_jsonl(log, tmp_path / "a.jsonl")
+        assert (read_csv(tmp_path / "a.csv").records
+                == read_jsonl(tmp_path / "a.jsonl").records)

@@ -1,0 +1,60 @@
+"""Tests for rack layouts."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.racks import RackLayout, rack_layout_for
+from repro.machines.specs import TSUBAME2, TSUBAME3
+
+
+class TestRackLayout:
+    def test_rack_of(self):
+        layout = RackLayout("tsubame2", num_nodes=100, nodes_per_rack=32)
+        assert layout.rack_of(0) == 0
+        assert layout.rack_of(31) == 0
+        assert layout.rack_of(32) == 1
+        assert layout.rack_of(99) == 3
+
+    def test_num_racks_rounds_up(self):
+        layout = RackLayout("tsubame2", num_nodes=100, nodes_per_rack=32)
+        assert layout.num_racks == 4
+
+    def test_nodes_in_rack(self):
+        layout = RackLayout("tsubame2", num_nodes=100, nodes_per_rack=32)
+        assert list(layout.nodes_in_rack(0)) == list(range(32))
+        assert list(layout.nodes_in_rack(3)) == list(range(96, 100))
+        assert layout.rack_size(3) == 4
+
+    def test_every_node_racked_exactly_once(self):
+        layout = rack_layout_for("tsubame3")
+        seen = []
+        for rack in range(layout.num_racks):
+            seen.extend(layout.nodes_in_rack(rack))
+        assert seen == list(range(layout.num_nodes))
+
+    def test_out_of_range_rejected(self):
+        layout = RackLayout("tsubame2", num_nodes=10, nodes_per_rack=4)
+        with pytest.raises(MachineError):
+            layout.rack_of(10)
+        with pytest.raises(MachineError):
+            layout.nodes_in_rack(3)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(MachineError):
+            RackLayout("x", num_nodes=0, nodes_per_rack=4)
+        with pytest.raises(MachineError):
+            RackLayout("x", num_nodes=10, nodes_per_rack=0)
+
+
+class TestRegisteredLayouts:
+    def test_fleet_sizes_match_specs(self):
+        assert rack_layout_for("tsubame2").num_nodes == TSUBAME2.num_nodes
+        assert rack_layout_for("tsubame3").num_nodes == TSUBAME3.num_nodes
+
+    def test_reasonable_rack_counts(self):
+        assert rack_layout_for("tsubame2").num_racks == 44
+        assert rack_layout_for("tsubame3").num_racks == 20
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(MachineError):
+            rack_layout_for("frontier")

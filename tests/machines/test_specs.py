@@ -1,0 +1,75 @@
+"""Tests for the Table I machine specifications."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.specs import TSUBAME2, TSUBAME3, get_machine, known_machines
+
+
+class TestTable1Values:
+    def test_tsubame2_row(self):
+        row = TSUBAME2.table1_row()
+        assert row["CPU"] == "Intel Xeon X5670 (Westmere-EP, 2.93GHz)"
+        assert row["Num CPUs"] == "2"
+        assert row["Num GPUs"] == "3"
+        assert row["Memory per Node"] == "58GB"
+        assert row["SSD"] == "120 GB"
+
+    def test_tsubame3_row(self):
+        row = TSUBAME3.table1_row()
+        assert row["GPU"] == "NVIDIA Tesla P100 (NVlink-Optimized)"
+        assert row["Num GPUs"] == "4"
+        assert row["Cores/Threads per CPU"] == "14 cores / 28 threads"
+        assert "Omni-Path" in row["Interconnect"]
+
+
+class TestFleetArithmetic:
+    def test_component_inventories_match_paper(self):
+        # Section III: "7040 for Tsubame-2 and 3240 for Tsubame-3".
+        assert TSUBAME2.total_compute_components == 7040
+        assert TSUBAME3.total_compute_components == 3240
+
+    def test_gpu_counts(self):
+        assert TSUBAME2.total_gpus == 1408 * 3
+        assert TSUBAME3.total_gpus == 540 * 4
+
+    def test_gpu_count_roughly_halved(self):
+        ratio = TSUBAME2.total_gpus / TSUBAME3.total_gpus
+        assert ratio == pytest.approx(2.0, abs=0.1)
+
+    def test_cpu_count_roughly_third(self):
+        ratio = TSUBAME2.total_cpus / TSUBAME3.total_cpus
+        assert 2.3 < ratio < 2.8
+
+    def test_gpu_slots(self):
+        assert TSUBAME2.gpu_slots == (0, 1, 2)
+        assert TSUBAME3.gpu_slots == (0, 1, 2, 3)
+
+
+class TestLogWindows:
+    def test_implied_mtbf_matches_paper(self):
+        # ~15 h on Tsubame-2, >70 h on Tsubame-3.
+        t2 = TSUBAME2.log_span_hours / TSUBAME2.reported_failures
+        t3 = TSUBAME3.log_span_hours / TSUBAME3.reported_failures
+        assert t2 == pytest.approx(15.3, abs=0.2)
+        assert t3 > 70.0
+
+    def test_reported_failure_counts(self):
+        assert TSUBAME2.reported_failures == 897
+        assert TSUBAME3.reported_failures == 338
+
+    def test_rpeak_ordering(self):
+        assert TSUBAME3.rpeak_pflops > 5 * TSUBAME2.rpeak_pflops
+
+
+class TestRegistry:
+    def test_known_machines(self):
+        assert known_machines() == ("tsubame2", "tsubame3")
+
+    def test_get_machine(self):
+        assert get_machine("tsubame2") is TSUBAME2
+        assert get_machine("tsubame3") is TSUBAME3
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(MachineError):
+            get_machine("tsubame1")

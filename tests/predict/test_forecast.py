@@ -1,0 +1,100 @@
+"""Tests for the TBF forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.predict.forecast import TbfForecaster, evaluate_forecaster
+from tests.conftest import make_log, make_record
+
+
+def _feed(forecaster, gaps):
+    for gap in gaps:
+        forecaster.observe_gap(gap)
+
+
+class TestTbfForecaster:
+    def test_not_ready_until_min_history(self):
+        forecaster = TbfForecaster(min_history=10)
+        _feed(forecaster, [5.0] * 9)
+        assert not forecaster.ready
+        with pytest.raises(AnalysisError):
+            forecaster.quantile_hours(0.5)
+        forecaster.observe_gap(5.0)
+        assert forecaster.ready
+
+    def test_recovers_exponential_scale(self):
+        rng = np.random.default_rng(0)
+        forecaster = TbfForecaster(min_history=30)
+        _feed(forecaster, rng.exponential(20.0, size=500).tolist())
+        assert forecaster.expected_hours() == pytest.approx(20.0,
+                                                            rel=0.1)
+
+    def test_quantiles_monotone(self):
+        rng = np.random.default_rng(1)
+        forecaster = TbfForecaster()
+        _feed(forecaster, rng.exponential(10.0, size=100).tolist())
+        assert (forecaster.quantile_hours(0.25)
+                < forecaster.quantile_hours(0.5)
+                < forecaster.quantile_hours(0.9))
+
+    def test_probability_within_increases(self):
+        rng = np.random.default_rng(2)
+        forecaster = TbfForecaster()
+        _feed(forecaster, rng.exponential(10.0, size=100).tolist())
+        assert (forecaster.probability_within(5.0)
+                < forecaster.probability_within(20.0) <= 1.0)
+        assert forecaster.probability_within(0.0) == 0.0
+
+    def test_zero_gap_floored(self):
+        forecaster = TbfForecaster(min_history=5)
+        _feed(forecaster, [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert forecaster.ready  # no crash from a zero support point
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(AnalysisError):
+            TbfForecaster().observe_gap(-1.0)
+
+    def test_refit_after_new_data(self):
+        rng = np.random.default_rng(3)
+        forecaster = TbfForecaster(min_history=30)
+        _feed(forecaster, rng.exponential(10.0, size=50).tolist())
+        before = forecaster.expected_hours()
+        _feed(forecaster, rng.exponential(100.0, size=200).tolist())
+        after = forecaster.expected_hours()
+        assert after > 2 * before
+
+    def test_bad_min_history_rejected(self):
+        with pytest.raises(AnalysisError):
+            TbfForecaster(min_history=2)
+
+
+class TestEvaluateForecaster:
+    def test_calibrated_on_generated_logs(self, t2_log):
+        calibration = evaluate_forecaster(t2_log)
+        assert calibration.num_forecasts > 800
+        assert calibration.is_calibrated(tolerance=0.08)
+
+    def test_coverage_keys_match_quantiles(self, t3_log):
+        calibration = evaluate_forecaster(
+            t3_log, quantiles=(0.5, 0.9), min_history=30
+        )
+        assert set(calibration.coverage) == {0.5, 0.9}
+
+    def test_mae_positive(self, t3_log):
+        calibration = evaluate_forecaster(t3_log)
+        assert calibration.mean_absolute_error_hours > 0.0
+
+    def test_too_short_log_rejected(self):
+        records = [make_record(i, hours=i + 1.0) for i in range(10)]
+        with pytest.raises(AnalysisError):
+            evaluate_forecaster(make_log(records))
+
+    def test_bad_quantiles_rejected(self, t3_log):
+        with pytest.raises(AnalysisError):
+            evaluate_forecaster(t3_log, quantiles=(0.0,))
+
+    def test_bad_tolerance_rejected(self, t3_log):
+        calibration = evaluate_forecaster(t3_log)
+        with pytest.raises(AnalysisError):
+            calibration.is_calibrated(tolerance=0.0)

@@ -1,0 +1,136 @@
+"""Tests for the Markov category model and predictor tuning."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.predict.markov import fit_markov_model, sequence_gain
+from repro.predict.tuning import best_by_f1, sweep_rate_predictor
+from tests.conftest import make_log, make_record
+
+
+def _alternating_log(n=40):
+    records = []
+    for index in range(n):
+        category = "GPU" if index % 2 == 0 else "FAN"
+        records.append(
+            make_record(index, hours=index + 1.0, category=category)
+        )
+    return make_log(records)
+
+
+class TestMarkovModel:
+    def test_rows_are_distributions(self, t2_log):
+        model = fit_markov_model(t2_log)
+        for row in model.transition.values():
+            assert sum(row.values()) == pytest.approx(1.0)
+            assert all(p > 0 for p in row.values())
+        assert sum(model.marginal.values()) == pytest.approx(1.0)
+
+    def test_alternating_sequence_learned(self):
+        model = fit_markov_model(_alternating_log(), smoothing=0.1)
+        assert model.most_likely_next("GPU") == "FAN"
+        assert model.most_likely_next("FAN") == "GPU"
+        assert model.transition["GPU"]["FAN"] > 0.9
+
+    def test_unknown_category_rejected(self):
+        model = fit_markov_model(_alternating_log())
+        with pytest.raises(AnalysisError):
+            model.next_distribution("Lustre")
+
+    def test_sequence_likelihood_prefers_patterned_data(self):
+        model = fit_markov_model(_alternating_log(), smoothing=0.1)
+        patterned = ["GPU", "FAN"] * 5
+        clumped = ["GPU"] * 10
+        assert (model.sequence_log_likelihood(patterned)
+                > model.sequence_log_likelihood(clumped))
+
+    def test_empty_sequence_rejected(self):
+        model = fit_markov_model(_alternating_log())
+        with pytest.raises(AnalysisError):
+            model.sequence_log_likelihood([])
+        with pytest.raises(AnalysisError):
+            model.iid_log_likelihood([])
+
+    def test_short_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_markov_model(make_log([make_record(0, hours=1)]))
+
+    def test_bad_smoothing_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            fit_markov_model(t2_log, smoothing=0.0)
+
+
+class TestSequenceGain:
+    def test_positive_on_patterned_sequence(self):
+        gain = sequence_gain(_alternating_log(n=200))
+        assert gain > 0.3
+
+    def test_near_zero_on_calibrated_logs(self, t2_log):
+        # The generator shuffles categories i.i.d., so the chain should
+        # not beat the marginal by much (burstiness only exists in GPU
+        # involvement, not category order).
+        gain = sequence_gain(t2_log)
+        assert abs(gain) < 0.25
+
+    def test_bad_fraction_rejected(self, t2_log):
+        with pytest.raises(AnalysisError):
+            sequence_gain(t2_log, train_fraction=1.0)
+
+    def test_short_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            sequence_gain(_alternating_log(n=3), train_fraction=0.5)
+
+    def test_gain_is_finite(self, t3_log):
+        assert math.isfinite(sequence_gain(t3_log))
+
+
+class TestPredictorSweep:
+    def test_sweep_covers_grid(self, t3_log):
+        points = sweep_rate_predictor(
+            t3_log, window_grid=(1000.0, 8000.0), threshold_grid=(2, 3)
+        )
+        assert len(points) == 4
+        configs = {(p.window_hours, p.threshold) for p in points}
+        assert (8000.0, 2) in configs
+
+    def test_larger_window_raises_recall(self, t3_log):
+        points = sweep_rate_predictor(
+            t3_log, window_grid=(500.0, 8000.0), threshold_grid=(2,)
+        )
+        small, large = sorted(points, key=lambda p: p.window_hours)
+        assert large.outcome.recall >= small.outcome.recall
+
+    def test_higher_threshold_lowers_alarm_count(self, t3_log):
+        points = sweep_rate_predictor(
+            t3_log, window_grid=(8000.0,), threshold_grid=(2, 4)
+        )
+        by_threshold = {p.threshold: p for p in points}
+        assert (by_threshold[4].outcome.total_alarms
+                <= by_threshold[2].outcome.total_alarms)
+
+    def test_best_by_f1(self, t3_log):
+        points = sweep_rate_predictor(t3_log)
+        best = best_by_f1(points)
+        assert best.f1 == max(p.f1 for p in points)
+        assert best.f1 > 0.0
+
+    def test_f1_zero_when_no_alarms(self):
+        # Spread failures so no node repeats within any window.
+        records = [
+            make_record(i, hours=i + 1.0, node_id=i) for i in range(10)
+        ]
+        log = make_log(records)
+        points = sweep_rate_predictor(
+            log, window_grid=(10.0,), threshold_grid=(2,)
+        )
+        assert points[0].f1 == 0.0
+
+    def test_invalid_inputs(self, t3_log):
+        with pytest.raises(AnalysisError):
+            sweep_rate_predictor(t3_log, window_grid=())
+        with pytest.raises(AnalysisError):
+            best_by_f1([])
+        with pytest.raises(AnalysisError):
+            sweep_rate_predictor(make_log([]))

@@ -1,0 +1,175 @@
+"""Tests for the failure predictors and their evaluation."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError, ValidationError
+from repro.predict import (
+    Alarm,
+    RateBasedPredictor,
+    TemporalLocalityPredictor,
+    evaluate_predictor,
+)
+from tests.conftest import make_log, make_record
+
+
+class TestAlarm:
+    def test_covers_window(self):
+        alarm = Alarm(node_id=3, raised_at_hours=10.0, horizon_hours=5.0)
+        assert alarm.covers(3, 12.0)
+        assert alarm.covers(3, 15.0)
+        assert not alarm.covers(3, 10.0)  # not the raising instant
+        assert not alarm.covers(3, 15.1)
+        assert not alarm.covers(4, 12.0)
+
+    def test_expiry(self):
+        alarm = Alarm(node_id=0, raised_at_hours=2.0, horizon_hours=3.0)
+        assert alarm.expires_at_hours == 5.0
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            Alarm(node_id=0, raised_at_hours=0.0, horizon_hours=0.0)
+
+
+class TestRateBasedPredictor:
+    def test_alarm_after_threshold(self):
+        predictor = RateBasedPredictor(window_hours=100.0, threshold=2,
+                                       horizon_hours=50.0)
+        first = predictor.observe(make_record(0, hours=10, node_id=7),
+                                  10.0)
+        second = predictor.observe(make_record(1, hours=20, node_id=7),
+                                   20.0)
+        assert first == []
+        assert len(second) == 1
+        assert second[0].node_id == 7
+
+    def test_window_expiry_resets_count(self):
+        predictor = RateBasedPredictor(window_hours=5.0, threshold=2)
+        predictor.observe(make_record(0, hours=0, node_id=1), 0.0)
+        late = predictor.observe(make_record(1, hours=100, node_id=1),
+                                 100.0)
+        assert late == []
+
+    def test_different_nodes_tracked_separately(self):
+        predictor = RateBasedPredictor(threshold=2)
+        predictor.observe(make_record(0, hours=0, node_id=1), 0.0)
+        other = predictor.observe(make_record(1, hours=1, node_id=2), 1.0)
+        assert other == []
+
+    def test_reset_clears_state(self):
+        predictor = RateBasedPredictor(threshold=2, window_hours=1000.0)
+        predictor.observe(make_record(0, hours=0, node_id=1), 0.0)
+        predictor.reset()
+        after = predictor.observe(make_record(1, hours=1, node_id=1), 1.0)
+        assert after == []
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            RateBasedPredictor(window_hours=0.0)
+        with pytest.raises(ValidationError):
+            RateBasedPredictor(threshold=0)
+        with pytest.raises(ValidationError):
+            RateBasedPredictor(horizon_hours=-1.0)
+
+
+class TestTemporalLocalityPredictor:
+    def test_multi_gpu_failure_triggers_alarms(self):
+        predictor = TemporalLocalityPredictor()
+        predictor.observe(
+            make_record(0, hours=0, node_id=1, category="GPU",
+                        gpus_involved=(0,)),
+            0.0,
+        )
+        alarms = predictor.observe(
+            make_record(1, hours=5, node_id=2, category="GPU",
+                        gpus_involved=(0, 1)),
+            5.0,
+        )
+        nodes = {alarm.node_id for alarm in alarms}
+        assert nodes == {1, 2}
+
+    def test_single_gpu_failure_raises_nothing(self):
+        predictor = TemporalLocalityPredictor()
+        alarms = predictor.observe(
+            make_record(0, hours=0, node_id=1, category="GPU",
+                        gpus_involved=(0,)),
+            0.0,
+        )
+        assert alarms == []
+
+    def test_memory_expiry(self):
+        predictor = TemporalLocalityPredictor(memory_hours=10.0)
+        predictor.observe(
+            make_record(0, hours=0, node_id=1, category="GPU",
+                        gpus_involved=(0,)),
+            0.0,
+        )
+        alarms = predictor.observe(
+            make_record(1, hours=100, node_id=2, category="GPU",
+                        gpus_involved=(0, 1)),
+            100.0,
+        )
+        assert {a.node_id for a in alarms} == {2}
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            TemporalLocalityPredictor(min_gpus=1)
+        with pytest.raises(ValidationError):
+            TemporalLocalityPredictor(horizon_hours=0.0)
+
+
+class TestEvaluation:
+    def test_repeat_offender_scenario(self):
+        # Node 9 fails every 10 hours; the rate predictor should cover
+        # every failure after the second.
+        records = [
+            make_record(i, hours=10.0 * (i + 1), node_id=9)
+            for i in range(10)
+        ]
+        log = make_log(records)
+        predictor = RateBasedPredictor(window_hours=50.0, threshold=2,
+                                       horizon_hours=50.0)
+        outcome = evaluate_predictor(predictor, log)
+        assert outcome.predicted_failures == 8
+        assert outcome.recall == pytest.approx(0.8)
+        assert outcome.precision > 0.8
+        assert outcome.mean_lead_time_hours > 0.0
+
+    def test_no_alarms_zero_scores(self):
+        records = [make_record(i, hours=100.0 * (i + 1), node_id=i)
+                   for i in range(5)]
+        log = make_log(records)
+        predictor = RateBasedPredictor(window_hours=10.0, threshold=2)
+        outcome = evaluate_predictor(predictor, log)
+        assert outcome.recall == 0.0
+        assert outcome.precision == 0.0
+        assert math.isnan(outcome.mean_lead_time_hours)
+
+    def test_no_peeking(self):
+        # The alarm raised by a failure must not cover that failure.
+        records = [make_record(0, hours=10.0, node_id=1)]
+        log = make_log(records)
+        predictor = RateBasedPredictor(window_hours=100.0, threshold=1)
+        outcome = evaluate_predictor(predictor, log)
+        assert outcome.predicted_failures == 0
+        assert outcome.total_alarms == 1
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluate_predictor(RateBasedPredictor(), make_log([]))
+
+    def test_locality_predictor_scores_on_calibrated_log(self, t2_log):
+        predictor = TemporalLocalityPredictor(horizon_hours=200.0)
+        outcome = evaluate_predictor(predictor, t2_log)
+        assert outcome.total_alarms > 0
+        assert 0.0 <= outcome.recall <= 1.0
+        assert 0.0 <= outcome.precision <= 1.0
+
+    def test_rate_predictor_beats_nothing_on_calibrated_log(self, t3_log):
+        # Tsubame-3 nodes repeat a lot (Figure 4b) => positive recall.
+        predictor = RateBasedPredictor(window_hours=8000.0, threshold=2,
+                                       horizon_hours=8000.0)
+        outcome = evaluate_predictor(predictor, t3_log)
+        assert outcome.recall > 0.15
+        assert outcome.precision > 0.4

@@ -1,0 +1,92 @@
+"""Tests for the spare-provisioning planner."""
+
+import pytest
+
+from repro.core import taxonomy
+from repro.core.taxonomy import FailureClass
+from repro.errors import ValidationError
+from repro.predict import plan_spares
+from tests.conftest import make_log, make_record
+
+
+def _dense_gpu_log(n=100, span=1000.0):
+    records = [
+        make_record(i, hours=(i + 1) * span / (n + 1), category="GPU")
+        for i in range(n)
+    ]
+    return make_log(records, span_hours=span)
+
+
+class TestPlanSpares:
+    def test_only_hardware_categories_planned(self, t2_log):
+        plan = plan_spares(t2_log)
+        for entry in plan.entries:
+            assert (
+                taxonomy.failure_class("tsubame2", entry.category)
+                is FailureClass.HARDWARE
+            )
+
+    def test_gpu_gets_most_stock_on_t2(self, t2_log):
+        plan = plan_spares(t2_log)
+        gpu_stock = plan.stock_for("GPU")
+        assert gpu_stock == max(e.recommended_stock for e in plan.entries)
+        assert gpu_stock >= 5
+
+    def test_higher_rate_needs_more_stock(self):
+        sparse = plan_spares(_dense_gpu_log(n=10))
+        dense = plan_spares(_dense_gpu_log(n=200))
+        assert dense.stock_for("GPU") > sparse.stock_for("GPU")
+
+    def test_longer_lead_time_needs_more_stock(self, t2_log):
+        short = plan_spares(t2_log, lead_time_hours=24.0)
+        long = plan_spares(t2_log, lead_time_hours=720.0)
+        assert long.total_stock > short.total_stock
+
+    def test_stricter_target_needs_more_stock(self, t2_log):
+        loose = plan_spares(t2_log, target_stockout_probability=0.20)
+        strict = plan_spares(t2_log, target_stockout_probability=0.001)
+        assert strict.total_stock > loose.total_stock
+
+    def test_stockout_probability_below_target(self, t2_log):
+        plan = plan_spares(t2_log, target_stockout_probability=0.05)
+        for entry in plan.entries:
+            assert entry.stockout_probability <= 0.05 + 1e-12
+
+    def test_lead_time_demand_formula(self):
+        plan = plan_spares(_dense_gpu_log(n=100, span=1000.0),
+                           lead_time_hours=100.0)
+        entry = plan.entries[0]
+        assert entry.failure_rate_per_hour == pytest.approx(0.1)
+        assert entry.lead_time_demand == pytest.approx(10.0)
+
+    def test_as_mapping_roundtrip(self, t3_log):
+        plan = plan_spares(t3_log)
+        mapping = plan.as_mapping()
+        assert mapping.get("GPU") == plan.stock_for("GPU")
+
+    def test_unplanned_category_stock_zero(self, t2_log):
+        assert plan_spares(t2_log).stock_for("PBS") == 0
+
+    def test_invalid_params_rejected(self, t2_log):
+        with pytest.raises(ValidationError):
+            plan_spares(t2_log, lead_time_hours=0.0)
+        with pytest.raises(ValidationError):
+            plan_spares(t2_log, target_stockout_probability=0.0)
+        with pytest.raises(ValidationError):
+            plan_spares(make_log([]))
+
+    def test_plan_feeds_simulator(self, t2_log):
+        # End-to-end: a provisioned simulator sees fewer stockouts.
+        from repro.sim import ClusterSimulator
+
+        plan = plan_spares(t2_log, target_stockout_probability=0.01)
+        unprovisioned = ClusterSimulator(
+            "tsubame2", seed=11,
+            initial_spares={name: 0 for name in plan.as_mapping()},
+        ).run(1500.0)
+        provisioned = ClusterSimulator(
+            "tsubame2", seed=11, initial_spares=plan.as_mapping(),
+        ).run(1500.0)
+        assert provisioned.spare_stockouts < unprovisioned.spare_stockouts
+        assert (provisioned.effective_mttr_hours
+                <= unprovisioned.effective_mttr_hours)

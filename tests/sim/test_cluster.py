@@ -1,0 +1,102 @@
+"""Tests for the cluster state machine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines.specs import TSUBAME3
+from repro.sim.cluster import Cluster, NodeState
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(TSUBAME3)
+
+
+class TestFailRepairCycle:
+    def test_initial_state_all_healthy(self, cluster):
+        assert cluster.num_available() == TSUBAME3.num_nodes
+        assert cluster.node(0).state is NodeState.HEALTHY
+
+    def test_fail_marks_node(self, cluster):
+        cluster.fail(3, "GPU", time=10.0, gpus_involved=(0, 1))
+        node = cluster.node(3)
+        assert node.state is NodeState.FAILED
+        assert node.failed_gpus == {0, 1}
+        assert cluster.num_available() == TSUBAME3.num_nodes - 1
+
+    def test_full_cycle_records_interval(self, cluster):
+        cluster.fail(3, "GPU", time=10.0)
+        cluster.start_repair(3, time=15.0)
+        interval = cluster.complete_repair(3, time=40.0)
+        assert interval.waiting_hours == pytest.approx(5.0)
+        assert interval.repair_hours == pytest.approx(25.0)
+        assert interval.total_hours == pytest.approx(30.0)
+        assert interval.category == "GPU"
+        assert cluster.node(3).state is NodeState.HEALTHY
+        assert cluster.node(3).failed_gpus == set()
+
+    def test_repeated_failure_absorbed_into_outage(self, cluster):
+        cluster.fail(3, "GPU", time=10.0)
+        cluster.fail(3, "Memory", time=12.0)  # during the outage
+        assert cluster.node(3).current_category == "GPU"
+        assert cluster.node(3).failed_at == 10.0
+
+    def test_absorbed_failure_still_accumulates_gpus(self, cluster):
+        cluster.fail(3, "GPU", time=10.0, gpus_involved=(0,))
+        cluster.fail(3, "GPU", time=11.0, gpus_involved=(2,))
+        assert cluster.node(3).failed_gpus == {0, 2}
+
+    def test_start_repair_requires_failed(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.start_repair(0, time=1.0)
+
+    def test_complete_repair_requires_repairing(self, cluster):
+        cluster.fail(0, "GPU", time=1.0)
+        with pytest.raises(SimulationError):
+            cluster.complete_repair(0, time=2.0)
+
+    def test_invalid_gpu_slot_rejected(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.fail(0, "GPU", time=1.0, gpus_involved=(9,))
+
+    def test_out_of_range_node_rejected(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.node(100000)
+
+
+class TestAggregates:
+    def test_downtime_and_availability(self, cluster):
+        cluster.fail(1, "GPU", time=0.0)
+        cluster.start_repair(1, time=0.0)
+        cluster.complete_repair(1, time=54.0)
+        assert cluster.total_downtime_hours() == pytest.approx(54.0)
+        expected = 1.0 - 54.0 / (TSUBAME3.num_nodes * 1000.0)
+        assert cluster.availability(1000.0) == pytest.approx(expected)
+
+    def test_effective_mttr(self, cluster):
+        for node, (fail, start, done) in enumerate(
+            [(0.0, 1.0, 11.0), (5.0, 5.0, 45.0)]
+        ):
+            cluster.fail(node, "GPU", time=fail)
+            cluster.start_repair(node, time=start)
+            cluster.complete_repair(node, time=done)
+        assert cluster.effective_mttr_hours() == pytest.approx(
+            (11.0 + 40.0) / 2
+        )
+        assert cluster.mean_waiting_hours() == pytest.approx(0.5)
+
+    def test_metrics_require_history(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.effective_mttr_hours()
+        with pytest.raises(SimulationError):
+            cluster.mean_waiting_hours()
+
+    def test_availability_requires_positive_horizon(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.availability(0.0)
+
+    def test_available_nodes_list(self, cluster):
+        cluster.fail(7, "GPU", time=1.0)
+        available = cluster.available_nodes()
+        assert 7 not in available
+        assert len(available) == TSUBAME3.num_nodes - 1

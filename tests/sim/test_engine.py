@@ -1,0 +1,109 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(9.0, lambda: fired.append("c"))
+        engine.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append("first"))
+        engine.schedule_at(3.0, lambda: fired.append("second"))
+        engine.run_until(5.0)
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_relative(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_in(2.0, lambda: times.append(engine.now))
+        engine.run_until(5.0)
+        assert times == [2.0]
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append(engine.now)
+            engine.schedule_in(3.0, lambda: fired.append(engine.now))
+
+        engine.schedule_at(1.0, first)
+        engine.run_until(10.0)
+        assert fired == [1.0, 4.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run_until(6.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(3.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(-1.0, lambda: None)
+
+
+class TestRunning:
+    def test_run_until_advances_clock_to_horizon(self):
+        engine = SimulationEngine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_events_beyond_horizon_stay_pending(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(1))
+        engine.schedule_at(15.0, lambda: fired.append(2))
+        engine.run_until(10.0)
+        assert fired == [1]
+        assert engine.pending == 1
+
+    def test_event_exactly_at_horizon_fires(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append(1))
+        engine.run_until(10.0)
+        assert fired == [1]
+
+    def test_backwards_horizon_rejected(self):
+        engine = SimulationEngine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run_until(2.5)
+        assert engine.processed == 2
+
+    def test_run_all_drains_queue(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(100.0, lambda: fired.append(1))
+        engine.run_all()
+        assert fired == [1]
+        assert engine.pending == 0
+
+    def test_run_all_runaway_guard(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_in(1.0, reschedule)
+
+        engine.schedule_in(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=100)

@@ -1,0 +1,257 @@
+"""Tests for the workload model and the scheduler."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machines.specs import TSUBAME3
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+from repro.sim.jobs import Job, JobState, WorkloadConfig, WorkloadGenerator
+from repro.sim.scheduler import Scheduler
+
+
+class TestJob:
+    def test_remaining_hours(self):
+        job = Job(job_id=0, num_nodes=2, duration_hours=10.0,
+                  submit_time=0.0)
+        assert job.remaining_hours == 10.0
+        job.work_done_hours = 4.0
+        assert job.remaining_hours == 6.0
+
+    def test_node_hours(self):
+        job = Job(job_id=0, num_nodes=4, duration_hours=10.0,
+                  submit_time=0.0)
+        assert job.node_hours == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Job(job_id=0, num_nodes=0, duration_hours=1.0, submit_time=0.0)
+        with pytest.raises(ValidationError):
+            Job(job_id=0, num_nodes=1, duration_hours=0.0, submit_time=0.0)
+        with pytest.raises(ValidationError):
+            Job(job_id=0, num_nodes=1, duration_hours=1.0, submit_time=-1.0)
+
+
+class TestWorkloadGenerator:
+    def test_jobs_before_horizon(self):
+        generator = WorkloadGenerator(WorkloadConfig(), seed=0)
+        jobs = generator.jobs_until(200.0)
+        assert jobs
+        assert all(job.submit_time < 200.0 for job in jobs)
+
+    def test_job_ids_unique_across_calls(self):
+        generator = WorkloadGenerator(WorkloadConfig(), seed=0)
+        first = generator.jobs_until(50.0)
+        second = generator.jobs_until(50.0)
+        ids = [job.job_id for job in first + second]
+        assert len(ids) == len(set(ids))
+
+    def test_durations_clipped(self):
+        config = WorkloadConfig(max_duration_hours=24.0)
+        jobs = WorkloadGenerator(config, seed=1).jobs_until(500.0)
+        assert all(job.duration_hours <= 24.0 for job in jobs)
+
+    def test_sizes_from_choices(self):
+        config = WorkloadConfig(size_choices=(1, 2), size_weights=(1, 1))
+        jobs = WorkloadGenerator(config, seed=2).jobs_until(200.0)
+        assert set(job.num_nodes for job in jobs) <= {1, 2}
+
+    def test_seeded_determinism(self):
+        a = WorkloadGenerator(WorkloadConfig(), seed=7).jobs_until(100.0)
+        b = WorkloadGenerator(WorkloadConfig(), seed=7).jobs_until(100.0)
+        assert [(j.submit_time, j.num_nodes) for j in a] == [
+            (j.submit_time, j.num_nodes) for j in b
+        ]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mean_interarrival_hours=0.0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(size_choices=(1,), size_weights=(1, 2))
+        with pytest.raises(ValidationError):
+            WorkloadConfig(size_choices=(0,), size_weights=(1.0,))
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadGenerator(WorkloadConfig(), seed=0).jobs_until(0.0)
+
+
+def _scheduler(policy=None):
+    engine = SimulationEngine()
+    cluster = Cluster(TSUBAME3)
+    scheduler = Scheduler(engine, cluster, checkpoint_policy=policy)
+    return engine, cluster, scheduler
+
+
+class TestScheduler:
+    def test_job_completes(self):
+        engine, _, scheduler = _scheduler()
+        job = Job(job_id=0, num_nodes=2, duration_hours=10.0,
+                  submit_time=0.0)
+        scheduler.submit(job)
+        engine.run_until(20.0)
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == pytest.approx(10.0)
+        assert scheduler.stats.jobs_completed == 1
+        assert scheduler.stats.useful_node_hours == pytest.approx(20.0)
+
+    def test_fcfs_when_capacity_allows(self):
+        engine, _, scheduler = _scheduler()
+        jobs = [
+            Job(job_id=i, num_nodes=1, duration_hours=5.0, submit_time=0.0)
+            for i in range(3)
+        ]
+        for job in jobs:
+            scheduler.submit(job)
+        engine.run_until(10.0)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert all(j.waited_hours == 0.0 for j in jobs)
+
+    def test_queueing_when_cluster_full(self):
+        engine, cluster, scheduler = _scheduler()
+        big = Job(job_id=0, num_nodes=cluster.num_nodes,
+                  duration_hours=10.0, submit_time=0.0)
+        small = Job(job_id=1, num_nodes=1, duration_hours=1.0,
+                    submit_time=0.0)
+        scheduler.submit(big)
+        scheduler.submit(small)
+        engine.run_until(5.0)
+        assert small.state is JobState.PENDING
+        engine.run_until(20.0)
+        assert small.state is JobState.COMPLETED
+        assert small.waited_hours == pytest.approx(10.0)
+
+    def test_backfill_lets_small_jobs_jump(self):
+        engine, cluster, scheduler = _scheduler()
+        # Fill all but one node, then queue a 2-node job and a 1-node
+        # job; the 1-node job backfills.
+        filler = Job(job_id=0, num_nodes=cluster.num_nodes - 1,
+                     duration_hours=10.0, submit_time=0.0)
+        wide = Job(job_id=1, num_nodes=2, duration_hours=1.0,
+                   submit_time=0.0)
+        narrow = Job(job_id=2, num_nodes=1, duration_hours=1.0,
+                     submit_time=0.0)
+        for job in (filler, wide, narrow):
+            scheduler.submit(job)
+        engine.run_until(5.0)
+        assert narrow.state is JobState.COMPLETED
+        assert wide.state is JobState.PENDING
+
+    def test_failure_without_checkpointing_restarts_from_scratch(self):
+        engine, cluster, scheduler = _scheduler()
+        job = Job(job_id=0, num_nodes=1, duration_hours=10.0,
+                  submit_time=0.0)
+        scheduler.submit(job)
+
+        def kill():
+            node = job.assigned_nodes[0]
+            cluster.fail(node, "GPU", engine.now)
+            scheduler.handle_node_failure(node)
+
+        engine.schedule_at(6.0, kill)
+        engine.run_until(30.0)
+        assert job.state is JobState.COMPLETED
+        assert job.restarts == 1
+        # 6 h were lost; completion at 6 + 10.
+        assert job.end_time == pytest.approx(16.0)
+        assert scheduler.stats.lost_node_hours == pytest.approx(6.0)
+
+    def test_failure_with_checkpointing_loses_only_tail(self):
+        policy = CheckpointPolicy(interval_hours=2.0, cost_hours=0.0)
+        engine, cluster, scheduler = _scheduler(policy)
+        job = Job(job_id=0, num_nodes=1, duration_hours=10.0,
+                  submit_time=0.0)
+        scheduler.submit(job)
+
+        def kill():
+            node = job.assigned_nodes[0]
+            cluster.fail(node, "GPU", engine.now)
+            scheduler.handle_node_failure(node)
+
+        engine.schedule_at(5.0, kill)
+        engine.run_until(30.0)
+        assert job.state is JobState.COMPLETED
+        # 4 h committed at the kill; only 1 h lost.
+        assert scheduler.stats.lost_node_hours == pytest.approx(1.0)
+        assert job.end_time == pytest.approx(11.0)
+
+    def test_failure_on_idle_node_is_harmless(self):
+        engine, cluster, scheduler = _scheduler()
+        cluster.fail(5, "GPU", time=0.0)
+        scheduler.handle_node_failure(5)
+        assert scheduler.stats.jobs_killed_by_failures == 0
+
+    def test_stats_goodput(self):
+        engine, _, scheduler = _scheduler()
+        job = Job(job_id=0, num_nodes=1, duration_hours=4.0,
+                  submit_time=0.0)
+        scheduler.submit(job)
+        engine.run_until(10.0)
+        assert scheduler.stats.goodput_fraction == 1.0
+
+
+class TestMaintenanceWindows:
+    def test_no_starts_during_window(self):
+        engine, _, scheduler = _scheduler()
+        scheduler.schedule_maintenance(period_hours=10.0,
+                                       duration_hours=2.0)
+        job = Job(job_id=0, num_nodes=1, duration_hours=1.0,
+                  submit_time=10.5)  # lands inside the first window
+        engine.schedule_at(10.5, lambda: scheduler.submit(job))
+        engine.run_until(11.5)
+        assert job.state is JobState.PENDING
+        assert scheduler.in_maintenance
+        engine.run_until(14.0)  # window closes at t=12
+        assert job.state in (JobState.RUNNING, JobState.COMPLETED)
+
+    def test_running_jobs_drain_through_window(self):
+        engine, _, scheduler = _scheduler()
+        scheduler.schedule_maintenance(period_hours=10.0,
+                                       duration_hours=2.0)
+        job = Job(job_id=0, num_nodes=1, duration_hours=11.0,
+                  submit_time=0.0)
+        scheduler.submit(job)
+        engine.run_until(11.5)  # completes mid-window
+        assert job.state is JobState.COMPLETED
+
+    def test_windows_recur(self):
+        engine, _, scheduler = _scheduler()
+        scheduler.schedule_maintenance(period_hours=10.0,
+                                       duration_hours=1.0)
+        engine.run_until(35.0)
+        assert scheduler.maintenance_windows_held == 3
+
+    def test_invalid_calendar_rejected(self):
+        from repro.errors import SimulationError
+
+        _, _, scheduler = _scheduler()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_maintenance(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_maintenance(5.0, 5.0)
+
+    def test_maintenance_raises_waits_but_not_goodput(self):
+        from repro.sim import (
+            ClusterSimulator,
+            WorkloadConfig,
+        )
+
+        def run(with_maintenance):
+            simulator = ClusterSimulator(
+                "tsubame3",
+                seed=4,
+                workload=WorkloadConfig(mean_interarrival_hours=0.5),
+            )
+            if with_maintenance:
+                simulator.scheduler.schedule_maintenance(
+                    period_hours=168.0, duration_hours=12.0
+                )
+            return simulator.run(1000.0)
+
+        plain = run(False)
+        maintained = run(True)
+        assert (maintained.scheduler.mean_wait_hours
+                >= plain.scheduler.mean_wait_hours)
+        # Work is deferred, not destroyed.
+        assert maintained.scheduler.goodput_fraction > 0.95

@@ -1,0 +1,75 @@
+"""Tests for GPU card wear and rearrangement simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.wear import simulate_card_wear
+
+
+class TestSimulateCardWear:
+    def test_deterministic(self):
+        a = simulate_card_wear("tsubame2", seed=1)
+        b = simulate_card_wear("tsubame2", seed=1)
+        assert a.card_failures == b.card_failures
+
+    def test_card_count_matches_fleet_subset(self):
+        report = simulate_card_wear("tsubame3", num_nodes=10, seed=0)
+        assert len(report.card_failures) == 40  # 10 nodes x 4 GPUs
+
+    def test_failure_volume_tracks_historical_rate(self):
+        # tsubame2: 398 GPU failures / 13728 h / 1408 nodes; 64 nodes
+        # over 3 years => ~ 64 * 398/13728/1408 * 26280 ~ 35 failures.
+        report = simulate_card_wear("tsubame2", num_nodes=64, seed=2)
+        assert 10 <= report.total_failures <= 80
+
+    def test_rotation_counter(self):
+        report = simulate_card_wear(
+            "tsubame2", num_nodes=4, horizon_hours=1000.0,
+            rotation_period_hours=100.0, seed=0,
+        )
+        assert report.rotations_performed == 10
+
+    def test_no_rotation_by_default(self):
+        report = simulate_card_wear("tsubame2", num_nodes=4, seed=0)
+        assert report.rotation_period_hours is None
+        assert report.rotations_performed == 0
+
+    def test_rotation_flattens_wear(self):
+        # Aggregate over several seeds: rotation must reduce the wear
+        # concentration induced by hot slots.
+        def mean_gini(rotation):
+            values = [
+                simulate_card_wear(
+                    "tsubame2",
+                    num_nodes=200,
+                    horizon_hours=5.0 * 8760.0,
+                    rotation_period_hours=rotation,
+                    seed=seed,
+                ).gini()
+                for seed in range(3)
+            ]
+            return sum(values) / len(values)
+
+        static = mean_gini(None)
+        rotated = mean_gini(720.0)
+        assert rotated < static
+
+    def test_gini_bounds(self):
+        report = simulate_card_wear("tsubame3", num_nodes=50, seed=3)
+        assert 0.0 <= report.gini() <= 1.0
+
+    def test_top_card_share(self):
+        report = simulate_card_wear("tsubame2", num_nodes=100, seed=4)
+        assert report.top_card_share(1.0) == pytest.approx(1.0)
+        assert report.top_card_share(0.1) >= 0.1
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_card_wear("tsubame2", num_nodes=0)
+        with pytest.raises(SimulationError):
+            simulate_card_wear("tsubame2", horizon_hours=0.0)
+        with pytest.raises(SimulationError):
+            simulate_card_wear("tsubame2", rotation_period_hours=0.0)
+        report = simulate_card_wear("tsubame2", num_nodes=4, seed=0)
+        with pytest.raises(SimulationError):
+            report.top_card_share(0.0)

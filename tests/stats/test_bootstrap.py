@@ -1,0 +1,66 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_mean_ci
+
+
+class TestBootstrapMean:
+    def test_interval_contains_sample_mean(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(50.0, 5.0, size=300)
+        result = bootstrap_mean_ci(sample, seed=2)
+        assert float(np.mean(sample)) in result
+        assert result.low < result.estimate < result.high
+        # The interval has roughly the normal-theory width (~2 x 1.96
+        # x sigma / sqrt(n)).
+        assert 0.5 < result.width < 2.5
+
+    def test_estimate_is_sample_mean(self):
+        result = bootstrap_mean_ci([1.0, 2.0, 3.0], seed=0)
+        assert result.estimate == pytest.approx(2.0)
+
+    def test_deterministic_with_seed(self):
+        sample = [1.0, 5.0, 9.0, 2.0]
+        a = bootstrap_mean_ci(sample, seed=7)
+        b = bootstrap_mean_ci(sample, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 20), seed=1)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 2000), seed=1)
+        assert large.width < small.width
+
+    def test_constant_sample_has_zero_width(self):
+        result = bootstrap_mean_ci([4.0] * 10, seed=0)
+        assert result.width == 0.0
+        assert 4.0 in result
+
+
+class TestBootstrapGeneric:
+    def test_custom_statistic(self):
+        result = bootstrap_ci(
+            [1.0, 2.0, 100.0],
+            statistic=lambda arr: float(np.median(arr)),
+            seed=0,
+        )
+        assert result.estimate == 2.0
+
+    def test_confidence_recorded(self):
+        result = bootstrap_mean_ci([1.0, 2.0], confidence=0.9, seed=0)
+        assert result.confidence == 0.9
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([1.0], confidence=1.0)
+
+    def test_bad_resamples_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([1.0], num_resamples=0)

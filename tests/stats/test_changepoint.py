@@ -1,0 +1,89 @@
+"""Tests for Poisson changepoint detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.changepoint import (
+    detect_changepoints,
+    poisson_segment_loglik,
+)
+
+
+class TestSegmentLoglik:
+    def test_zero_counts(self):
+        assert poisson_segment_loglik([0, 0, 0]) == 0.0
+
+    def test_empty(self):
+        assert poisson_segment_loglik([]) == 0.0
+
+    def test_higher_for_homogeneous_fit(self):
+        # Splitting a homogeneous segment barely improves likelihood.
+        homogeneous = [10, 10, 10, 10]
+        whole = poisson_segment_loglik(homogeneous)
+        split = (poisson_segment_loglik(homogeneous[:2])
+                 + poisson_segment_loglik(homogeneous[2:]))
+        assert split == pytest.approx(whole)
+
+
+class TestDetectChangepoints:
+    def test_clear_shift_detected(self):
+        counts = [5] * 10 + [25] * 10
+        points = detect_changepoints(counts)
+        assert len(points) == 1
+        assert points[0].index == 10
+        assert points[0].left_rate == pytest.approx(5.0)
+        assert points[0].right_rate == pytest.approx(25.0)
+        assert points[0].rate_ratio == pytest.approx(5.0)
+
+    def test_no_shift_in_homogeneous_series(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(10.0, size=40).tolist()
+        assert detect_changepoints(counts) == []
+
+    def test_two_shifts_recovered(self):
+        counts = [4] * 12 + [20] * 12 + [4] * 12
+        points = detect_changepoints(counts)
+        assert [p.index for p in points] == [12, 24]
+
+    def test_min_gain_suppresses_weak_shifts(self):
+        counts = [10] * 10 + [12] * 10  # tiny shift
+        assert detect_changepoints(counts, min_gain=10.0) == []
+
+    def test_min_segment_respected(self):
+        counts = [5, 50, 50, 50, 50, 5]
+        points = detect_changepoints(counts, min_segment=3)
+        for point in points:
+            assert 3 <= point.index <= len(counts) - 3
+
+    def test_zero_to_positive_ratio_infinite(self):
+        counts = [0] * 8 + [9] * 8
+        points = detect_changepoints(counts)
+        assert len(points) == 1
+        assert points[0].rate_ratio == float("inf")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            detect_changepoints([1, 2], min_segment=2)
+        with pytest.raises(AnalysisError):
+            detect_changepoints([1, 2, 3, 4], min_gain=0.0)
+        with pytest.raises(AnalysisError):
+            detect_changepoints([1, -1, 2, 3])
+        with pytest.raises(AnalysisError):
+            detect_changepoints([1, 2, 3, 4], min_segment=0)
+
+    def test_calibrated_monthly_series_mostly_stable(self, t2_log):
+        # The generator's mild seasonality should not register as a
+        # regime change at a strong threshold.
+        from repro.core.seasonal import monthly_failure_counts
+
+        series = monthly_failure_counts(t2_log).series()
+        points = detect_changepoints(series, min_gain=20.0)
+        assert len(points) <= 1
+
+    def test_windowed_counts_detect_injected_surge(self):
+        # Splice two generator runs at different intensities.
+        counts = [12, 10, 11, 13, 12, 11, 30, 32, 29, 31, 28, 30]
+        points = detect_changepoints(counts)
+        assert len(points) == 1
+        assert points[0].index == 6

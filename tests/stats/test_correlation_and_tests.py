@@ -1,0 +1,130 @@
+"""Tests for correlation measures and hypothesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.correlation import pearson, spearman
+from repro.stats.tests import chi_square_gof, ks_two_sample
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        result = pearson([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.coefficient == pytest.approx(1.0)
+        assert result.is_significant
+
+    def test_perfect_negative(self):
+        result = pearson([1, 2, 3, 4], [8, 6, 4, 2])
+        assert result.coefficient == pytest.approx(-1.0)
+
+    def test_independent_series_not_significant(self):
+        rng = np.random.default_rng(0)
+        result = pearson(rng.normal(size=50), rng.normal(size=50))
+        assert abs(result.coefficient) < 0.35
+        assert not result.is_significant
+
+    def test_constant_series_defined_as_zero(self):
+        result = pearson([1.0, 1.0, 1.0], [2.0, 5.0, 9.0])
+        assert result.coefficient == 0.0
+        assert result.pvalue == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson([1, 2], [3, 4])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ys = [x**3 for x in xs]
+        result = spearman(xs, ys)
+        assert result.coefficient == pytest.approx(1.0)
+
+    def test_constant_series_defined_as_zero(self):
+        assert spearman([3.0, 3.0, 3.0], [1.0, 2.0, 3.0]).coefficient == 0.0
+
+
+class TestKsTwoSample:
+    def test_same_distribution_not_rejected(self):
+        rng = np.random.default_rng(1)
+        a = rng.exponential(10.0, size=300)
+        b = rng.exponential(10.0, size=300)
+        assert not ks_two_sample(a, b).rejects_null()
+
+    def test_different_distributions_rejected(self):
+        rng = np.random.default_rng(2)
+        a = rng.exponential(10.0, size=300)
+        b = rng.exponential(50.0, size=300)
+        assert ks_two_sample(a, b).rejects_null()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ks_two_sample([], [1.0])
+
+    def test_bad_alpha_rejected(self):
+        result = ks_two_sample([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            result.rejects_null(alpha=0.0)
+
+    def test_tbf_distributions_differ_across_machines(
+        self, t2_log, t3_log
+    ):
+        # Figure 6: the TBF distributions are visibly different.
+        from repro.core.metrics import tbf_series_hours
+
+        result = ks_two_sample(
+            tbf_series_hours(t2_log), tbf_series_hours(t3_log)
+        )
+        assert result.rejects_null()
+
+
+class TestChiSquare:
+    def test_matching_counts_not_rejected(self):
+        result = chi_square_gof([50, 30, 20], [0.5, 0.3, 0.2])
+        assert result.pvalue > 0.99
+
+    def test_mismatched_counts_rejected(self):
+        result = chi_square_gof([90, 5, 5], [1 / 3, 1 / 3, 1 / 3])
+        assert result.rejects_null()
+
+    def test_unnormalised_shares_accepted(self):
+        result = chi_square_gof([50, 50], [2.0, 2.0])
+        assert result.pvalue > 0.99
+
+    def test_impossible_cell_with_observations(self):
+        result = chi_square_gof([10, 5], [1.0, 0.0])
+        assert result.pvalue == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_gof([1, 2], [0.5])
+
+    def test_all_zero_shares_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_gof([1, 2], [0.0, 0.0])
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_gof([-1, 2], [0.5, 0.5])
+
+    def test_single_cell_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_gof([5], [1.0])
+
+    def test_calibrated_category_mix_matches_profile(self, t2_log):
+        # The generated log's category histogram is consistent with the
+        # profile's target mix by construction.
+        from repro.core.breakdown import category_breakdown
+        from repro.synth import profile_for
+
+        profile = profile_for("tsubame2")
+        result = category_breakdown(t2_log)
+        names = sorted(profile.category_counts)
+        observed = [result.count_of(name) for name in names]
+        expected = [profile.category_counts[name] for name in names]
+        assert not chi_square_gof(observed, expected).rejects_null()

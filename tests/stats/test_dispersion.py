@@ -1,0 +1,117 @@
+"""Tests for dispersion/burstiness measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.dispersion import (
+    count_autocorrelation,
+    gap_coefficient_of_variation,
+    index_of_dispersion,
+    window_counts,
+)
+
+
+class TestWindowCounts:
+    def test_bucketing(self):
+        counts = window_counts([0.5, 1.5, 1.6, 9.9], span=10.0,
+                               num_windows=5)
+        assert counts == [3, 0, 0, 0, 1]
+
+    def test_boundary_event_in_last_window(self):
+        counts = window_counts([10.0], span=10.0, num_windows=5)
+        assert counts == [0, 0, 0, 0, 1]
+
+    def test_total_conserved(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 100.0, size=57)
+        counts = window_counts(times, span=100.0, num_windows=7)
+        assert sum(counts) == 57
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            window_counts([1.0], span=0.0, num_windows=2)
+        with pytest.raises(ValidationError):
+            window_counts([1.0], span=10.0, num_windows=0)
+        with pytest.raises(ValidationError):
+            window_counts([20.0], span=10.0, num_windows=2)
+
+
+class TestIndexOfDispersion:
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(1)
+        counts = rng.poisson(10.0, size=500)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.2)
+
+    def test_clustered_above_one(self):
+        counts = [0] * 50 + [20] * 50
+        assert index_of_dispersion(counts) > 5.0
+
+    def test_constant_is_zero(self):
+        assert index_of_dispersion([7, 7, 7, 7]) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            index_of_dispersion([5])
+        with pytest.raises(ValidationError):
+            index_of_dispersion([0, 0, 0])
+
+
+class TestGapCv:
+    def test_exponential_near_one(self):
+        rng = np.random.default_rng(2)
+        gaps = rng.exponential(10.0, size=2000)
+        assert gap_coefficient_of_variation(gaps) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_regular_gaps_near_zero(self):
+        assert gap_coefficient_of_variation([10.0] * 20) == 0.0
+
+    def test_bursty_above_one(self):
+        gaps = [0.1] * 50 + [100.0] * 5
+        assert gap_coefficient_of_variation(gaps) > 1.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            gap_coefficient_of_variation([1.0])
+        with pytest.raises(ValidationError):
+            gap_coefficient_of_variation([1.0, -1.0])
+        with pytest.raises(ValidationError):
+            gap_coefficient_of_variation([0.0, 0.0])
+
+
+class TestAutocorrelation:
+    def test_alternating_is_negative(self):
+        counts = [0, 10] * 20
+        assert count_autocorrelation(counts, lag=1) < -0.9
+
+    def test_lag_two_of_alternating_is_positive(self):
+        counts = [0, 10] * 20
+        assert count_autocorrelation(counts, lag=2) > 0.9
+
+    def test_constant_is_zero(self):
+        assert count_autocorrelation([5] * 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            count_autocorrelation([1, 2, 3], lag=0)
+        with pytest.raises(ValidationError):
+            count_autocorrelation([1, 2], lag=1)
+
+
+class TestCalibratedDispersion:
+    def test_generated_arrivals_are_overdispersed(self, t2_log):
+        # The Weibull shape < 1 plus seasonality makes the stream
+        # clustered relative to Poisson.
+        counts = window_counts(
+            t2_log.timestamps_hours(), t2_log.span_hours, 60
+        )
+        assert index_of_dispersion(counts) > 1.1
+
+    def test_generated_gap_cv_above_one(self, t2_log, t3_log):
+        from repro.core.metrics import tbf_series_hours
+
+        for log in (t2_log, t3_log):
+            cv = gap_coefficient_of_variation(tbf_series_hours(log))
+            assert cv > 1.1, log.machine

@@ -1,0 +1,94 @@
+"""Tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.ecdf import ECDF
+
+
+class TestEvaluation:
+    def test_step_values(self):
+        ecdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == pytest.approx(0.25)
+        assert ecdf(2.5) == pytest.approx(0.5)
+        assert ecdf(4.0) == 1.0
+        assert ecdf(100.0) == 1.0
+
+    def test_right_continuity(self):
+        ecdf = ECDF([1.0, 1.0, 2.0])
+        assert ecdf(1.0) == pytest.approx(2 / 3)
+        assert ecdf(1.0 - 1e-12) == 0.0
+
+    def test_vectorised_evaluate(self):
+        ecdf = ECDF([1.0, 2.0])
+        np.testing.assert_allclose(
+            ecdf.evaluate([0.0, 1.0, 2.0]), [0.0, 0.5, 1.0]
+        )
+
+    def test_unsorted_input_handled(self):
+        ecdf = ECDF([3.0, 1.0, 2.0])
+        assert ecdf(1.5) == pytest.approx(1 / 3)
+
+
+class TestQuantiles:
+    def test_quantile_order_statistics(self):
+        ecdf = ECDF([10.0, 20.0, 30.0, 40.0])
+        assert ecdf.quantile(0.25) == 10.0
+        assert ecdf.quantile(0.5) == 20.0
+        assert ecdf.quantile(0.75) == 30.0
+        assert ecdf.quantile(1.0) == 40.0
+
+    def test_median(self):
+        assert ECDF([5.0, 1.0, 9.0]).median() == 5.0
+
+    def test_quantile_bounds_rejected(self):
+        ecdf = ECDF([1.0])
+        with pytest.raises(ValidationError):
+            ecdf.quantile(0.0)
+        with pytest.raises(ValidationError):
+            ecdf.quantile(1.1)
+
+    def test_quantile_inverts_cdf(self):
+        rng = np.random.default_rng(0)
+        sample = rng.exponential(10.0, size=200)
+        ecdf = ECDF(sample)
+        for q in (0.1, 0.5, 0.9):
+            x = ecdf.quantile(q)
+            assert ecdf(x) >= q
+
+
+class TestShapes:
+    def test_mean_and_support(self):
+        ecdf = ECDF([2.0, 4.0, 6.0])
+        assert ecdf.mean() == pytest.approx(4.0)
+        assert ecdf.support == (2.0, 6.0)
+        assert ecdf.n == 3
+
+    def test_steps_monotone(self):
+        xs, fs = ECDF([3.0, 1.0, 2.0]).steps()
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(fs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_on_grid(self):
+        grid, values = ECDF([0.0, 10.0]).on_grid(num_points=11)
+        assert len(grid) == 11
+        assert values[0] == pytest.approx(0.5)  # F(0) includes the 0
+        assert values[-1] == 1.0
+
+    def test_on_grid_too_few_points_rejected(self):
+        with pytest.raises(ValidationError):
+            ECDF([1.0]).on_grid(num_points=1)
+
+
+class TestValidation:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            ECDF([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            ECDF([1.0, float("inf")])
+        with pytest.raises(ValidationError):
+            ECDF([float("nan")])

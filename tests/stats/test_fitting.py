@@ -1,0 +1,96 @@
+"""Tests for parametric distribution fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.fitting import (
+    SUPPORTED_DISTRIBUTIONS,
+    fit_best,
+    fit_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def exponential_sample():
+    return np.random.default_rng(0).exponential(20.0, size=500)
+
+
+@pytest.fixture(scope="module")
+def lognormal_sample():
+    return np.random.default_rng(1).lognormal(3.0, 0.8, size=500)
+
+
+class TestFitDistribution:
+    def test_exponential_recovers_scale(self, exponential_sample):
+        fit = fit_distribution(exponential_sample, "exponential")
+        assert fit.params[-1] == pytest.approx(20.0, rel=0.15)
+        assert fit.mean() == pytest.approx(
+            float(np.mean(exponential_sample)), rel=0.01
+        )
+
+    def test_weibull_shape_near_one_for_exponential_data(
+        self, exponential_sample
+    ):
+        fit = fit_distribution(exponential_sample, "weibull")
+        assert fit.shape_parameter() == pytest.approx(1.0, abs=0.15)
+
+    def test_lognormal_recovers_sigma(self, lognormal_sample):
+        fit = fit_distribution(lognormal_sample, "lognormal")
+        assert fit.shape_parameter() == pytest.approx(0.8, abs=0.1)
+
+    def test_exponential_has_no_shape(self, exponential_sample):
+        fit = fit_distribution(exponential_sample, "exponential")
+        assert fit.shape_parameter() is None
+
+    def test_quantile_monotone(self, exponential_sample):
+        fit = fit_distribution(exponential_sample, "gamma")
+        assert fit.quantile(0.25) < fit.quantile(0.75)
+
+    def test_quantile_bounds(self, exponential_sample):
+        fit = fit_distribution(exponential_sample, "gamma")
+        with pytest.raises(ValidationError):
+            fit.quantile(0.0)
+
+    def test_ks_pvalue_reasonable_for_true_family(
+        self, exponential_sample
+    ):
+        fit = fit_distribution(exponential_sample, "exponential")
+        assert fit.ks_pvalue > 0.01
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_distribution([1.0, 2.0], "pareto")
+
+    def test_non_positive_data_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_distribution([1.0, 0.0], "weibull")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_distribution([1.0], "weibull")
+
+
+class TestFitBest:
+    def test_picks_true_family_for_lognormal_data(self, lognormal_sample):
+        best = fit_best(lognormal_sample)
+        assert best.name == "lognormal"
+
+    def test_ks_criterion(self, lognormal_sample):
+        best = fit_best(lognormal_sample, criterion="ks")
+        assert best.name in SUPPORTED_DISTRIBUTIONS
+
+    def test_aic_of_best_is_minimal(self, exponential_sample):
+        best = fit_best(exponential_sample)
+        for name in SUPPORTED_DISTRIBUTIONS:
+            assert best.aic <= fit_distribution(
+                exponential_sample, name
+            ).aic + 1e-9
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_best([1.0, 2.0, 3.0], criterion="bic")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_best([1.0, 2.0, 3.0], names=())

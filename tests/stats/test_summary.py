@@ -1,0 +1,66 @@
+"""Tests for five-number summaries."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.summary import describe, five_number_summary
+
+
+class TestFiveNumberSummary:
+    def test_known_values(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.q1 == 2.0
+        assert summary.median == 3.0
+        assert summary.q3 == 4.0
+        assert summary.maximum == 5.0
+        assert summary.mean == 3.0
+        assert summary.n == 5
+
+    def test_iqr(self):
+        summary = five_number_summary([0.0, 10.0, 20.0, 30.0])
+        assert summary.iqr == pytest.approx(summary.q3 - summary.q1)
+
+    def test_relative_spread(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.relative_spread == pytest.approx(2.0 / 3.0)
+
+    def test_relative_spread_zero_median(self):
+        summary = five_number_summary([0.0, 0.0, 0.0])
+        assert summary.relative_spread == 0.0
+
+    def test_single_value(self):
+        summary = five_number_summary([7.0])
+        assert summary.minimum == summary.maximum == summary.median == 7.0
+        assert summary.iqr == 0.0
+
+    def test_as_row_keys(self):
+        row = five_number_summary([1.0, 2.0]).as_row()
+        assert set(row) == {"n", "min", "q1", "median", "q3", "max",
+                            "mean", "iqr"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            five_number_summary([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            five_number_summary([1.0, float("nan")])
+
+
+class TestDescribe:
+    def test_extended_keys(self):
+        row = describe([1.0, 2.0, 3.0])
+        for key in ("std", "cv", "p90", "p95", "p99"):
+            assert key in row
+
+    def test_std_single_sample_is_zero(self):
+        assert describe([5.0])["std"] == 0.0
+
+    def test_percentile_ordering(self):
+        row = describe(list(range(100)))
+        assert row["p90"] <= row["p95"] <= row["p99"] <= row["max"]
+
+    def test_cv(self):
+        row = describe([10.0, 10.0, 10.0])
+        assert row["cv"] == 0.0

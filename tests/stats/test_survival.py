@@ -1,0 +1,68 @@
+"""Tests for Kaplan-Meier survival estimation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.survival import KaplanMeier
+
+
+class TestUncensored:
+    def test_matches_empirical_survival(self):
+        km = KaplanMeier([1.0, 2.0, 3.0, 4.0])
+        assert km.survival_at(0.5) == 1.0
+        assert km.survival_at(1.0) == pytest.approx(0.75)
+        assert km.survival_at(2.5) == pytest.approx(0.5)
+        assert km.survival_at(4.0) == pytest.approx(0.0)
+
+    def test_ties(self):
+        km = KaplanMeier([2.0, 2.0, 5.0])
+        assert km.survival_at(2.0) == pytest.approx(1 / 3)
+
+    def test_median(self):
+        km = KaplanMeier([1.0, 2.0, 3.0, 4.0])
+        assert km.median_survival() == 2.0
+
+    def test_counts(self):
+        km = KaplanMeier([1.0, 2.0])
+        assert km.n == 2
+        assert km.num_events == 2
+
+
+class TestCensored:
+    def test_censoring_raises_survival(self):
+        uncensored = KaplanMeier([1.0, 2.0, 3.0, 4.0])
+        censored = KaplanMeier(
+            [1.0, 2.0, 3.0, 4.0], observed=[True, False, True, True]
+        )
+        # Removing the event at t=2 means the curve stays higher there.
+        assert censored.survival_at(2.0) > uncensored.survival_at(2.0)
+
+    def test_all_censored_curve_stays_at_one(self):
+        km = KaplanMeier([1.0, 2.0], observed=[False, False])
+        assert km.survival_at(10.0) == 1.0
+        assert km.median_survival() is None
+        assert km.num_events == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            KaplanMeier([1.0, 2.0], observed=[True])
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            KaplanMeier([])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            KaplanMeier([-1.0])
+
+    def test_negative_time_query_rejected(self):
+        km = KaplanMeier([1.0])
+        with pytest.raises(ValidationError):
+            km.survival_at(-0.1)
+
+    def test_steps_monotone_decreasing(self):
+        times, survival = KaplanMeier([3.0, 1.0, 2.0, 2.0]).steps()
+        assert list(times) == sorted(times)
+        assert all(a >= b for a, b in zip(survival, survival[1:]))

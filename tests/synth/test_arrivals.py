@@ -1,0 +1,153 @@
+"""Tests for arrival-time calibration and seasonality warping."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ValidationError
+from repro.synth.arrivals import (
+    MonthlyIntensityWarp,
+    arrival_offsets_hours,
+    calibrate_weibull,
+)
+
+
+class TestCalibrateWeibull:
+    def test_hits_mean_and_p75(self):
+        renewal = calibrate_weibull(mean_hours=15.3, p75_hours=20.0)
+        assert renewal.mean_hours == pytest.approx(15.3, rel=1e-6)
+        assert renewal.p75_hours == pytest.approx(20.0, rel=1e-6)
+
+    def test_heavy_tail_branch_selected(self):
+        renewal = calibrate_weibull(mean_hours=72.4, p75_hours=93.0)
+        assert renewal.shape < 1.3
+
+    def test_exponential_ratio_gives_shape_one(self):
+        # For an exponential, p75/mean = ln(4) ~ 1.386.
+        renewal = calibrate_weibull(
+            mean_hours=10.0, p75_hours=10.0 * np.log(4.0)
+        )
+        assert renewal.shape == pytest.approx(1.0, abs=0.02)
+
+    def test_sampled_moments_match(self):
+        renewal = calibrate_weibull(mean_hours=50.0, p75_hours=65.0)
+        rng = np.random.default_rng(0)
+        gaps = renewal.sample_gaps(rng, 20000)
+        assert float(gaps.mean()) == pytest.approx(50.0, rel=0.03)
+        assert float(np.percentile(gaps, 75)) == pytest.approx(65.0,
+                                                               rel=0.03)
+
+    def test_unattainable_ratio_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_weibull(mean_hours=10.0, p75_hours=15.0)  # ratio 1.5
+
+    def test_non_positive_targets_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_weibull(mean_hours=0.0, p75_hours=1.0)
+        with pytest.raises(CalibrationError):
+            calibrate_weibull(mean_hours=1.0, p75_hours=-1.0)
+
+    def test_sample_count_validated(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        with pytest.raises(ValidationError):
+            renewal.sample_gaps(np.random.default_rng(0), 0)
+
+
+class TestArrivalOffsets:
+    def test_offsets_fill_window(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        rng = np.random.default_rng(0)
+        offsets = arrival_offsets_hours(rng, renewal, 100, 1000.0)
+        assert len(offsets) == 100
+        assert offsets[0] > 0.0
+        assert offsets[-1] == pytest.approx(999.0)  # span - pad
+
+    def test_offsets_monotone(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        rng = np.random.default_rng(1)
+        offsets = arrival_offsets_hours(rng, renewal, 500, 5000.0)
+        assert np.all(np.diff(offsets) >= 0)
+
+    def test_gap_shape_preserved_after_rescaling(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        rng = np.random.default_rng(2)
+        offsets = arrival_offsets_hours(rng, renewal, 2000, 20000.0)
+        gaps = np.diff(offsets)
+        ratio = np.percentile(gaps, 75) / gaps.mean()
+        assert ratio == pytest.approx(1.3, rel=0.05)
+
+    def test_too_few_arrivals_rejected(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        with pytest.raises(ValidationError):
+            arrival_offsets_hours(np.random.default_rng(0), renewal, 1,
+                                  100.0)
+
+    def test_short_span_rejected(self):
+        renewal = calibrate_weibull(mean_hours=10.0, p75_hours=13.0)
+        with pytest.raises(ValidationError):
+            arrival_offsets_hours(np.random.default_rng(0), renewal, 10,
+                                  1.0)
+
+
+class TestMonthlyIntensityWarp:
+    def _warp(self, weights):
+        return MonthlyIntensityWarp(
+            datetime(2020, 1, 1), datetime(2021, 1, 1), tuple(weights)
+        )
+
+    def test_uniform_weights_are_identity(self):
+        warp = self._warp([1.0] * 12)
+        offsets = np.linspace(0.0, 8784.0, 50)  # 2020 is a leap year
+        np.testing.assert_allclose(warp.warp(offsets), offsets, atol=1e-6)
+
+    def test_heavy_month_attracts_events(self):
+        weights = [1.0] * 12
+        weights[6] = 10.0  # July
+        warp = self._warp(weights)
+        uniform = np.linspace(1.0, 8783.0, 5000)
+        warped = warp.warp(uniform)
+        dates = warp.to_datetimes(warped)
+        july = sum(1 for d in dates if d.month == 7)
+        january = sum(1 for d in dates if d.month == 1)
+        assert july > 5 * january
+
+    def test_order_preserved(self):
+        weights = [0.5, 2.0] * 6
+        warp = self._warp(weights)
+        offsets = np.sort(np.random.default_rng(0).uniform(0, 8784, 100))
+        warped = warp.warp(offsets)
+        assert np.all(np.diff(warped) >= 0)
+
+    def test_endpoints_map_to_endpoints(self):
+        warp = self._warp([0.5, 2.0] * 6)
+        result = warp.warp(np.asarray([0.0, 8784.0]))
+        assert result[0] == pytest.approx(0.0)
+        assert result[-1] == pytest.approx(8784.0)
+
+    def test_out_of_window_offsets_rejected(self):
+        warp = self._warp([1.0] * 12)
+        with pytest.raises(ValidationError):
+            warp.warp(np.asarray([-1.0]))
+        with pytest.raises(ValidationError):
+            warp.warp(np.asarray([9000.0]))
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValidationError):
+            MonthlyIntensityWarp(
+                datetime(2020, 1, 1), datetime(2021, 1, 1), (1.0,) * 11
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            self._warp([1.0] * 11 + [0.0])
+
+    def test_partial_year_window(self):
+        warp = MonthlyIntensityWarp(
+            datetime(2020, 3, 15), datetime(2020, 6, 15), (1.0,) * 12
+        )
+        span = (datetime(2020, 6, 15) - datetime(2020, 3, 15))
+        span_hours = span.total_seconds() / 3600.0
+        result = warp.warp(np.asarray([0.0, span_hours / 2, span_hours]))
+        assert result[0] == pytest.approx(0.0)
+        assert result[-1] == pytest.approx(span_hours)

@@ -1,0 +1,189 @@
+"""Tests for the trace generator and its ablation switches."""
+
+import pytest
+
+from repro.core.breakdown import category_breakdown
+from repro.core.metrics import mttr
+from repro.core.multigpu import multi_gpu_clustering, multi_gpu_involvement
+from repro.core.spatial import gpu_slot_distribution
+from repro.errors import ValidationError
+from repro.machines.specs import TSUBAME2, TSUBAME3
+from repro.synth import (
+    GeneratorConfig,
+    TraceGenerator,
+    generate_log,
+    profile_for,
+)
+from repro.synth.recovery import LognormalTtrSampler, normalize_to_mean
+
+
+class TestDeterminism:
+    def test_same_seed_same_log(self):
+        a = generate_log("tsubame2", seed=5)
+        b = generate_log("tsubame2", seed=5)
+        assert a.records == b.records
+
+    def test_different_seed_different_log(self):
+        a = generate_log("tsubame2", seed=5)
+        b = generate_log("tsubame2", seed=6)
+        assert a.records != b.records
+
+
+class TestGeneratedLogShape:
+    def test_sizes_match_paper(self, t2_log, t3_log):
+        assert len(t2_log) == 897
+        assert len(t3_log) == 338
+
+    def test_window_matches_spec(self, t2_log):
+        assert t2_log.window_start == TSUBAME2.log_start
+        assert t2_log.window_end == TSUBAME2.log_end
+
+    def test_all_nodes_in_fleet(self, t2_log, t3_log):
+        assert max(t2_log.node_ids()) < TSUBAME2.num_nodes
+        assert max(t3_log.node_ids()) < TSUBAME3.num_nodes
+
+    def test_involvement_only_on_gpu_category(self, t2_log, t3_log):
+        for log in (t2_log, t3_log):
+            for record in log:
+                if record.gpus_involved:
+                    assert record.category == "GPU"
+
+    def test_root_loci_only_on_t3_software(self, t2_log, t3_log):
+        assert all(r.root_locus is None for r in t2_log)
+        for record in t3_log:
+            if record.category == "Software":
+                assert record.root_locus is not None
+            else:
+                assert record.root_locus is None
+
+    def test_mttr_normalised_exactly(self, t2_log, t3_log):
+        assert mttr(t2_log) == pytest.approx(55.0, abs=1e-6)
+        assert mttr(t3_log) == pytest.approx(55.0, abs=1e-6)
+
+
+class TestSizeOverride:
+    def test_override_scales_counts(self):
+        config = GeneratorConfig(seed=0, num_failures=200)
+        log = TraceGenerator(profile_for("tsubame2"), config).generate()
+        assert len(log) == 200
+        result = category_breakdown(log)
+        assert result.share_of("GPU") == pytest.approx(0.4437, abs=0.01)
+
+    def test_override_scales_involvement(self):
+        config = GeneratorConfig(seed=0, num_failures=200)
+        log = TraceGenerator(profile_for("tsubame2"), config).generate()
+        result = multi_gpu_involvement(log, 3)
+        # Table III proportions survive the rescale.
+        assert result.share_of(1) == pytest.approx(0.30, abs=0.07)
+
+    def test_tiny_override(self):
+        config = GeneratorConfig(seed=0, num_failures=10)
+        log = TraceGenerator(profile_for("tsubame3"), config).generate()
+        assert len(log) == 10
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(num_failures=1)
+
+    def test_invalid_affinity_rejected(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(topology_affinity=0.0)
+
+
+class TestAblationSwitches:
+    def test_no_burst_clustering_weakens_clustering(self):
+        profile = profile_for("tsubame2")
+        clustered = TraceGenerator(
+            profile, GeneratorConfig(seed=0)
+        ).generate()
+        exchangeable = TraceGenerator(
+            profile, GeneratorConfig(seed=0, burst_clustering=False)
+        ).generate()
+        on = multi_gpu_clustering(clustered).clustering_ratio
+        off = multi_gpu_clustering(exchangeable).clustering_ratio
+        assert on > off
+
+    def test_no_slot_weighting_flattens_slots(self):
+        profile = profile_for("tsubame2")
+        log = TraceGenerator(
+            profile,
+            GeneratorConfig(seed=0, slot_weighting=False,
+                            topology_affinity=1.0),
+        ).generate()
+        result = gpu_slot_distribution(log.gpu_failures(),
+                                       TSUBAME2.gpu_slots)
+        assert result.imbalance() < 1.2
+
+    def test_no_mttr_normalisation_drifts(self):
+        profile = profile_for("tsubame2")
+        log = TraceGenerator(
+            profile, GeneratorConfig(seed=0, normalize_mttr=False)
+        ).generate()
+        # Close to the implied mean but not pinned exactly.
+        assert mttr(log) == pytest.approx(55.0, rel=0.25)
+        assert mttr(log) != pytest.approx(55.0, abs=1e-6)
+
+    def test_no_arrival_seasonality_flattens_months(self):
+        from repro.core.seasonal import monthly_failure_counts
+
+        profile = profile_for("tsubame2")
+        flat_log = TraceGenerator(
+            profile, GeneratorConfig(seed=0, arrival_seasonality=False)
+        ).generate()
+        seasonal_log = TraceGenerator(
+            profile, GeneratorConfig(seed=0)
+        ).generate()
+        flat = monthly_failure_counts(flat_log).series()
+        seasonal = monthly_failure_counts(seasonal_log).series()
+        import numpy as np
+
+        assert np.std(seasonal) > np.std(flat) * 0.9  # not flatter
+
+    def test_no_ttr_seasonality_removes_half_year_trend(self):
+        from repro.core.seasonal import monthly_ttr
+
+        profile = profile_for("tsubame2")
+        log = TraceGenerator(
+            profile, GeneratorConfig(seed=0, ttr_seasonality=False)
+        ).generate()
+        first, second = monthly_ttr(log).half_year_means()
+        assert abs(second - first) / first < 0.25
+
+
+class TestTtrSampler:
+    def test_mean_parametrisation(self):
+        import numpy as np
+
+        sampler = LognormalTtrSampler(mean_hours=50.0, sigma=0.7)
+        rng = np.random.default_rng(0)
+        sample = [sampler.sample(rng) for _ in range(20000)]
+        assert float(np.mean(sample)) == pytest.approx(50.0, rel=0.03)
+
+    def test_zero_sigma_is_deterministic(self):
+        import numpy as np
+
+        sampler = LognormalTtrSampler(mean_hours=10.0, sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert sampler.sample(rng) == pytest.approx(10.0)
+
+    def test_invalid_params_rejected(self):
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            LognormalTtrSampler(mean_hours=0.0, sigma=0.5)
+        with pytest.raises(CalibrationError):
+            LognormalTtrSampler(mean_hours=10.0, sigma=-0.1)
+
+    def test_normalize_to_mean(self):
+        values = normalize_to_mean([1.0, 2.0, 3.0], target_mean=20.0)
+        assert sum(values) / 3 == pytest.approx(20.0)
+        # Relative proportions preserved.
+        assert values[1] / values[0] == pytest.approx(2.0)
+
+    def test_normalize_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            normalize_to_mean([], 5.0)
+        with pytest.raises(ValidationError):
+            normalize_to_mean([1.0], 0.0)
+        with pytest.raises(ValidationError):
+            normalize_to_mean([0.0, 0.0], 5.0)

@@ -1,0 +1,174 @@
+"""Tests for the calibration profiles."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import CalibrationError, ValidationError
+from repro.synth.profiles import (
+    TSUBAME2_PROFILE,
+    TSUBAME3_PROFILE,
+    profile_for,
+)
+
+
+class TestProfileLookup:
+    def test_profiles_registered(self):
+        assert profile_for("tsubame2") is TSUBAME2_PROFILE
+        assert profile_for("tsubame3") is TSUBAME3_PROFILE
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(CalibrationError):
+            profile_for("tsubame1")
+
+
+class TestTsubame2Targets:
+    def test_total_failures(self):
+        assert TSUBAME2_PROFILE.total_failures == 897
+
+    def test_category_counts_sum(self):
+        assert sum(TSUBAME2_PROFILE.category_counts.values()) == 897
+
+    def test_stated_shares(self):
+        assert TSUBAME2_PROFILE.category_share("GPU") == pytest.approx(
+            0.4437, abs=0.0005
+        )
+        assert TSUBAME2_PROFILE.category_share("CPU") == pytest.approx(
+            0.0178, abs=0.0005
+        )
+        assert TSUBAME2_PROFILE.category_share("SSD") == pytest.approx(
+            0.04, abs=0.005
+        )
+
+    def test_involvement_matches_table3(self):
+        assert TSUBAME2_PROFILE.gpu_involvement_counts == {
+            1: 112, 2: 128, 3: 128,
+        }
+        total = (sum(TSUBAME2_PROFILE.gpu_involvement_counts.values())
+                 + TSUBAME2_PROFILE.gpu_involvement_unrecorded)
+        assert total == TSUBAME2_PROFILE.category_counts["GPU"]
+
+    def test_tbf_mean_matches_span(self):
+        assert TSUBAME2_PROFILE.tbf_mean_hours == pytest.approx(15.3,
+                                                                abs=0.1)
+
+    def test_implied_mttr_near_target(self):
+        assert TSUBAME2_PROFILE.implied_mttr_hours() == pytest.approx(
+            55.0, rel=0.10
+        )
+
+    def test_node_distribution_sums_to_one(self):
+        assert sum(
+            TSUBAME2_PROFILE.node_count_distribution.values()
+        ) == pytest.approx(1.0)
+
+    def test_no_root_loci_on_t2(self):
+        assert TSUBAME2_PROFILE.root_locus_counts is None
+
+
+class TestTsubame3Targets:
+    def test_total_failures(self):
+        assert TSUBAME3_PROFILE.total_failures == 338
+
+    def test_stated_shares(self):
+        assert TSUBAME3_PROFILE.category_share("Software") == pytest.approx(
+            0.5059, abs=0.0005
+        )
+        assert TSUBAME3_PROFILE.category_share("GPU") == pytest.approx(
+            0.2781, abs=0.0005
+        )
+        assert TSUBAME3_PROFILE.category_share("CPU") == pytest.approx(
+            0.0325, abs=0.0005
+        )
+        assert TSUBAME3_PROFILE.category_share(
+            "Power-Board"
+        ) == pytest.approx(0.01, abs=0.003)
+
+    def test_involvement_matches_table3(self):
+        counts = TSUBAME3_PROFILE.gpu_involvement_counts
+        assert counts[1] == 75
+        assert counts[2] == 4
+        assert counts[3] == 2
+        assert counts[4] == 0
+
+    def test_root_loci_sum_to_software_count(self):
+        assert sum(TSUBAME3_PROFILE.root_locus_counts.values()) == 171
+
+    def test_root_loci_headline_shares(self):
+        loci = TSUBAME3_PROFILE.root_locus_counts
+        assert loci["gpu_driver"] / 171 == pytest.approx(0.43, abs=0.01)
+        assert loci["unknown"] / 171 == pytest.approx(0.20, abs=0.01)
+
+    def test_four_gpu_slots(self):
+        assert len(TSUBAME3_PROFILE.gpu_slot_weights) == 4
+
+    def test_implied_mttr_near_target(self):
+        assert TSUBAME3_PROFILE.implied_mttr_hours() == pytest.approx(
+            55.0, rel=0.10
+        )
+
+    def test_mean_failures_per_node_higher_than_t2(self):
+        assert (TSUBAME3_PROFILE.mean_failures_per_affected_node
+                > TSUBAME2_PROFILE.mean_failures_per_affected_node)
+
+
+class TestProfileValidation:
+    def test_mismatched_category_sum_rejected(self):
+        counts = dict(TSUBAME2_PROFILE.category_counts)
+        counts["GPU"] += 1
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME2_PROFILE, category_counts=counts)
+
+    def test_unknown_category_rejected(self):
+        counts = dict(TSUBAME2_PROFILE.category_counts)
+        counts["Lustre"] = counts.pop("Rack")
+        with pytest.raises(ValidationError):
+            replace(TSUBAME2_PROFILE, category_counts=counts)
+
+    def test_missing_ttr_mean_rejected(self):
+        means = dict(TSUBAME2_PROFILE.category_ttr_mean_hours)
+        del means["GPU"]
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME2_PROFILE, category_ttr_mean_hours=means)
+
+    def test_bad_node_distribution_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(
+                TSUBAME2_PROFILE,
+                node_count_distribution={1: 0.5, 2: 0.4},
+            )
+
+    def test_wrong_slot_weight_count_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME2_PROFILE, gpu_slot_weights=(1.0, 1.0))
+
+    def test_involvement_beyond_node_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(
+                TSUBAME2_PROFILE,
+                gpu_involvement_counts={1: 112, 2: 128, 4: 128},
+            )
+
+    def test_involvement_total_mismatch_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME2_PROFILE, gpu_involvement_unrecorded=31)
+
+    def test_wrong_month_weight_count_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME2_PROFILE, month_weights=(1.0,) * 11)
+
+    def test_bad_burst_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            replace(TSUBAME2_PROFILE, burst_continue_probability=1.2)
+
+    def test_unknown_root_locus_rejected(self):
+        loci = dict(TSUBAME3_PROFILE.root_locus_counts)
+        loci["cosmic_rays"] = loci.pop("kernel_panic")
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME3_PROFILE, root_locus_counts=loci)
+
+    def test_root_loci_sum_mismatch_rejected(self):
+        loci = dict(TSUBAME3_PROFILE.root_locus_counts)
+        loci["gpu_driver"] += 1
+        with pytest.raises(CalibrationError):
+            replace(TSUBAME3_PROFILE, root_locus_counts=loci)

@@ -1,0 +1,137 @@
+"""Tests for the what-if scenario library."""
+
+import pytest
+
+from repro.core.breakdown import category_breakdown
+from repro.core.metrics import mtbf
+from repro.core.multigpu import multi_gpu_involvement
+from repro.errors import CalibrationError
+from repro.synth import (
+    GeneratorConfig,
+    TraceGenerator,
+    profile_for,
+    with_failure_rate_scaled,
+    with_operational_practices_of,
+    with_software_share,
+)
+
+
+def _generate(profile, seed=1):
+    return TraceGenerator(profile, GeneratorConfig(seed=seed)).generate()
+
+
+class TestFailureRateScaling:
+    def test_doubling_halves_mtbf(self):
+        base = profile_for("tsubame3")
+        scaled = with_failure_rate_scaled(base, 2.0)
+        assert scaled.total_failures == 676
+        log = _generate(scaled)
+        assert mtbf(log) == pytest.approx(
+            profile_for("tsubame3").tbf_mean_hours / 2.0, rel=0.05
+        )
+
+    def test_category_mix_preserved(self):
+        base = profile_for("tsubame2")
+        scaled = with_failure_rate_scaled(base, 0.5)
+        log = _generate(scaled)
+        result = category_breakdown(log)
+        assert result.share_of("GPU") == pytest.approx(0.4437, abs=0.01)
+
+    def test_involvement_totals_consistent(self):
+        scaled = with_failure_rate_scaled(profile_for("tsubame2"), 1.5)
+        gpu = scaled.category_counts["GPU"]
+        total = (sum(scaled.gpu_involvement_counts.values())
+                 + scaled.gpu_involvement_unrecorded)
+        assert total == gpu
+
+    def test_root_loci_rescaled_on_t3(self):
+        scaled = with_failure_rate_scaled(profile_for("tsubame3"), 2.0)
+        assert sum(scaled.root_locus_counts.values()) == (
+            scaled.category_counts["Software"]
+        )
+
+    def test_invalid_factor_rejected(self):
+        base = profile_for("tsubame2")
+        with pytest.raises(CalibrationError):
+            with_failure_rate_scaled(base, 0.0)
+        with pytest.raises(CalibrationError):
+            with_failure_rate_scaled(base, 0.001)
+
+
+class TestOperationalPracticeTransplant:
+    def test_t3_practices_contain_t2_multi_gpu_failures(self):
+        counterfactual = with_operational_practices_of(
+            profile_for("tsubame2"), profile_for("tsubame3")
+        )
+        log = _generate(counterfactual)
+        involvement = multi_gpu_involvement(log, 3)
+        # Historical T2: ~70% multi-GPU.  Under T3's practices: <15%.
+        assert involvement.multi_gpu_share < 0.15
+
+    def test_reverse_transplant_worsens_t3(self):
+        counterfactual = with_operational_practices_of(
+            profile_for("tsubame3"), profile_for("tsubame2")
+        )
+        log = _generate(counterfactual)
+        involvement = multi_gpu_involvement(log, 4)
+        assert involvement.multi_gpu_share > 0.4
+
+    def test_involvement_clamped_to_node_slots(self):
+        # Donor T3 has 4-GPU buckets (count 0) while T2 has 3 slots.
+        counterfactual = with_operational_practices_of(
+            profile_for("tsubame2"), profile_for("tsubame3")
+        )
+        assert max(counterfactual.gpu_involvement_counts) <= 3
+
+    def test_rates_unchanged(self):
+        base = profile_for("tsubame2")
+        counterfactual = with_operational_practices_of(
+            base, profile_for("tsubame3")
+        )
+        assert counterfactual.total_failures == base.total_failures
+        assert counterfactual.category_counts == base.category_counts
+
+
+class TestSoftwareShareScenario:
+    def test_share_reached(self):
+        scenario = with_software_share(
+            profile_for("tsubame3"), 0.75, "Software"
+        )
+        log = _generate(scenario)
+        result = category_breakdown(log)
+        assert result.share_of("Software") == pytest.approx(0.75,
+                                                            abs=0.01)
+
+    def test_total_preserved(self):
+        scenario = with_software_share(
+            profile_for("tsubame3"), 0.30, "Software"
+        )
+        assert scenario.total_failures == 338
+        assert sum(scenario.category_counts.values()) == 338
+
+    def test_other_categories_keep_relative_mix(self):
+        base = profile_for("tsubame3")
+        scenario = with_software_share(base, 0.30, "Software")
+        # GPU:CPU ratio preserved among non-software categories.
+        base_ratio = (base.category_counts["GPU"]
+                      / base.category_counts["CPU"])
+        new_ratio = (scenario.category_counts["GPU"]
+                     / scenario.category_counts["CPU"])
+        assert new_ratio == pytest.approx(base_ratio, rel=0.2)
+
+    def test_t2_uses_othersw(self):
+        scenario = with_software_share(
+            profile_for("tsubame2"), 0.40, "OtherSW"
+        )
+        assert scenario.category_counts["OtherSW"] == pytest.approx(
+            0.40 * 897, abs=1
+        )
+
+    def test_invalid_inputs_rejected(self):
+        base = profile_for("tsubame3")
+        with pytest.raises(CalibrationError):
+            with_software_share(base, 1.0, "Software")
+        with pytest.raises(CalibrationError):
+            with_software_share(base, -0.1, "Software")
+        with pytest.raises(CalibrationError):
+            with_software_share(base, 0.5, "Gremlins")

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "--machine", "tsubame2", "--out", "x.csv"],
+            ["analyze", "x.csv"],
+            ["report"],
+            ["simulate", "--machine", "tsubame3"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_machine_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--machine", "summit", "--out", "x.csv"]
+            )
+
+
+class TestCommands:
+    def test_generate_then_analyze_csv(self, tmp_path, capsys):
+        out = tmp_path / "log.csv"
+        assert main(["generate", "--machine", "tsubame2", "--seed", "1",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["analyze", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "MTBF" in captured
+        assert "GPU" in captured
+
+    def test_generate_jsonl(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        assert main(["generate", "--machine", "tsubame3",
+                     "--out", str(out)]) == 0
+        from repro.io import read_jsonl
+
+        assert len(read_jsonl(out)) == 338
+
+    def test_generate_with_size_override(self, tmp_path, capsys):
+        out = tmp_path / "small.csv"
+        assert main(["generate", "--machine", "tsubame2",
+                     "--failures", "50", "--out", str(out)]) == 0
+        assert "wrote 50 failures" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main(["report", "--seed", "1", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "Table I." in text
+        assert "Fig 12" in text
+
+    def test_simulate_prints_metrics(self, capsys):
+        assert main(["simulate", "--machine", "tsubame2",
+                     "--horizon", "500", "--seed", "2"]) == 0
+        captured = capsys.readouterr().out
+        assert "effective MTTR" in captured
+        assert "availability" in captured
+
+    def test_analyze_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope.csv")])
+
+    def test_repro_error_returns_exit_code_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("no metadata here\n")
+        assert main(["analyze", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtendedCommands:
+    def _two_logs(self, tmp_path):
+        t2 = tmp_path / "t2.csv"
+        t3 = tmp_path / "t3.csv"
+        main(["generate", "--machine", "tsubame2", "--seed", "42",
+              "--out", str(t2)])
+        main(["generate", "--machine", "tsubame3", "--seed", "42",
+              "--out", str(t3)])
+        return t2, t3
+
+    def test_compare(self, tmp_path, capsys):
+        t2, t3 = self._two_logs(tmp_path)
+        capsys.readouterr()
+        assert main(["compare", str(t2), str(t3)]) == 0
+        out = capsys.readouterr().out
+        assert "MTBF" in out
+        assert "stagnant" in out
+
+    def test_fit(self, tmp_path, capsys):
+        t2, _ = self._two_logs(tmp_path)
+        capsys.readouterr()
+        assert main(["fit", str(t2)]) == 0
+        out = capsys.readouterr().out
+        assert "TBF:" in out
+        assert "TTR:" in out
+        assert "KS" in out
+
+    def test_spares(self, tmp_path, capsys):
+        t2, _ = self._two_logs(tmp_path)
+        capsys.readouterr()
+        assert main(["spares", str(t2), "--stockout", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU" in out
+        assert "total spares:" in out
+
+    def test_trends(self, tmp_path, capsys):
+        t2, _ = self._two_logs(tmp_path)
+        capsys.readouterr()
+        assert main(["trends", str(t2), "--window", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Crow-AMSAA" in out
+        assert "MTBF" in out

@@ -1,0 +1,106 @@
+"""End-to-end determinism and pipeline tests.
+
+These lock the whole pipeline down: same seed => byte-identical full
+report, full round-trip through serialization, and an
+analysis-everything sweep that exercises every public analysis on both
+calibrated logs without error.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import report
+from repro.io import read_jsonl, write_jsonl
+from repro.synth import generate_log
+
+
+class TestDeterminism:
+    def test_full_report_reproducible(self, t2_log, t3_log):
+        first = report.full_report(t2_log, t3_log)
+        regenerated = report.full_report(
+            generate_log("tsubame2", seed=42),
+            generate_log("tsubame3", seed=42),
+        )
+        assert (hashlib.sha256(first.encode()).hexdigest()
+                == hashlib.sha256(regenerated.encode()).hexdigest())
+
+    def test_report_survives_serialization(self, t2_log, t3_log,
+                                           tmp_path):
+        write_jsonl(t2_log, tmp_path / "t2.jsonl")
+        write_jsonl(t3_log, tmp_path / "t3.jsonl")
+        roundtripped = report.full_report(
+            read_jsonl(tmp_path / "t2.jsonl"),
+            read_jsonl(tmp_path / "t3.jsonl"),
+        )
+        assert roundtripped == report.full_report(t2_log, t3_log)
+
+
+class TestAnalyzeEverything:
+    """Every public analysis runs cleanly on both calibrated logs."""
+
+    @pytest.fixture(params=["tsubame2", "tsubame3"])
+    def log(self, request, t2_log, t3_log):
+        return t2_log if request.param == "tsubame2" else t3_log
+
+    def test_core_analyses(self, log):
+        import repro.core as core
+        from repro.machines import get_machine, rack_layout_for
+
+        spec = get_machine(log.machine)
+        core.category_breakdown(log)
+        core.node_failure_distribution(log)
+        core.repeat_failure_class_split(log)
+        core.gpu_slot_distribution(log.gpu_failures(), spec.gpu_slots)
+        core.rack_failure_distribution(
+            log, rack_layout_for(log.machine)
+        )
+        core.multi_gpu_involvement(log, spec.gpus_per_node)
+        core.multi_gpu_clustering(log)
+        core.tbf_distribution(log)
+        core.tbf_by_category(log)
+        core.component_class_mtbf(log)
+        core.performance_error_proportionality(log, spec)
+        core.ttr_distribution(log)
+        core.ttr_by_category(log)
+        core.class_spread_comparison(log)
+        core.monthly_ttr(log)
+        core.monthly_failure_counts(log)
+        core.ttr_density_correlation(log)
+        core.weekday_profile(log)
+        core.hour_of_day_profile(log)
+        core.concurrent_outages(log)
+        core.crow_amsaa_fit(log)
+        core.windowed_mtbf(log, 720.0)
+        core.windowed_mttr(log, 720.0)
+        core.ttr_survival(log)
+        core.impact_ranking(log)
+        core.exposure_report(log)
+        core.category_rate_shifts(log)
+
+    def test_software_loci_only_on_t3(self, log):
+        import repro.core as core
+        from repro.errors import AnalysisError
+
+        if log.machine == "tsubame3":
+            assert core.software_root_loci(log).total_software == 171
+        else:
+            with pytest.raises(AnalysisError):
+                core.software_root_loci(log)
+
+    def test_predictors_and_plans(self, log):
+        from repro.predict import (
+            RateBasedPredictor,
+            TemporalLocalityPredictor,
+            evaluate_forecaster,
+            evaluate_predictor,
+            fit_markov_model,
+            plan_spares,
+        )
+
+        evaluate_predictor(RateBasedPredictor(), log)
+        evaluate_predictor(TemporalLocalityPredictor(), log)
+        evaluate_forecaster(log)
+        fit_markov_model(log)
+        plan = plan_spares(log)
+        assert plan.total_stock > 0

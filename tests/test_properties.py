@@ -1,0 +1,339 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import category_breakdown
+from repro.core.metrics import mtbf, tbf_series_hours
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.spatial import node_failure_distribution
+from repro.io import record_from_row, record_to_row
+from repro.stats.ecdf import ECDF
+from repro.stats.summary import five_number_summary
+from repro.stats.survival import KaplanMeier
+from repro.synth.recovery import normalize_to_mean
+from repro.synth.sampling import allocate_counts
+from tests.conftest import T0
+
+_T2_CATEGORIES = st.sampled_from(
+    ["GPU", "CPU", "SSD", "FAN", "PBS", "Memory", "Network", "Boot"]
+)
+
+_record_tuples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=999.0, allow_nan=False),
+        st.integers(min_value=0, max_value=50),
+        _T2_CATEGORIES,
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _build_log(tuples) -> FailureLog:
+    records = [
+        FailureRecord(
+            record_id=index,
+            timestamp=T0 + timedelta(hours=hours),
+            node_id=node,
+            category=category,
+            ttr_hours=ttr,
+        )
+        for index, (hours, node, category, ttr) in enumerate(tuples)
+    ]
+    return FailureLog(
+        machine="tsubame2",
+        records=tuple(records),
+        window_start=T0,
+        window_end=T0 + timedelta(hours=1000.0),
+    )
+
+
+class TestAllocateCountsProperties:
+    @given(
+        weights=st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ).filter(lambda w: sum(w.values()) > 0),
+        total=st.integers(min_value=0, max_value=5000),
+    )
+    def test_sums_exactly_and_stays_within_one_of_ideal(
+        self, weights, total
+    ):
+        counts = allocate_counts(weights, total)
+        assert sum(counts.values()) == total
+        weight_sum = sum(weights.values())
+        for label, weight in weights.items():
+            ideal = total * weight / weight_sum
+            assert abs(counts[label] - ideal) < 1.0 + 1e-9
+
+
+class TestEcdfProperties:
+    @given(
+        sample=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_monotone_and_bounded(self, sample):
+        ecdf = ECDF(sample)
+        grid = np.linspace(min(sample) - 1, max(sample) + 1, 30)
+        values = ecdf.evaluate(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert np.all((values >= 0) & (values <= 1))
+        assert ecdf(max(sample)) == 1.0
+
+    @given(
+        sample=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=2,
+            max_size=80,
+        ),
+        q=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_quantile_is_generalised_inverse(self, sample, q):
+        ecdf = ECDF(sample)
+        x = ecdf.quantile(q)
+        assert ecdf(x) >= q - 1e-12
+        assert x in sample
+
+
+class TestSummaryProperties:
+    @given(
+        sample=st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_five_numbers_ordered(self, sample):
+        summary = five_number_summary(sample)
+        assert (summary.minimum <= summary.q1 <= summary.median
+                <= summary.q3 <= summary.maximum)
+        # Mean comparison tolerates float summation error on
+        # denormal-scale inputs.
+        slack = 1e-9 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean
+        assert summary.mean <= summary.maximum + slack
+        assert summary.iqr >= 0
+
+
+class TestKaplanMeierProperties:
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_survival_non_increasing_from_one_to_zero(self, durations):
+        km = KaplanMeier(durations)
+        _, survival = km.steps()
+        assert all(0.0 <= s <= 1.0 for s in survival)
+        assert all(a >= b for a, b in zip(survival, survival[1:]))
+        # Fully observed data ends at zero.
+        assert km.survival_at(max(durations)) == pytest.approx(0.0)
+
+
+class TestLogProperties:
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_records_always_sorted(self, tuples):
+        log = _build_log(tuples)
+        stamps = [r.timestamp for r in log]
+        assert stamps == sorted(stamps)
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_breakdown_shares_sum_to_one(self, tuples):
+        log = _build_log(tuples)
+        result = category_breakdown(log)
+        assert sum(e.share for e in result.shares) == pytest.approx(1.0)
+        assert sum(e.count for e in result.shares) == len(log)
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_tbf_non_negative_and_telescopes(self, tuples):
+        log = _build_log(tuples)
+        if len(log) < 2:
+            return
+        gaps = tbf_series_hours(log)
+        assert len(gaps) == len(log) - 1
+        assert all(gap >= 0 for gap in gaps)
+        stamps = log.timestamps_hours()
+        assert sum(gaps) == pytest.approx(stamps[-1] - stamps[0])
+        assert mtbf(log) == pytest.approx(
+            (stamps[-1] - stamps[0]) / (len(log) - 1)
+        )
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_node_distribution_conserves_failures(self, tuples):
+        log = _build_log(tuples)
+        result = node_failure_distribution(log)
+        assert result.total_failures == len(log)
+        assert sum(
+            k * n for k, n in result.histogram.items()
+        ) == len(log)
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_filter_partition(self, tuples):
+        log = _build_log(tuples)
+        gpu = log.by_category("GPU")
+        rest = log.filter(lambda r: r.category != "GPU")
+        assert len(gpu) + len(rest) == len(log)
+
+
+class TestSerializationProperties:
+    @given(
+        hours=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        node=st.integers(min_value=0, max_value=10**6),
+        ttr=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        gpus=st.sets(st.integers(min_value=0, max_value=7), max_size=4),
+        locus=st.one_of(st.none(), st.sampled_from(["gpu_driver",
+                                                    "unknown"])),
+    )
+    def test_row_roundtrip_identity(self, hours, node, ttr, gpus, locus):
+        record = FailureRecord(
+            record_id=0,
+            timestamp=T0 + timedelta(hours=hours),
+            node_id=node,
+            category="Software",
+            ttr_hours=ttr,
+            gpus_involved=tuple(sorted(gpus)),
+            root_locus=locus,
+        )
+        assert record_from_row(record_to_row(record)) == record
+
+
+class TestNormalizeProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        target=st.floats(min_value=0.1, max_value=1e3),
+    )
+    def test_mean_pinned_and_ratios_preserved(self, values, target):
+        result = normalize_to_mean(values, target)
+        assert float(np.mean(result)) == pytest.approx(target, rel=1e-9)
+        if len(values) >= 2 and values[0] > 0:
+            assert result[1] / result[0] == pytest.approx(
+                values[1] / values[0], rel=1e-9
+            )
+
+
+class TestOverlapProperties:
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_levels_partition_span(self, tuples):
+        from repro.core.overlap import concurrent_outages
+
+        log = _build_log(tuples)
+        result = concurrent_outages(log)
+        assert sum(result.time_at_level.values()) == pytest.approx(
+            log.span_hours
+        )
+        assert all(level >= 0 for level in result.time_at_level)
+        assert result.fraction_at_least(0) == pytest.approx(1.0)
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_fraction_at_least_is_monotone(self, tuples):
+        from repro.core.overlap import concurrent_outages
+
+        log = _build_log(tuples)
+        result = concurrent_outages(log)
+        fractions = [
+            result.fraction_at_least(k)
+            for k in range(result.max_concurrent + 2)
+        ]
+        assert all(a >= b - 1e-12
+                   for a, b in zip(fractions, fractions[1:]))
+
+
+class TestScenarioProperties:
+    @given(factor=st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rate_scaling_conserves_structure(self, factor):
+        from repro.synth import profile_for, with_failure_rate_scaled
+
+        base = profile_for("tsubame2")
+        scaled = with_failure_rate_scaled(base, factor)
+        assert sum(scaled.category_counts.values()) == (
+            scaled.total_failures
+        )
+        gpu = scaled.category_counts.get("GPU", 0)
+        assert (sum(scaled.gpu_involvement_counts.values())
+                + scaled.gpu_involvement_unrecorded) == gpu
+
+    @given(share=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_software_share_scenario_valid(self, share):
+        from repro.synth import profile_for, with_software_share
+
+        scenario = with_software_share(
+            profile_for("tsubame3"), share, "Software"
+        )
+        assert scenario.total_failures == 338
+        assert scenario.category_counts["Software"] == round(338 * share)
+
+
+class TestDispersionProperties:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+        num_windows=st.integers(min_value=1, max_value=20),
+    )
+    def test_window_counts_conserve_events(self, times, num_windows):
+        from repro.stats.dispersion import window_counts
+
+        counts = window_counts(times, span=100.0,
+                               num_windows=num_windows)
+        assert sum(counts) == len(times)
+        assert len(counts) == num_windows
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=100),
+                        min_size=2, max_size=60).filter(
+                            lambda c: sum(c) > 0),
+    )
+    def test_index_of_dispersion_non_negative(self, counts):
+        from repro.stats.dispersion import index_of_dispersion
+
+        assert index_of_dispersion(counts) >= 0.0
+
+
+class TestImpactProperties:
+    @given(tuples=_record_tuples)
+    @settings(max_examples=50)
+    def test_impact_ranks_are_permutations(self, tuples):
+        from repro.core.impact import impact_ranking
+        from repro.errors import AnalysisError
+
+        log = _build_log(tuples)
+        try:
+            ranking = impact_ranking(log, min_failures=1)
+        except AnalysisError:
+            return  # all-zero TTR logs carry no impact to rank
+        n = len(ranking.entries)
+        assert sorted(e.impact_rank for e in ranking.entries) == (
+            list(range(1, n + 1))
+        )
+        assert sorted(e.frequency_rank for e in ranking.entries) == (
+            list(range(1, n + 1))
+        )
+        assert sum(e.rank_shift for e in ranking.entries) == 0
