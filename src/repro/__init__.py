@@ -19,6 +19,7 @@ See the package docs:
 * :mod:`repro.sim` — discrete-event failure/repair simulator.
 * :mod:`repro.predict` — failure prediction and spare provisioning.
 * :mod:`repro.io` — log serialization.
+* :mod:`repro.parallel` — deterministic multi-seed sweep engine.
 """
 
 __version__ = "1.0.0"

@@ -27,6 +27,7 @@ from repro.core.category_trends import (
     category_rate_shifts,
     category_window_counts,
 )
+from repro.core.columns import ColumnarView, build_columns
 from repro.core.compare import GenerationComparison, compare_generations
 from repro.core.exposure import ExposureReport, ExposureRow, exposure_report
 from repro.core.impact import ImpactEntry, ImpactRanking, impact_ranking
@@ -103,6 +104,7 @@ __all__ = [
     "CategoryShift",
     "CategoryTbf",
     "CategoryTtr",
+    "ColumnarView",
     "ComponentClassMtbf",
     "ConcurrentOutages",
     "CrowAmsaaFit",
@@ -131,6 +133,7 @@ __all__ = [
     "WeekdayProfile",
     "WindowPoint",
     "availability",
+    "build_columns",
     "category_breakdown",
     "category_rate_shifts",
     "category_window_counts",

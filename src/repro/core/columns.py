@@ -1,0 +1,270 @@
+"""Columnar NumPy backend for :class:`~repro.core.records.FailureLog`.
+
+The record-oriented data model is the right API for building and
+validating logs, but the analysis kernels (TBF, per-node counts,
+monthly binning, involvement tables) are array computations.  A
+:class:`ColumnarView` holds the log's fields as NumPy arrays so those
+kernels can run vectorized, and — crucially — so that a *filtered*
+sub-log can reuse its parent's arrays by boolean-mask slicing instead
+of recomputing them from the records.
+
+Layout
+------
+
+Per-record arrays, all of length ``len(log)`` and aligned with the
+log's (already sorted) record order:
+
+* ``ts_hours`` — offsets from the window start, in hours (float64).
+* ``node_ids`` — node indices (int64).
+* ``ttr_hours`` — recovery times (float64).
+* ``category_codes`` — integer code per record into ``category_names``
+  (int32).  The code table is shared by every view sliced from the
+  same root, so codes stay comparable across filters.
+* ``class_codes`` — hardware/software/unknown per record (int8, see
+  ``CLASS_CODES``).
+* ``gpu_counts`` — number of recorded GPU slots involved (int16).
+* ``gpu_category`` — True when the record's category is GPU-related in
+  the machine taxonomy (bool).
+* ``months`` / ``weekdays`` / ``hours_of_day`` — calendar fields of
+  the timestamp (int8).
+
+GPU slot involvement is ragged, so it is stored CSR-style:
+``slot_values`` concatenates every record's slots and
+``slot_offsets[i]:slot_offsets[i + 1]`` delimits record ``i``'s span.
+
+Invariant
+---------
+
+A view is always built from an already-validated log, and
+:meth:`ColumnarView.mask` only ever narrows it, so consumers may treat
+the arrays as trusted — no re-validation on slice.  This is the same
+invariant :meth:`FailureLog._from_trusted` relies on; see
+``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core import taxonomy
+from repro.core.taxonomy import FailureClass
+from repro.errors import TaxonomyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.records import FailureLog
+
+__all__ = ["ColumnarView", "build_columns", "CLASS_CODES", "CLASS_BY_CODE"]
+
+#: FailureClass -> int8 code used in ``ColumnarView.class_codes``.
+CLASS_CODES: dict[FailureClass, int] = {
+    FailureClass.HARDWARE: 0,
+    FailureClass.SOFTWARE: 1,
+    FailureClass.UNKNOWN: 2,
+}
+
+#: Inverse of :data:`CLASS_CODES`, index position == code.
+CLASS_BY_CODE: tuple[FailureClass, ...] = (
+    FailureClass.HARDWARE,
+    FailureClass.SOFTWARE,
+    FailureClass.UNKNOWN,
+)
+
+
+@dataclass(frozen=True)
+class ColumnarView:
+    """Immutable columnar mirror of one (possibly filtered) log."""
+
+    machine: str
+    category_names: tuple[str, ...]
+    #: True when every category resolved in the machine taxonomy.  When
+    #: False (lenient logs with ad-hoc categories), class/GPU codes for
+    #: the unresolved names default to UNKNOWN/non-GPU and
+    #: taxonomy-dependent consumers must fall back to the record path
+    #: to preserve its TaxonomyError behaviour.
+    taxonomy_complete: bool
+    ts_hours: np.ndarray
+    node_ids: np.ndarray
+    ttr_hours: np.ndarray
+    category_codes: np.ndarray
+    class_codes: np.ndarray
+    gpu_counts: np.ndarray
+    gpu_category: np.ndarray
+    months: np.ndarray
+    weekdays: np.ndarray
+    hours_of_day: np.ndarray
+    slot_values: np.ndarray
+    slot_offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Views are shared between logs: freeze the arrays so no kernel
+        # can mutate a sibling's data through them.
+        for array in (
+            self.ts_hours, self.node_ids, self.ttr_hours,
+            self.category_codes, self.class_codes, self.gpu_counts,
+            self.gpu_category, self.months, self.weekdays,
+            self.hours_of_day, self.slot_values, self.slot_offsets,
+        ):
+            array.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.ts_hours.shape[0])
+
+    # -- code-table helpers ------------------------------------------------
+
+    def code_of(self, category: str) -> int:
+        """Code of a category name, or -1 when absent from the table.
+
+        -1 never appears in ``category_codes``, so it is a safe
+        no-match sentinel for mask building.
+        """
+        try:
+            return self.category_names.index(category)
+        except ValueError:
+            return -1
+
+    def codes_of(self, names: tuple[str, ...]) -> np.ndarray:
+        """Codes of several category names (-1 for unknown names)."""
+        return np.asarray(
+            [self.code_of(name) for name in names], dtype=np.int32
+        )
+
+    def class_code_of(self, failure_class: FailureClass) -> int:
+        """Integer code of a :class:`FailureClass`."""
+        return CLASS_CODES[failure_class]
+
+    # -- slicing -----------------------------------------------------------
+
+    def mask(self, keep: np.ndarray) -> "ColumnarView":
+        """Return the view of the records selected by a boolean mask.
+
+        The category code table is shared, not rebuilt, so codes remain
+        comparable between parent and child views.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != self.ts_hours.shape:
+            raise ValueError(
+                f"mask of shape {keep.shape} does not match "
+                f"{self.ts_hours.shape} records"
+            )
+        lengths = np.diff(self.slot_offsets)[keep]
+        offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        starts = self.slot_offsets[:-1][keep]
+        total = int(offsets[-1]) if lengths.size else 0
+        if total:
+            # CSR gather: old start of each kept record, repeated over
+            # its span, plus the position within the span.
+            within = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(offsets[:-1], lengths)
+            )
+            take = np.repeat(starts, lengths) + within
+        else:
+            take = np.empty(0, dtype=np.int64)
+        return ColumnarView(
+            machine=self.machine,
+            category_names=self.category_names,
+            taxonomy_complete=self.taxonomy_complete,
+            ts_hours=self.ts_hours[keep],
+            node_ids=self.node_ids[keep],
+            ttr_hours=self.ttr_hours[keep],
+            category_codes=self.category_codes[keep],
+            class_codes=self.class_codes[keep],
+            gpu_counts=self.gpu_counts[keep],
+            gpu_category=self.gpu_category[keep],
+            months=self.months[keep],
+            weekdays=self.weekdays[keep],
+            hours_of_day=self.hours_of_day[keep],
+            slot_values=self.slot_values[take],
+            slot_offsets=offsets,
+        )
+
+    def slots_of(self, index: int) -> np.ndarray:
+        """Slot indices involved in record ``index``."""
+        return self.slot_values[
+            self.slot_offsets[index]:self.slot_offsets[index + 1]
+        ]
+
+
+def _category_table(
+    machine: str, names: list[str]
+) -> tuple[tuple[str, ...], np.ndarray, np.ndarray, bool]:
+    """Build the code table plus per-category class/GPU lookups.
+
+    Categories outside the machine taxonomy (lenient logs) class as
+    UNKNOWN and non-GPU; the returned flag reports whether all names
+    resolved, so consumers can fall back to the record path when not.
+    """
+    unique = tuple(sorted(set(names)))
+    class_by_code = np.empty(len(unique), dtype=np.int8)
+    gpu_by_code = np.empty(len(unique), dtype=bool)
+    complete = True
+    for code, name in enumerate(unique):
+        try:
+            cat = taxonomy.category(machine, name)
+            class_by_code[code] = CLASS_CODES[cat.failure_class]
+            gpu_by_code[code] = cat.gpu_related
+        except TaxonomyError:
+            class_by_code[code] = CLASS_CODES[FailureClass.UNKNOWN]
+            gpu_by_code[code] = False
+            complete = False
+    return unique, class_by_code, gpu_by_code, complete
+
+
+def build_columns(log: "FailureLog") -> ColumnarView:
+    """Build the columnar view of an already-validated log.
+
+    One O(n) pass over the records; everything downstream (filters,
+    kernels) works on the arrays.  Prefer :attr:`FailureLog.columns`,
+    which caches the result on the log.
+    """
+    records = log.records
+    n = len(records)
+    names = [r.category for r in records]
+    unique, class_by_code, gpu_by_code, complete = _category_table(
+        log.machine, names
+    )
+    code_of = {name: code for code, name in enumerate(unique)}
+
+    ts = np.empty(n, dtype=np.float64)
+    nodes = np.empty(n, dtype=np.int64)
+    ttrs = np.empty(n, dtype=np.float64)
+    codes = np.empty(n, dtype=np.int32)
+    gpu_counts = np.empty(n, dtype=np.int16)
+    months = np.empty(n, dtype=np.int8)
+    weekdays = np.empty(n, dtype=np.int8)
+    hours = np.empty(n, dtype=np.int8)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    flat_slots: list[int] = []
+    start = log.window_start
+    for i, r in enumerate(records):
+        ts[i] = (r.timestamp - start).total_seconds() / 3600.0
+        nodes[i] = r.node_id
+        ttrs[i] = r.ttr_hours
+        codes[i] = code_of[r.category]
+        gpu_counts[i] = len(r.gpus_involved)
+        months[i] = r.timestamp.month
+        weekdays[i] = r.timestamp.weekday()
+        hours[i] = r.timestamp.hour
+        offsets[i + 1] = offsets[i] + len(r.gpus_involved)
+        flat_slots.extend(r.gpus_involved)
+    return ColumnarView(
+        machine=log.machine,
+        category_names=unique,
+        taxonomy_complete=complete,
+        ts_hours=ts,
+        node_ids=nodes,
+        ttr_hours=ttrs,
+        category_codes=codes,
+        class_codes=class_by_code[codes],
+        gpu_counts=gpu_counts,
+        gpu_category=gpu_by_code[codes],
+        months=months,
+        weekdays=weekdays,
+        hours_of_day=hours,
+        slot_values=np.asarray(flat_slots, dtype=np.int32),
+        slot_offsets=offsets,
+    )

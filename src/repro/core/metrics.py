@@ -42,6 +42,16 @@ _PFLOPS_TO_FLOPS = 1e15
 _SECONDS_PER_HOUR = 3600.0
 
 
+def _reference_tbf_series_hours(log: FailureLog) -> list[float]:
+    """Pure-Python TBF series, retained for the parity suite."""
+    if len(log) < 2:
+        raise AnalysisError(
+            f"TBF needs at least 2 failures, log has {len(log)}"
+        )
+    stamps = log.timestamps_hours()
+    return [later - earlier for earlier, later in zip(stamps, stamps[1:])]
+
+
 def tbf_series_hours(log: FailureLog) -> list[float]:
     """Return the time-between-failures series of a log, in hours.
 
@@ -56,13 +66,17 @@ def tbf_series_hours(log: FailureLog) -> list[float]:
         raise AnalysisError(
             f"TBF needs at least 2 failures, log has {len(log)}"
         )
-    stamps = log.timestamps_hours()
-    return [later - earlier for earlier, later in zip(stamps, stamps[1:])]
+    return np.diff(log.columns.ts_hours).tolist()
+
+
+def _reference_ttr_series_hours(log: FailureLog) -> list[float]:
+    """Pure-Python TTR series, retained for the parity suite."""
+    return [record.ttr_hours for record in log]
 
 
 def ttr_series_hours(log: FailureLog) -> list[float]:
     """Return the per-failure time-to-recovery series, in hours."""
-    return [record.ttr_hours for record in log]
+    return log.columns.ttr_hours.tolist()
 
 
 def mtbf(log: FailureLog) -> float:

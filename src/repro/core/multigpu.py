@@ -65,18 +65,10 @@ class MultiGpuInvolvement:
         ]
 
 
-def multi_gpu_involvement(
+def _reference_multi_gpu_involvement(
     log: FailureLog, max_gpus: int
 ) -> MultiGpuInvolvement:
-    """Compute Table III over a log's GPU failures.
-
-    Only records with recorded GPU involvement count; involvement
-    beyond the node's GPU count is rejected.
-
-    Raises:
-        AnalysisError: On an invalid ``max_gpus`` or out-of-range
-            involvement.
-    """
+    """Pure-Python Table III, retained for the parity suite."""
     if max_gpus < 1:
         raise AnalysisError(f"max_gpus must be >= 1, got {max_gpus}")
     counts: Counter[int] = Counter()
@@ -92,6 +84,33 @@ def multi_gpu_involvement(
         counts[involved] += 1
     return MultiGpuInvolvement(
         machine=log.machine, max_gpus=max_gpus, counts=dict(counts)
+    )
+
+
+def multi_gpu_involvement(
+    log: FailureLog, max_gpus: int
+) -> MultiGpuInvolvement:
+    """Compute Table III over a log's GPU failures.
+
+    Only records with recorded GPU involvement count; involvement
+    beyond the node's GPU count is rejected.
+
+    Raises:
+        AnalysisError: On an invalid ``max_gpus`` or out-of-range
+            involvement.
+    """
+    if max_gpus < 1:
+        raise AnalysisError(f"max_gpus must be >= 1, got {max_gpus}")
+    involved = log.columns.gpu_counts
+    involved = involved[involved > 0]
+    if involved.size and int(involved.max()) > max_gpus:
+        # Rare error path: re-scan per record for the exact message.
+        return _reference_multi_gpu_involvement(log, max_gpus)
+    nums, tallies = np.unique(involved, return_counts=True)
+    return MultiGpuInvolvement(
+        machine=log.machine,
+        max_gpus=max_gpus,
+        counts=dict(zip(nums.tolist(), tallies.tolist())),
     )
 
 
@@ -159,13 +178,8 @@ class MultiGpuClustering:
         return bool(not np.isnan(ratio) and ratio > 1.0)
 
 
-def multi_gpu_clustering(log: FailureLog) -> MultiGpuClustering:
-    """Compute the Figure 8 temporal-clustering view of GPU failures.
-
-    Raises:
-        AnalysisError: If the log has no GPU failures with recorded
-            involvement.
-    """
+def _reference_multi_gpu_clustering(log: FailureLog) -> MultiGpuClustering:
+    """Pure-Python Figure 8, retained for the parity suite."""
     involved: list[tuple[float, FailureRecord]] = [
         (log.hours_since_start(record), record)
         for record in log
@@ -198,4 +212,40 @@ def multi_gpu_clustering(log: FailureLog) -> MultiGpuClustering:
         events=events,
         gaps_after_multi=tuple(gaps_after_multi),
         gaps_after_single=tuple(gaps_after_single),
+    )
+
+
+def multi_gpu_clustering(log: FailureLog) -> MultiGpuClustering:
+    """Compute the Figure 8 temporal-clustering view of GPU failures.
+
+    Raises:
+        AnalysisError: If the log has no GPU failures with recorded
+            involvement.
+    """
+    cols = log.columns
+    keep = cols.gpu_counts > 0
+    times = cols.ts_hours[keep]
+    num_involved = cols.gpu_counts[keep].astype(np.int64)
+    if times.size == 0:
+        raise AnalysisError(
+            "log has no GPU failures with recorded involvement"
+        )
+    events = tuple(zip(times.tolist(), num_involved.tolist()))
+    # Index of the first multi-GPU event strictly after each event:
+    # searchsorted over the multi positions replaces the quadratic
+    # forward scan of the reference implementation.
+    multi_positions = np.nonzero(num_involved > 1)[0]
+    following = np.searchsorted(
+        multi_positions, np.arange(times.size), side="right"
+    )
+    has_next = following < multi_positions.size
+    gaps = (
+        times[multi_positions[following[has_next]]] - times[has_next]
+    )
+    was_multi = (num_involved > 1)[has_next]
+    return MultiGpuClustering(
+        machine=log.machine,
+        events=events,
+        gaps_after_multi=tuple(gaps[was_multi].tolist()),
+        gaps_after_single=tuple(gaps[~was_multi].tolist()),
     )

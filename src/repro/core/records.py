@@ -17,10 +17,16 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from datetime import datetime, timedelta
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from repro.core import taxonomy
 from repro.core.taxonomy import FailureClass
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.columns import ColumnarView
 
 __all__ = ["FailureRecord", "FailureLog", "HOURS_PER_DAY"]
 
@@ -155,6 +161,68 @@ class FailureLog:
                     f"{self.machine} taxonomy"
                 )
 
+    # -- trusted fast path -------------------------------------------------
+    #
+    # Every record in a log has already passed the full __post_init__
+    # validation (ids unique, timestamps in window, categories in
+    # taxonomy) and is stored sorted.  Any order-preserving subset of
+    # such records therefore needs neither re-validation nor re-sorting;
+    # _from_trusted builds the sub-log directly, bypassing __init__.
+    # This is the invariant documented in docs/PERFORMANCE.md — never
+    # route records from outside an existing validated log through it.
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        machine: str,
+        records: tuple[FailureRecord, ...],
+        window_start: datetime,
+        window_end: datetime,
+        strict_taxonomy: bool,
+        columns: "ColumnarView | None" = None,
+    ) -> "FailureLog":
+        log = object.__new__(cls)
+        state = log.__dict__
+        state["machine"] = machine
+        state["records"] = records
+        state["window_start"] = window_start
+        state["window_end"] = window_end
+        state["_strict_taxonomy"] = strict_taxonomy
+        if columns is not None:
+            state["_derived_cache"] = {"columns": columns}
+        return log
+
+    def _cached(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Memoize a derived quantity on this (frozen) log."""
+        cache = self.__dict__.get("_derived_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_derived_cache", cache)
+        if key not in cache:
+            cache[key] = factory()
+        return cache[key]
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Derived caches hold NumPy arrays that are cheap to rebuild
+        # but expensive to ship to worker processes; drop them.
+        return {
+            k: v for k, v in self.__dict__.items() if k != "_derived_cache"
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    @property
+    def columns(self) -> "ColumnarView":
+        """The log's columnar NumPy view, built once and cached.
+
+        Filtered sub-logs receive their parent's arrays sliced by mask
+        rather than rebuilding from records.
+        """
+        from repro.core.columns import build_columns
+
+        return self._cached("columns", lambda: build_columns(self))
+
     # -- basic container protocol ----------------------------------------
 
     def __len__(self) -> int:
@@ -180,43 +248,94 @@ class FailureLog:
 
     def timestamps_hours(self) -> list[float]:
         """All record offsets from the window start, in hours, sorted."""
-        return [self.hours_since_start(r) for r in self.records]
+        return list(
+            self._cached(
+                "timestamps_hours",
+                lambda: tuple(
+                    self.hours_since_start(r) for r in self.records
+                ),
+            )
+        )
 
     def categories(self) -> list[str]:
         """Category names present in the log, sorted by name."""
-        return sorted({r.category for r in self.records})
+        return list(
+            self._cached(
+                "categories",
+                lambda: tuple(sorted({r.category for r in self.records})),
+            )
+        )
 
     def node_ids(self) -> list[int]:
         """Node ids present in the log, sorted."""
-        return sorted({r.node_id for r in self.records})
+        return list(
+            self._cached(
+                "node_ids",
+                lambda: tuple(sorted({r.node_id for r in self.records})),
+            )
+        )
 
     # -- filtering and slicing ---------------------------------------------
 
     def _rebuild(self, records: Iterable[FailureRecord]) -> "FailureLog":
-        return FailureLog(
+        """Build a sub-log from an order-preserving subset of this
+        log's records, skipping re-validation and re-sorting (the
+        records already passed both — see ``_from_trusted``)."""
+        return FailureLog._from_trusted(
             machine=self.machine,
             records=tuple(records),
             window_start=self.window_start,
             window_end=self.window_end,
-            _strict_taxonomy=self._strict_taxonomy,
+            strict_taxonomy=self._strict_taxonomy,
+        )
+
+    def _subset(self, keep: np.ndarray) -> "FailureLog":
+        """Build the sub-log selected by a boolean mask, propagating
+        the columnar view by slicing instead of recomputation."""
+        from itertools import compress
+
+        records = tuple(compress(self.records, keep))
+        cache = self.__dict__.get("_derived_cache") or {}
+        source = cache.get("columns")
+        return FailureLog._from_trusted(
+            machine=self.machine,
+            records=records,
+            window_start=self.window_start,
+            window_end=self.window_end,
+            strict_taxonomy=self._strict_taxonomy,
+            columns=source.mask(keep) if source is not None else None,
         )
 
     def filter(
         self, predicate: Callable[[FailureRecord], bool]
     ) -> "FailureLog":
         """Return a new log containing the records matching ``predicate``."""
-        return self._rebuild(r for r in self.records if predicate(r))
+        keep = np.fromiter(
+            (bool(predicate(r)) for r in self.records),
+            dtype=bool,
+            count=len(self.records),
+        )
+        return self._subset(keep)
 
     def by_category(self, *names: str) -> "FailureLog":
         """Return the sub-log of records in any of the given categories."""
-        wanted = set(names)
-        return self.filter(lambda r: r.category in wanted)
+        cols = self.columns
+        return self._subset(
+            np.isin(cols.category_codes, cols.codes_of(tuple(names)))
+        )
 
     def by_class(self, failure_class: FailureClass) -> "FailureLog":
         """Return the sub-log of records whose category has this class."""
-        return self.filter(
-            lambda r: taxonomy.failure_class(self.machine, r.category)
-            is failure_class
+        cols = self.columns
+        if not cols.taxonomy_complete:
+            # Lenient log with ad-hoc categories: keep the record path
+            # so the per-record TaxonomyError surfaces as before.
+            return self.filter(
+                lambda r: taxonomy.failure_class(self.machine, r.category)
+                is failure_class
+            )
+        return self._subset(
+            cols.class_codes == cols.class_code_of(failure_class)
         )
 
     def gpu_failures(self) -> "FailureLog":
@@ -227,14 +346,17 @@ class FailureLog:
         SXM2 categories on Tsubame-3) or when it explicitly records
         involved GPU slots.
         """
-        return self.filter(
-            lambda r: bool(r.gpus_involved)
-            or taxonomy.is_gpu_category(self.machine, r.category)
-        )
+        cols = self.columns
+        if not cols.taxonomy_complete:
+            return self.filter(
+                lambda r: bool(r.gpus_involved)
+                or taxonomy.is_gpu_category(self.machine, r.category)
+            )
+        return self._subset((cols.gpu_counts > 0) | cols.gpu_category)
 
     def by_node(self, node_id: int) -> "FailureLog":
         """Return the sub-log of records on one node."""
-        return self.filter(lambda r: r.node_id == node_id)
+        return self._subset(self.columns.node_ids == node_id)
 
     def between(self, start: datetime, end: datetime) -> "FailureLog":
         """Return the sub-log of records with start <= timestamp < end."""
@@ -242,7 +364,12 @@ class FailureLog:
             raise ValidationError(
                 f"between() requires start < end, got {start} .. {end}"
             )
-        return self.filter(lambda r: start <= r.timestamp < end)
+        # Same hour-offset arithmetic as hours_since_start, so boundary
+        # comparisons agree exactly with the datetime comparisons.
+        ts = self.columns.ts_hours
+        start_h = (start - self.window_start).total_seconds() / 3600.0
+        end_h = (end - self.window_start).total_seconds() / 3600.0
+        return self._subset((ts >= start_h) & (ts < end_h))
 
     # -- construction helpers ----------------------------------------------
 

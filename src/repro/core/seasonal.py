@@ -12,6 +12,8 @@ from __future__ import annotations
 import calendar
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.records import FailureLog
 from repro.errors import AnalysisError
 from repro.stats.correlation import CorrelationResult, pearson, spearman
@@ -74,12 +76,8 @@ class MonthlyTtr:
         return first_mean, second_mean
 
 
-def monthly_ttr(log: FailureLog) -> MonthlyTtr:
-    """Compute the Figure 11 monthly TTR distributions.
-
-    Raises:
-        AnalysisError: If the log is empty.
-    """
+def _reference_monthly_ttr(log: FailureLog) -> MonthlyTtr:
+    """Pure-Python Figure 11, retained for the parity suite."""
     if len(log) == 0:
         raise AnalysisError("monthly TTR of an empty log is undefined")
     by_month: dict[int, list[float]] = {}
@@ -91,6 +89,23 @@ def monthly_ttr(log: FailureLog) -> MonthlyTtr:
         month: five_number_summary(values)
         for month, values in by_month.items()
     }
+    return MonthlyTtr(machine=log.machine, summaries=summaries)
+
+
+def monthly_ttr(log: FailureLog) -> MonthlyTtr:
+    """Compute the Figure 11 monthly TTR distributions.
+
+    Raises:
+        AnalysisError: If the log is empty.
+    """
+    if len(log) == 0:
+        raise AnalysisError("monthly TTR of an empty log is undefined")
+    cols = log.columns
+    summaries = {}
+    for month in np.unique(cols.months).tolist():
+        summaries[month] = five_number_summary(
+            cols.ttr_hours[cols.months == month]
+        )
     return MonthlyTtr(machine=log.machine, summaries=summaries)
 
 
@@ -125,6 +140,19 @@ class MonthlyFailureCounts:
         return max(MONTHS, key=lambda m: (self.count_for(m), -m))
 
 
+def _reference_monthly_failure_counts(log: FailureLog) -> MonthlyFailureCounts:
+    """Pure-Python Figure 12, retained for the parity suite."""
+    if len(log) == 0:
+        raise AnalysisError(
+            "monthly failure counts of an empty log are undefined"
+        )
+    counts: dict[int, int] = {}
+    for record in log:
+        month = record.timestamp.month
+        counts[month] = counts.get(month, 0) + 1
+    return MonthlyFailureCounts(machine=log.machine, counts=counts)
+
+
 def monthly_failure_counts(log: FailureLog) -> MonthlyFailureCounts:
     """Compute the Figure 12 monthly failure counts.
 
@@ -135,11 +163,11 @@ def monthly_failure_counts(log: FailureLog) -> MonthlyFailureCounts:
         raise AnalysisError(
             "monthly failure counts of an empty log are undefined"
         )
-    counts: dict[int, int] = {}
-    for record in log:
-        month = record.timestamp.month
-        counts[month] = counts.get(month, 0) + 1
-    return MonthlyFailureCounts(machine=log.machine, counts=counts)
+    months, tallies = np.unique(log.columns.months, return_counts=True)
+    return MonthlyFailureCounts(
+        machine=log.machine,
+        counts=dict(zip(months.tolist(), tallies.tolist())),
+    )
 
 
 @dataclass(frozen=True)
@@ -237,6 +265,16 @@ class WeekdayProfile:
         return max(self.counts) / low
 
 
+def _reference_weekday_profile(log: FailureLog) -> WeekdayProfile:
+    """Pure-Python weekday counts, retained for the parity suite."""
+    if len(log) == 0:
+        raise AnalysisError("weekday profile of an empty log is undefined")
+    counts = [0] * 7
+    for record in log:
+        counts[record.timestamp.weekday()] += 1
+    return WeekdayProfile(machine=log.machine, counts=tuple(counts))
+
+
 def weekday_profile(log: FailureLog) -> WeekdayProfile:
     """Count failures per day of week.
 
@@ -245,10 +283,8 @@ def weekday_profile(log: FailureLog) -> WeekdayProfile:
     """
     if len(log) == 0:
         raise AnalysisError("weekday profile of an empty log is undefined")
-    counts = [0] * 7
-    for record in log:
-        counts[record.timestamp.weekday()] += 1
-    return WeekdayProfile(machine=log.machine, counts=tuple(counts))
+    counts = np.bincount(log.columns.weekdays, minlength=7)
+    return WeekdayProfile(machine=log.machine, counts=tuple(counts.tolist()))
 
 
 @dataclass(frozen=True)
@@ -291,6 +327,18 @@ class HourOfDayProfile:
         return sum(self.counts[start:end]) / self.total
 
 
+def _reference_hour_of_day_profile(log: FailureLog) -> HourOfDayProfile:
+    """Pure-Python hour-of-day counts, retained for the parity suite."""
+    if len(log) == 0:
+        raise AnalysisError(
+            "hour-of-day profile of an empty log is undefined"
+        )
+    counts = [0] * 24
+    for record in log:
+        counts[record.timestamp.hour] += 1
+    return HourOfDayProfile(machine=log.machine, counts=tuple(counts))
+
+
 def hour_of_day_profile(log: FailureLog) -> HourOfDayProfile:
     """Count failures per hour of day.
 
@@ -301,7 +349,7 @@ def hour_of_day_profile(log: FailureLog) -> HourOfDayProfile:
         raise AnalysisError(
             "hour-of-day profile of an empty log is undefined"
         )
-    counts = [0] * 24
-    for record in log:
-        counts[record.timestamp.hour] += 1
-    return HourOfDayProfile(machine=log.machine, counts=tuple(counts))
+    counts = np.bincount(log.columns.hours_of_day, minlength=24)
+    return HourOfDayProfile(
+        machine=log.machine, counts=tuple(counts.tolist())
+    )

@@ -10,7 +10,10 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core import taxonomy
+from repro.core.columns import CLASS_CODES
 from repro.core.records import FailureLog
 from repro.core.taxonomy import FailureClass
 from repro.errors import AnalysisError
@@ -85,12 +88,10 @@ class NodeFailureDistribution:
         return ranked[:k]
 
 
-def node_failure_distribution(log: FailureLog) -> NodeFailureDistribution:
-    """Compute the Figure 4 per-node failure-count distribution.
-
-    Raises:
-        AnalysisError: If the log is empty.
-    """
+def _reference_node_failure_distribution(
+    log: FailureLog,
+) -> NodeFailureDistribution:
+    """Pure-Python Figure 4, retained for the parity suite."""
     if len(log) == 0:
         raise AnalysisError(
             "node failure distribution of an empty log is undefined"
@@ -101,6 +102,25 @@ def node_failure_distribution(log: FailureLog) -> NodeFailureDistribution:
         machine=log.machine,
         counts_per_node=dict(counts),
         histogram=dict(histogram),
+    )
+
+
+def node_failure_distribution(log: FailureLog) -> NodeFailureDistribution:
+    """Compute the Figure 4 per-node failure-count distribution.
+
+    Raises:
+        AnalysisError: If the log is empty.
+    """
+    if len(log) == 0:
+        raise AnalysisError(
+            "node failure distribution of an empty log is undefined"
+        )
+    nodes, per_node = np.unique(log.columns.node_ids, return_counts=True)
+    ks, num_nodes = np.unique(per_node, return_counts=True)
+    return NodeFailureDistribution(
+        machine=log.machine,
+        counts_per_node=dict(zip(nodes.tolist(), per_node.tolist())),
+        histogram=dict(zip(ks.tolist(), num_nodes.tolist())),
     )
 
 
@@ -130,8 +150,10 @@ class RepeatFailureClassSplit:
         )
 
 
-def repeat_failure_class_split(log: FailureLog) -> RepeatFailureClassSplit:
-    """Split failures on multi-failure nodes by hardware/software class."""
+def _reference_repeat_failure_class_split(
+    log: FailureLog,
+) -> RepeatFailureClassSplit:
+    """Pure-Python class split, retained for the parity suite."""
     distribution = node_failure_distribution(log)
     multi_nodes = {
         node for node, count in distribution.counts_per_node.items()
@@ -149,6 +171,31 @@ def repeat_failure_class_split(log: FailureLog) -> RepeatFailureClassSplit:
         hardware_failures=tallies[FailureClass.HARDWARE],
         software_failures=tallies[FailureClass.SOFTWARE],
         unknown_failures=tallies[FailureClass.UNKNOWN],
+    )
+
+
+def repeat_failure_class_split(log: FailureLog) -> RepeatFailureClassSplit:
+    """Split failures on multi-failure nodes by hardware/software class."""
+    cols = log.columns
+    if not cols.taxonomy_complete:
+        # Ad-hoc categories must keep raising TaxonomyError per record.
+        return _reference_repeat_failure_class_split(log)
+    if len(log) == 0:
+        raise AnalysisError(
+            "node failure distribution of an empty log is undefined"
+        )
+    nodes, per_node = np.unique(cols.node_ids, return_counts=True)
+    multi = nodes[per_node > 1]
+    on_multi = np.isin(cols.node_ids, multi)
+    tallies = np.bincount(
+        cols.class_codes[on_multi], minlength=len(CLASS_CODES)
+    )
+    return RepeatFailureClassSplit(
+        machine=log.machine,
+        num_multi_failure_nodes=int(multi.size),
+        hardware_failures=int(tallies[CLASS_CODES[FailureClass.HARDWARE]]),
+        software_failures=int(tallies[CLASS_CODES[FailureClass.SOFTWARE]]),
+        unknown_failures=int(tallies[CLASS_CODES[FailureClass.UNKNOWN]]),
     )
 
 
@@ -198,6 +245,25 @@ class GpuSlotDistribution:
         return max(values) / low
 
 
+def _reference_gpu_slot_distribution(
+    log: FailureLog, gpu_slots: tuple[int, ...]
+) -> GpuSlotDistribution:
+    """Pure-Python Figure 5, retained for the parity suite."""
+    if not gpu_slots:
+        raise AnalysisError("gpu_slots must be non-empty")
+    valid = set(gpu_slots)
+    counts = {slot: 0 for slot in gpu_slots}
+    for record in log:
+        for slot in record.gpus_involved:
+            if slot not in valid:
+                raise AnalysisError(
+                    f"record {record.record_id} involves GPU slot {slot}, "
+                    f"which is not among the node's slots {sorted(valid)}"
+                )
+            counts[slot] += 1
+    return GpuSlotDistribution(machine=log.machine, counts=counts)
+
+
 def gpu_slot_distribution(
     log: FailureLog, gpu_slots: tuple[int, ...]
 ) -> GpuSlotDistribution:
@@ -216,16 +282,15 @@ def gpu_slot_distribution(
     """
     if not gpu_slots:
         raise AnalysisError("gpu_slots must be non-empty")
-    valid = set(gpu_slots)
-    counts = {slot: 0 for slot in gpu_slots}
-    for record in log:
-        for slot in record.gpus_involved:
-            if slot not in valid:
-                raise AnalysisError(
-                    f"record {record.record_id} involves GPU slot {slot}, "
-                    f"which is not among the node's slots {sorted(valid)}"
-                )
-            counts[slot] += 1
+    slots = log.columns.slot_values
+    wanted = np.asarray(sorted(set(gpu_slots)), dtype=slots.dtype)
+    if slots.size and not np.isin(slots, wanted).all():
+        # Rare error path: re-scan per record for the exact message.
+        return _reference_gpu_slot_distribution(log, gpu_slots)
+    tallies = np.bincount(
+        slots, minlength=int(wanted[-1]) + 1 if wanted.size else 0
+    )
+    counts = {slot: int(tallies[slot]) for slot in gpu_slots}
     return GpuSlotDistribution(machine=log.machine, counts=counts)
 
 
@@ -301,6 +366,25 @@ class RackFailureDistribution:
         return (2.0 * cumulative) / (n * self.total) - (n + 1.0) / n
 
 
+def _reference_rack_failure_distribution(log, layout) -> RackFailureDistribution:
+    """Pure-Python rack aggregation, retained for the parity suite."""
+    if len(log) == 0:
+        raise AnalysisError(
+            "rack failure distribution of an empty log is undefined"
+        )
+    if layout.machine != log.machine:
+        raise AnalysisError(
+            f"layout is for {layout.machine!r} but log is for "
+            f"{log.machine!r}"
+        )
+    counts = Counter(layout.rack_of(record.node_id) for record in log)
+    return RackFailureDistribution(
+        machine=log.machine,
+        counts=dict(counts),
+        num_racks=layout.num_racks,
+    )
+
+
 def rack_failure_distribution(log, layout) -> RackFailureDistribution:
     """Aggregate a log's failures per rack.
 
@@ -321,7 +405,12 @@ def rack_failure_distribution(log, layout) -> RackFailureDistribution:
             f"layout is for {layout.machine!r} but log is for "
             f"{log.machine!r}"
         )
-    counts = Counter(layout.rack_of(record.node_id) for record in log)
+    # One rack lookup per affected node instead of one per record.
+    nodes, per_node = np.unique(log.columns.node_ids, return_counts=True)
+    counts: dict[int, int] = {}
+    for node, count in zip(nodes.tolist(), per_node.tolist()):
+        rack = layout.rack_of(node)
+        counts[rack] = counts.get(rack, 0) + count
     return RackFailureDistribution(
         machine=log.machine,
         counts=dict(counts),

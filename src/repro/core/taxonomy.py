@@ -14,6 +14,7 @@ hardware/software classing, and the software root-locus taxonomy.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 from repro.errors import TaxonomyError
@@ -164,11 +165,17 @@ def categories_for(machine: str) -> tuple[Category, ...]:
         ) from None
 
 
+@functools.lru_cache(maxsize=None)
 def category(machine: str, name: str) -> Category:
     """Look up a single category by machine and name.
 
+    Memoized: the taxonomy tables are module constants, so a
+    (machine, name) pair always resolves to the same Category and the
+    per-record lookups in hot filters hit the cache.
+
     Raises:
-        TaxonomyError: If the machine or category name is unknown.
+        TaxonomyError: If the machine or category name is unknown
+            (errors are not cached).
     """
     index = _INDEX.get(machine)
     if index is None:
@@ -184,11 +191,13 @@ def category(machine: str, name: str) -> Category:
         ) from None
 
 
+@functools.lru_cache(maxsize=None)
 def failure_class(machine: str, name: str) -> FailureClass:
     """Return the hardware/software/unknown class of a category."""
     return category(machine, name).failure_class
 
 
+@functools.lru_cache(maxsize=None)
 def is_gpu_category(machine: str, name: str) -> bool:
     """Return True when the category describes GPU-incident failures."""
     return category(machine, name).gpu_related

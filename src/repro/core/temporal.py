@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core import metrics
 from repro.core.records import FailureLog
 from repro.errors import AnalysisError
@@ -86,6 +88,32 @@ class CategoryTbf:
         return self.summary.iqr
 
 
+def _reference_tbf_by_category(
+    log: FailureLog, min_failures: int = 3
+) -> list[CategoryTbf]:
+    """Per-record-path Figure 7, retained for the parity suite."""
+    if min_failures < 2:
+        raise AnalysisError(
+            f"min_failures must be >= 2 to define any TBF, "
+            f"got {min_failures}"
+        )
+    results = []
+    for name in log.categories():
+        sub = log.by_category(name)
+        if len(sub) < min_failures:
+            continue
+        series = metrics._reference_tbf_series_hours(sub)
+        results.append(
+            CategoryTbf(category=name, summary=five_number_summary(series))
+        )
+    if not results:
+        raise AnalysisError(
+            f"no category has at least {min_failures} failures"
+        )
+    results.sort(key=lambda entry: entry.mean_hours)
+    return results
+
+
 def tbf_by_category(
     log: FailureLog, min_failures: int = 3
 ) -> list[CategoryTbf]:
@@ -103,14 +131,17 @@ def tbf_by_category(
             f"min_failures must be >= 2 to define any TBF, "
             f"got {min_failures}"
         )
+    cols = log.columns
     results = []
     for name in log.categories():
-        sub = log.by_category(name)
-        if len(sub) < min_failures:
+        stamps = cols.ts_hours[cols.category_codes == cols.code_of(name)]
+        if stamps.shape[0] < min_failures:
             continue
-        series = metrics.tbf_series_hours(sub)
         results.append(
-            CategoryTbf(category=name, summary=five_number_summary(series))
+            CategoryTbf(
+                category=name,
+                summary=five_number_summary(np.diff(stamps)),
+            )
         )
     if not results:
         raise AnalysisError(

@@ -1,0 +1,105 @@
+"""Deterministic multi-seed sweep engine.
+
+Monte-Carlo replication (many seeds through the same pipeline) and
+grid sweeps (many configurations over the same log) are embarrassingly
+parallel, but naive parallelism breaks two guarantees this repo cares
+about: result *determinism* (the output must not depend on worker
+scheduling) and *parity* (the parallel path must return exactly what
+the serial loop returns, in the same order).
+
+:func:`sweep` provides both: work items are dispatched to a
+:class:`~concurrent.futures.ProcessPoolExecutor` in chunks, and the
+results are merged back in input order, so ``sweep(fn, seeds,
+processes=4)`` is bit-identical to ``[fn(s) for s in seeds]`` for any
+pure ``fn``.  With ``processes=None`` or ``1`` the loop runs serially
+in-process — no pool, no pickling — which is also the fallback for
+interactive callers on single-core machines.
+
+``fn`` must be picklable (a module-level function, not a lambda or
+closure) whenever ``processes > 1``; its items and results travel
+through process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["sweep", "default_processes"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def default_processes() -> int:
+    """Worker count to use when the caller just says "parallel".
+
+    The schedulable CPU count when available (containers often restrict
+    affinity below ``os.cpu_count()``), else 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _chunksize(num_items: int, processes: int) -> int:
+    """Chunk items so each worker sees a few chunks (load balance)
+    without per-item dispatch overhead."""
+    return max(1, num_items // (processes * 4))
+
+
+def sweep(
+    fn: Callable[[_ItemT], _ResultT],
+    seeds: Iterable[_ItemT],
+    processes: int | None = None,
+    chunksize: int | None = None,
+) -> list[_ResultT]:
+    """Apply ``fn`` to every seed, optionally across processes.
+
+    Args:
+        fn: Pure function of one item.  Must be picklable (defined at
+            module level) when ``processes > 1``.
+        seeds: Work items — RNG seeds for Monte-Carlo replication, or
+            any other per-run parameter objects.
+        processes: ``None`` or ``1`` runs the serial loop in-process;
+            ``N > 1`` uses a process pool with N workers.  Worker
+            scheduling never affects results: the merge is seed-ordered.
+        chunksize: Items per dispatched task; defaults to roughly
+            ``len(seeds) / (4 * processes)``.
+
+    Returns:
+        ``[fn(s) for s in seeds]`` — same values, same order,
+        regardless of ``processes``.
+
+    Raises:
+        ValidationError: On a non-positive ``processes`` or
+            ``chunksize``.
+    """
+    if processes is not None and processes < 1:
+        raise ValidationError(
+            f"processes must be >= 1, got {processes}"
+        )
+    if chunksize is not None and chunksize < 1:
+        raise ValidationError(
+            f"chunksize must be >= 1, got {chunksize}"
+        )
+    items: Sequence[_ItemT] = list(seeds)
+    if not items:
+        return []
+    if processes is None or processes == 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        # Executor.map preserves input order, so the merge is exactly
+        # the seed order no matter which worker finished first.
+        return list(
+            pool.map(
+                fn,
+                items,
+                chunksize=chunksize or _chunksize(len(items), processes),
+            )
+        )

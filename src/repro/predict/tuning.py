@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.records import FailureLog
 from repro.errors import AnalysisError
+from repro.parallel import sweep
 from repro.predict.evaluation import PredictionOutcome, evaluate_predictor
 from repro.predict.rate import RateBasedPredictor
 
@@ -37,15 +38,38 @@ class SweepPoint:
         return 2.0 * precision * recall / (precision + recall)
 
 
+def _evaluate_pair(
+    task: tuple[FailureLog, float, int]
+) -> SweepPoint:
+    """Score one (window, threshold) pair — module-level so the
+    parallel sweep can ship it to worker processes."""
+    log, window, threshold = task
+    predictor = RateBasedPredictor(
+        window_hours=window,
+        threshold=threshold,
+        horizon_hours=window,
+    )
+    return SweepPoint(
+        window_hours=window,
+        threshold=threshold,
+        outcome=evaluate_predictor(predictor, log),
+    )
+
+
 def sweep_rate_predictor(
     log: FailureLog,
     window_grid: tuple[float, ...] = (336.0, 1000.0, 3000.0, 8000.0),
     threshold_grid: tuple[int, ...] = (2, 3, 4),
+    processes: int | None = None,
 ) -> list[SweepPoint]:
     """Evaluate every (window, threshold) pair on ``log``.
 
     The alarm horizon is tied to the window (a node hot over the last
     W hours is flagged for the next W hours).
+
+    ``processes > 1`` spreads the grid over worker processes via
+    :func:`repro.parallel.sweep`; results are identical to the serial
+    run, in the same (window-major) order.
 
     Raises:
         AnalysisError: On empty grids or an empty log.
@@ -54,23 +78,12 @@ def sweep_rate_predictor(
         raise AnalysisError("sweep grids must be non-empty")
     if len(log) == 0:
         raise AnalysisError("cannot sweep on an empty log")
-    points = []
-    for window in window_grid:
-        for threshold in threshold_grid:
-            predictor = RateBasedPredictor(
-                window_hours=window,
-                threshold=threshold,
-                horizon_hours=window,
-            )
-            outcome = evaluate_predictor(predictor, log)
-            points.append(
-                SweepPoint(
-                    window_hours=window,
-                    threshold=threshold,
-                    outcome=outcome,
-                )
-            )
-    return points
+    tasks = [
+        (log, window, threshold)
+        for window in window_grid
+        for threshold in threshold_grid
+    ]
+    return sweep(_evaluate_pair, tasks, processes=processes)
 
 
 def best_by_f1(points: list[SweepPoint]) -> SweepPoint:

@@ -32,6 +32,7 @@ from repro.synth.sampling import (
     weighted_sample_without_replacement,
 )
 from repro.synth.scenarios import (
+    replicate_scenario,
     with_failure_rate_scaled,
     with_operational_practices_of,
     with_software_share,
@@ -55,6 +56,7 @@ __all__ = [
     "generate_log",
     "normalize_to_mean",
     "profile_for",
+    "replicate_scenario",
     "sample_node_multiplicities",
     "weighted_sample_without_replacement",
     "with_failure_rate_scaled",

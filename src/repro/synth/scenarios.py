@@ -14,15 +14,54 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.core.records import FailureLog
 from repro.errors import CalibrationError
+from repro.parallel import sweep
 from repro.synth.profiles import MachineProfile
 from repro.synth.sampling import allocate_counts
 
 __all__ = [
+    "replicate_scenario",
     "with_failure_rate_scaled",
     "with_operational_practices_of",
     "with_software_share",
 ]
+
+
+def _generate_seeded(task: tuple[MachineProfile, int]) -> FailureLog:
+    """Generate one scenario log — module-level for the process pool."""
+    # Imported here to avoid a circular import at package load time
+    # (generator -> profiles -> ... while scenarios loads).
+    from repro.synth.generator import GeneratorConfig, TraceGenerator
+
+    profile, seed = task
+    return TraceGenerator(profile, GeneratorConfig(seed=seed)).generate()
+
+
+def replicate_scenario(
+    profile: MachineProfile,
+    seeds: tuple[int, ...],
+    processes: int | None = None,
+) -> list[FailureLog]:
+    """Generate one log per seed for a (possibly derived) profile.
+
+    The Monte-Carlo companion to the single-seed what-if studies: run
+    the same scenario under many seeds and aggregate, so a conclusion
+    ("the multi-GPU share collapses under T3 practices") is a
+    distribution rather than one draw.  Replication is spread over
+    worker processes via :func:`repro.parallel.sweep`; the returned
+    logs are seed-ordered and bit-identical to the serial loop.
+
+    Raises:
+        CalibrationError: If no seeds are given.
+    """
+    if not seeds:
+        raise CalibrationError("replicate_scenario needs at least one seed")
+    return sweep(
+        _generate_seeded,
+        [(profile, seed) for seed in seeds],
+        processes=processes,
+    )
 
 
 def with_failure_rate_scaled(

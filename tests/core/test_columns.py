@@ -1,0 +1,194 @@
+"""Tests for the columnar backend: the trusted fast-path constructor
+(no re-validation of already-validated records), derived-value caching,
+and mask propagation of the columnar view."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import taxonomy
+from repro.core.columns import build_columns
+from repro.core.records import FailureLog
+from repro.core.taxonomy import FailureClass
+from repro.errors import ValidationError
+from tests.conftest import make_log, make_record
+
+
+def _sample_log() -> FailureLog:
+    return make_log(
+        [
+            make_record(0, hours=10, node_id=1, category="GPU",
+                        gpus_involved=(0, 1)),
+            make_record(1, hours=20, node_id=2, category="CPU"),
+            make_record(2, hours=30, node_id=1, category="PBS"),
+            make_record(3, hours=40, node_id=3, category="GPU",
+                        gpus_involved=(2,)),
+            make_record(4, hours=50, node_id=1, category="Memory"),
+        ]
+    )
+
+
+class TestNoRevalidation:
+    """Regression: filtering must not re-run validation on records
+    that already passed it (the old _rebuild re-validated everything)."""
+
+    def test_filter_does_not_reinvoke_taxonomy_validation(
+        self, monkeypatch
+    ):
+        calls = []
+        original = taxonomy.categories_for
+
+        def counting(machine):
+            calls.append(machine)
+            return original(machine)
+
+        monkeypatch.setattr(taxonomy, "categories_for", counting)
+        log = _sample_log()
+        assert len(calls) == 1  # the initial validating construction
+        log.filter(lambda r: r.node_id == 1)
+        log.by_category("GPU")
+        log.gpu_failures()
+        log.by_node(1)
+        assert len(calls) == 1  # no filter re-validated
+
+    def test_filter_does_not_reinvoke_post_init(self, monkeypatch):
+        log = _sample_log()
+        calls = []
+        original = FailureLog.__post_init__
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(FailureLog, "__post_init__", counting)
+        sub = log.filter(lambda r: r.category == "GPU")
+        assert len(calls) == 0
+        assert len(sub) == 2
+
+    def test_filtered_sublog_keeps_invariants(self):
+        sub = _sample_log().by_node(1)
+        assert [r.record_id for r in sub] == [0, 2, 4]
+        assert sub.window_start == _sample_log().window_start
+        # And the sub-log still filters correctly in turn.
+        assert len(sub.by_category("GPU")) == 1
+
+    def test_validating_path_still_rejects_bad_logs(self):
+        with pytest.raises(ValidationError):
+            make_log([make_record(0, hours=1), make_record(0, hours=2)])
+
+
+class TestDerivedCaching:
+    def test_timestamps_hours_cached_and_immutable(self):
+        log = _sample_log()
+        first = log.timestamps_hours()
+        first.append(999.0)  # caller mutation must not poison the cache
+        second = log.timestamps_hours()
+        assert second == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert second == [log.hours_since_start(r) for r in log.records]
+
+    def test_categories_cached_and_immutable(self):
+        log = _sample_log()
+        log.categories().append("Gremlins")
+        assert log.categories() == sorted(
+            {r.category for r in log.records}
+        )
+
+    def test_node_ids_cached_and_immutable(self):
+        log = _sample_log()
+        log.node_ids().append(999)
+        assert log.node_ids() == [1, 2, 3]
+
+    def test_columns_cached_once(self):
+        log = _sample_log()
+        assert log.columns is log.columns
+
+    def test_columns_arrays_frozen(self):
+        cols = _sample_log().columns
+        with pytest.raises(ValueError):
+            cols.ts_hours[0] = 0.0
+        with pytest.raises(ValueError):
+            cols.node_ids[0] = 99
+
+    def test_pickle_drops_cache_and_roundtrips(self):
+        log = _sample_log()
+        log.columns  # populate the cache
+        log.timestamps_hours()
+        clone = pickle.loads(pickle.dumps(log))
+        assert "_derived_cache" not in clone.__dict__
+        assert clone == log
+        assert clone.timestamps_hours() == log.timestamps_hours()
+
+
+class TestColumnarView:
+    def test_layout_matches_records(self):
+        log = _sample_log()
+        cols = log.columns
+        assert len(cols) == len(log)
+        assert cols.ts_hours.tolist() == log.timestamps_hours()
+        assert cols.node_ids.tolist() == [r.node_id for r in log]
+        assert cols.ttr_hours.tolist() == [r.ttr_hours for r in log]
+        assert [
+            cols.category_names[c] for c in cols.category_codes
+        ] == [r.category for r in log]
+        assert cols.gpu_counts.tolist() == [
+            r.num_gpus_involved for r in log
+        ]
+        assert cols.slots_of(0).tolist() == [0, 1]
+        assert cols.slots_of(3).tolist() == [2]
+        assert cols.taxonomy_complete
+
+    def test_class_codes_match_taxonomy(self):
+        log = _sample_log()
+        cols = log.columns
+        for code, record in zip(cols.class_codes, log):
+            assert (
+                taxonomy.failure_class(log.machine, record.category)
+                is (
+                    FailureClass.HARDWARE,
+                    FailureClass.SOFTWARE,
+                    FailureClass.UNKNOWN,
+                )[code]
+            )
+
+    def test_mask_slices_all_arrays(self):
+        log = _sample_log()
+        cols = log.columns
+        keep = np.asarray([True, False, False, True, False])
+        sliced = cols.mask(keep)
+        assert len(sliced) == 2
+        assert sliced.ts_hours.tolist() == [10.0, 40.0]
+        assert sliced.slots_of(0).tolist() == [0, 1]
+        assert sliced.slots_of(1).tolist() == [2]
+        assert sliced.category_names is cols.category_names
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _sample_log().columns.mask(np.asarray([True]))
+
+    def test_filtered_log_reuses_sliced_columns(self):
+        log = _sample_log()
+        parent_cols = log.columns  # force the build so slices propagate
+        sub = log.by_node(1)
+        sub_cols = sub.__dict__["_derived_cache"]["columns"]
+        assert sub_cols.ts_hours.tolist() == [10.0, 30.0, 50.0]
+        assert sub_cols.category_names is parent_cols.category_names
+
+    def test_build_columns_empty_log(self):
+        log = make_log([])
+        cols = build_columns(log)
+        assert len(cols) == 0
+        assert cols.slot_values.size == 0
+
+    def test_lenient_log_marks_taxonomy_incomplete(self):
+        log = make_log(
+            [make_record(0, hours=1, category="Gremlins")],
+            strict_taxonomy=False,
+        )
+        assert not log.columns.taxonomy_complete
+        # Unknown categories fall back to the record path and keep
+        # raising TaxonomyError, as before the columnar backend.
+        from repro.errors import TaxonomyError
+
+        with pytest.raises(TaxonomyError):
+            log.by_class(FailureClass.HARDWARE)

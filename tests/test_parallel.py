@@ -1,0 +1,99 @@
+"""Tests for the deterministic multi-seed sweep engine."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import default_processes, sweep
+from repro.predict.tuning import sweep_rate_predictor
+from repro.synth import profile_for, replicate_scenario
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+def _seeded_tuple(seed: int) -> tuple[int, int]:
+    return (seed, seed + 1)
+
+
+class TestSweep:
+    def test_serial_matches_comprehension(self):
+        seeds = list(range(20))
+        assert sweep(_square, seeds) == [s * s for s in seeds]
+
+    def test_parallel_matches_serial_in_order(self):
+        seeds = list(range(37))
+        serial = sweep(_square, seeds, processes=1)
+        parallel = sweep(_square, seeds, processes=2)
+        assert parallel == serial == [s * s for s in seeds]
+
+    def test_chunksize_does_not_change_results(self):
+        seeds = list(range(23))
+        for chunksize in (1, 2, 7, 100):
+            assert sweep(
+                _square, seeds, processes=2, chunksize=chunksize
+            ) == [s * s for s in seeds]
+
+    def test_empty_seeds(self):
+        assert sweep(_square, []) == []
+
+    def test_structured_results(self):
+        assert sweep(_seeded_tuple, [3, 1], processes=2) == [
+            (3, 4), (1, 2)
+        ]
+
+    def test_invalid_processes_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep(_square, [1], processes=0)
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep(_square, [1], chunksize=0)
+
+    def test_default_processes_positive(self):
+        assert default_processes() >= 1
+
+    def test_generator_input(self):
+        assert sweep(_square, (s for s in range(5))) == [
+            0, 1, 4, 9, 16
+        ]
+
+
+class TestPredictorSweepParallel:
+    def test_parallel_grid_identical_to_serial(self, t2_log):
+        grid = dict(
+            window_grid=(336.0, 1000.0), threshold_grid=(2, 3)
+        )
+        serial = sweep_rate_predictor(t2_log, **grid)
+        parallel = sweep_rate_predictor(t2_log, **grid, processes=2)
+        assert parallel == serial
+
+    def test_log_pickles_for_workers(self, t2_log):
+        t2_log.columns  # populate caches; they must not travel
+        payload = pickle.dumps(t2_log)
+        assert pickle.loads(payload) == t2_log
+
+
+class TestReplicateScenario:
+    def test_seed_ordered_and_deterministic(self):
+        profile = profile_for("tsubame3")
+        seeds = (5, 3, 8)
+        logs = replicate_scenario(profile, seeds)
+        again = replicate_scenario(profile, seeds)
+        assert [len(log) for log in logs] == [len(log) for log in again]
+        assert logs == again
+
+    def test_parallel_identical_to_serial(self):
+        profile = profile_for("tsubame3")
+        seeds = tuple(range(4))
+        serial = replicate_scenario(profile, seeds, processes=1)
+        parallel = replicate_scenario(profile, seeds, processes=2)
+        assert parallel == serial
+
+    def test_empty_seeds_rejected(self):
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            replicate_scenario(profile_for("tsubame2"), ())
