@@ -49,6 +49,34 @@ SWEEP_SEEDS = 50
 SWEEP_WORKERS = 4
 
 
+def _selected_scales() -> dict[str, int]:
+    """Scales to run, optionally restricted via ``REPRO_BENCH_SCALES``.
+
+    The variable is a comma-separated list of multipliers (``"1"``,
+    ``"1,10"``) or labels (``"1x,10x"``); CI smoke runs set it to
+    ``1`` so the 100x tier does not eat the build budget.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALES", "").strip()
+    if not raw:
+        return dict(SCALES)
+    wanted = {
+        token if token.endswith("x") else f"{token}x"
+        for token in (t.strip() for t in raw.split(","))
+        if token
+    }
+    selected = {
+        label: factor
+        for label, factor in SCALES.items()
+        if label in wanted
+    }
+    if not selected:
+        raise SystemExit(
+            f"REPRO_BENCH_SCALES={raw!r} matches no known scale "
+            f"(choose from {', '.join(SCALES)})"
+        )
+    return selected
+
+
 def _best_of(fn, repeats: int = 3):
     """Best wall-clock of ``repeats`` calls, plus the last result."""
     best = float("inf")
@@ -334,7 +362,7 @@ def run_benchmark() -> dict:
         "numpy": np.__version__,
         "scales": {
             label: _bench_scale(factor)
-            for label, factor in SCALES.items()
+            for label, factor in _selected_scales().items()
         },
         "sweep": _bench_sweep(),
     }

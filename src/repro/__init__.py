@@ -18,6 +18,7 @@ See the package docs:
 * :mod:`repro.stats` — statistical primitives.
 * :mod:`repro.sim` — discrete-event failure/repair simulator.
 * :mod:`repro.predict` — failure prediction and spare provisioning.
+* :mod:`repro.stream` — online monitoring, estimators, and alerting.
 * :mod:`repro.io` — log serialization.
 * :mod:`repro.parallel` — deterministic multi-seed sweep engine.
 """

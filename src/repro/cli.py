@@ -3,15 +3,21 @@
 Subcommands::
 
     repro-failures generate --machine tsubame2 --seed 42 --out t2.csv
-    repro-failures analyze t2.csv
+    repro-failures analyze t2.csv [--format csv|jsonl]
     repro-failures report [--seed 42] [--out report.txt]
     repro-failures simulate --machine tsubame3 --horizon 2000 \
         --technicians 4
+    repro-failures monitor t2.csv [--window 720] [--report-every 200]
+    repro-failures monitor --live --machine tsubame2 --horizon 5000
 
 ``generate`` writes a calibrated synthetic log; ``analyze`` prints the
-headline metrics of an existing log file; ``report`` regenerates every
-table and figure for both machines; ``simulate`` runs the
-discrete-event cluster simulation and prints its operational report.
+headline metrics of an existing log file (format inferred from the
+extension, ``--format`` overrides); ``report`` regenerates every table
+and figure for both machines; ``simulate`` runs the discrete-event
+cluster simulation and prints its operational report; ``monitor``
+streams a log (or a live simulation) through the online estimators of
+:mod:`repro.stream`, printing rolling metrics, alerts, and — for
+replays — an online-vs-batch parity check.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.core import metrics
 from repro.core.breakdown import category_breakdown
 from repro.core.report import full_report
 from repro.errors import ReproError
-from repro.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.io import KNOWN_FORMATS, read_log, write_csv, write_jsonl
 from repro.machines.specs import known_machines
 from repro.sim import ClusterSimulator, RepairPolicy
 from repro.synth import GeneratorConfig, TraceGenerator, profile_for
@@ -57,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="print headline metrics of a log file"
     )
     analyze.add_argument("path", type=Path)
+    analyze.add_argument(
+        "--format", choices=KNOWN_FORMATS, default=None,
+        help="input format (default: inferred from the file extension)",
+    )
 
     report = sub.add_parser(
         "report", help="regenerate every table and figure"
@@ -105,13 +115,51 @@ def build_parser() -> argparse.ArgumentParser:
     trends.add_argument("path", type=Path)
     trends.add_argument("--window", type=float, default=720.0,
                         help="window length in hours (default 30 days)")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="stream a log (or live simulation) through the online "
+             "failure monitor",
+    )
+    monitor.add_argument(
+        "path", type=Path, nargs="?", default=None,
+        help="log file to replay (.csv or .jsonl); omit with --live",
+    )
+    monitor.add_argument(
+        "--format", choices=KNOWN_FORMATS, default=None,
+        help="input format (default: inferred from the file extension)",
+    )
+    monitor.add_argument(
+        "--live", action="store_true",
+        help="drive a live simulation instead of replaying a file",
+    )
+    monitor.add_argument(
+        "--machine", choices=known_machines(), default=None,
+        help="machine to simulate (required with --live)",
+    )
+    monitor.add_argument("--horizon", type=float, default=5000.0,
+                         help="simulated hours for --live")
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--window", type=float, default=720.0,
+                         help="rolling-window length in hours")
+    monitor.add_argument(
+        "--report-every", type=int, default=0, metavar="N",
+        help="print a rolling snapshot every N failures (0 = only "
+             "the final snapshot)",
+    )
+    monitor.add_argument(
+        "--no-parity", action="store_true",
+        help="skip the online-vs-batch parity check on replays",
+    )
+    monitor.add_argument(
+        "--quiet-alerts", action="store_true",
+        help="do not print alerts as they fire",
+    )
     return parser
 
 
-def _read_log(path: Path):
-    if path.suffix == ".jsonl":
-        return read_jsonl(path)
-    return read_csv(path)
+def _read_log(path: Path, format: str | None = None):
+    return read_log(path, format=format)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -127,7 +175,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    log = _read_log(args.path)
+    log = _read_log(args.path, format=args.format)
     breakdown = category_breakdown(log)
     print(f"machine:          {log.machine}")
     print(f"failures:         {len(log)}")
@@ -249,6 +297,111 @@ def _cmd_trends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parity_lines(monitor, log) -> list[str]:
+    """Online-vs-batch comparison for a replayed log."""
+    from repro.core.metrics import (
+        mtbf,
+        mtbf_span,
+        mttr,
+        tbf_series_hours,
+    )
+
+    snapshot = monitor.snapshot()
+    lines = ["parity check (online vs batch):"]
+
+    def relative(online: float | None, batch: float) -> str:
+        if online is None or batch == 0:
+            return "-"
+        return f"{100.0 * (online - batch) / batch:+.3f}%"
+
+    pairs = [
+        ("MTBF (gap mean)", snapshot.mtbf_hours, mtbf(log)),
+        ("MTBF (span)", snapshot.mtbf_span_hours, mtbf_span(log)),
+        ("MTTR", snapshot.mttr_hours, mttr(log)),
+    ]
+    for label, online, batch in pairs:
+        online_text = f"{online:10.3f}" if online is not None else "-"
+        lines.append(
+            f"  {label:<16} {online_text} vs {batch:10.3f} h  "
+            f"({relative(online, batch)})"
+        )
+    import bisect
+    import math
+
+    gaps = sorted(tbf_series_hours(log))
+    epsilon = monitor.sketch_epsilon
+    for q in (0.5, 0.99):
+        estimate = monitor.tbf_quantile(q)
+        if estimate is None:
+            continue
+        # The sketch targets rank ceil(q*n); the estimate's occurrences
+        # span 1-based ranks lo+1 .. hi in the sorted batch series.
+        target_rank = max(1, math.ceil(q * len(gaps)))
+        lo = bisect.bisect_left(gaps, estimate)
+        hi = bisect.bisect_right(gaps, estimate)
+        if lo + 1 <= target_rank <= hi:
+            rank_error = 0
+        else:
+            rank_error = min(
+                abs(target_rank - (lo + 1)), abs(target_rank - hi)
+            )
+        lines.append(
+            f"  TBF p{int(q * 100):<14} {estimate:10.3f} h  "
+            f"(rank error {rank_error} <= "
+            f"{epsilon * len(gaps):.1f} allowed)"
+        )
+    return lines
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.stream import FailureMonitor, FileSource, PrintSink
+
+    if args.live == (args.path is not None):
+        print(
+            "error: pass a log file to replay, or --live with "
+            "--machine (not both)",
+            file=sys.stderr,
+        )
+        return 2
+
+    sinks = [] if args.quiet_alerts else [PrintSink()]
+    monitor = FailureMonitor(window_hours=args.window, sinks=sinks)
+
+    if args.live:
+        if args.machine is None:
+            print("error: --live requires --machine", file=sys.stderr)
+            return 2
+        simulator = ClusterSimulator(args.machine, seed=args.seed)
+        monitor.attach(simulator.engine)
+        report = simulator.run(args.horizon)
+        monitor.finalize(args.horizon)
+        print(f"live simulation: {args.machine}, "
+              f"{report.horizon_hours:.0f} h horizon, "
+              f"{report.failures_injected} failures injected")
+        for line in monitor.snapshot().format_lines():
+            print(line)
+        return 0
+
+    source = FileSource(args.path, format=args.format)
+    every = args.report_every
+    for event in source:
+        monitor.observe(event)
+        if every and event.is_failure and (
+            monitor.failures_seen % every == 0
+        ):
+            for line in monitor.snapshot().format_lines():
+                print(line)
+    monitor.finalize(source.span_hours)
+    print(f"replayed {source.path} ({source.machine}, "
+          f"{monitor.failures_seen} failures)")
+    for line in monitor.snapshot().format_lines():
+        print(line)
+    if not args.no_parity:
+        for line in _parity_lines(monitor, source.log):
+            print(line)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -258,6 +411,7 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "spares": _cmd_spares,
     "trends": _cmd_trends,
+    "monitor": _cmd_monitor,
 }
 
 

@@ -37,3 +37,8 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A failure log could not be read from or written to disk."""
+
+
+class StreamError(ReproError):
+    """A live event stream violated an invariant (e.g. time went
+    backwards) or a streaming component was misconfigured."""

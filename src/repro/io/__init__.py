@@ -6,15 +6,19 @@ and GPU locality) and reads/writes it as CSV or JSON Lines.
 """
 
 from repro.io.csvio import read_csv, write_csv
+from repro.io.formats import KNOWN_FORMATS, infer_format, read_log
 from repro.io.jsonio import read_jsonl, write_jsonl
 from repro.io.rawlog import normalize_category, read_raw_csv
 from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
 
 __all__ = [
     "CSV_COLUMNS",
+    "KNOWN_FORMATS",
+    "infer_format",
     "normalize_category",
     "read_csv",
     "read_jsonl",
+    "read_log",
     "read_raw_csv",
     "record_from_row",
     "record_to_row",

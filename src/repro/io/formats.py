@@ -1,0 +1,65 @@
+"""File-format detection for log files.
+
+One place decides what ``.csv`` / ``.jsonl`` mean, so the CLI, the
+streaming file source, and library users all agree — with an explicit
+override for files whose extension lies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.records import FailureLog
+from repro.errors import SerializationError
+from repro.io.csvio import read_csv
+from repro.io.jsonio import read_jsonl
+
+__all__ = ["KNOWN_FORMATS", "infer_format", "read_log"]
+
+#: Formats understood by :func:`read_log`.
+KNOWN_FORMATS = ("csv", "jsonl")
+
+_EXTENSIONS = {
+    ".csv": "csv",
+    ".jsonl": "jsonl",
+    ".ndjson": "jsonl",
+}
+
+
+def infer_format(path: Path | str) -> str:
+    """Infer a log file's format from its extension.
+
+    Raises:
+        SerializationError: For an unrecognised extension — pass an
+            explicit format instead (``--format`` on the CLI).
+    """
+    suffix = Path(path).suffix.lower()
+    try:
+        return _EXTENSIONS[suffix]
+    except KeyError:
+        raise SerializationError(
+            f"cannot infer log format from extension {suffix!r} "
+            f"(known: {', '.join(sorted(_EXTENSIONS))}); pass an "
+            f"explicit format"
+        ) from None
+
+
+def read_log(path: Path | str, format: str | None = None) -> FailureLog:
+    """Read a failure log, inferring the format from the extension.
+
+    Args:
+        path: Log file path.
+        format: ``"csv"`` or ``"jsonl"`` to override inference.
+
+    Raises:
+        SerializationError: On an unknown format or extension.
+    """
+    chosen = format or infer_format(path)
+    if chosen == "csv":
+        return read_csv(path)
+    if chosen == "jsonl":
+        return read_jsonl(path)
+    raise SerializationError(
+        f"unknown log format {chosen!r} (known: "
+        f"{', '.join(KNOWN_FORMATS)})"
+    )

@@ -4,6 +4,13 @@ A minimal, deterministic event loop: events are (time, sequence,
 callback) triples on a binary heap; ties in time break by insertion
 order, so a seeded simulation replays identically.  Time is in hours,
 matching the rest of the library.
+
+The engine also carries a tiny publish/subscribe bus so simulation
+components can announce domain events (a failure fired, a repair
+completed) to outside observers — e.g. a live
+:class:`repro.stream.monitor.FailureMonitor` — without the components
+knowing who is listening.  Subscribers run synchronously, in
+subscription order, at the simulation time of the publish.
 """
 
 from __future__ import annotations
@@ -25,6 +32,45 @@ class SimulationEngine:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._subscribers: dict[str, list[Callable[..., None]]] = {}
+        self._published = 0
+
+    # -- event bus ---------------------------------------------------------
+
+    @property
+    def published(self) -> int:
+        """Domain events published on the bus so far."""
+        return self._published
+
+    def subscribe(
+        self, topic: str, callback: Callable[..., None]
+    ) -> None:
+        """Register ``callback(**payload)`` for a topic.
+
+        Known topics: ``"failure"`` (payload ``record``,
+        ``time_hours``) published by the fault injector, and
+        ``"repair"`` (payload ``node_id``, ``category``,
+        ``time_hours``) published by the repair service.
+
+        Raises:
+            SimulationError: On an empty topic.
+        """
+        if not topic:
+            raise SimulationError("topic must be a non-empty string")
+        self._subscribers.setdefault(topic, []).append(callback)
+
+    def publish(self, topic: str, **payload) -> None:
+        """Deliver a domain event to every subscriber of ``topic``.
+
+        Publishing to a topic nobody subscribed to is free (beyond a
+        dict lookup), so components publish unconditionally.
+        """
+        callbacks = self._subscribers.get(topic)
+        if not callbacks:
+            return
+        self._published += 1
+        for callback in callbacks:
+            callback(**payload)
 
     @property
     def now(self) -> float:

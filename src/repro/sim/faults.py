@@ -235,3 +235,6 @@ class FaultInjector:
         self._next_record_id += 1
         for callback in self._record_listeners:
             callback(record, self._engine.now)
+        self._engine.publish(
+            "failure", record=record, time_hours=self._engine.now
+        )

@@ -222,3 +222,9 @@ class RepairService:
         self._dispatch()
         for callback in self._completion_listeners:
             callback(pending.node_id)
+        self._engine.publish(
+            "repair",
+            node_id=pending.node_id,
+            category=pending.category,
+            time_hours=self._engine.now,
+        )

@@ -1,0 +1,370 @@
+"""Alert rules and sinks.
+
+An :class:`AlertRule` watches the event stream through a detector or
+estimator and turns statistical detections into operator-facing
+:class:`Alert` objects; an :class:`AlertSink` is where a
+:class:`~repro.stream.monitor.FailureMonitor` delivers them (a list,
+stdout, or any callable).  Rules are deliberately small classes so a
+deployment can mix the built-in catalog with site-specific ones.
+
+Built-in catalog (see docs/STREAMING.md for the tuning guide):
+
+* :class:`RateShiftRule` — CUSUM on the TBF gap series; fires when the
+  system failure rate shifts up (gaps shrink) or down.
+* :class:`MttrDegradationRule` — Page-Hinkley on recovery times; fires
+  when repairs start taking longer (or recover).
+* :class:`MultiGpuBurstRule` — trailing-window burst of multi-GPU
+  failures (the paper's Figure 8 clustering, live).
+* :class:`CategorySurgeRule` — a category's short-horizon EWMA rate
+  running far ahead of its long-horizon rate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Protocol, TextIO
+
+from repro.errors import StreamError
+from repro.stream.detectors import (
+    CusumDetector,
+    MultiGpuBurstDetector,
+    PageHinkleyDetector,
+)
+from repro.stream.events import StreamEvent
+from repro.stream.online import EwmaRate
+
+__all__ = [
+    "AlertSeverity",
+    "Alert",
+    "AlertSink",
+    "ListSink",
+    "PrintSink",
+    "CallbackSink",
+    "AlertRule",
+    "RateShiftRule",
+    "MttrDegradationRule",
+    "MultiGpuBurstRule",
+    "CategorySurgeRule",
+    "default_rules",
+]
+
+
+class AlertSeverity(Enum):
+    """How loudly to page."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One operator-facing alert.
+
+    Attributes:
+        time_hours: Stream time at which the alert fired.
+        rule: Name of the rule that produced it.
+        severity: Paging level.
+        message: Human-readable one-liner.
+        context: Rule-specific numbers (rates, statistics, counts).
+    """
+
+    time_hours: float
+    rule: str
+    severity: AlertSeverity
+    message: str
+    context: dict[str, float] = field(default_factory=dict)
+
+    def format_line(self) -> str:
+        """Render as one log line."""
+        return (
+            f"[{self.severity.value.upper():<8}] "
+            f"t={self.time_hours:10.1f} h  {self.rule}: {self.message}"
+        )
+
+
+class AlertSink(Protocol):
+    """Anything that can receive alerts."""
+
+    def emit(self, alert: Alert) -> None:
+        """Deliver one alert."""
+
+
+class ListSink:
+    """Collects alerts in memory (the default sink)."""
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+
+class PrintSink:
+    """Writes each alert as a line to a text stream (stdout default)."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream
+
+    def emit(self, alert: Alert) -> None:
+        import sys
+
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(alert.format_line(), file=stream)
+
+
+class CallbackSink:
+    """Adapts any callable into a sink."""
+
+    def __init__(self, callback: Callable[[Alert], None]) -> None:
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)
+
+
+class AlertRule:
+    """Base class: observe events, optionally produce alerts."""
+
+    name = "rule"
+
+    def observe(self, event: StreamEvent) -> Alert | None:
+        """Feed one event; return an alert if one fires."""
+        raise NotImplementedError
+
+
+class RateShiftRule(AlertRule):
+    """CUSUM changepoint on the system TBF gap series.
+
+    A shift *down* in gaps means the failure rate went *up* — that is
+    the CRITICAL direction; rate improvements are INFO.
+    """
+
+    name = "rate-shift"
+
+    def __init__(
+        self,
+        drift: float = 0.5,
+        threshold: float = 5.0,
+        warmup: int = 30,
+    ) -> None:
+        self._detector = CusumDetector(
+            drift=drift, threshold=threshold, warmup=warmup,
+            name=self.name,
+        )
+        self._last_failure: float | None = None
+
+    @property
+    def detector(self) -> CusumDetector:
+        return self._detector
+
+    def observe(self, event: StreamEvent) -> Alert | None:
+        if not event.is_failure:
+            return None
+        previous, self._last_failure = (
+            self._last_failure, event.time_hours
+        )
+        if previous is None:
+            return None
+        detection = self._detector.update(event.time_hours - previous)
+        if detection is None:
+            return None
+        rate_up = detection.direction == "down"
+        return Alert(
+            time_hours=event.time_hours,
+            rule=self.name,
+            severity=(
+                AlertSeverity.CRITICAL if rate_up else AlertSeverity.INFO
+            ),
+            message=(
+                "failure rate shifted "
+                + ("UP (gaps shrank" if rate_up else "down (gaps grew")
+                + f"; baseline gap {detection.baseline_mean:.1f} h, "
+                f"CUSUM {detection.statistic:.1f} > "
+                f"{detection.threshold:.1f})"
+            ),
+            context={
+                "baseline_gap_hours": detection.baseline_mean,
+                "statistic": detection.statistic,
+                "threshold": detection.threshold,
+            },
+        )
+
+
+class MttrDegradationRule(AlertRule):
+    """Page-Hinkley on per-failure recovery times."""
+
+    name = "mttr-degradation"
+
+    def __init__(
+        self,
+        delta_hours: float = 2.0,
+        lambda_hours: float = 200.0,
+        min_observations: int = 20,
+    ) -> None:
+        self._detector = PageHinkleyDetector(
+            delta=delta_hours,
+            lambda_=lambda_hours,
+            min_observations=min_observations,
+            name=self.name,
+        )
+
+    @property
+    def detector(self) -> PageHinkleyDetector:
+        return self._detector
+
+    def observe(self, event: StreamEvent) -> Alert | None:
+        if not event.is_failure or event.record is None:
+            return None
+        detection = self._detector.update(event.record.ttr_hours)
+        if detection is None:
+            return None
+        worse = detection.direction == "up"
+        return Alert(
+            time_hours=event.time_hours,
+            rule=self.name,
+            severity=(
+                AlertSeverity.WARNING if worse else AlertSeverity.INFO
+            ),
+            message=(
+                "recovery times "
+                + ("degraded" if worse else "improved")
+                + f" (running MTTR {detection.baseline_mean:.1f} h, "
+                f"PH {detection.statistic:.1f} > "
+                f"{detection.threshold:.1f})"
+            ),
+            context={
+                "running_mttr_hours": detection.baseline_mean,
+                "statistic": detection.statistic,
+            },
+        )
+
+
+class MultiGpuBurstRule(AlertRule):
+    """Burst of multi-GPU failures inside a trailing window."""
+
+    name = "multi-gpu-burst"
+
+    def __init__(
+        self,
+        window_hours: float = 24.0,
+        threshold: int = 3,
+        min_gpus: int = 2,
+    ) -> None:
+        self._detector = MultiGpuBurstDetector(
+            window_hours=window_hours,
+            threshold=threshold,
+            min_gpus=min_gpus,
+            name=self.name,
+        )
+
+    @property
+    def detector(self) -> MultiGpuBurstDetector:
+        return self._detector
+
+    def observe(self, event: StreamEvent) -> Alert | None:
+        if not event.is_failure or event.record is None:
+            return None
+        detection = self._detector.update(
+            event.time_hours, event.record.num_gpus_involved
+        )
+        if detection is None:
+            return None
+        return Alert(
+            time_hours=event.time_hours,
+            rule=self.name,
+            severity=AlertSeverity.CRITICAL,
+            message=(
+                f"{detection.statistic:.0f} multi-GPU failures within "
+                f"{self._detector.window_hours:.0f} h "
+                f"(threshold {detection.threshold:.0f}) — possible "
+                f"shared-bus or batch defect"
+            ),
+            context={
+                "burst_count": detection.statistic,
+                "threshold": detection.threshold,
+            },
+        )
+
+
+class CategorySurgeRule(AlertRule):
+    """A category's short-horizon rate running ahead of its long one.
+
+    Keeps two EWMA rates per category (fast and slow time constants);
+    once a category has enough arrivals, an alert fires when the fast
+    rate exceeds ``ratio`` times the slow rate.  One alert per
+    excursion: the rule re-arms when the ratio drops below half the
+    trigger.
+    """
+
+    name = "category-surge"
+
+    def __init__(
+        self,
+        fast_tau_hours: float = 72.0,
+        slow_tau_hours: float = 720.0,
+        ratio: float = 3.0,
+        min_events: int = 10,
+    ) -> None:
+        if ratio <= 1.0:
+            raise StreamError(f"ratio must be > 1, got {ratio}")
+        if fast_tau_hours >= slow_tau_hours:
+            raise StreamError(
+                "fast_tau_hours must be shorter than slow_tau_hours, "
+                f"got {fast_tau_hours} >= {slow_tau_hours}"
+            )
+        self._fast_tau = fast_tau_hours
+        self._slow_tau = slow_tau_hours
+        self._ratio = ratio
+        self._min_events = min_events
+        self._fast: dict[str, EwmaRate] = {}
+        self._slow: dict[str, EwmaRate] = {}
+        self._armed: dict[str, bool] = {}
+
+    def observe(self, event: StreamEvent) -> Alert | None:
+        if not event.is_failure:
+            return None
+        category = event.category
+        fast = self._fast.setdefault(category, EwmaRate(self._fast_tau))
+        slow = self._slow.setdefault(category, EwmaRate(self._slow_tau))
+        fast.push(event.time_hours)
+        slow.push(event.time_hours)
+        if fast.count < self._min_events:
+            return None
+        fast_rate = fast.rate_per_hour(event.time_hours)
+        slow_rate = slow.rate_per_hour(event.time_hours)
+        if slow_rate <= 0:
+            return None
+        ratio = fast_rate / slow_rate
+        if ratio < self._ratio / 2.0:
+            self._armed[category] = True
+        if ratio < self._ratio or not self._armed.get(category, True):
+            return None
+        self._armed[category] = False
+        return Alert(
+            time_hours=event.time_hours,
+            rule=self.name,
+            severity=AlertSeverity.WARNING,
+            message=(
+                f"{category} failures surging: short-horizon rate "
+                f"{fast_rate:.3g}/h is {ratio:.1f}x the long-horizon "
+                f"rate {slow_rate:.3g}/h"
+            ),
+            context={
+                "fast_rate_per_hour": fast_rate,
+                "slow_rate_per_hour": slow_rate,
+                "ratio": ratio,
+            },
+        )
+
+
+def default_rules() -> list[AlertRule]:
+    """The standard rule catalog with default tuning."""
+    return [
+        RateShiftRule(),
+        MttrDegradationRule(),
+        MultiGpuBurstRule(),
+        CategorySurgeRule(),
+    ]

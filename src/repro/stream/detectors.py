@@ -1,0 +1,340 @@
+"""Online change and burst detection.
+
+Operators don't just want rolling numbers — they want to be told when
+the numbers *changed regime*: a driver rollout that doubled the
+failure rate, a staffing change that stretched recoveries, a bus
+failure taking out multiple GPUs at once.  The batch layer finds such
+shifts post hoc (:mod:`repro.stats.changepoint`); these detectors find
+them online, one observation at a time:
+
+* :class:`CusumDetector` — two-sided standardized CUSUM (Page 1954).
+  Learns a baseline over a warm-up prefix, then accumulates
+  standardized deviations; an alarm fires when either side's sum
+  clears the threshold, after which the detector re-learns the new
+  regime.
+* :class:`PageHinkleyDetector` — the Page-Hinkley mean-shift test,
+  cheaper than CUSUM (no variance estimate) and common in streaming
+  ML monitoring.
+* :class:`MultiGpuBurstDetector` — counts multi-GPU failures in a
+  trailing window (the paper's Figure 8 shows they cluster in time);
+  alarms when a burst exceeds the threshold, then holds off until the
+  window drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.stream.online import RollingWindowStats, Welford
+
+__all__ = [
+    "Detection",
+    "CusumDetector",
+    "PageHinkleyDetector",
+    "MultiGpuBurstDetector",
+]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One alarm from an online detector.
+
+    Attributes:
+        detector: Name of the detector that fired.
+        observation_index: 0-based index of the triggering observation.
+        direction: ``"up"`` when the monitored statistic rose,
+            ``"down"`` when it fell.
+        statistic: Detector statistic at the alarm.
+        threshold: Threshold it cleared.
+        baseline_mean: The pre-shift mean the detector was tracking.
+    """
+
+    detector: str
+    observation_index: int
+    direction: str
+    statistic: float
+    threshold: float
+    baseline_mean: float
+
+
+class CusumDetector:
+    """Two-sided standardized CUSUM with a self-learned baseline.
+
+    The first ``warmup`` observations estimate the in-control mean and
+    standard deviation; subsequent observations are standardized and
+    accumulated into the classic one-sided sums
+
+    ``S+ = max(0, S+ + z - k)``   and   ``S- = max(0, S- - z - k)``
+
+    with reference value ``k`` (``drift``, in sigma units).  An alarm
+    fires when either sum exceeds ``threshold`` sigma units; the
+    detector then resets and re-enters warm-up so it can detect the
+    *next* shift relative to the new regime.
+
+    Args:
+        drift: Reference value k in sigmas (0.5 targets ~1-sigma
+            shifts).
+        threshold: Decision interval h in sigmas (4-5 is the
+            classical choice).
+        warmup: Observations used to learn each regime's baseline.
+    """
+
+    def __init__(
+        self,
+        drift: float = 0.5,
+        threshold: float = 5.0,
+        warmup: int = 30,
+        name: str = "cusum",
+    ) -> None:
+        if drift < 0:
+            raise StreamError(f"drift must be >= 0, got {drift}")
+        if threshold <= 0:
+            raise StreamError(
+                f"threshold must be positive, got {threshold}"
+            )
+        if warmup < 2:
+            raise StreamError(f"warmup must be >= 2, got {warmup}")
+        self._drift = drift
+        self._threshold = threshold
+        self._warmup = warmup
+        self._name = name
+        self._baseline = Welford()
+        self._frozen_mean = 0.0
+        self._frozen_std = 0.0
+        self._sum_high = 0.0
+        self._sum_low = 0.0
+        self._seen = 0
+        self._detections: list[Detection] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def detections(self) -> list[Detection]:
+        """All alarms fired so far."""
+        return list(self._detections)
+
+    @property
+    def in_warmup(self) -> bool:
+        """Whether the detector is still learning its baseline."""
+        return self._baseline.n < self._warmup
+
+    def update(self, value: float) -> Detection | None:
+        """Feed one observation; returns a Detection when one fires."""
+        index = self._seen
+        self._seen += 1
+        if self._baseline.n < self._warmup:
+            self._baseline.push(value)
+            if self._baseline.n == self._warmup:
+                self._frozen_mean = self._baseline.mean
+                # Guard against a constant warm-up prefix.
+                self._frozen_std = max(self._baseline.std, 1e-12)
+            return None
+
+        z = (value - self._frozen_mean) / self._frozen_std
+        self._sum_high = max(0.0, self._sum_high + z - self._drift)
+        self._sum_low = max(0.0, self._sum_low - z - self._drift)
+        if self._sum_high > self._threshold:
+            detection = Detection(
+                detector=self._name,
+                observation_index=index,
+                direction="up",
+                statistic=self._sum_high,
+                threshold=self._threshold,
+                baseline_mean=self._frozen_mean,
+            )
+        elif self._sum_low > self._threshold:
+            detection = Detection(
+                detector=self._name,
+                observation_index=index,
+                direction="down",
+                statistic=self._sum_low,
+                threshold=self._threshold,
+                baseline_mean=self._frozen_mean,
+            )
+        else:
+            return None
+        self._detections.append(detection)
+        self._relearn()
+        return detection
+
+    def _relearn(self) -> None:
+        self._baseline = Welford()
+        self._sum_high = 0.0
+        self._sum_low = 0.0
+
+
+class PageHinkleyDetector:
+    """Page-Hinkley test for a shift in the mean of a stream.
+
+    Tracks the cumulative difference between observations and their
+    running mean (minus a tolerance ``delta``); alarms when the
+    difference rises ``lambda_`` above its running minimum (upward
+    shift) or falls ``lambda_`` below its running maximum (downward
+    shift).  Resets after each alarm.
+
+    Args:
+        delta: Magnitude tolerance — drifts smaller than this are
+            ignored (in observation units).
+        lambda_: Alarm threshold (in observation units).
+        min_observations: Observations required before alarming.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        lambda_: float,
+        min_observations: int = 10,
+        name: str = "page-hinkley",
+    ) -> None:
+        if delta < 0:
+            raise StreamError(f"delta must be >= 0, got {delta}")
+        if lambda_ <= 0:
+            raise StreamError(
+                f"lambda_ must be positive, got {lambda_}"
+            )
+        if min_observations < 2:
+            raise StreamError(
+                f"min_observations must be >= 2, got {min_observations}"
+            )
+        self._delta = delta
+        self._lambda = lambda_
+        self._min_obs = min_observations
+        self._name = name
+        self._seen = 0
+        self._reset()
+        self._detections: list[Detection] = []
+
+    def _reset(self) -> None:
+        self._mean = Welford()
+        self._m_up = 0.0
+        self._m_up_min = 0.0
+        self._m_down = 0.0
+        self._m_down_max = 0.0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def detections(self) -> list[Detection]:
+        return list(self._detections)
+
+    def update(self, value: float) -> Detection | None:
+        """Feed one observation; returns a Detection when one fires."""
+        index = self._seen
+        self._seen += 1
+        self._mean.push(value)
+        deviation = value - self._mean.mean
+        self._m_up += deviation - self._delta
+        self._m_up_min = min(self._m_up_min, self._m_up)
+        self._m_down += deviation + self._delta
+        self._m_down_max = max(self._m_down_max, self._m_down)
+        if self._mean.n < self._min_obs:
+            return None
+
+        up_stat = self._m_up - self._m_up_min
+        down_stat = self._m_down_max - self._m_down
+        if up_stat > self._lambda:
+            direction, statistic = "up", up_stat
+        elif down_stat > self._lambda:
+            direction, statistic = "down", down_stat
+        else:
+            return None
+        detection = Detection(
+            detector=self._name,
+            observation_index=index,
+            direction=direction,
+            statistic=statistic,
+            threshold=self._lambda,
+            baseline_mean=self._mean.mean,
+        )
+        self._detections.append(detection)
+        self._reset()
+        return detection
+
+
+class MultiGpuBurstDetector:
+    """Detects temporal bursts of multi-GPU failures.
+
+    Counts failures involving at least ``min_gpus`` GPU slots inside a
+    trailing window.  When the count reaches ``threshold`` the
+    detector alarms once, then re-arms only after the window count
+    falls back below the threshold — so one sustained burst produces
+    one alarm, not one per event.
+
+    Args:
+        window_hours: Trailing window length (the paper's Figure 8
+            uses day-scale clustering; default 24 h).
+        threshold: Multi-GPU failures in the window that constitute a
+            burst.
+        min_gpus: Minimum involved GPU slots for an event to count.
+    """
+
+    def __init__(
+        self,
+        window_hours: float = 24.0,
+        threshold: int = 3,
+        min_gpus: int = 2,
+        name: str = "multi-gpu-burst",
+    ) -> None:
+        if threshold < 1:
+            raise StreamError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        if min_gpus < 1:
+            raise StreamError(f"min_gpus must be >= 1, got {min_gpus}")
+        self._window = RollingWindowStats(window_hours)
+        self._threshold = threshold
+        self._min_gpus = min_gpus
+        self._name = name
+        self._armed = True
+        self._seen = 0
+        self._detections: list[Detection] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def detections(self) -> list[Detection]:
+        return list(self._detections)
+
+    @property
+    def window_hours(self) -> float:
+        """Trailing window length."""
+        return self._window.window_hours
+
+    @property
+    def in_window(self) -> int:
+        """Multi-GPU failures currently inside the window."""
+        return self._window.count
+
+    def update(
+        self, time_hours: float, num_gpus_involved: int
+    ) -> Detection | None:
+        """Feed one failure; returns a Detection when a burst starts."""
+        index = self._seen
+        self._seen += 1
+        self._window.advance_to(time_hours)
+        if num_gpus_involved >= self._min_gpus:
+            self._window.push(time_hours, 1.0)
+        count = self._window.count
+        if count < self._threshold:
+            self._armed = True
+            return None
+        if not self._armed:
+            return None
+        self._armed = False
+        detection = Detection(
+            detector=self._name,
+            observation_index=index,
+            direction="up",
+            statistic=float(count),
+            threshold=float(self._threshold),
+            baseline_mean=0.0,
+        )
+        self._detections.append(detection)
+        return detection

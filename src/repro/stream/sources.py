@@ -1,0 +1,182 @@
+"""Event-stream sources.
+
+Four ways events reach a :class:`~repro.stream.monitor.FailureMonitor`:
+
+* :class:`ReplaySource` — replay a finished
+  :class:`~repro.core.records.FailureLog` (batch → stream bridge).
+* :class:`FileSource` — replay a log file (CSV or JSON Lines, format
+  inferred from the extension via :func:`repro.io.infer_format`).
+* :class:`SyntheticSource` — generate a calibrated synthetic trace and
+  replay it (the :mod:`repro.synth` stream adapter).
+* :class:`SimulationSource` — run a
+  :class:`~repro.sim.simulator.ClusterSimulator` while recording the
+  failure/repair events its engine publishes on the live bus, then
+  yield them.  For *in-loop* consumption (react to events while the
+  simulation is still running) attach the monitor directly with
+  :meth:`FailureMonitor.attach` before calling ``run``.
+
+All sources are iterables of monotonic
+:class:`~repro.stream.events.StreamEvent`s, so ``monitor.consume(source)``
+works uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.records import FailureLog
+from repro.errors import StreamError
+from repro.stream.events import StreamEvent, events_from_log
+
+__all__ = [
+    "ReplaySource",
+    "FileSource",
+    "SyntheticSource",
+    "SimulationSource",
+]
+
+
+class ReplaySource:
+    """Replay a finished failure log as a stream.
+
+    Args:
+        log: The log to replay.
+        include_repairs: Also emit REPAIR events at each failure's
+            recovery completion.
+    """
+
+    def __init__(
+        self, log: FailureLog, include_repairs: bool = False
+    ) -> None:
+        self._log = log
+        self._include_repairs = include_repairs
+
+    @property
+    def log(self) -> FailureLog:
+        return self._log
+
+    @property
+    def machine(self) -> str:
+        return self._log.machine
+
+    @property
+    def span_hours(self) -> float:
+        """Observation span, for :meth:`FailureMonitor.finalize`."""
+        return self._log.span_hours
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return events_from_log(
+            self._log, include_repairs=self._include_repairs
+        )
+
+
+class FileSource(ReplaySource):
+    """Replay a log file as a stream.
+
+    Args:
+        path: ``.csv`` or ``.jsonl`` log file.
+        format: Explicit format override (``"csv"`` / ``"jsonl"``).
+        include_repairs: Also emit REPAIR events.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        format: str | None = None,
+        include_repairs: bool = False,
+    ) -> None:
+        from repro.io import read_log
+
+        super().__init__(
+            read_log(path, format=format),
+            include_repairs=include_repairs,
+        )
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+
+class SyntheticSource(ReplaySource):
+    """Generate a calibrated synthetic trace and replay it.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        seed: Generator seed.
+        config: Full :class:`~repro.synth.GeneratorConfig` (overrides
+            ``seed``).
+        include_repairs: Also emit REPAIR events.
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        seed: int = 0,
+        config=None,
+        include_repairs: bool = False,
+    ) -> None:
+        from repro.synth import generate_log
+
+        super().__init__(
+            generate_log(machine, seed=seed, config=config),
+            include_repairs=include_repairs,
+        )
+
+
+class SimulationSource:
+    """Run a cluster simulation and yield the events it published.
+
+    The source subscribes to the simulator engine's event bus, runs
+    the horizon on first iteration, and yields the recorded
+    failure/repair events.  Iterating twice replays the recording; it
+    does not re-run the simulation.
+
+    Args:
+        simulator: A :class:`~repro.sim.simulator.ClusterSimulator`
+            that has not been run yet.
+        horizon_hours: Simulated hours to run.
+    """
+
+    def __init__(self, simulator, horizon_hours: float) -> None:
+        if horizon_hours <= 0:
+            raise StreamError(
+                f"horizon_hours must be positive, got {horizon_hours}"
+            )
+        self._simulator = simulator
+        self._horizon = horizon_hours
+        self._recorded: list[StreamEvent] | None = None
+        self._report = None
+
+    @property
+    def report(self):
+        """The simulation report (available after iteration)."""
+        return self._report
+
+    @property
+    def horizon_hours(self) -> float:
+        return self._horizon
+
+    def _run(self) -> list[StreamEvent]:
+        recorded: list[StreamEvent] = []
+        engine = self._simulator.engine
+        engine.subscribe(
+            "failure",
+            lambda record, time_hours: recorded.append(
+                StreamEvent.failure(time_hours, record)
+            ),
+        )
+        engine.subscribe(
+            "repair",
+            lambda node_id, category, time_hours: recorded.append(
+                StreamEvent.repair(time_hours, node_id, category)
+            ),
+        )
+        self._report = self._simulator.run(self._horizon)
+        return recorded
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        if self._recorded is None:
+            self._recorded = self._run()
+        return iter(self._recorded)

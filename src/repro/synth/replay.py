@@ -1,0 +1,60 @@
+"""Stream replay adapter for synthetic traces.
+
+Bridges the trace generator to :mod:`repro.stream`: generate a
+calibrated log and hand it over as a monotonic event stream, so the
+online estimators can be exercised against ground truth whose batch
+statistics are known exactly.
+
+Imports of :mod:`repro.stream` are deferred to call time so that
+``repro.synth`` stays importable on its own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.synth.generator import GeneratorConfig, generate_log
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stream.events import StreamEvent
+    from repro.stream.sources import ReplaySource
+
+__all__ = ["stream_synthetic", "replay_source"]
+
+
+def replay_source(
+    machine: str,
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+    include_repairs: bool = False,
+) -> "ReplaySource":
+    """Generate a calibrated trace and wrap it as a replay source.
+
+    Args:
+        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        seed: Generator seed, ignored when ``config`` is given.
+        config: Full generator configuration.
+        include_repairs: Also emit REPAIR events at recovery times.
+    """
+    from repro.stream.sources import ReplaySource
+
+    log = generate_log(machine, seed=seed, config=config)
+    return ReplaySource(log, include_repairs=include_repairs)
+
+
+def stream_synthetic(
+    machine: str,
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+    include_repairs: bool = False,
+) -> Iterator["StreamEvent"]:
+    """Generate a calibrated trace and yield it as stream events."""
+    return iter(
+        replay_source(
+            machine,
+            seed=seed,
+            config=config,
+            include_repairs=include_repairs,
+        )
+    )

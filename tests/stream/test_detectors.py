@@ -1,0 +1,145 @@
+"""Tests for the online change/burst detectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.detectors import (
+    CusumDetector,
+    MultiGpuBurstDetector,
+    PageHinkleyDetector,
+)
+
+
+class TestCusumDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(StreamError):
+            CusumDetector(drift=-1.0)
+        with pytest.raises(StreamError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(StreamError):
+            CusumDetector(warmup=1)
+
+    def test_no_alarm_on_stationary_stream(self):
+        # Wide tuning: any stationary stream eventually false-alarms
+        # (finite ARL), so the test uses a comfortable margin.
+        rng = np.random.default_rng(0)
+        detector = CusumDetector(drift=1.0, threshold=12.0, warmup=50)
+        for value in rng.normal(10.0, 2.0, size=1000):
+            detector.update(float(value))
+        assert detector.detections == []
+
+    def test_detects_upward_mean_shift(self):
+        rng = np.random.default_rng(1)
+        detector = CusumDetector(drift=0.5, threshold=5.0, warmup=50)
+        stream = np.concatenate([
+            rng.normal(10.0, 2.0, size=200),
+            rng.normal(16.0, 2.0, size=100),
+        ])
+        fired = [
+            d for v in stream if (d := detector.update(float(v)))
+        ]
+        assert fired, "expected an alarm after the shift"
+        first = fired[0]
+        assert first.direction == "up"
+        assert first.observation_index >= 200
+        assert first.observation_index < 230
+        assert first.baseline_mean == pytest.approx(10.0, abs=1.0)
+
+    def test_detects_downward_shift_in_gaps(self):
+        # Gaps shrinking = failure rate rising: the monitor's key case.
+        rng = np.random.default_rng(2)
+        detector = CusumDetector(drift=0.5, threshold=5.0, warmup=40)
+        stream = np.concatenate([
+            rng.exponential(30.0, size=150),
+            rng.exponential(6.0, size=150),
+        ])
+        fired = [
+            d for v in stream if (d := detector.update(float(v)))
+        ]
+        assert any(
+            d.direction == "down" and d.observation_index >= 150
+            for d in fired
+        )
+
+    def test_relearns_after_alarm(self):
+        rng = np.random.default_rng(3)
+        detector = CusumDetector(drift=0.5, threshold=5.0, warmup=30)
+        stream = np.concatenate([
+            rng.normal(10.0, 1.0, size=100),
+            rng.normal(20.0, 1.0, size=200),
+        ])
+        for value in stream:
+            detector.update(float(value))
+        # One alarm for the shift; the new regime is then baseline,
+        # so no alarm storm afterwards.
+        assert len(detector.detections) == 1
+
+
+class TestPageHinkleyDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(StreamError):
+            PageHinkleyDetector(delta=-1.0, lambda_=10.0)
+        with pytest.raises(StreamError):
+            PageHinkleyDetector(delta=1.0, lambda_=0.0)
+
+    def test_detects_mean_increase(self):
+        rng = np.random.default_rng(4)
+        detector = PageHinkleyDetector(delta=0.5, lambda_=30.0)
+        stream = np.concatenate([
+            rng.normal(50.0, 5.0, size=200),
+            rng.normal(65.0, 5.0, size=100),
+        ])
+        fired = [
+            d for v in stream if (d := detector.update(float(v)))
+        ]
+        assert any(
+            d.direction == "up" and d.observation_index >= 200
+            for d in fired
+        )
+
+    def test_quiet_on_stationary_stream(self):
+        rng = np.random.default_rng(5)
+        detector = PageHinkleyDetector(delta=2.0, lambda_=500.0)
+        for value in rng.normal(50.0, 5.0, size=2000):
+            detector.update(float(value))
+        assert detector.detections == []
+
+
+class TestMultiGpuBurstDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(StreamError):
+            MultiGpuBurstDetector(threshold=0)
+        with pytest.raises(StreamError):
+            MultiGpuBurstDetector(min_gpus=0)
+
+    def test_burst_fires_once(self):
+        detector = MultiGpuBurstDetector(
+            window_hours=24.0, threshold=3, min_gpus=2
+        )
+        assert detector.update(1.0, 3) is None
+        assert detector.update(2.0, 2) is None
+        third = detector.update(3.0, 4)
+        assert third is not None
+        assert third.statistic == 3.0
+        # Still inside the same burst: no repeat alarm.
+        assert detector.update(4.0, 2) is None
+
+    def test_single_gpu_failures_ignored(self):
+        detector = MultiGpuBurstDetector(
+            window_hours=24.0, threshold=2, min_gpus=2
+        )
+        for hour in range(10):
+            assert detector.update(float(hour), 1) is None
+        assert detector.in_window == 0
+
+    def test_rearms_after_window_drains(self):
+        detector = MultiGpuBurstDetector(
+            window_hours=10.0, threshold=2, min_gpus=2
+        )
+        detector.update(0.0, 2)
+        assert detector.update(1.0, 2) is not None
+        # Far in the future: the old burst expired, a new one alarms.
+        detector.update(100.0, 2)
+        assert detector.update(101.0, 2) is not None
+        assert len(detector.detections) == 2

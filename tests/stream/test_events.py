@@ -1,0 +1,107 @@
+"""Tests for the stream event model and log normalization."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.events import (
+    EventKind,
+    StreamEvent,
+    ensure_monotonic,
+    events_from_log,
+)
+from tests.conftest import make_log, make_record
+
+
+class TestStreamEvent:
+    def test_failure_constructor_carries_record(self):
+        record = make_record(record_id=1, hours=5.0)
+        event = StreamEvent.failure(5.0, record)
+        assert event.is_failure and not event.is_repair
+        assert event.record is record
+        assert event.node_id == record.node_id
+        assert event.category == record.category
+
+    def test_failure_without_record_rejected(self):
+        with pytest.raises(StreamError):
+            StreamEvent(EventKind.FAILURE, 1.0, 0, "GPU", None)
+
+    def test_negative_and_nan_time_rejected(self):
+        record = make_record()
+        with pytest.raises(StreamError):
+            StreamEvent.failure(-1.0, record)
+        with pytest.raises(StreamError):
+            StreamEvent.failure(float("nan"), record)
+
+    def test_repair_without_record_allowed(self):
+        event = StreamEvent.repair(9.0, 3, "GPU")
+        assert event.is_repair
+        assert event.record is None
+
+
+class TestEventsFromLog:
+    def test_failures_only_matches_log_order_and_offsets(self):
+        log = make_log([
+            make_record(record_id=0, hours=10.0),
+            make_record(record_id=1, hours=25.0),
+            make_record(record_id=2, hours=40.0),
+        ])
+        events = list(events_from_log(log))
+        assert [e.time_hours for e in events] == [10.0, 25.0, 40.0]
+        assert all(e.is_failure for e in events)
+
+    def test_repairs_interleaved_in_time_order(self):
+        log = make_log([
+            make_record(record_id=0, hours=0.0, ttr_hours=5.0),
+            make_record(record_id=1, hours=2.0, ttr_hours=1.0),
+            make_record(record_id=2, hours=100.0, ttr_hours=2.0),
+        ])
+        events = list(events_from_log(log, include_repairs=True))
+        kinds = [(e.kind, e.time_hours) for e in events]
+        assert kinds == [
+            (EventKind.FAILURE, 0.0),
+            (EventKind.FAILURE, 2.0),
+            (EventKind.REPAIR, 3.0),
+            (EventKind.REPAIR, 5.0),
+            (EventKind.FAILURE, 100.0),
+            (EventKind.REPAIR, 102.0),
+        ]
+
+    def test_repair_count_equals_failure_count(self, t2_log):
+        events = list(events_from_log(t2_log, include_repairs=True))
+        failures = sum(1 for e in events if e.is_failure)
+        repairs = sum(1 for e in events if e.is_repair)
+        assert failures == len(t2_log)
+        assert repairs == len(t2_log)
+
+    def test_merged_stream_is_monotonic(self, t2_log):
+        times = [
+            e.time_hours
+            for e in events_from_log(t2_log, include_repairs=True)
+        ]
+        assert times == sorted(times)
+
+    def test_repair_events_carry_the_failing_record(self):
+        log = make_log([make_record(record_id=0, hours=1.0,
+                                    ttr_hours=4.0, node_id=7)])
+        events = list(events_from_log(log, include_repairs=True))
+        repair = events[-1]
+        assert repair.is_repair
+        assert repair.node_id == 7
+        assert repair.record is log[0]
+
+
+class TestEnsureMonotonic:
+    def test_passes_sorted_stream_through(self):
+        log = make_log([make_record(record_id=i, hours=float(i))
+                        for i in range(5)])
+        events = list(ensure_monotonic(events_from_log(log)))
+        assert len(events) == 5
+
+    def test_raises_on_regression(self):
+        record = make_record()
+        backwards = [
+            StreamEvent.failure(5.0, record),
+            StreamEvent.failure(4.0, record),
+        ]
+        with pytest.raises(StreamError):
+            list(ensure_monotonic(backwards))

@@ -1,0 +1,198 @@
+"""Tests for the failure monitor, alert plumbing, and sources."""
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.errors import StreamError
+from repro.sim import ClusterSimulator
+from repro.stream import (
+    Alert,
+    AlertSeverity,
+    CallbackSink,
+    FailureMonitor,
+    ListSink,
+    RateShiftRule,
+    ReplaySource,
+    SimulationSource,
+    StreamEvent,
+    SyntheticSource,
+)
+from tests.conftest import make_log, make_record
+
+
+def _rate_shift_log(
+    slow_gap: float = 30.0,
+    fast_gap: float = 5.0,
+    n_each: int = 200,
+    seed: int = 0,
+):
+    """A log whose failure rate jumps up halfway through."""
+    rng = np.random.default_rng(seed)
+    gaps = np.concatenate([
+        rng.exponential(slow_gap, size=n_each),
+        rng.exponential(fast_gap, size=n_each),
+    ])
+    times = np.cumsum(gaps)
+    records = [
+        make_record(record_id=i, hours=float(t), ttr_hours=10.0)
+        for i, t in enumerate(times)
+    ]
+    return make_log(records, span_hours=float(times[-1]) + 1.0)
+
+
+class TestFailureMonitor:
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(StreamError):
+            FailureMonitor(quantiles=(0.5, 1.5))
+
+    def test_counts_and_clock(self, t2_log):
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(ReplaySource(t2_log, include_repairs=True))
+        assert monitor.failures_seen == len(t2_log)
+        assert monitor.repairs_seen == len(t2_log)
+        assert monitor.events_seen == 2 * len(t2_log)
+        assert monitor.now_hours >= t2_log.span_hours
+
+    def test_out_of_order_event_rejected(self):
+        monitor = FailureMonitor(rules=[])
+        record = make_record()
+        monitor.observe(StreamEvent.failure(10.0, record))
+        with pytest.raises(StreamError):
+            monitor.observe(StreamEvent.failure(9.0, record))
+
+    def test_snapshot_before_any_event(self):
+        snapshot = FailureMonitor(rules=[]).snapshot()
+        assert snapshot.failures == 0
+        assert snapshot.mtbf_hours is None
+        assert snapshot.mttr_hours is None
+        assert snapshot.format_lines()  # renders without crashing
+
+    def test_cusum_alert_fires_on_injected_rate_shift(self):
+        log = _rate_shift_log()
+        monitor = FailureMonitor(rules=[RateShiftRule()])
+        monitor.consume(ReplaySource(log))
+        rate_alerts = [
+            a for a in monitor.alerts
+            if a.rule == "rate-shift"
+            and a.severity is AlertSeverity.CRITICAL
+        ]
+        assert rate_alerts, "CUSUM must flag the injected rate shift"
+        # The alert lands after the shift point (failure #200).
+        shift_time = log.timestamps_hours()[199]
+        assert rate_alerts[0].time_hours > shift_time
+
+    def test_no_critical_rate_alert_on_stationary_trace(self):
+        rng = np.random.default_rng(7)
+        times = np.cumsum(rng.exponential(20.0, size=300))
+        log = make_log(
+            [
+                make_record(record_id=i, hours=float(t))
+                for i, t in enumerate(times)
+            ],
+            span_hours=float(times[-1]) + 1.0,
+        )
+        monitor = FailureMonitor(rules=[RateShiftRule(threshold=8.0)])
+        monitor.consume(ReplaySource(log))
+        assert not [
+            a for a in monitor.alerts
+            if a.severity is AlertSeverity.CRITICAL
+        ]
+
+    def test_sinks_receive_alerts(self):
+        log = _rate_shift_log()
+        collected = ListSink()
+        seen_via_callback: list[Alert] = []
+        monitor = FailureMonitor(
+            rules=[RateShiftRule()],
+            sinks=[collected, CallbackSink(seen_via_callback.append)],
+        )
+        monitor.consume(ReplaySource(log))
+        assert collected.alerts == monitor.alerts
+        assert seen_via_callback == monitor.alerts
+
+    def test_machine_year_parity_acceptance(self, t2_log):
+        """The PR's acceptance bar: >= 1 machine-year replay matches
+        batch MTBF/MTTR within 1% and quantiles within sketch
+        tolerance."""
+        assert t2_log.span_hours >= 365.25 * 24.0
+        source = ReplaySource(t2_log)
+        monitor = FailureMonitor()
+        monitor.consume(source)
+        monitor.finalize(source.span_hours)
+        snapshot = monitor.snapshot()
+
+        assert snapshot.mtbf_hours == pytest.approx(
+            metrics.mtbf(t2_log), rel=0.01
+        )
+        assert snapshot.mtbf_span_hours == pytest.approx(
+            metrics.mtbf_span(t2_log), rel=0.01
+        )
+        assert snapshot.mttr_hours == pytest.approx(
+            metrics.mttr(t2_log), rel=0.01
+        )
+
+        import bisect
+        import math
+
+        gaps = sorted(metrics.tbf_series_hours(t2_log))
+        allowed = math.ceil(monitor.sketch_epsilon * len(gaps)) + 1
+        for q in (0.5, 0.99):
+            estimate = monitor.tbf_quantile(q)
+            target = max(1, math.ceil(q * len(gaps)))
+            lo = bisect.bisect_left(gaps, estimate)
+            hi = bisect.bisect_right(gaps, estimate)
+            error = (
+                0 if lo + 1 <= target <= hi
+                else min(abs(target - (lo + 1)), abs(target - hi))
+            )
+            assert error <= allowed
+
+    def test_category_rates_track_the_mix(self, t2_log):
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(ReplaySource(t2_log))
+        rates = monitor.category_rates_per_hour()
+        # GPU dominates Tsubame-2; its EWMA rate should too.
+        assert max(rates, key=rates.get) == "GPU"
+
+
+class TestSources:
+    def test_synthetic_source_replays_generated_log(self):
+        source = SyntheticSource("tsubame3", seed=42)
+        events = list(source)
+        assert len(events) == 338
+        assert source.machine == "tsubame3"
+
+    def test_simulation_source_records_failures_and_repairs(self):
+        simulator = ClusterSimulator("tsubame2", seed=11)
+        source = SimulationSource(simulator, horizon_hours=800.0)
+        events = list(source)
+        assert source.report is not None
+        failures = [e for e in events if e.is_failure]
+        repairs = [e for e in events if e.is_repair]
+        assert len(failures) == source.report.failures_injected
+        assert len(repairs) == source.report.repairs_completed
+        times = [e.time_hours for e in events]
+        assert times == sorted(times)
+        # Second iteration replays the recording, not a new run.
+        assert list(source) == events
+
+    def test_simulation_source_rejects_bad_horizon(self):
+        with pytest.raises(StreamError):
+            SimulationSource(
+                ClusterSimulator("tsubame2"), horizon_hours=0.0
+            )
+
+    def test_live_attach_sees_same_failures_as_injector(self):
+        simulator = ClusterSimulator("tsubame3", seed=5)
+        monitor = FailureMonitor(rules=[])
+        monitor.attach(simulator.engine)
+        report = simulator.run(1500.0)
+        assert monitor.failures_seen == report.failures_injected
+        assert monitor.repairs_seen == report.repairs_completed
+        # The monitor's running MTTR equals the injected hands-on
+        # mean, since both stream the same records.
+        injected = simulator.injected_log()
+        assert monitor.snapshot().mttr_hours == pytest.approx(
+            metrics.mttr(injected), rel=1e-9
+        )

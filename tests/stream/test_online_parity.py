@@ -1,0 +1,210 @@
+"""Property-based parity: online estimators vs batch kernels.
+
+The streaming subsystem's contract is that replaying any finished log
+through the online estimators converges to the batch answers from
+:mod:`repro.core.metrics` / :mod:`repro.core.temporal`.  Hypothesis
+generates arbitrary (sorted) event histories; the parity must hold on
+every one of them, not just the calibrated traces.
+"""
+
+import bisect
+import math
+from datetime import timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.core.records import FailureLog, FailureRecord
+from repro.core.temporal import tbf_distribution
+from repro.stream import (
+    FailureMonitor,
+    GKQuantileSketch,
+    OnlineMtbf,
+    OnlineMttr,
+    ReplaySource,
+    Welford,
+)
+from tests.conftest import T0
+
+_CATEGORIES = st.sampled_from(
+    ["GPU", "CPU", "SSD", "FAN", "PBS", "Memory", "Network", "Boot"]
+)
+
+_record_tuples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=999.0, allow_nan=False),
+        st.integers(min_value=0, max_value=50),
+        _CATEGORIES,
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=80,
+)
+
+
+def _build_log(tuples) -> FailureLog:
+    records = [
+        FailureRecord(
+            record_id=index,
+            timestamp=T0 + timedelta(hours=hours),
+            node_id=node,
+            category=category,
+            ttr_hours=ttr,
+        )
+        for index, (hours, node, category, ttr) in enumerate(tuples)
+    ]
+    return FailureLog(
+        machine="tsubame2",
+        records=tuple(records),
+        window_start=T0,
+        window_end=T0 + timedelta(hours=1000.0),
+    )
+
+
+class TestMtbfMttrParity:
+    @given(tuples=_record_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_online_mtbf_matches_batch(self, tuples):
+        log = _build_log(tuples)
+        source = ReplaySource(log)
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(source)
+        monitor.finalize(source.span_hours)
+        snapshot = monitor.snapshot()
+        assert snapshot.mtbf_hours == pytest.approx(
+            metrics.mtbf(log), rel=1e-9, abs=1e-9
+        )
+        assert snapshot.mtbf_span_hours == pytest.approx(
+            metrics.mtbf_span(log), rel=1e-9
+        )
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_online_mttr_matches_batch(self, tuples):
+        log = _build_log(tuples)
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(ReplaySource(log))
+        assert monitor.snapshot().mttr_hours == pytest.approx(
+            metrics.mttr(log), rel=1e-9, abs=1e-9
+        )
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_online_mtbf_span_matches_temporal_distribution(
+        self, tuples
+    ):
+        log = _build_log(tuples)
+        source = ReplaySource(log)
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(source)
+        monitor.finalize(source.span_hours)
+        dist = tbf_distribution(log)
+        assert monitor.snapshot().mtbf_hours == pytest.approx(
+            dist.mtbf_hours, rel=1e-9, abs=1e-9
+        )
+        assert monitor.snapshot().mtbf_span_hours == pytest.approx(
+            dist.mtbf_span_hours, rel=1e-9
+        )
+
+
+class TestQuantileSketchParity:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=400,
+        ),
+        q=st.sampled_from([0.1, 0.5, 0.75, 0.9, 0.99]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gk_rank_error_bounded_on_any_stream(self, values, q):
+        epsilon = 0.01
+        sketch = GKQuantileSketch(epsilon=epsilon)
+        for value in values:
+            sketch.push(value)
+        estimate = sketch.value(q)
+        ordered = sorted(values)
+        n = len(ordered)
+        target = max(1, math.ceil(q * n))
+        lo = bisect.bisect_left(ordered, estimate)
+        hi = bisect.bisect_right(ordered, estimate)
+        error = (
+            0 if lo + 1 <= target <= hi
+            else min(abs(target - (lo + 1)), abs(target - hi))
+        )
+        assert error <= math.ceil(epsilon * n) + 1
+        # The sketch must also return an actually-seen value.
+        assert lo < hi or estimate in ordered
+
+    @given(tuples=_record_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_monitor_tbf_median_within_tolerance(self, tuples):
+        log = _build_log(tuples)
+        monitor = FailureMonitor(rules=[])
+        monitor.consume(ReplaySource(log))
+        gaps = sorted(metrics.tbf_series_hours(log))
+        estimate = monitor.tbf_quantile(0.5)
+        assert estimate is not None
+        n = len(gaps)
+        target = max(1, math.ceil(0.5 * n))
+        lo = bisect.bisect_left(gaps, estimate)
+        hi = bisect.bisect_right(gaps, estimate)
+        error = (
+            0 if lo + 1 <= target <= hi
+            else min(abs(target - (lo + 1)), abs(target - hi))
+        )
+        assert error <= math.ceil(monitor.sketch_epsilon * n) + 1
+
+
+class TestWelfordParity:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=2,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_welford_matches_numpy(self, values):
+        acc = Welford()
+        for value in values:
+            acc.push(value)
+        assert acc.mean == pytest.approx(
+            float(np.mean(values)), rel=1e-6, abs=1e-6
+        )
+        assert acc.variance == pytest.approx(
+            float(np.var(values, ddof=1)), rel=1e-6, abs=1e-4
+        )
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_online_mtbf_mttr_primitives(self, times):
+        ordered = sorted(times)
+        online = OnlineMtbf()
+        for t in ordered:
+            online.push_failure(t)
+        expected_gaps = np.diff(ordered)
+        assert online.mtbf_hours == pytest.approx(
+            float(np.mean(expected_gaps)), rel=1e-9, abs=1e-9
+        )
+        ttr = OnlineMttr()
+        for t in ordered:
+            ttr.push_ttr(t)
+        assert ttr.mttr_hours == pytest.approx(
+            float(np.mean(ordered)), rel=1e-9, abs=1e-9
+        )

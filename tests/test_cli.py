@@ -78,6 +78,106 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestAnalyzeFormatInference:
+    def test_jsonl_extension_inferred(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        assert main(["generate", "--machine", "tsubame2", "--seed", "3",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        assert "MTBF" in capsys.readouterr().out
+
+    def test_csv_extension_inferred(self, tmp_path, capsys):
+        out = tmp_path / "log.csv"
+        assert main(["generate", "--machine", "tsubame2", "--seed", "3",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        assert "MTBF" in capsys.readouterr().out
+
+    def test_unknown_extension_errors_without_format(
+        self, tmp_path, capsys
+    ):
+        src = tmp_path / "log.csv"
+        main(["generate", "--machine", "tsubame2", "--seed", "3",
+              "--out", str(src)])
+        oddball = tmp_path / "log.dat"
+        oddball.write_bytes(src.read_bytes())
+        capsys.readouterr()
+        assert main(["analyze", str(oddball)]) == 1
+        assert "cannot infer log format" in capsys.readouterr().err
+
+    def test_explicit_format_overrides_extension(
+        self, tmp_path, capsys
+    ):
+        src = tmp_path / "log.csv"
+        main(["generate", "--machine", "tsubame2", "--seed", "3",
+              "--out", str(src)])
+        oddball = tmp_path / "log.dat"
+        oddball.write_bytes(src.read_bytes())
+        capsys.readouterr()
+        assert main(["analyze", str(oddball), "--format", "csv"]) == 0
+        assert "MTBF" in capsys.readouterr().out
+
+    def test_format_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "x.csv", "--format", "xml"]
+            )
+
+
+class TestMonitorCommand:
+    def test_replay_prints_snapshot_and_parity(self, tmp_path, capsys):
+        out = tmp_path / "log.csv"
+        main(["generate", "--machine", "tsubame2", "--seed", "9",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["monitor", str(out), "--quiet-alerts"]) == 0
+        text = capsys.readouterr().out
+        assert "MTBF (gap mean)" in text
+        assert "parity check (online vs batch)" in text
+        assert "TBF p99" in text
+
+    def test_replay_jsonl_with_rolling_reports(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        main(["generate", "--machine", "tsubame3", "--seed", "9",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["monitor", str(out), "--quiet-alerts",
+                     "--report-every", "100"]) == 0
+        text = capsys.readouterr().out
+        # 338 failures -> at least 3 interim snapshots + the final one.
+        assert text.count("MTBF (gap mean)") >= 4
+
+    def test_live_simulation_mode(self, capsys):
+        assert main(["monitor", "--live", "--machine", "tsubame2",
+                     "--horizon", "600", "--seed", "4",
+                     "--quiet-alerts"]) == 0
+        text = capsys.readouterr().out
+        assert "live simulation" in text
+        assert "failures injected" in text
+
+    def test_path_and_live_are_mutually_exclusive(self, tmp_path,
+                                                  capsys):
+        assert main(["monitor"]) == 2
+        assert main(["monitor", "--live", str(tmp_path / "x.csv")]) == 2
+        capsys.readouterr()
+
+    def test_live_requires_machine(self, capsys):
+        assert main(["monitor", "--live"]) == 2
+        assert "--machine" in capsys.readouterr().err
+
+    def test_alerts_printed_by_default(self, tmp_path, capsys):
+        out = tmp_path / "log.csv"
+        main(["generate", "--machine", "tsubame2", "--seed", "9",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["monitor", str(out), "--no-parity"]) == 0
+        text = capsys.readouterr().out
+        # Tsubame-2's 70% multi-GPU involvement always bursts.
+        assert "multi-gpu-burst" in text
+
+
 class TestExtendedCommands:
     def _two_logs(self, tmp_path):
         t2 = tmp_path / "t2.csv"
