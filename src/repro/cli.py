@@ -3,7 +3,7 @@
 Subcommands::
 
     repro-failures generate --machine tsubame2 --seed 42 --out t2.csv
-    repro-failures analyze t2.csv [--format csv|jsonl]
+    repro-failures analyze t2.csv [--format csv|jsonl] [--lenient]
     repro-failures report [--seed 42] [--out report.txt]
     repro-failures simulate --machine tsubame3 --horizon 2000 \
         --technicians 4
@@ -18,6 +18,11 @@ cluster simulation and prints its operational report; ``monitor``
 streams a log (or a live simulation) through the online estimators of
 :mod:`repro.stream`, printing rolling metrics, alerts, and — for
 replays — an online-vs-batch parity check.
+
+``--lenient`` (on ``analyze`` and ``monitor``) quarantines malformed
+log rows instead of aborting and prints the quarantine summary.  Exit
+codes: 0 success, 1 domain error, 2 usage/environment error, 130
+interrupted (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -35,7 +40,14 @@ from repro.machines.specs import known_machines
 from repro.sim import ClusterSimulator, RepairPolicy
 from repro.synth import GeneratorConfig, TraceGenerator, profile_for
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_INTERRUPT",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--format", choices=KNOWN_FORMATS, default=None,
         help="input format (default: inferred from the file extension)",
+    )
+    analyze.add_argument(
+        "--lenient", action="store_true",
+        help="quarantine malformed rows instead of aborting, and "
+             "print the quarantine summary",
     )
 
     report = sub.add_parser(
@@ -152,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the online-vs-batch parity check on replays",
     )
     monitor.add_argument(
+        "--lenient", action="store_true",
+        help="quarantine malformed log rows instead of aborting, and "
+             "print the quarantine summary",
+    )
+    monitor.add_argument(
         "--quiet-alerts", action="store_true",
         help="do not print alerts as they fire",
     )
@@ -175,7 +197,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    log = _read_log(args.path, format=args.format)
+    if args.lenient:
+        report = read_log(
+            args.path, format=args.format, on_error="collect"
+        )
+        for line in report.summary_lines():
+            print(line)
+        log = report.log
+    else:
+        log = _read_log(args.path, format=args.format)
     breakdown = category_breakdown(log)
     print(f"machine:          {log.machine}")
     print(f"failures:         {len(log)}")
@@ -382,7 +412,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             print(line)
         return 0
 
-    source = FileSource(args.path, format=args.format)
+    source = FileSource(
+        args.path,
+        format=args.format,
+        on_error="collect" if args.lenient else "raise",
+    )
+    if source.read_report is not None:
+        for line in source.read_report.summary_lines():
+            print(line)
     every = args.report_every
     for event in source:
         monitor.observe(event)
@@ -415,15 +452,36 @@ _COMMANDS = {
 }
 
 
+#: Exit codes: 0 ok, 1 domain error (ReproError), 2 usage/environment
+#: (unreadable path, permissions, full disk), 130 interrupted
+#: (128 + SIGINT, the shell convention).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPT = 130
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Failures map to clean one-line stderr messages, never raw
+    tracebacks: :class:`~repro.errors.ReproError` exits 1,
+    environment problems (``OSError``: missing/unreadable paths, full
+    disks) exit 2, and Ctrl-C exits 130.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
 
 
 if __name__ == "__main__":

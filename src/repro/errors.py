@@ -39,6 +39,11 @@ class SerializationError(ReproError):
     """A failure log could not be read from or written to disk."""
 
 
+class SweepError(ReproError):
+    """A multi-seed sweep failed: a work item raised, or the worker
+    pool died and the unfinished tail could not be recovered."""
+
+
 class StreamError(ReproError):
     """A live event stream violated an invariant (e.g. time went
     backwards) or a streaming component was misconfigured."""

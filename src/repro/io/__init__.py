@@ -3,6 +3,12 @@
 Defines a documented interchange schema (the columns Section II of the
 paper describes: occurrence time, recovery time, category, plus node
 and GPU locality) and reads/writes it as CSV or JSON Lines.
+
+Every reader supports tolerant ingest (``on_error="raise"|"skip"|
+"collect"``): malformed rows can be quarantined into a
+:class:`~repro.io.tolerant.LogReadReport` with per-row diagnostics
+instead of aborting the load.  See docs/ROBUSTNESS.md for the full
+error-policy matrix.
 """
 
 from repro.io.csvio import read_csv, write_csv
@@ -10,10 +16,18 @@ from repro.io.formats import KNOWN_FORMATS, infer_format, read_log
 from repro.io.jsonio import read_jsonl, write_jsonl
 from repro.io.rawlog import normalize_category, read_raw_csv
 from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
+from repro.io.tolerant import (
+    ON_ERROR_MODES,
+    LogReadReport,
+    QuarantinedRow,
+)
 
 __all__ = [
     "CSV_COLUMNS",
     "KNOWN_FORMATS",
+    "LogReadReport",
+    "ON_ERROR_MODES",
+    "QuarantinedRow",
     "infer_format",
     "normalize_category",
     "read_csv",

@@ -3,6 +3,12 @@
 The CSV carries a small comment header (lines starting with ``#``)
 recording the machine name and observation window, so a file round-trips
 into an identical :class:`~repro.core.records.FailureLog`.
+
+Reading supports the tolerant-ingest modes of
+:mod:`repro.io.tolerant`: ``read_csv(path, on_error="collect")``
+quarantines malformed rows (bad values, duplicate ids, out-of-window
+timestamps, unknown categories) instead of aborting, and returns a
+:class:`~repro.io.tolerant.LogReadReport`.
 """
 
 from __future__ import annotations
@@ -11,9 +17,10 @@ import csv
 from datetime import datetime
 from pathlib import Path
 
-from repro.core.records import FailureLog
-from repro.errors import SerializationError
+from repro.core.records import FailureLog, FailureRecord
+from repro.errors import SerializationError, ValidationError
 from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
+from repro.io.tolerant import LogReadReport, RowQuarantine, sift_records
 
 __all__ = ["write_csv", "read_csv"]
 
@@ -50,13 +57,25 @@ def _parse_metadata(lines: list[str]) -> dict[str, str]:
     return metadata
 
 
-def read_csv(path: str | Path) -> FailureLog:
+def read_csv(
+    path: str | Path, on_error: str = "raise"
+) -> FailureLog | LogReadReport:
     """Read a failure log written by :func:`write_csv`.
 
+    Args:
+        path: CSV path.
+        on_error: ``"raise"`` aborts on the first malformed row (the
+            strict default); ``"skip"`` drops malformed rows;
+            ``"collect"`` additionally returns a
+            :class:`~repro.io.tolerant.LogReadReport` with per-row
+            diagnostics instead of the bare log.
+
     Raises:
-        SerializationError: On missing metadata or malformed rows.
+        SerializationError: On missing/malformed metadata (always), or
+            on a malformed row in ``"raise"`` mode.
     """
     path = Path(path)
+    quarantine = RowQuarantine(on_error, path=str(path))
     with path.open(newline="") as handle:
         meta_lines: list[str] = []
         position = handle.tell()
@@ -75,7 +94,23 @@ def read_csv(path: str | Path) -> FailureLog:
                     f"{path} is missing the {key!r} metadata line"
                 )
         reader = csv.DictReader(handle)
-        records = [record_from_row(row) for row in reader]
+        # Physical line = metadata lines + header/body lines the csv
+        # reader has consumed so far.
+        rows: list[tuple[int, str | None, FailureRecord]] = []
+        for row in reader:
+            line_number = len(meta_lines) + reader.line_num
+            try:
+                rows.append(
+                    (line_number, _preview(row), record_from_row(row))
+                )
+            except (SerializationError, ValidationError) as exc:
+                quarantine.add(
+                    line_number,
+                    str(exc),
+                    field=getattr(exc, "field", None),
+                    raw=_preview(row),
+                    cause=exc,
+                )
     try:
         window_start = datetime.fromisoformat(metadata["window_start"])
         window_end = datetime.fromisoformat(metadata["window_end"])
@@ -83,9 +118,27 @@ def read_csv(path: str | Path) -> FailureLog:
         raise SerializationError(
             f"{path} has malformed window timestamps: {exc}"
         ) from exc
-    return FailureLog(
+    if quarantine.lenient:
+        records = sift_records(
+            metadata["machine"], window_start, window_end, rows,
+            quarantine,
+        )
+    else:
+        records = [record for _, _, record in rows]
+    log = FailureLog(
         machine=metadata["machine"],
         records=tuple(records),
         window_start=window_start,
         window_end=window_end,
+    )
+    if on_error == "collect":
+        return quarantine.report(log, format="csv")
+    return log
+
+
+def _preview(row: dict) -> str:
+    """Compact raw-ish preview of a parsed csv row."""
+    return ",".join(
+        "" if value is None else str(value)
+        for value in row.values()
     )

@@ -13,6 +13,7 @@ from repro.core.records import FailureLog
 from repro.errors import SerializationError
 from repro.io.csvio import read_csv
 from repro.io.jsonio import read_jsonl
+from repro.io.tolerant import LogReadReport, check_on_error
 
 __all__ = ["KNOWN_FORMATS", "infer_format", "read_log"]
 
@@ -44,21 +45,34 @@ def infer_format(path: Path | str) -> str:
         ) from None
 
 
-def read_log(path: Path | str, format: str | None = None) -> FailureLog:
+def read_log(
+    path: Path | str,
+    format: str | None = None,
+    on_error: str = "raise",
+) -> FailureLog | LogReadReport:
     """Read a failure log, inferring the format from the extension.
 
     Args:
         path: Log file path.
         format: ``"csv"`` or ``"jsonl"`` to override inference.
+        on_error: ``"raise"`` aborts on the first malformed row (the
+            strict default); ``"skip"`` drops malformed rows and
+            returns the log built from the rest; ``"collect"``
+            quarantines malformed rows and returns a
+            :class:`~repro.io.tolerant.LogReadReport` (the log plus
+            per-row diagnostics) instead of a bare log.
 
     Raises:
-        SerializationError: On an unknown format or extension.
+        SerializationError: On an unknown format, extension, or
+            ``on_error`` mode; on structural file problems (always);
+            or on the first malformed row in ``"raise"`` mode.
     """
+    check_on_error(on_error)
     chosen = format or infer_format(path)
     if chosen == "csv":
-        return read_csv(path)
+        return read_csv(path, on_error=on_error)
     if chosen == "jsonl":
-        return read_jsonl(path)
+        return read_jsonl(path, on_error=on_error)
     raise SerializationError(
         f"unknown log format {chosen!r} (known: "
         f"{', '.join(KNOWN_FORMATS)})"

@@ -4,6 +4,12 @@ The first line is a header object (``{"machine": ..., "window_start":
 ..., "window_end": ...}``); every further line is one failure record.
 JSONL suits streaming pipelines better than CSV and is the format the
 command-line tool emits by default.
+
+Reading supports the tolerant-ingest modes of
+:mod:`repro.io.tolerant`: ``read_jsonl(path, on_error="collect")``
+quarantines malformed lines (broken JSON, bad values, duplicate ids,
+out-of-window timestamps, unknown categories) instead of aborting, and
+returns a :class:`~repro.io.tolerant.LogReadReport`.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from datetime import datetime
 from pathlib import Path
 
 from repro.core.records import FailureLog, FailureRecord
-from repro.errors import SerializationError
+from repro.errors import SerializationError, ValidationError
+from repro.io.tolerant import LogReadReport, RowQuarantine, sift_records
 
 __all__ = ["write_jsonl", "read_jsonl"]
 
@@ -30,19 +37,57 @@ def _record_to_object(record: FailureRecord) -> dict:
     }
 
 
+_FIELD_PARSERS = {
+    "record_id": int,
+    "timestamp": datetime.fromisoformat,
+    "node_id": int,
+    "ttr_hours": float,
+}
+
+
+class _ObjectParseError(SerializationError):
+    """A record object failed to parse; ``field`` names the bad key."""
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+
 def _record_from_object(obj: dict) -> FailureRecord:
+    parsed = {}
+    for key, parse in _FIELD_PARSERS.items():
+        if key not in obj:
+            raise _ObjectParseError(
+                f"malformed record object: missing key {key!r}",
+                field=key,
+            )
+        try:
+            parsed[key] = parse(obj[key])
+        except (ValueError, TypeError) as exc:
+            raise _ObjectParseError(
+                f"malformed record object: bad {key} "
+                f"{obj[key]!r}: {exc}",
+                field=key,
+            ) from exc
     try:
-        return FailureRecord(
-            record_id=int(obj["record_id"]),
-            timestamp=datetime.fromisoformat(obj["timestamp"]),
-            node_id=int(obj["node_id"]),
-            category=str(obj["category"]),
-            ttr_hours=float(obj["ttr_hours"]),
-            gpus_involved=tuple(int(s) for s in obj.get("gpus_involved", [])),
-            root_locus=obj.get("root_locus"),
+        gpus = tuple(int(s) for s in obj.get("gpus_involved", []))
+    except (ValueError, TypeError) as exc:
+        raise _ObjectParseError(
+            f"malformed record object: bad gpus_involved "
+            f"{obj.get('gpus_involved')!r}: {exc}",
+            field="gpus_involved",
+        ) from exc
+    if "category" not in obj:
+        raise _ObjectParseError(
+            "malformed record object: missing key 'category'",
+            field="category",
         )
-    except (KeyError, ValueError, TypeError) as exc:
-        raise SerializationError(f"malformed record object: {exc}") from exc
+    return FailureRecord(
+        category=str(obj["category"]),
+        gpus_involved=gpus,
+        root_locus=obj.get("root_locus"),
+        **parsed,
+    )
 
 
 def write_jsonl(log: FailureLog, path: str | Path) -> None:
@@ -60,13 +105,25 @@ def write_jsonl(log: FailureLog, path: str | Path) -> None:
             handle.write(json.dumps(_record_to_object(record)) + "\n")
 
 
-def read_jsonl(path: str | Path) -> FailureLog:
+def read_jsonl(
+    path: str | Path, on_error: str = "raise"
+) -> FailureLog | LogReadReport:
     """Read a failure log written by :func:`write_jsonl`.
 
+    Args:
+        path: JSONL path.
+        on_error: ``"raise"`` aborts on the first malformed line (the
+            strict default); ``"skip"`` drops malformed lines;
+            ``"collect"`` additionally returns a
+            :class:`~repro.io.tolerant.LogReadReport` with per-line
+            diagnostics instead of the bare log.
+
     Raises:
-        SerializationError: On a missing/malformed header or records.
+        SerializationError: On a missing/malformed header (always), or
+            on a malformed line in ``"raise"`` mode.
     """
     path = Path(path)
+    quarantine = RowQuarantine(on_error, path=str(path))
     with path.open() as handle:
         header_line = handle.readline()
         if not header_line.strip():
@@ -82,17 +139,32 @@ def read_jsonl(path: str | Path) -> FailureLog:
                 raise SerializationError(
                     f"{path} header is missing {key!r}"
                 )
-        records = []
+        rows: list[tuple[int, str | None, FailureRecord]] = []
         for line_number, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise SerializationError(
-                    f"{path}:{line_number} is malformed JSON: {exc}"
-                ) from exc
-            records.append(_record_from_object(obj))
+                quarantine.add(
+                    line_number,
+                    f"malformed JSON: {exc}",
+                    raw=line,
+                    cause=exc,
+                )
+                continue
+            try:
+                rows.append(
+                    (line_number, line, _record_from_object(obj))
+                )
+            except (SerializationError, ValidationError) as exc:
+                quarantine.add(
+                    line_number,
+                    str(exc),
+                    field=getattr(exc, "field", None),
+                    raw=line,
+                    cause=exc,
+                )
     try:
         window_start = datetime.fromisoformat(header["window_start"])
         window_end = datetime.fromisoformat(header["window_end"])
@@ -100,9 +172,19 @@ def read_jsonl(path: str | Path) -> FailureLog:
         raise SerializationError(
             f"{path} has malformed window timestamps: {exc}"
         ) from exc
-    return FailureLog(
+    if quarantine.lenient:
+        records = sift_records(
+            str(header["machine"]), window_start, window_end, rows,
+            quarantine,
+        )
+    else:
+        records = [record for _, _, record in rows]
+    log = FailureLog(
         machine=str(header["machine"]),
         records=tuple(records),
         window_start=window_start,
         window_end=window_end,
     )
+    if on_error == "collect":
+        return quarantine.report(log, format="jsonl")
+    return log

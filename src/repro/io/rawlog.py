@@ -21,7 +21,8 @@ from pathlib import Path
 
 from repro.core.records import FailureLog, FailureRecord
 from repro.core.taxonomy import categories_for
-from repro.errors import SerializationError, TaxonomyError
+from repro.errors import SerializationError, TaxonomyError, ValidationError
+from repro.io.tolerant import LogReadReport, RowQuarantine
 
 __all__ = ["normalize_category", "read_raw_csv", "RAW_TIME_FORMATS"]
 
@@ -123,6 +124,20 @@ def normalize_category(machine: str, raw: str) -> str:
     )
 
 
+class _RawFieldError(SerializationError):
+    """A raw-log cell failed to parse; ``field`` names the column."""
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def _parse_gpu_list(text: str) -> tuple[int, ...]:
+    return tuple(
+        sorted(int(part) for part in text.replace("+", " ").split())
+    )
+
+
 def _parse_timestamp(text: str) -> datetime:
     for fmt in RAW_TIME_FORMATS:
         try:
@@ -161,7 +176,8 @@ def read_raw_csv(
     path: str | Path,
     machine: str,
     skip_unparseable: bool = False,
-) -> FailureLog:
+    on_error: str | None = None,
+) -> FailureLog | LogReadReport:
     """Read a raw operator-log CSV into a validated failure log.
 
     Expected columns (header names are matched case-insensitively):
@@ -174,14 +190,24 @@ def read_raw_csv(
         machine: Which taxonomy to normalise against.
         skip_unparseable: When True, rows that fail to parse are
             dropped instead of aborting the load (field exports often
-            contain a few garbage lines).
+            contain a few garbage lines).  Legacy alias for
+            ``on_error="skip"``.
+        on_error: ``"raise"``/``"skip"``/``"collect"`` per
+            :mod:`repro.io.tolerant`; overrides ``skip_unparseable``
+            when given.  ``"collect"`` returns a
+            :class:`~repro.io.tolerant.LogReadReport` whose
+            quarantine lists every dropped row with its line number,
+            offending field, and reason.
 
     Raises:
         SerializationError: On a missing required column, or on the
-            first bad row when ``skip_unparseable`` is False, or when
-            nothing parseable remains.
+            first bad row in strict mode, or when nothing parseable
+            remains.
     """
     path = Path(path)
+    if on_error is None:
+        on_error = "skip" if skip_unparseable else "raise"
+    quarantine = RowQuarantine(on_error, path=str(path))
     column_aliases = {
         "date": ("date", "time", "timestamp", "failure_time"),
         "category": ("category", "type", "failure", "failure_type"),
@@ -212,28 +238,41 @@ def read_raw_csv(
         node_column = find("node", required=False)
         gpus_column = find("gpus", required=False)
 
+        def parse_column(row, column, label, parse):
+            """Parse one cell, attributing any failure to its column."""
+            try:
+                return parse(row[column])
+            except (
+                SerializationError, TaxonomyError, ValueError,
+                TypeError, AttributeError,
+            ) as exc:
+                # TypeError/AttributeError: a short row leaves the
+                # cell as None (csv.DictReader's missing-value fill).
+                raise _RawFieldError(str(exc), field=label) from exc
+
         records = []
         for line_number, row in enumerate(reader, start=2):
             try:
-                timestamp = _parse_timestamp(row[date_column])
-                category = normalize_category(
-                    machine, row[category_column]
+                timestamp = parse_column(
+                    row, date_column, "date", _parse_timestamp
                 )
-                ttr = _parse_duration_hours(row[recovery_column])
+                category = parse_column(
+                    row, category_column, "category",
+                    lambda text: normalize_category(machine, text),
+                )
+                ttr = parse_column(
+                    row, recovery_column, "recovery",
+                    _parse_duration_hours,
+                )
                 node = (
-                    int(row[node_column])
-                    if node_column and row[node_column].strip()
+                    parse_column(row, node_column, "node", int)
+                    if node_column and (row[node_column] or "").strip()
                     else 0
                 )
                 gpus: tuple[int, ...] = ()
-                if gpus_column and row[gpus_column].strip():
-                    gpus = tuple(
-                        sorted(
-                            int(part)
-                            for part in row[gpus_column].replace(
-                                "+", " "
-                            ).split()
-                        )
+                if gpus_column and (row[gpus_column] or "").strip():
+                    gpus = parse_column(
+                        row, gpus_column, "gpus", _parse_gpu_list
                     )
                 records.append(
                     FailureRecord(
@@ -245,12 +284,23 @@ def read_raw_csv(
                         gpus_involved=gpus,
                     )
                 )
-            except (SerializationError, TaxonomyError, ValueError) as exc:
-                if skip_unparseable:
-                    continue
-                raise SerializationError(
-                    f"{path}:{line_number}: {exc}"
-                ) from exc
+            except (
+                SerializationError, TaxonomyError, ValidationError,
+                ValueError,
+            ) as exc:
+                quarantine.add(
+                    line_number,
+                    str(exc),
+                    field=getattr(exc, "field", None),
+                    raw=",".join(
+                        "" if value is None else str(value)
+                        for value in row.values()
+                    ),
+                    cause=exc,
+                )
     if not records:
         raise SerializationError(f"{path} contains no parseable rows")
-    return FailureLog.from_records(machine, records)
+    log = FailureLog.from_records(machine, records)
+    if on_error == "collect":
+        return quarantine.report(log, format="raw-csv")
+    return log

@@ -26,7 +26,26 @@ from typing import Mapping
 from repro.core.records import FailureRecord
 from repro.errors import SerializationError
 
-__all__ = ["CSV_COLUMNS", "record_to_row", "record_from_row"]
+__all__ = [
+    "CSV_COLUMNS",
+    "RowParseError",
+    "record_to_row",
+    "record_from_row",
+]
+
+
+class RowParseError(SerializationError):
+    """A row failed to parse, with the offending column pinned down.
+
+    Attributes:
+        field: Name of the malformed column, or None when the failure
+            cannot be attributed to a single one (e.g. cross-field
+            validation).
+    """
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
 
 CSV_COLUMNS: tuple[str, ...] = (
     "record_id",
@@ -56,30 +75,47 @@ def record_to_row(record: FailureRecord) -> dict[str, str]:
     }
 
 
+def _parse_field(row: Mapping[str, str], column: str, parse):
+    """Parse one column, attributing any failure to it."""
+    try:
+        return parse(row[column])
+    except (ValueError, TypeError) as exc:
+        raise RowParseError(
+            f"malformed row {dict(row)!r}: bad {column} "
+            f"{row[column]!r}: {exc}",
+            field=column,
+        ) from exc
+
+
+def _parse_gpus(text: str) -> tuple[int, ...]:
+    body = text.strip()
+    if not body:
+        return ()
+    return tuple(int(part) for part in body.split(_GPU_SEPARATOR))
+
+
 def record_from_row(row: Mapping[str, str]) -> FailureRecord:
     """Parse one row back into a record.
 
     Raises:
-        SerializationError: On missing columns or malformed values.
+        SerializationError: On missing columns or malformed values
+            (a :class:`RowParseError` naming the offending column
+            whenever one can be singled out).
     """
     missing = [column for column in CSV_COLUMNS if column not in row]
     if missing:
-        raise SerializationError(f"row is missing columns {missing}")
-    try:
-        gpus_field = row["gpus"].strip()
-        gpus = (
-            tuple(int(part) for part in gpus_field.split(_GPU_SEPARATOR))
-            if gpus_field
-            else ()
+        raise RowParseError(
+            f"row is missing columns {missing}",
+            field=missing[0],
         )
-        return FailureRecord(
-            record_id=int(row["record_id"]),
-            timestamp=datetime.fromisoformat(row["timestamp"]),
-            node_id=int(row["node_id"]),
-            category=row["category"],
-            ttr_hours=float(row["ttr_hours"]),
-            gpus_involved=gpus,
-            root_locus=row["root_locus"] or None,
-        )
-    except (ValueError, TypeError) as exc:
-        raise SerializationError(f"malformed row {dict(row)!r}: {exc}") from exc
+    return FailureRecord(
+        record_id=_parse_field(row, "record_id", int),
+        timestamp=_parse_field(
+            row, "timestamp", datetime.fromisoformat
+        ),
+        node_id=_parse_field(row, "node_id", int),
+        category=row["category"],
+        ttr_hours=_parse_field(row, "ttr_hours", float),
+        gpus_involved=_parse_field(row, "gpus", _parse_gpus),
+        root_locus=row["root_locus"] or None,
+    )

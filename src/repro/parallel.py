@@ -1,4 +1,4 @@
-"""Deterministic multi-seed sweep engine.
+"""Deterministic, fault-tolerant multi-seed sweep engine.
 
 Monte-Carlo replication (many seeds through the same pipeline) and
 grid sweeps (many configurations over the same log) are embarrassingly
@@ -15,24 +15,110 @@ pure ``fn``.  With ``processes=None`` or ``1`` the loop runs serially
 in-process — no pool, no pickling — which is also the fallback for
 interactive callers on single-core machines.
 
-``fn`` must be picklable (a module-level function, not a lambda or
-closure) whenever ``processes > 1``; its items and results travel
-through process boundaries.
+On top of determinism, :func:`sweep` is *fault tolerant*:
+
+* A worker exception is always attributed: the default mode re-raises
+  it as a :class:`SweepItemError` naming the item index and repr (the
+  original exception is chained as ``__cause__``), so "seed 1337 is
+  poisoned" is visible instead of a bare traceback.
+* ``return_errors=True`` switches to per-item capture: every item
+  yields a :class:`SweepOutcome` (result *or* error, plus the item and
+  attempt count), so one poisoned seed no longer discards the other
+  results.
+* ``retries`` re-runs an item that raised (bounded, with optional
+  exponential backoff) before declaring it failed — for transient
+  faults such as a flaky filesystem.
+* A worker process dying (segfault, OOM kill, ``os._exit``) raises
+  :class:`~concurrent.futures.process.BrokenProcessPool` inside the
+  executor; :func:`sweep` recovers by re-dispatching the unfinished
+  tail serially in-process, so completed chunks are kept.  This
+  assumes the crash was transient (it re-executes the crashing item
+  in the parent); a deterministic hard crash will then take the parent
+  down, which is no worse than the status quo.
+
+``fn`` must be picklable (a module-level function or a picklable
+callable object, not a lambda or closure) whenever ``processes > 1``;
+its items and results travel through process boundaries.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import time as _time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, TypeVar
 
-from repro.errors import ValidationError
+from repro.errors import SweepError, ValidationError
 
-__all__ = ["sweep", "default_processes"]
+__all__ = [
+    "sweep",
+    "default_processes",
+    "SweepOutcome",
+    "SweepItemError",
+]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
+
+
+class SweepItemError(SweepError):
+    """One sweep item failed (after any retries).
+
+    Attributes:
+        index: Position of the failing item in the input sequence.
+        item: The failing item itself.
+        attempts: How many times the item was attempted.
+    """
+
+    def __init__(
+        self, index: int, item: Any, attempts: int, cause: BaseException
+    ) -> None:
+        self.index = index
+        self.item = item
+        self.attempts = attempts
+        attempt_text = (
+            f" after {attempts} attempts" if attempts > 1 else ""
+        )
+        super().__init__(
+            f"sweep item {index} ({item!r}) failed{attempt_text}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Result of one sweep item under ``return_errors=True``.
+
+    Exactly one of :attr:`result` / :attr:`error` is meaningful; check
+    :attr:`ok` (or call :meth:`unwrap`) before touching :attr:`result`.
+    """
+
+    index: int
+    item: Any
+    result: Any = None
+    error: BaseException | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the item produced a result."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """Return the result, or raise the attributed failure.
+
+        Raises:
+            SweepItemError: If this item failed.
+        """
+        if self.error is not None:
+            raise SweepItemError(
+                self.index, self.item, self.attempts, self.error
+            ) from self.error
+        return self.result
 
 
 def default_processes() -> int:
@@ -53,12 +139,107 @@ def _chunksize(num_items: int, processes: int) -> int:
     return max(1, num_items // (processes * 4))
 
 
+def _picklable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a
+    :class:`SweepError` stand-in carrying its repr.
+
+    Captured worker exceptions travel back to the parent as *data*; an
+    unpicklable one would otherwise kill the whole result chunk.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return SweepError(
+            f"worker raised unpicklable {type(exc).__name__}: {exc!r}"
+        )
+
+
+def _attempt_item(
+    fn: Callable[[_ItemT], _ResultT],
+    item: _ItemT,
+    retries: int,
+    backoff_seconds: float,
+) -> tuple[Any, BaseException | None, int]:
+    """Run one item with bounded retry; never raises ``Exception``.
+
+    Returns ``(result, error, attempts)`` where ``error`` is None on
+    success.  Backoff sleeps ``backoff_seconds * 2**(attempt - 1)``
+    between attempts.  ``BaseException``s that are not ``Exception``
+    (``KeyboardInterrupt``, worker shutdown) propagate.
+    """
+    last: BaseException | None = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        try:
+            return fn(item), None, attempts
+        except Exception as exc:
+            last = exc
+            if attempt < retries and backoff_seconds > 0:
+                _time.sleep(backoff_seconds * (2.0 ** attempt))
+    assert last is not None
+    return None, last, attempts
+
+
+def _run_chunk(
+    fn: Callable[[_ItemT], _ResultT],
+    chunk: Sequence[_ItemT],
+    retries: int,
+    backoff_seconds: float,
+) -> list[tuple[Any, BaseException | None, int]]:
+    """Worker entry point: run a chunk, capturing per-item failures."""
+    out = []
+    for item in chunk:
+        result, error, attempts = _attempt_item(
+            fn, item, retries, backoff_seconds
+        )
+        if error is not None:
+            error = _picklable_error(error)
+        out.append((result, error, attempts))
+    return out
+
+
+def _finalize(
+    items: Sequence[_ItemT],
+    raw: Sequence[tuple[Any, BaseException | None, int]],
+    return_errors: bool,
+) -> list[Any]:
+    """Turn per-item ``(result, error, attempts)`` triples into the
+    caller-facing value: raw results (raising on the first failure) or
+    :class:`SweepOutcome`s."""
+    if return_errors:
+        return [
+            SweepOutcome(
+                index=index,
+                item=item,
+                result=result,
+                error=error,
+                attempts=attempts,
+            )
+            for index, (item, (result, error, attempts)) in enumerate(
+                zip(items, raw)
+            )
+        ]
+    results = []
+    for index, (item, (result, error, attempts)) in enumerate(
+        zip(items, raw)
+    ):
+        if error is not None:
+            raise SweepItemError(index, item, attempts, error) from error
+        results.append(result)
+    return results
+
+
 def sweep(
     fn: Callable[[_ItemT], _ResultT],
     seeds: Iterable[_ItemT],
     processes: int | None = None,
     chunksize: int | None = None,
-) -> list[_ResultT]:
+    return_errors: bool = False,
+    retries: int = 0,
+    backoff_seconds: float = 0.0,
+) -> list[_ResultT] | list[SweepOutcome]:
     """Apply ``fn`` to every seed, optionally across processes.
 
     Args:
@@ -71,14 +252,27 @@ def sweep(
             scheduling never affects results: the merge is seed-ordered.
         chunksize: Items per dispatched task; defaults to roughly
             ``len(seeds) / (4 * processes)``.
+        return_errors: When True, return one :class:`SweepOutcome` per
+            item (in seed order) instead of raw results; failures are
+            captured per item rather than raised, so every healthy seed
+            still yields its result.
+        retries: Re-run an item that raised up to this many extra
+            times before recording/raising the failure.
+        backoff_seconds: Base of the exponential backoff slept between
+            retry attempts (``backoff * 2**attempt``); 0 retries
+            immediately.
 
     Returns:
         ``[fn(s) for s in seeds]`` — same values, same order,
-        regardless of ``processes``.
+        regardless of ``processes`` — or a list of
+        :class:`SweepOutcome` when ``return_errors`` is True.
 
     Raises:
-        ValidationError: On a non-positive ``processes`` or
-            ``chunksize``.
+        ValidationError: On a non-positive ``processes``/``chunksize``
+            or a negative ``retries``/``backoff_seconds``.
+        SweepItemError: When an item fails (after retries) and
+            ``return_errors`` is False.  The error names the item index
+            and repr and chains the worker exception as ``__cause__``.
     """
     if processes is not None and processes < 1:
         raise ValidationError(
@@ -88,18 +282,53 @@ def sweep(
         raise ValidationError(
             f"chunksize must be >= 1, got {chunksize}"
         )
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+    if backoff_seconds < 0:
+        raise ValidationError(
+            f"backoff_seconds must be >= 0, got {backoff_seconds}"
+        )
     items: Sequence[_ItemT] = list(seeds)
     if not items:
         return []
     if processes is None or processes == 1 or len(items) == 1:
-        return [fn(item) for item in items]
+        raw = [
+            _attempt_item(fn, item, retries, backoff_seconds)
+            for item in items
+        ]
+        return _finalize(items, raw, return_errors)
+
+    size = chunksize or _chunksize(len(items), processes)
+    chunks = [
+        items[start:start + size]
+        for start in range(0, len(items), size)
+    ]
+    chunk_results: list[
+        list[tuple[Any, BaseException | None, int]] | None
+    ] = [None] * len(chunks)
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        # Executor.map preserves input order, so the merge is exactly
-        # the seed order no matter which worker finished first.
-        return list(
-            pool.map(
-                fn,
-                items,
-                chunksize=chunksize or _chunksize(len(items), processes),
-            )
-        )
+        futures = [
+            pool.submit(_run_chunk, fn, chunk, retries, backoff_seconds)
+            for chunk in chunks
+        ]
+        pool_broken = False
+        for position, future in enumerate(futures):
+            try:
+                chunk_results[position] = future.result()
+            except BrokenProcessPool:
+                # A worker died (crash/OOM/_exit).  Futures the pool
+                # never ran fail the same way instantly; keep
+                # harvesting so chunks that did finish are not re-run,
+                # and re-dispatch the rest below.
+                pool_broken = True
+    if pool_broken:
+        # Completed chunks are kept; only unfinished ones re-run, in
+        # the parent process, so hours of finished work survive a
+        # single worker crash.
+        for position, chunk in enumerate(chunks):
+            if chunk_results[position] is None:
+                chunk_results[position] = _run_chunk(
+                    fn, chunk, retries, backoff_seconds
+                )
+    raw = [triple for chunk in chunk_results for triple in chunk]
+    return _finalize(items, raw, return_errors)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections.abc import Callable
 
 from repro.errors import SimulationError
@@ -92,9 +93,19 @@ class SimulationEngine:
     ) -> None:
         """Schedule a callback at an absolute time.
 
+        Times must be finite: a NaN would compare False against every
+        ordering check and silently corrupt the heap (every later event
+        starves behind it), and an infinity would pin the clock at the
+        end of time.
+
         Raises:
-            SimulationError: If the time lies in the past.
+            SimulationError: If the time is NaN/infinite or lies in the
+                past.
         """
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"event time must be finite, got {time!r}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} h; the clock is already at "
@@ -108,8 +119,13 @@ class SimulationEngine:
         """Schedule a callback ``delay`` hours from now.
 
         Raises:
-            SimulationError: If the delay is negative.
+            SimulationError: If the delay is negative or non-finite
+                (see :meth:`schedule_at` for why NaN/inf are rejected).
         """
+        if not math.isfinite(delay):
+            raise SimulationError(
+                f"delay must be finite, got {delay!r}"
+            )
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         self.schedule_at(self._now + delay, callback)
@@ -121,8 +137,15 @@ class SimulationEngine:
         finishes at ``horizon``.
 
         Raises:
-            SimulationError: If the horizon lies in the past.
+            SimulationError: If the horizon is NaN/infinite or lies in
+                the past.  (A NaN horizon would end the comparison loop
+                immediately yet rewind the clock to NaN; an infinite
+                one would leave the clock pinned at the end of time.)
         """
+        if not math.isfinite(horizon):
+            raise SimulationError(
+                f"horizon must be finite, got {horizon!r}"
+            )
         if horizon < self._now:
             raise SimulationError(
                 f"horizon {horizon} h is before the current time "
@@ -144,13 +167,16 @@ class SimulationEngine:
         """
         fired = 0
         while self._queue:
+            # Guard *before* executing: the (max_events + 1)-th event
+            # must not fire at all, or a runaway callback gets one
+            # extra side-effecting execution past the stated budget.
+            if fired >= max_events:
+                raise SimulationError(
+                    f"more than {max_events} events processed; "
+                    f"likely a self-rescheduling loop"
+                )
             time, _, callback = heapq.heappop(self._queue)
             self._now = time
             self._processed += 1
             callback()
             fired += 1
-            if fired > max_events:
-                raise SimulationError(
-                    f"more than {max_events} events processed; "
-                    f"likely a self-rescheduling loop"
-                )

@@ -74,6 +74,11 @@ from repro.stream.sources import (
     SimulationSource,
     SyntheticSource,
 )
+from repro.stream.tolerance import (
+    DISORDER_POLICIES,
+    StreamStats,
+    tolerant_stream,
+)
 
 __all__ = [
     "Alert",
@@ -83,6 +88,7 @@ __all__ = [
     "CallbackSink",
     "CategorySurgeRule",
     "CusumDetector",
+    "DISORDER_POLICIES",
     "Detection",
     "EventKind",
     "EwmaRate",
@@ -104,9 +110,11 @@ __all__ = [
     "RollingWindowStats",
     "SimulationSource",
     "StreamEvent",
+    "StreamStats",
     "SyntheticSource",
     "Welford",
     "default_rules",
     "ensure_monotonic",
     "events_from_log",
+    "tolerant_stream",
 ]

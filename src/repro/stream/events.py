@@ -161,15 +161,13 @@ def ensure_monotonic(
 ) -> Iterator[StreamEvent]:
     """Pass events through, raising on any time regression.
 
+    This is the strict end of the configurable disorder policies —
+    see :func:`repro.stream.tolerance.tolerant_stream` for the
+    ``drop`` and bounded-``buffer`` alternatives.
+
     Raises:
         StreamError: If an event's time precedes its predecessor's.
     """
-    last = None
-    for event in events:
-        if last is not None and event.time_hours < last:
-            raise StreamError(
-                f"event stream went backwards: {event.time_hours} h "
-                f"after {last} h"
-            )
-        last = event.time_hours
-        yield event
+    from repro.stream.tolerance import tolerant_stream
+
+    return tolerant_stream(events, on_disorder="raise")

@@ -38,6 +38,7 @@ from repro.stream.online import (
     OnlineMttr,
     RollingWindowStats,
 )
+from repro.stream.tolerance import StreamStats, tolerant_stream
 
 __all__ = ["MonitorSnapshot", "FailureMonitor"]
 
@@ -65,6 +66,11 @@ class MonitorSnapshot:
     ttr_quantiles_hours: dict[float, float] = field(default_factory=dict)
     category_rates_per_hour: dict[str, float] = field(default_factory=dict)
     alerts_fired: int = 0
+    #: Feed-degradation counters (non-zero only when the monitor
+    #: consumed a stream under a tolerant disorder policy).
+    events_dropped: int = 0
+    events_reordered: int = 0
+    duplicates_suppressed: int = 0
 
     def format_lines(self) -> list[str]:
         """Render the snapshot as aligned report lines."""
@@ -104,6 +110,16 @@ class MonitorSnapshot:
             )[:5]
             parts = ", ".join(f"{c}={r:.4f}/h" for c, r in top)
             lines.append(f"  category rates:   {parts}")
+        if (
+            self.events_dropped
+            or self.events_reordered
+            or self.duplicates_suppressed
+        ):
+            lines.append(
+                f"  feed degradation: {self.events_dropped} dropped, "
+                f"{self.events_reordered} reordered, "
+                f"{self.duplicates_suppressed} duplicates suppressed"
+            )
         return lines
 
 
@@ -153,6 +169,7 @@ class FailureMonitor:
         self._failures = 0
         self._repairs = 0
         self._now = 0.0
+        self._stream_stats = StreamStats()
 
     # -- feeding -----------------------------------------------------------
 
@@ -234,11 +251,48 @@ class FailureMonitor:
         )
         rate.push(event.time_hours)
 
+    @property
+    def stream_stats(self) -> StreamStats:
+        """Feed-degradation counters accumulated by tolerant consumes."""
+        return self._stream_stats
+
     def consume(
-        self, events: Iterable[StreamEvent]
+        self,
+        events: Iterable[StreamEvent],
+        on_disorder: str = "raise",
+        window_hours: float = 0.0,
+        drop_duplicates: bool = False,
     ) -> "MonitorSnapshot":
-        """Drain an event iterable and return the final snapshot."""
-        for event in events:
+        """Drain an event iterable and return the final snapshot.
+
+        Args:
+            events: The stream to drain.
+            on_disorder: Disorder policy applied before observation —
+                ``"raise"`` (strict, the default), ``"drop"``, or
+                ``"buffer"`` with a bounded reordering window; see
+                :func:`repro.stream.tolerance.tolerant_stream`.
+            window_hours: Reordering window for ``"buffer"`` and the
+                duplicate-suppression lookback.
+            drop_duplicates: Suppress exact re-deliveries.
+
+        Dropped/reordered/duplicate counts accumulate on
+        :attr:`stream_stats` and appear in every later snapshot.
+        """
+        if (
+            on_disorder == "raise"
+            and not drop_duplicates
+            and window_hours == 0.0
+        ):
+            for event in events:
+                self.observe(event)
+            return self.snapshot()
+        for event in tolerant_stream(
+            events,
+            on_disorder=on_disorder,
+            window_hours=window_hours,
+            drop_duplicates=drop_duplicates,
+            stats=self._stream_stats,
+        ):
             self.observe(event)
         return self.snapshot()
 
@@ -330,4 +384,7 @@ class FailureMonitor:
             },
             category_rates_per_hour=self.category_rates_per_hour(),
             alerts_fired=len(self._alerts),
+            events_dropped=self._stream_stats.dropped,
+            events_reordered=self._stream_stats.reordered,
+            duplicates_suppressed=self._stream_stats.duplicates,
         )

@@ -78,6 +78,10 @@ class FileSource(ReplaySource):
         path: ``.csv`` or ``.jsonl`` log file.
         format: Explicit format override (``"csv"`` / ``"jsonl"``).
         include_repairs: Also emit REPAIR events.
+        on_error: Ingest policy for malformed rows (``"raise"`` /
+            ``"skip"`` / ``"collect"``, see
+            :func:`repro.io.read_log`).  With ``"collect"`` the
+            quarantine diagnostics are kept on :attr:`read_report`.
     """
 
     def __init__(
@@ -85,18 +89,29 @@ class FileSource(ReplaySource):
         path: Path | str,
         format: str | None = None,
         include_repairs: bool = False,
+        on_error: str = "raise",
     ) -> None:
         from repro.io import read_log
+        from repro.io.tolerant import LogReadReport
 
-        super().__init__(
-            read_log(path, format=format),
-            include_repairs=include_repairs,
-        )
+        loaded = read_log(path, format=format, on_error=on_error)
+        report: LogReadReport | None = None
+        if isinstance(loaded, LogReadReport):
+            report = loaded
+            loaded = loaded.log
+        super().__init__(loaded, include_repairs=include_repairs)
         self._path = Path(path)
+        self._read_report = report
 
     @property
     def path(self) -> Path:
         return self._path
+
+    @property
+    def read_report(self):
+        """The :class:`~repro.io.tolerant.LogReadReport` from a
+        lenient (``on_error="collect"``) load, else None."""
+        return self._read_report
 
 
 class SyntheticSource(ReplaySource):

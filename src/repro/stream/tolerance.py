@@ -1,0 +1,209 @@
+"""Disorder and duplicate tolerance for event streams.
+
+Real telemetry is not the tidy, sorted replay of a finished log:
+collectors race, retries re-deliver, clocks skew.  A monitor fed such
+a stream used to have exactly one option — raise on the first
+regression.  :func:`tolerant_stream` makes the policy configurable:
+
+* ``"raise"`` — strict monotonicity, the historical behaviour of
+  :func:`repro.stream.events.ensure_monotonic`.
+* ``"drop"`` — discard any event older than the newest one already
+  emitted, counting it, and pass everything else straight through.
+* ``"buffer"`` — hold events in a bounded reordering window of
+  ``window_hours``: an event is released only once an event more than
+  ``window_hours`` newer has been seen, so out-of-order arrivals
+  within the window are re-sorted into exact time order.  Events that
+  arrive *later* than the window allows (older than the watermark) are
+  dropped and counted — the buffer is bounded, never "wait forever".
+
+Orthogonally, ``drop_duplicates=True`` suppresses exact re-deliveries
+(same kind, time, node, category, and record identity) within the
+reordering window — the "duplicated repair notification" case.
+
+All counters accumulate on a shared :class:`StreamStats`, which
+:class:`~repro.stream.monitor.FailureMonitor` surfaces in its
+snapshots, so an operator can see *how degraded* the feed is, not just
+the degraded metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.stream.events import StreamEvent
+
+__all__ = ["DISORDER_POLICIES", "StreamStats", "tolerant_stream"]
+
+#: Accepted values of ``tolerant_stream``'s ``on_disorder``.
+DISORDER_POLICIES = ("raise", "drop", "buffer")
+
+
+@dataclass
+class StreamStats:
+    """Counters describing how a tolerant stream degraded.
+
+    Attributes:
+        emitted: Events passed downstream.
+        reordered: Events that arrived out of order but were re-sorted
+            into place by the ``buffer`` policy.
+        dropped: Events discarded for arriving too late (``drop``
+            policy, or beyond the ``buffer`` window).
+        duplicates: Exact re-deliveries suppressed.
+    """
+
+    emitted: int = 0
+    reordered: int = 0
+    dropped: int = 0
+    duplicates: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything was dropped, reordered, or deduplicated."""
+        return bool(self.reordered or self.dropped or self.duplicates)
+
+    def format_line(self) -> str:
+        return (
+            f"stream tolerance: {self.emitted} emitted, "
+            f"{self.reordered} reordered, {self.dropped} dropped, "
+            f"{self.duplicates} duplicates suppressed"
+        )
+
+
+def _event_key(event: StreamEvent) -> tuple:
+    """Identity used for duplicate suppression."""
+    record = event.record
+    return (
+        event.kind,
+        event.time_hours,
+        event.node_id,
+        event.category,
+        record.record_id if record is not None else None,
+    )
+
+
+def tolerant_stream(
+    events: Iterable[StreamEvent],
+    on_disorder: str = "raise",
+    window_hours: float = 0.0,
+    drop_duplicates: bool = False,
+    stats: StreamStats | None = None,
+) -> Iterator[StreamEvent]:
+    """Yield ``events`` under a configurable disorder policy.
+
+    Args:
+        events: Any stream of :class:`StreamEvent`s, possibly
+            disordered or duplicated.
+        on_disorder: ``"raise"``, ``"drop"``, or ``"buffer"`` (see the
+            module docstring).
+        window_hours: Bounded reordering window for ``"buffer"`` (and
+            the lookback horizon for duplicate suppression).  Must be
+            finite and non-negative; ignored for ``"raise"``/
+            ``"drop"`` ordering decisions.
+        drop_duplicates: Suppress exact re-deliveries seen within the
+            window.
+        stats: Counter object to accumulate on (a fresh one is created
+            when omitted; pass your own to read it afterwards).
+
+    Yields:
+        Events in non-decreasing time order (guaranteed for every
+        policy; ``buffer`` additionally restores the true order of
+        events disordered by at most ``window_hours``).
+
+    Raises:
+        StreamError: On an unknown policy or invalid window (always),
+            or on the first regression under ``"raise"``.
+    """
+    if on_disorder not in DISORDER_POLICIES:
+        raise StreamError(
+            f"unknown disorder policy {on_disorder!r} (known: "
+            f"{', '.join(DISORDER_POLICIES)})"
+        )
+    if not (math.isfinite(window_hours) and window_hours >= 0.0):
+        raise StreamError(
+            f"window_hours must be finite and >= 0, got "
+            f"{window_hours!r}"
+        )
+    if stats is None:
+        stats = StreamStats()
+
+    # Duplicate-suppression memory: key -> last time seen.  Pruned to
+    # the lookback window so it stays bounded.
+    seen: dict[tuple, float] = {}
+
+    def is_duplicate(event: StreamEvent, now: float) -> bool:
+        if not drop_duplicates:
+            return False
+        for key, when in list(seen.items()):
+            if when < now - window_hours:
+                del seen[key]
+        key = _event_key(event)
+        if key in seen:
+            stats.duplicates += 1
+            return True
+        seen[key] = event.time_hours
+        return False
+
+    if on_disorder == "buffer":
+        yield from _buffered(
+            events, window_hours, is_duplicate, stats
+        )
+        return
+
+    last = None
+    for event in events:
+        if last is not None and event.time_hours < last:
+            if on_disorder == "raise":
+                raise StreamError(
+                    f"event stream went backwards: "
+                    f"{event.time_hours} h after {last} h"
+                )
+            stats.dropped += 1
+            continue
+        if is_duplicate(event, event.time_hours):
+            continue
+        last = event.time_hours
+        stats.emitted += 1
+        yield event
+
+
+def _buffered(
+    events: Iterable[StreamEvent],
+    window_hours: float,
+    is_duplicate,
+    stats: StreamStats,
+) -> Iterator[StreamEvent]:
+    """Bounded-window reordering: hold each event until the watermark
+    (newest arrival minus the window) passes it, emitting in time
+    order.  Arrival order breaks ties, so an already-sorted stream
+    passes through unchanged."""
+    heap: list[tuple[float, int, StreamEvent]] = []
+    sequence = 0
+    newest = -math.inf
+    emitted_up_to = -math.inf
+
+    def release(watermark: float) -> Iterator[StreamEvent]:
+        nonlocal emitted_up_to
+        while heap and heap[0][0] <= watermark:
+            time, _, held = heapq.heappop(heap)
+            emitted_up_to = time
+            stats.emitted += 1
+            yield held
+
+    for event in events:
+        if event.time_hours < emitted_up_to:
+            # Beyond repair: something newer was already released.
+            stats.dropped += 1
+            continue
+        if is_duplicate(event, max(newest, event.time_hours)):
+            continue
+        if event.time_hours < newest:
+            stats.reordered += 1
+        newest = max(newest, event.time_hours)
+        heapq.heappush(heap, (event.time_hours, sequence, event))
+        sequence += 1
+        yield from release(newest - window_hours)
+    yield from release(math.inf)

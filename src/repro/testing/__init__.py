@@ -1,0 +1,34 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.chaos` is a chaos-injection harness: it corrupts
+logs, event streams, and sweep functions in controlled, manifest-backed
+ways so the robustness layers (tolerant ingest, stream disorder
+policies, fault-tolerant sweeps) can be exercised — and asserted
+against — deterministically.  Nothing here is imported by the library
+proper; it exists for this repo's test suite and for downstream users
+who want to chaos-test their own pipelines built on :mod:`repro`.
+"""
+
+from repro.testing.chaos import (
+    LOG_FAULT_KINDS,
+    ChaosInjectedError,
+    CrashOnce,
+    FlakyFunction,
+    InjectedFault,
+    PoisonedFunction,
+    corrupt_log_file,
+    duplicate_stream,
+    shuffle_stream,
+)
+
+__all__ = [
+    "LOG_FAULT_KINDS",
+    "ChaosInjectedError",
+    "CrashOnce",
+    "FlakyFunction",
+    "InjectedFault",
+    "PoisonedFunction",
+    "corrupt_log_file",
+    "duplicate_stream",
+    "shuffle_stream",
+]

@@ -1,0 +1,409 @@
+"""Chaos-injection harness for logs, streams, and sweeps.
+
+The paper is about failures and repairs; this module makes sure *our
+own pipeline* earns the subject matter.  It injects controlled,
+seeded, manifest-backed corruption into each layer the robustness
+stack defends:
+
+* **Logs** — :func:`corrupt_log_file` rewrites a clean ``.csv`` /
+  ``.jsonl`` log with NaN timestamps, negative recovery times, missing
+  fields, garbage lines, duplicated records, out-of-window stamps,
+  unknown categories, shuffled row order, and/or a truncated tail.  It
+  returns an :class:`InjectedFault` manifest naming the exact output
+  line of every fault, so a test can assert the tolerant reader
+  quarantines *precisely* those lines and keeps the rest.
+* **Streams** — :func:`shuffle_stream` disorders events with a
+  *bounded* time displacement (so the ``buffer`` policy with at least
+  that window provably restores order) and :func:`duplicate_stream`
+  re-delivers events, for duplicate suppression.
+* **Sweeps** — :class:`PoisonedFunction` (an item that always
+  raises), :class:`FlakyFunction` (fails the first N attempts, then
+  succeeds — persisted on disk so retries in other worker processes
+  see the attempt count), and :class:`CrashOnce` (hard-kills its
+  worker process once, to break the pool) are picklable wrappers for
+  exercising :func:`repro.parallel.sweep`'s error capture, retry, and
+  broken-pool recovery.
+
+Everything is deterministic given a seed; nothing here touches global
+state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.stream.events import StreamEvent
+
+__all__ = [
+    "LOG_FAULT_KINDS",
+    "ChaosInjectedError",
+    "InjectedFault",
+    "corrupt_log_file",
+    "shuffle_stream",
+    "duplicate_stream",
+    "PoisonedFunction",
+    "FlakyFunction",
+    "CrashOnce",
+]
+
+
+class ChaosInjectedError(RuntimeError):
+    """The failure deliberately raised by chaos-wrapped functions."""
+
+
+# --------------------------------------------------------------------------
+# Log corruption
+# --------------------------------------------------------------------------
+
+#: Row-level fault kinds understood by :func:`corrupt_log_file`.  Every
+#: kind is guaranteed to make the row unparseable or invalid, so a
+#: lenient read must quarantine exactly the manifested lines.
+LOG_FAULT_KINDS = (
+    "nan_time",
+    "negative_ttr",
+    "missing_field",
+    "garbage",
+    "duplicate_row",
+    "out_of_window",
+    "bad_category",
+)
+
+_FAR_FUTURE = "2099-01-01T00:00:00"
+_GARBAGE = "!!! chaos garbage line !!!"
+_BAD_CATEGORY = "FluxCapacitor"
+
+#: Column order of the interchange CSV (mirrors repro.io.schema).
+_CSV_ORDER = (
+    "record_id", "timestamp", "node_id", "category", "ttr_hours",
+    "gpus", "root_locus",
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One deliberately corrupted line in the output file.
+
+    Attributes:
+        line_number: 1-based physical line in the *corrupted* file.
+        kind: One of :data:`LOG_FAULT_KINDS` or ``"truncated"``.
+        description: What was done to the line.
+    """
+
+    line_number: int
+    kind: str
+    description: str
+
+
+def _corrupt_csv_cells(cells: list[str], kind: str) -> list[str]:
+    index = {name: i for i, name in enumerate(_CSV_ORDER)}
+    if kind == "nan_time":
+        cells[index["timestamp"]] = "nan"
+    elif kind == "negative_ttr":
+        cells[index["ttr_hours"]] = "-3.5"
+    elif kind == "missing_field":
+        del cells[index["ttr_hours"]:]
+    elif kind == "out_of_window":
+        cells[index["timestamp"]] = _FAR_FUTURE
+    elif kind == "bad_category":
+        cells[index["category"]] = _BAD_CATEGORY
+    return cells
+
+
+def _corrupt_json_obj(obj: dict, kind: str) -> dict:
+    if kind == "nan_time":
+        obj["timestamp"] = "nan"
+    elif kind == "negative_ttr":
+        obj["ttr_hours"] = -3.5
+    elif kind == "missing_field":
+        obj.pop("ttr_hours", None)
+    elif kind == "out_of_window":
+        obj["timestamp"] = _FAR_FUTURE
+    elif kind == "bad_category":
+        obj["category"] = _BAD_CATEGORY
+    return obj
+
+
+def _corrupt_data_line(line: str, kind: str, format: str) -> str:
+    """Return a corrupted copy of one data line (sans newline)."""
+    if kind == "garbage":
+        return _GARBAGE
+    if format == "csv":
+        return ",".join(_corrupt_csv_cells(line.split(","), kind))
+    return json.dumps(_corrupt_json_obj(json.loads(line), kind))
+
+
+def corrupt_log_file(
+    src: str | Path,
+    dst: str | Path,
+    seed: int = 0,
+    kinds: Sequence[str] = LOG_FAULT_KINDS,
+    rate: float = 0.2,
+    shuffle: bool = False,
+    truncate: bool = False,
+) -> list[InjectedFault]:
+    """Write a corrupted copy of a clean log file, with a manifest.
+
+    Args:
+        src: Clean ``.csv`` (written by ``write_csv``) or ``.jsonl``
+            (written by ``write_jsonl``) log file.
+        dst: Where to write the corrupted copy (same format).
+        seed: Corruption RNG seed — same seed, same corruption.
+        kinds: Fault kinds to draw from (:data:`LOG_FAULT_KINDS`).
+        rate: Per-row corruption probability.
+        shuffle: Also shuffle the data rows.  Row order carries no
+            meaning in the interchange schema (logs sort on load), so
+            shuffling alone must *not* produce quarantines — it is
+            listed in the manifest with line number 0 for visibility.
+        truncate: Also chop the final data line mid-way (a torn write).
+
+    Returns:
+        The fault manifest: one :class:`InjectedFault` per corrupted
+        line, with line numbers valid in ``dst``.
+
+    Raises:
+        ValueError: On an unknown fault kind or an unrecognised file
+            format, or when the source file has no data rows.
+    """
+    unknown = set(kinds) - set(LOG_FAULT_KINDS)
+    if unknown:
+        raise ValueError(f"unknown fault kinds {sorted(unknown)}")
+    src, dst = Path(src), Path(dst)
+    rng = random.Random(seed)
+    lines = src.read_text().splitlines()
+
+    if src.suffix.lower() == ".csv":
+        format = "csv"
+        body_start = 0
+        while body_start < len(lines) and lines[body_start].startswith("#"):
+            body_start += 1
+        body_start += 1  # the column-header row
+    elif src.suffix.lower() in (".jsonl", ".ndjson"):
+        format = "jsonl"
+        body_start = 1  # the header object
+    else:
+        raise ValueError(f"unrecognised log format: {src}")
+    preamble, data = lines[:body_start], lines[body_start:]
+    if not data:
+        raise ValueError(f"{src} has no data rows to corrupt")
+
+    manifest: list[InjectedFault] = []
+    if shuffle:
+        rng.shuffle(data)
+        manifest.append(
+            InjectedFault(0, "shuffle", "data rows shuffled")
+        )
+
+    out = list(preamble)
+    for line in data:
+        if rng.random() < rate:
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind == "duplicate_row":
+                out.append(line)
+                out.append(line)
+                manifest.append(
+                    InjectedFault(
+                        len(out), "duplicate_row",
+                        "row re-appended verbatim (duplicate id)",
+                    )
+                )
+            else:
+                out.append(_corrupt_data_line(line, kind, format))
+                manifest.append(
+                    InjectedFault(
+                        len(out), kind, f"row corrupted: {kind}"
+                    )
+                )
+        else:
+            out.append(line)
+    if truncate:
+        cut = max(1, len(out[-1]) // 3)
+        out[-1] = out[-1][:cut]
+        # One manifest entry per line: truncation supersedes any
+        # corruption already applied to the final line.
+        manifest = [
+            fault for fault in manifest
+            if fault.line_number != len(out)
+        ]
+        manifest.append(
+            InjectedFault(
+                len(out), "truncated", "final row torn mid-write"
+            )
+        )
+    dst.write_text("\n".join(out) + "\n")
+    return manifest
+
+
+# --------------------------------------------------------------------------
+# Stream corruption
+# --------------------------------------------------------------------------
+
+def shuffle_stream(
+    events: Iterable[StreamEvent],
+    seed: int = 0,
+    max_shift_hours: float = 24.0,
+) -> list[StreamEvent]:
+    """Disorder a stream with bounded time displacement.
+
+    Each event's *arrival position* is perturbed by sorting on
+    ``time + U(0, max_shift_hours)``; consequently any event that
+    arrives before an older one is at most ``max_shift_hours`` newer.
+    A ``buffer`` policy with ``window_hours >= max_shift_hours``
+    therefore restores exact time order with zero drops.
+    """
+    if max_shift_hours < 0:
+        raise ValueError(
+            f"max_shift_hours must be >= 0, got {max_shift_hours}"
+        )
+    rng = random.Random(seed)
+    keyed = [
+        (event.time_hours + rng.uniform(0.0, max_shift_hours), i, event)
+        for i, event in enumerate(events)
+    ]
+    keyed.sort(key=lambda triple: (triple[0], triple[1]))
+    return [event for _, _, event in keyed]
+
+
+def duplicate_stream(
+    events: Iterable[StreamEvent],
+    seed: int = 0,
+    rate: float = 0.1,
+) -> tuple[list[StreamEvent], int]:
+    """Re-deliver a fraction of events immediately after the original.
+
+    Models an at-least-once transport (e.g. a repair notification
+    retried by its sender).  Returns the corrupted stream and the
+    number of duplicates inserted.
+    """
+    rng = random.Random(seed)
+    out: list[StreamEvent] = []
+    duplicates = 0
+    for event in events:
+        out.append(event)
+        if rng.random() < rate:
+            out.append(event)
+            duplicates += 1
+    return out, duplicates
+
+
+# --------------------------------------------------------------------------
+# Sweep-function chaos (picklable callables)
+# --------------------------------------------------------------------------
+
+def _digest(item: Any) -> str:
+    """Stable cross-process identity for an item (``hash()`` is salted
+    per process for strings, so it cannot be used)."""
+    return hashlib.sha1(repr(item).encode()).hexdigest()[:16]
+
+
+class PoisonedFunction:
+    """Wrap ``fn`` so designated items always raise.
+
+    The canonical "one poisoned seed" scenario: every other item
+    computes normally, the poisoned ones raise
+    :class:`ChaosInjectedError`.  Picklable as long as ``fn`` and the
+    items are.
+    """
+
+    def __init__(
+        self, fn: Callable[[Any], Any], poisoned: Iterable[Any]
+    ) -> None:
+        self.fn = fn
+        self.poisoned = frozenset(poisoned)
+
+    def __call__(self, item: Any) -> Any:
+        if item in self.poisoned:
+            raise ChaosInjectedError(f"poisoned item {item!r}")
+        return self.fn(item)
+
+
+class FlakyFunction:
+    """Wrap ``fn`` so designated items fail their first N attempts.
+
+    Models a transient fault (flaky filesystem, OOM-adjacent
+    allocation) that a bounded retry should absorb.  Attempt counts
+    persist as files under ``state_dir`` so the count survives process
+    boundaries — a retry inside a pool worker sees the attempts made
+    anywhere else.
+
+    Args:
+        fn: The wrapped pure function.
+        failures: Attempts that fail before the first success.
+        state_dir: Directory for attempt-count files (use a pytest
+            ``tmp_path``).
+        items: Items that are flaky (default: all of them).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        failures: int,
+        state_dir: str | Path,
+        items: Iterable[Any] | None = None,
+    ) -> None:
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        self.fn = fn
+        self.failures = failures
+        self.state_dir = str(state_dir)
+        self.items = None if items is None else frozenset(items)
+
+    def __call__(self, item: Any) -> Any:
+        if self.items is None or item in self.items:
+            marker = os.path.join(
+                self.state_dir, f"flaky-{_digest(item)}.attempts"
+            )
+            with open(marker, "a") as handle:
+                handle.write("x")
+            attempts = os.path.getsize(marker)
+            if attempts <= self.failures:
+                raise ChaosInjectedError(
+                    f"transient fault on {item!r} "
+                    f"(attempt {attempts}/{self.failures})"
+                )
+        return self.fn(item)
+
+
+class CrashOnce:
+    """Wrap ``fn`` so a designated item hard-kills its worker — once.
+
+    ``os._exit`` takes the worker process down without unwinding,
+    which is how a segfault or the OOM killer looks to a process pool:
+    :class:`~concurrent.futures.process.BrokenProcessPool`.  A
+    sentinel file under ``state_dir`` makes the crash one-shot, so the
+    sweep's serial re-dispatch completes.  As a safety net the crash
+    only triggers in a process other than the one that constructed the
+    wrapper, so it can never take down the test runner itself.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        crash_items: Iterable[Any],
+        state_dir: str | Path,
+    ) -> None:
+        self.fn = fn
+        self.crash_items = frozenset(crash_items)
+        self.state_dir = str(state_dir)
+        self.parent_pid = os.getpid()
+
+    def __call__(self, item: Any) -> Any:
+        if item in self.crash_items and os.getpid() != self.parent_pid:
+            sentinel = os.path.join(
+                self.state_dir, f"crash-{_digest(item)}.sentinel"
+            )
+            try:
+                fd = os.open(
+                    sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                pass  # already crashed once; behave this time
+            else:
+                os.close(fd)
+                os._exit(139)
+        return self.fn(item)

@@ -1,0 +1,237 @@
+"""Tests for tolerant ingest (on_error="raise"|"skip"|"collect")."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.io import (
+    LogReadReport,
+    read_csv,
+    read_jsonl,
+    read_log,
+    read_raw_csv,
+    write_csv,
+    write_jsonl,
+)
+from repro.testing.chaos import LOG_FAULT_KINDS, corrupt_log_file
+from tests.conftest import make_log, make_record
+
+
+def _sample_log(n: int = 8):
+    return make_log(
+        [
+            make_record(i, hours=10.0 * (i + 1), category="GPU",
+                        ttr_hours=5.0 + i)
+            for i in range(n)
+        ]
+    )
+
+
+def _write(log, path, format):
+    if format == "csv":
+        write_csv(log, path)
+    else:
+        write_jsonl(log, path)
+
+
+@pytest.fixture(params=["csv", "jsonl"])
+def format(request):
+    return request.param
+
+
+class TestCleanFileParity:
+    def test_lenient_equals_strict_on_clean_file(
+        self, tmp_path, format
+    ):
+        log = _sample_log()
+        path = tmp_path / f"log.{format}"
+        _write(log, path, format)
+        strict = read_log(path)
+        report = read_log(path, on_error="collect")
+        assert isinstance(report, LogReadReport)
+        assert report.ok
+        assert report.num_quarantined == 0
+        assert report.log.records == strict.records
+        skipped = read_log(path, on_error="skip")
+        assert skipped.records == strict.records
+
+    def test_unknown_mode_rejected(self, tmp_path, format):
+        log = _sample_log()
+        path = tmp_path / f"log.{format}"
+        _write(log, path, format)
+        with pytest.raises(SerializationError):
+            read_log(path, on_error="ignore")
+
+
+class TestQuarantine:
+    def test_bad_value_quarantined_with_field(self, tmp_path):
+        log = _sample_log(3)
+        path = tmp_path / "log.csv"
+        write_csv(log, path)
+        lines = path.read_text().splitlines()
+        lines[5] = lines[5].replace(
+            log.records[1].timestamp.isoformat(), "not-a-time"
+        )
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.raises(SerializationError):
+            read_csv(path)
+        report = read_csv(path, on_error="collect")
+        assert report.num_quarantined == 1
+        entry = report.quarantined[0]
+        assert entry.line_number == 6
+        assert entry.field == "timestamp"
+        assert len(report.log) == 2
+
+    def test_duplicate_id_quarantines_second_occurrence(
+        self, tmp_path, format
+    ):
+        log = _sample_log(4)
+        path = tmp_path / f"log.{format}"
+        _write(log, path, format)
+        lines = path.read_text().splitlines()
+        lines.append(lines[-1])  # re-deliver the final record
+        path.write_text("\n".join(lines) + "\n")
+
+        report = read_log(path, on_error="collect")
+        assert report.num_quarantined == 1
+        assert report.quarantined[0].line_number == len(lines)
+        assert "duplicate" in report.quarantined[0].reason
+        assert report.log.records == log.records
+
+    def test_summary_lines_name_quarantined_rows(self, tmp_path):
+        log = _sample_log(3)
+        path = tmp_path / "log.jsonl"
+        write_jsonl(log, path)
+        with path.open("a") as handle:
+            handle.write("{broken json\n")
+        report = read_jsonl(path, on_error="collect")
+        text = "\n".join(report.summary_lines())
+        assert "1 quarantined" in text
+        assert "line 5" in text
+
+    def test_raise_if_any(self, tmp_path):
+        log = _sample_log(3)
+        path = tmp_path / "log.jsonl"
+        write_jsonl(log, path)
+        report = read_jsonl(path, on_error="collect")
+        assert report.raise_if_any() is report
+        with path.open("a") as handle:
+            handle.write("{broken json\n")
+        with pytest.raises(SerializationError):
+            read_jsonl(path, on_error="collect").raise_if_any()
+
+    def test_structural_errors_still_raise_in_lenient_mode(
+        self, tmp_path
+    ):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,timestamp\n")
+        with pytest.raises(SerializationError):
+            read_csv(path, on_error="collect")
+
+
+class TestRawLogTolerance:
+    def _write_raw(self, path, extra_rows=()):
+        rows = [
+            "date,category,recovery,node",
+            "2012-01-07 13:45,gpu failure,55 h,3",
+            "2012-02-01,cpu error,2 days,1",
+        ]
+        rows.extend(extra_rows)
+        path.write_text("\n".join(rows) + "\n")
+
+    def test_collect_reports_line_field_reason(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        self._write_raw(
+            path, ["garbage-date,gpu failure,5 h,2"]
+        )
+        report = read_raw_csv(path, "tsubame2", on_error="collect")
+        assert isinstance(report, LogReadReport)
+        assert len(report.log) == 2
+        assert report.num_quarantined == 1
+        entry = report.quarantined[0]
+        assert entry.line_number == 4
+        assert entry.field == "date"
+        assert "unparseable timestamp" in entry.reason
+
+    def test_unknown_category_attributed(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        self._write_raw(path, ["2012-03-01,warp drive,5 h,2"])
+        report = read_raw_csv(path, "tsubame2", on_error="collect")
+        assert report.quarantined[0].field == "category"
+
+    def test_skip_unparseable_alias_still_works(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        self._write_raw(path, ["garbage,gpu failure,5 h,2"])
+        log = read_raw_csv(path, "tsubame2", skip_unparseable=True)
+        assert len(log) == 2
+
+
+class TestChaosProperty:
+    """Property: every chaos-injected fault is quarantined exactly
+    once, every clean row survives, and lenient == strict on the
+    repaired remainder."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        format=st.sampled_from(["csv", "jsonl"]),
+        truncate=st.booleans(),
+    )
+    def test_quarantine_matches_manifest(
+        self, tmp_path_factory, seed, format, truncate
+    ):
+        tmp_path = tmp_path_factory.mktemp("chaos")
+        log = _sample_log(12)
+        src = tmp_path / f"clean.{format}"
+        dst = tmp_path / f"dirty.{format}"
+        _write(log, src, format)
+        manifest = corrupt_log_file(
+            src, dst, seed=seed, kinds=LOG_FAULT_KINDS, rate=0.4,
+            truncate=truncate,
+        )
+        report = read_log(dst, on_error="collect")
+        expected = sorted(
+            fault.line_number for fault in manifest
+            if fault.line_number > 0
+        )
+        got = sorted(
+            entry.line_number for entry in report.quarantined
+        )
+        assert got == expected
+        # Every non-manifested line yields exactly one kept record:
+        # kept + quarantined must account for every data line in dst.
+        out_lines = dst.read_text().splitlines()
+        if format == "csv":
+            preamble = sum(
+                1 for line in out_lines if line.startswith("#")
+            ) + 1  # + the column-header row
+        else:
+            preamble = 1  # the header object
+        data_lines = len(out_lines) - preamble
+        assert len(report.log) == data_lines - len(expected)
+        # Survivors are genuine originals, never mutants.
+        originals = {r.record_id: r for r in log.records}
+        for record in report.log:
+            assert originals[record.record_id] == record
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_shuffled_file_parses_identically(
+        self, tmp_path_factory, seed
+    ):
+        """Row order carries no meaning: a shuffled file must load to
+        the identical log, with zero quarantines."""
+        tmp_path = tmp_path_factory.mktemp("shuffle")
+        log = _sample_log(10)
+        src = tmp_path / "clean.csv"
+        dst = tmp_path / "shuffled.csv"
+        write_csv(log, src)
+        manifest = corrupt_log_file(
+            src, dst, seed=seed, rate=0.0, shuffle=True
+        )
+        assert [f.kind for f in manifest] == ["shuffle"]
+        report = read_log(dst, on_error="collect")
+        assert report.ok
+        assert report.log.records == log.records

@@ -55,6 +55,50 @@ class TestScheduling:
             SimulationEngine().schedule_in(-1.0, lambda: None)
 
 
+class TestNonFiniteTimes:
+    """Regression: a NaN schedule used to pass the ``time < now``
+    guard (NaN compares False to everything), sit at the heap root,
+    and silently starve every later event."""
+
+    def test_nan_schedule_at_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_at(float("nan"), lambda: None)
+
+    def test_inf_schedule_at_rejected(self):
+        for sign in (float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                SimulationEngine().schedule_at(sign, lambda: None)
+
+    def test_nan_schedule_in_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(float("nan"), lambda: None)
+
+    def test_inf_schedule_in_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(float("inf"), lambda: None)
+
+    def test_nan_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().run_until(float("nan"))
+
+    def test_inf_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().run_until(float("inf"))
+
+    def test_events_still_fire_after_rejected_nan(self):
+        """The starvation scenario: a rejected NaN schedule must leave
+        the engine fully functional."""
+        engine = SimulationEngine()
+        fired = []
+        with pytest.raises(SimulationError):
+            engine.schedule_at(float("nan"), lambda: fired.append("x"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.run_until(2.0)
+        assert fired == ["a"]
+        assert engine.processed == 1
+        assert engine.pending == 0
+
+
 class TestRunning:
     def test_run_until_advances_clock_to_horizon(self):
         engine = SimulationEngine()
@@ -107,3 +151,26 @@ class TestRunning:
         engine.schedule_in(1.0, reschedule)
         with pytest.raises(SimulationError):
             engine.run_all(max_events=100)
+
+    def test_run_all_guard_trips_before_excess_event_executes(self):
+        """Regression: the guard used to trip only *after* the
+        (max_events + 1)-th callback had already run."""
+        engine = SimulationEngine()
+        fired = []
+
+        def reschedule():
+            fired.append(engine.now)
+            engine.schedule_in(1.0, reschedule)
+
+        engine.schedule_in(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=5)
+        assert len(fired) == 5
+
+    def test_run_all_exactly_max_events_succeeds(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in range(1, 6):
+            engine.schedule_at(float(t), lambda: fired.append(1))
+        engine.run_all(max_events=5)
+        assert len(fired) == 5

@@ -67,9 +67,11 @@ class TestCommands:
         assert "effective MTTR" in captured
         assert "availability" in captured
 
-    def test_analyze_missing_file_errors(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["analyze", str(tmp_path / "nope.csv")])
+    def test_analyze_missing_file_errors(self, tmp_path, capsys):
+        # A missing path is an environment problem: exit 2 with a
+        # one-line message, never a leaked traceback.
+        assert main(["analyze", str(tmp_path / "nope.csv")]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_repro_error_returns_exit_code_one(self, tmp_path, capsys):
         bad = tmp_path / "bad.csv"
@@ -220,3 +222,86 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "Crow-AMSAA" in out
         assert "MTBF" in out
+
+
+class TestExitCodes:
+    """Regression: failures used to leak raw tracebacks; now every
+    failure class maps to a documented exit code."""
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["analyze", str(tmp_path / "nope.csv")])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_domain_error_exits_1(self, tmp_path, capsys):
+        from repro.cli import EXIT_ERROR
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,log\n1,2,3\n")
+        code = main(["analyze", str(bad)])
+        assert code == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "report", interrupted)
+        assert cli.main(["report"]) == cli.EXIT_INTERRUPT
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestLenientFlag:
+    def _corrupt_log(self, tmp_path):
+        from repro.io import write_csv
+        from repro.testing.chaos import corrupt_log_file
+        from tests.conftest import make_log, make_record
+
+        log = make_log(
+            [
+                make_record(i, hours=10.0 * (i + 1), ttr_hours=3.0)
+                for i in range(8)
+            ]
+        )
+        clean = tmp_path / "clean.csv"
+        dirty = tmp_path / "dirty.csv"
+        write_csv(log, clean)
+        corrupt_log_file(
+            clean, dirty, seed=5, kinds=("nan_time", "garbage"),
+            rate=0.3,
+        )
+        return dirty
+
+    def test_analyze_strict_aborts_on_corruption(self, tmp_path):
+        dirty = self._corrupt_log(tmp_path)
+        assert main(["analyze", str(dirty)]) == 1
+
+    def test_analyze_lenient_prints_quarantine_summary(
+        self, tmp_path, capsys
+    ):
+        dirty = self._corrupt_log(tmp_path)
+        assert main(["analyze", str(dirty), "--lenient"]) == 0
+        out = capsys.readouterr().out
+        assert "lenient read:" in out
+        assert "quarantined" in out
+        assert "MTBF" in out
+
+    def test_monitor_lenient_prints_quarantine_summary(
+        self, tmp_path, capsys
+    ):
+        dirty = self._corrupt_log(tmp_path)
+        assert main(
+            ["monitor", str(dirty), "--lenient", "--no-parity"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lenient read:" in out
+        assert "quarantined" in out
+        assert "replayed" in out

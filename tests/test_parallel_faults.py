@@ -1,0 +1,171 @@
+"""Fault-tolerance tests for the sweep engine.
+
+The chaos wrappers of :mod:`repro.testing.chaos` supply the faults:
+poisoned items (always raise), flaky items (transient, succeed on
+retry), and worker crashes (break the process pool).
+"""
+
+import pytest
+
+from repro.errors import SweepError, ValidationError
+from repro.parallel import SweepItemError, SweepOutcome, sweep
+from repro.testing.chaos import (
+    ChaosInjectedError,
+    CrashOnce,
+    FlakyFunction,
+    PoisonedFunction,
+)
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+class TestAttribution:
+    """Regression: a worker exception used to surface bare, with no
+    indication of which seed failed."""
+
+    def test_serial_failure_names_item_and_index(self):
+        poisoned = PoisonedFunction(_square, poisoned=[13])
+        with pytest.raises(SweepItemError) as excinfo:
+            sweep(poisoned, [11, 12, 13, 14])
+        assert excinfo.value.index == 2
+        assert excinfo.value.item == 13
+        assert "13" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ChaosInjectedError)
+
+    def test_parallel_failure_names_item_and_index(self):
+        poisoned = PoisonedFunction(_square, poisoned=[5])
+        with pytest.raises(SweepItemError) as excinfo:
+            sweep(poisoned, list(range(10)), processes=2)
+        assert excinfo.value.index == 5
+        assert excinfo.value.item == 5
+        assert isinstance(excinfo.value.__cause__, ChaosInjectedError)
+
+    def test_error_is_a_repro_error(self):
+        poisoned = PoisonedFunction(_square, poisoned=[0])
+        with pytest.raises(SweepError):
+            sweep(poisoned, [0])
+
+
+class TestReturnErrors:
+    def test_poisoned_seed_keeps_other_results(self):
+        poisoned = PoisonedFunction(_square, poisoned=[3])
+        outcomes = sweep(
+            poisoned, list(range(6)), return_errors=True
+        )
+        assert [o.ok for o in outcomes] == [
+            True, True, True, False, True, True
+        ]
+        assert [o.result for o in outcomes if o.ok] == [0, 1, 4, 16, 25]
+        bad = outcomes[3]
+        assert bad.index == 3 and bad.item == 3
+        assert isinstance(bad.error, ChaosInjectedError)
+
+    def test_parallel_outcomes_match_serial(self):
+        poisoned = PoisonedFunction(_square, poisoned=[2, 7])
+        serial = sweep(
+            poisoned, list(range(12)), return_errors=True
+        )
+        parallel = sweep(
+            poisoned, list(range(12)), processes=2, return_errors=True
+        )
+        assert [o.ok for o in parallel] == [o.ok for o in serial]
+        assert [o.result for o in parallel] == [o.result for o in serial]
+        assert [o.item for o in parallel] == [o.item for o in serial]
+
+    def test_unwrap_raises_attributed(self):
+        outcome = SweepOutcome(
+            index=4, item="cfg", error=ValueError("boom"), attempts=2
+        )
+        with pytest.raises(SweepItemError) as excinfo:
+            outcome.unwrap()
+        assert excinfo.value.index == 4
+        assert "cfg" in str(excinfo.value)
+
+    def test_unwrap_passes_through_result(self):
+        assert SweepOutcome(index=0, item=1, result=9).unwrap() == 9
+
+    def test_all_ok_without_faults(self):
+        outcomes = sweep(_square, [1, 2, 3], return_errors=True)
+        assert all(o.ok for o in outcomes)
+        assert [o.unwrap() for o in outcomes] == [1, 4, 9]
+
+
+class TestRetries:
+    def test_transient_fault_absorbed_by_retry(self, tmp_path):
+        flaky = FlakyFunction(
+            _square, failures=2, state_dir=tmp_path, items=[4]
+        )
+        assert sweep(flaky, [3, 4, 5], retries=2) == [9, 16, 25]
+
+    def test_insufficient_retries_still_fail(self, tmp_path):
+        flaky = FlakyFunction(
+            _square, failures=3, state_dir=tmp_path, items=[4]
+        )
+        with pytest.raises(SweepItemError) as excinfo:
+            sweep(flaky, [3, 4, 5], retries=1)
+        assert excinfo.value.attempts == 2
+
+    def test_retry_attempts_recorded_in_outcome(self, tmp_path):
+        flaky = FlakyFunction(
+            _square, failures=1, state_dir=tmp_path, items=[7]
+        )
+        outcomes = sweep(
+            flaky, [6, 7], retries=3, return_errors=True
+        )
+        assert [o.attempts for o in outcomes] == [1, 2]
+        assert all(o.ok for o in outcomes)
+
+    def test_parallel_retry_matches_serial(self, tmp_path):
+        serial_flaky = FlakyFunction(
+            _square, failures=1, state_dir=tmp_path / "serial",
+            items=[2, 5],
+        )
+        parallel_flaky = FlakyFunction(
+            _square, failures=1, state_dir=tmp_path / "parallel",
+            items=[2, 5],
+        )
+        (tmp_path / "serial").mkdir()
+        (tmp_path / "parallel").mkdir()
+        seeds = list(range(8))
+        serial = sweep(serial_flaky, seeds, retries=1)
+        parallel = sweep(
+            parallel_flaky, seeds, retries=1, processes=2
+        )
+        assert parallel == serial == [s * s for s in seeds]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep(_square, [1], retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep(_square, [1], backoff_seconds=-0.1)
+
+
+class TestBrokenPoolRecovery:
+    def test_worker_crash_recovers_all_results(self, tmp_path):
+        """A worker hard-killed mid-sweep must not discard the sweep:
+        finished chunks are kept, the unfinished tail re-runs
+        serially."""
+        crasher = CrashOnce(
+            _square, crash_items=[9], state_dir=tmp_path
+        )
+        seeds = list(range(20))
+        assert sweep(crasher, seeds, processes=2, chunksize=3) == [
+            s * s for s in seeds
+        ]
+
+    def test_crash_with_return_errors(self, tmp_path):
+        crasher = CrashOnce(
+            _square, crash_items=[0], state_dir=tmp_path
+        )
+        outcomes = sweep(
+            crasher, list(range(6)), processes=2, chunksize=2,
+            return_errors=True,
+        )
+        assert all(o.ok for o in outcomes)
+        assert [o.result for o in outcomes] == [
+            s * s for s in range(6)
+        ]

@@ -1,0 +1,235 @@
+"""Tests for the chaos harness itself, plus the end-to-end
+acceptance demos: every layer of the robustness stack survives its
+injected faults."""
+
+import os
+
+import pytest
+
+from repro.io import LogReadReport, read_log, write_csv, write_jsonl
+from repro.parallel import sweep
+from repro.stream import (
+    FailureMonitor,
+    StreamStats,
+    events_from_log,
+    tolerant_stream,
+)
+from repro.testing.chaos import (
+    LOG_FAULT_KINDS,
+    ChaosInjectedError,
+    CrashOnce,
+    FlakyFunction,
+    PoisonedFunction,
+    corrupt_log_file,
+    duplicate_stream,
+    shuffle_stream,
+)
+from tests.conftest import make_log, make_record
+
+
+def _sample_log(n: int = 10):
+    return make_log(
+        [
+            make_record(i, hours=8.0 * (i + 1), ttr_hours=4.0)
+            for i in range(n)
+        ]
+    )
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestCorruptLogFile:
+    def test_determinism(self, tmp_path):
+        log = _sample_log()
+        src = tmp_path / "clean.csv"
+        write_csv(log, src)
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        manifest_a = corrupt_log_file(src, a, seed=7, rate=0.5)
+        manifest_b = corrupt_log_file(src, b, seed=7, rate=0.5)
+        assert manifest_a == manifest_b
+        assert a.read_text() == b.read_text()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        log = _sample_log(2)
+        src = tmp_path / "clean.csv"
+        write_csv(log, src)
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            corrupt_log_file(src, tmp_path / "d.csv", kinds=["bitrot"])
+
+    def test_unrecognised_format_rejected(self, tmp_path):
+        path = tmp_path / "log.parquet"
+        path.write_text("whatever\n")
+        with pytest.raises(ValueError, match="unrecognised"):
+            corrupt_log_file(path, tmp_path / "d.parquet")
+
+    def test_empty_body_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"machine": "tsubame2"}\n')
+        with pytest.raises(ValueError, match="no data rows"):
+            corrupt_log_file(path, tmp_path / "d.jsonl")
+
+    def test_shuffle_manifested_at_line_zero(self, tmp_path):
+        log = _sample_log()
+        src = tmp_path / "clean.jsonl"
+        write_jsonl(log, src)
+        manifest = corrupt_log_file(
+            src, tmp_path / "d.jsonl", seed=1, rate=0.0, shuffle=True
+        )
+        assert [(f.line_number, f.kind) for f in manifest] == [
+            (0, "shuffle")
+        ]
+
+    def test_truncate_always_manifests_final_line(self, tmp_path):
+        log = _sample_log(4)
+        src = tmp_path / "clean.csv"
+        write_csv(log, src)
+        manifest = corrupt_log_file(
+            src, tmp_path / "d.csv", seed=0, rate=0.0, truncate=True
+        )
+        n_lines = len(
+            (tmp_path / "d.csv").read_text().splitlines()
+        )
+        assert manifest[-1].kind == "truncated"
+        assert manifest[-1].line_number == n_lines
+
+
+class TestStreamChaos:
+    def test_shuffle_displacement_is_bounded(self):
+        events = list(events_from_log(_sample_log(30)))
+        shuffled = shuffle_stream(events, seed=5, max_shift_hours=10.0)
+        assert sorted(
+            e.time_hours for e in shuffled
+        ) == [e.time_hours for e in events]
+        # Bounded displacement: whenever an event precedes an older
+        # one, it is at most max_shift newer.
+        running_min_suffix = float("inf")
+        for event in reversed(shuffled):
+            running_min_suffix = min(
+                running_min_suffix, event.time_hours
+            )
+            assert event.time_hours - running_min_suffix <= 10.0
+
+    def test_zero_shift_is_identity(self):
+        events = list(events_from_log(_sample_log(10)))
+        assert shuffle_stream(events, max_shift_hours=0.0) == events
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle_stream([], max_shift_hours=-1.0)
+
+    def test_duplicate_stream_counts(self):
+        events = list(events_from_log(_sample_log(25)))
+        dirty, injected = duplicate_stream(events, seed=2, rate=0.3)
+        assert len(dirty) == len(events) + injected
+        assert injected > 0
+
+
+class TestSweepChaosWrappers:
+    def test_poisoned_function(self):
+        poisoned = PoisonedFunction(_double, poisoned=[3])
+        assert poisoned(2) == 4
+        with pytest.raises(ChaosInjectedError):
+            poisoned(3)
+
+    def test_flaky_function_recovers(self, tmp_path):
+        flaky = FlakyFunction(
+            _double, failures=2, state_dir=tmp_path, items=[5]
+        )
+        with pytest.raises(ChaosInjectedError):
+            flaky(5)
+        with pytest.raises(ChaosInjectedError):
+            flaky(5)
+        assert flaky(5) == 10
+        assert flaky(6) == 12  # non-flaky items never fail
+
+    def test_flaky_negative_failures_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlakyFunction(_double, failures=-1, state_dir=tmp_path)
+
+    def test_crash_once_is_inert_in_parent(self, tmp_path):
+        crasher = CrashOnce(_double, crash_items=[1], state_dir=tmp_path)
+        assert crasher(1) == 2  # same pid: must NOT kill the runner
+        assert os.getpid() == crasher.parent_pid
+
+
+class TestEndToEndAcceptance:
+    """The ISSUE's acceptance demos: chaos in, correct behaviour out,
+    at every layer."""
+
+    def test_corrupted_log_survives_lenient_ingest(self, tmp_path):
+        log = _sample_log(15)
+        src = tmp_path / "clean.csv"
+        dst = tmp_path / "dirty.csv"
+        write_csv(log, src)
+        manifest = corrupt_log_file(
+            src, dst, seed=11, kinds=LOG_FAULT_KINDS, rate=0.3,
+            shuffle=True, truncate=True,
+        )
+        report = read_log(dst, on_error="collect")
+        assert isinstance(report, LogReadReport)
+        assert sorted(
+            e.line_number for e in report.quarantined
+        ) == sorted(
+            f.line_number for f in manifest if f.line_number > 0
+        )
+        assert len(report.log) > 0
+        kept_ids = {r.record_id for r in report.log}
+        assert kept_ids <= {r.record_id for r in log}
+
+    def test_disordered_stream_survives_buffered_monitor(self):
+        log = _sample_log(20)
+        clean = list(events_from_log(log, include_repairs=True))
+        dirty, injected = duplicate_stream(
+            shuffle_stream(clean, seed=21, max_shift_hours=12.0),
+            seed=22, rate=0.2,
+        )
+        reference = FailureMonitor(window_hours=400.0).consume(clean)
+        monitor = FailureMonitor(window_hours=400.0)
+        snapshot = monitor.consume(
+            dirty, on_disorder="buffer", window_hours=12.0,
+            drop_duplicates=True,
+        )
+        assert snapshot.failures == reference.failures
+        assert snapshot.repairs == reference.repairs
+        assert snapshot.events_dropped == 0
+        assert snapshot.duplicates_suppressed == injected
+
+    def test_poisoned_sweep_keeps_every_other_result(self):
+        poisoned = PoisonedFunction(_double, poisoned=[4])
+        outcomes = sweep(
+            poisoned, list(range(8)), processes=2, return_errors=True
+        )
+        assert [o.ok for o in outcomes] == [
+            i != 4 for i in range(8)
+        ]
+        assert [o.result for o in outcomes if o.ok] == [
+            2 * i for i in range(8) if i != 4
+        ]
+
+    def test_full_pipeline_chaos(self, tmp_path):
+        """File corruption -> lenient ingest -> disordered replay ->
+        buffered monitor, end to end."""
+        log = _sample_log(12)
+        src = tmp_path / "clean.jsonl"
+        dst = tmp_path / "dirty.jsonl"
+        write_jsonl(log, src)
+        corrupt_log_file(
+            src, dst, seed=31, kinds=("nan_time", "duplicate_row"),
+            rate=0.25,
+        )
+        report = read_log(dst, on_error="collect")
+        events = shuffle_stream(
+            list(events_from_log(report.log, include_repairs=True)),
+            seed=32, max_shift_hours=6.0,
+        )
+        stats = StreamStats()
+        replayed = list(
+            tolerant_stream(
+                events, on_disorder="buffer", window_hours=6.0,
+                stats=stats,
+            )
+        )
+        assert stats.dropped == 0
+        assert len(replayed) == 2 * len(report.log)
