@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Simulation performance benchmark: the vectorized fault-injection
+fast path against the retained per-event reference path, plus the
+Monte-Carlo replication engine.
+
+At 1x/10x/100x the Tsubame-2 historical failure intensity over a
+2000-hour horizon, this times one full :class:`ClusterSimulator` run
+with ``presample=True`` (batched NumPy draw streams + the cluster's
+O(1) healthy-node index) against ``presample=False`` (one RNG
+round-trip per draw and a fleet-sized ``available_nodes()`` scan per
+event — the pre-PR engine, kept precisely so this comparison stays
+honest), reporting processed events per second for both.
+
+It then benchmarks :func:`repro.sim.montecarlo.run_replications`:
+replications per second serially and across workers, asserting the
+two ensembles are bit-identical (the serial-vs-parallel parity
+guarantee), and writes ``BENCH_sim.json`` at the repo root next to
+``BENCH_core.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_sim.py
+
+Environment knobs: ``REPRO_BENCH_SCALES`` restricts the intensity
+tiers (same syntax as perf_core), ``REPRO_BENCH_REPLICATIONS``
+resizes the ensemble (CI smoke uses a small one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.montecarlo import run_replications
+from repro.sim.simulator import ClusterSimulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+BENCH_SEED = 42
+BENCH_MACHINE = "tsubame2"
+HORIZON_HOURS = 2000.0
+#: Intensity multipliers on the historical failure rate.
+SCALES = {"1x": 1, "10x": 10, "100x": 100}
+ENSEMBLE_REPLICATIONS = 24
+ENSEMBLE_HORIZON_HOURS = 500.0
+ENSEMBLE_WORKERS = 4
+
+
+def _selected_scales() -> dict[str, int]:
+    """Scales to run, optionally restricted via ``REPRO_BENCH_SCALES``
+    (same comma-separated syntax as perf_core)."""
+    raw = os.environ.get("REPRO_BENCH_SCALES", "").strip()
+    if not raw:
+        return dict(SCALES)
+    wanted = {
+        token if token.endswith("x") else f"{token}x"
+        for token in (t.strip() for t in raw.split(","))
+        if token
+    }
+    selected = {
+        label: factor
+        for label, factor in SCALES.items()
+        if label in wanted
+    }
+    if not selected:
+        raise SystemExit(
+            f"REPRO_BENCH_SCALES={raw!r} matches no known scale "
+            f"(choose from {', '.join(SCALES)})"
+        )
+    return selected
+
+
+def _replications() -> int:
+    raw = os.environ.get("REPRO_BENCH_REPLICATIONS", "").strip()
+    return int(raw) if raw else ENSEMBLE_REPLICATIONS
+
+
+def _best_of(fn, repeats: int = 3):
+    """Best wall-clock of ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run_once(intensity: float, presample: bool):
+    """One full simulation; returns (events processed, report)."""
+    simulator = ClusterSimulator(
+        BENCH_MACHINE,
+        seed=BENCH_SEED,
+        intensity=intensity,
+        presample=presample,
+        keep_injected_log=False,
+    )
+    report = simulator.run(HORIZON_HOURS)
+    return simulator.engine.processed, report
+
+
+def _bench_scale(factor: int) -> dict:
+    intensity = float(factor)
+    fast_s, (fast_events, fast_report) = _best_of(
+        lambda: _run_once(intensity, presample=True)
+    )
+    # The reference path is O(nodes) per event; one repeat is plenty.
+    ref_s, (ref_events, ref_report) = _best_of(
+        lambda: _run_once(intensity, presample=False), repeats=1
+    )
+    return {
+        "intensity": intensity,
+        "horizon_hours": HORIZON_HOURS,
+        "fast": {
+            "wall_s": fast_s,
+            "events": fast_events,
+            "events_per_s": fast_events / fast_s if fast_s else 0.0,
+            "failures": fast_report.failures_injected,
+        },
+        "reference": {
+            "wall_s": ref_s,
+            "events": ref_events,
+            "events_per_s": ref_events / ref_s if ref_s else 0.0,
+            "failures": ref_report.failures_injected,
+        },
+        # Per-event cost ratio: the honest apples-to-apples number
+        # (the two paths consume their RNG streams differently, so
+        # event counts differ slightly at the same seed).
+        "speedup": (
+            (fast_events / fast_s) / (ref_events / ref_s)
+            if fast_s and ref_s and ref_events
+            else float("inf")
+        ),
+    }
+
+
+def _bench_ensemble() -> dict:
+    replications = _replications()
+
+    def serial():
+        return run_replications(
+            BENCH_MACHINE,
+            replications=replications,
+            horizon_hours=ENSEMBLE_HORIZON_HOURS,
+            seed=BENCH_SEED,
+            intensity=10.0,
+        )
+
+    def parallel():
+        return run_replications(
+            BENCH_MACHINE,
+            replications=replications,
+            horizon_hours=ENSEMBLE_HORIZON_HOURS,
+            seed=BENCH_SEED,
+            intensity=10.0,
+            max_workers=ENSEMBLE_WORKERS,
+        )
+
+    start = time.perf_counter()
+    serial_report = serial()
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_report = parallel()
+    parallel_s = time.perf_counter() - start
+    parity = serial_report == parallel_report
+    assert parity, (
+        "serial and parallel ensembles diverged — the determinism "
+        "contract of run_replications is broken"
+    )
+    return {
+        "replications": replications,
+        "horizon_hours": ENSEMBLE_HORIZON_HOURS,
+        "workers": ENSEMBLE_WORKERS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "serial_replications_per_s": (
+            replications / serial_s if serial_s else 0.0
+        ),
+        "parallel_replications_per_s": (
+            replications / parallel_s if parallel_s else 0.0
+        ),
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "parity_ok": parity,
+        "mean_availability": serial_report.availability.mean,
+    }
+
+
+def run_benchmark() -> dict:
+    return {
+        "schema": 1,
+        "seed": BENCH_SEED,
+        "machine": BENCH_MACHINE,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scales": {
+            label: _bench_scale(factor)
+            for label, factor in _selected_scales().items()
+        },
+        "ensemble": _bench_ensemble(),
+    }
+
+
+def write_report(results: dict, path: Path = REPORT_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def main() -> None:
+    results = run_benchmark()
+    for label, scale in results["scales"].items():
+        fast = scale["fast"]
+        ref = scale["reference"]
+        print(
+            f"{label:>4} intensity: fast {fast['events_per_s']:,.0f} "
+            f"events/s ({fast['events']} events in "
+            f"{fast['wall_s'] * 1e3:.1f} ms) vs reference "
+            f"{ref['events_per_s']:,.0f} events/s "
+            f"({scale['speedup']:.1f}x per-event)"
+        )
+    ensemble = results["ensemble"]
+    print(
+        f"ensemble ({ensemble['replications']} replications, "
+        f"{ensemble['workers']} workers on "
+        f"{results['cpu_count']} cores): "
+        f"{ensemble['serial_replications_per_s']:.1f} rep/s serial vs "
+        f"{ensemble['parallel_replications_per_s']:.1f} rep/s parallel "
+        f"({ensemble['speedup']:.2f}x), "
+        f"parity={ensemble['parity_ok']}"
+    )
+    path = write_report(results)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

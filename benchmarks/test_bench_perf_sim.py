@@ -1,0 +1,71 @@
+"""Simulation bench — the Monte-Carlo PR acceptance criteria, kept
+green.
+
+Runs the full :mod:`perf_sim` benchmark (1x/10x/100x failure
+intensity plus the replication ensemble), writes ``BENCH_sim.json``,
+and asserts the invariants that must never regress: the vectorized
+injector processes events >= 5x faster than the per-event reference
+path at 10x intensity, and the parallel ensemble is bit-identical to
+the serial one.
+
+The near-linear replication-scaling criterion (>2x with 4 workers) is
+asserted only when the machine actually has >= 4 cores; on smaller
+boxes the measured numbers are still recorded in ``BENCH_sim.json``
+for the trajectory.
+"""
+
+import json
+
+import pytest
+
+import perf_sim
+
+
+@pytest.fixture(scope="module")
+def results():
+    res = perf_sim.run_benchmark()
+    perf_sim.write_report(res)
+    return res
+
+
+def test_report_written_and_loads(results):
+    on_disk = json.loads(perf_sim.REPORT_PATH.read_text())
+    assert on_disk["schema"] == results["schema"]
+    assert set(on_disk["scales"]) == set(results["scales"])
+    assert on_disk["ensemble"]["parity_ok"] is True
+
+
+def test_fast_path_5x_faster_at_10x_intensity(results):
+    scale = results["scales"]["10x"]
+    assert scale["speedup"] >= 5.0, scale
+
+
+def test_fast_path_simulates_comparable_dynamics(results):
+    # Different RNG consumption, same calibrated distributions: the
+    # two paths must inject failure counts in the same ballpark.
+    for label, scale in results["scales"].items():
+        fast = scale["fast"]["failures"]
+        ref = scale["reference"]["failures"]
+        assert fast > 0 and ref > 0, label
+        assert 0.5 < fast / ref < 2.0, (label, fast, ref)
+
+
+def test_ensemble_parity_serial_vs_parallel(results):
+    assert results["ensemble"]["parity_ok"] is True
+
+
+def test_ensemble_throughput_positive(results):
+    ensemble = results["ensemble"]
+    assert ensemble["serial_replications_per_s"] > 0.0
+    assert ensemble["parallel_replications_per_s"] > 0.0
+
+
+def test_ensemble_parallel_scaling(results):
+    cpu_count = results["cpu_count"]
+    measured = results["ensemble"]["speedup"]
+    if cpu_count < 4:
+        pytest.skip(
+            f"only {cpu_count} core(s); measured {measured:.2f}x "
+            "recorded in BENCH_sim.json without asserting >2x"
+        )
+    assert measured > 2.0

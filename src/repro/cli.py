@@ -104,6 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--technicians", type=int, default=4)
     simulate.add_argument("--lead-time", type=float, default=168.0,
                           help="spare procurement lead time in hours")
+    simulate.add_argument(
+        "--replications", type=int, default=1,
+        help="run a Monte-Carlo ensemble of this many seeded "
+             "replications (1 = single run, the default)",
+    )
+    simulate.add_argument(
+        "--ci", type=float, default=0.95,
+        help="confidence level of the ensemble percentile intervals",
+    )
+    simulate.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the ensemble (default: serial; "
+             "results are identical either way)",
+    )
 
     compare = sub.add_parser(
         "compare", help="cross-generation comparison of two log files"
@@ -236,6 +250,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.replications > 1:
+        from repro.sim.montecarlo import run_replications
+
+        ensemble = run_replications(
+            args.machine,
+            replications=args.replications,
+            horizon_hours=args.horizon,
+            seed=args.seed,
+            ci=args.ci,
+            max_workers=args.workers,
+            num_technicians=args.technicians,
+            spare_lead_time_hours=args.lead_time,
+        )
+        print(ensemble.summary())
+        return 0
     simulator = ClusterSimulator(
         args.machine,
         repair_policy=RepairPolicy(

@@ -15,6 +15,7 @@ the fleet sizes and realistic rack granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import MachineError
 from repro.machines.specs import get_machine
@@ -88,8 +89,12 @@ _NODES_PER_RACK = {
 }
 
 
+@lru_cache(maxsize=None)
 def rack_layout_for(machine: str) -> RackLayout:
     """Return the rack layout for a machine.
+
+    Cached: the layout is frozen and re-requested by every
+    :class:`~repro.synth.generator.TraceGenerator` construction.
 
     Raises:
         MachineError: If the machine is unknown.

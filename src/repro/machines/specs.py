@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime
+from functools import lru_cache
 
 from repro.errors import MachineError
 
@@ -143,8 +144,13 @@ def known_machines() -> tuple[str, ...]:
     return tuple(sorted(_MACHINES))
 
 
+@lru_cache(maxsize=None)
 def get_machine(name: str) -> MachineSpec:
     """Look up a machine spec by name.
+
+    The result is cached: specs are frozen singletons, and this lookup
+    sits on per-replication construction paths (simulator, trace
+    generator) where even the error-path plumbing adds up.
 
     Raises:
         MachineError: If the name is unknown.

@@ -18,6 +18,7 @@ multi-GPU failures (RQ3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import networkx as nx
 
@@ -199,8 +200,14 @@ _BUILDERS = {
 }
 
 
+@lru_cache(maxsize=None)
 def build_node_topology(machine: str) -> NodeTopology:
     """Build the Figure 1 node topology for ``machine``.
+
+    Cached: the networkx graph build is by far the most expensive of
+    the per-replication constructor lookups, and the returned topology
+    is treated as read-only everywhere (callers must not mutate
+    ``.graph``).
 
     Raises:
         MachineError: If the machine is unknown.

@@ -56,6 +56,7 @@ from repro.errors import SweepError, ValidationError
 
 __all__ = [
     "sweep",
+    "sweep_iter",
     "default_processes",
     "SweepOutcome",
     "SweepItemError",
@@ -332,3 +333,98 @@ def sweep(
                 )
     raw = [triple for chunk in chunk_results for triple in chunk]
     return _finalize(items, raw, return_errors)
+
+
+def sweep_iter(
+    fn: Callable[[_ItemT], _ResultT],
+    seeds: Iterable[_ItemT],
+    processes: int | None = None,
+    chunksize: int | None = None,
+    retries: int = 0,
+    backoff_seconds: float = 0.0,
+) -> Iterable[SweepOutcome]:
+    """Stream :class:`SweepOutcome`s in input order as they finish.
+
+    The generator twin of ``sweep(..., return_errors=True)``: same
+    dispatch, same fault tolerance, same input-ordered parity
+    guarantee — but outcomes are yielded chunk by chunk instead of
+    materialised, so a consumer folding a large replication ensemble
+    into online statistics holds one chunk of results at a time, not
+    all of them.  Later chunks keep computing in the pool while earlier
+    ones are consumed; abandoning the generator early cancels what has
+    not started and shuts the pool down.
+
+    Args and failure semantics match :func:`sweep` with
+    ``return_errors=True`` (failures are captured per item, never
+    raised; a dead worker re-runs unfinished chunks in-process).
+
+    Raises:
+        ValidationError: On the same invalid arguments as
+            :func:`sweep`.
+    """
+    if processes is not None and processes < 1:
+        raise ValidationError(
+            f"processes must be >= 1, got {processes}"
+        )
+    if chunksize is not None and chunksize < 1:
+        raise ValidationError(
+            f"chunksize must be >= 1, got {chunksize}"
+        )
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+    if backoff_seconds < 0:
+        raise ValidationError(
+            f"backoff_seconds must be >= 0, got {backoff_seconds}"
+        )
+    items: Sequence[_ItemT] = list(seeds)
+    if not items:
+        return
+    if processes is None or processes == 1 or len(items) == 1:
+        for index, item in enumerate(items):
+            result, error, attempts = _attempt_item(
+                fn, item, retries, backoff_seconds
+            )
+            yield SweepOutcome(
+                index=index,
+                item=item,
+                result=result,
+                error=error,
+                attempts=attempts,
+            )
+        return
+
+    size = chunksize or _chunksize(len(items), processes)
+    chunks = [
+        items[start:start + size]
+        for start in range(0, len(items), size)
+    ]
+    pool = ProcessPoolExecutor(max_workers=processes)
+    try:
+        futures = [
+            pool.submit(_run_chunk, fn, chunk, retries, backoff_seconds)
+            for chunk in chunks
+        ]
+        start = 0
+        for position, future in enumerate(futures):
+            chunk = chunks[position]
+            try:
+                triples = future.result()
+            except BrokenProcessPool:
+                # Same recovery as sweep(), per chunk: a dead worker
+                # re-runs this chunk in-process; chunks already yielded
+                # are untouched and later chunks get the same
+                # treatment when their futures surface the break.
+                triples = _run_chunk(fn, chunk, retries, backoff_seconds)
+            for offset, (item, (result, error, attempts)) in enumerate(
+                zip(chunk, triples)
+            ):
+                yield SweepOutcome(
+                    index=start + offset,
+                    item=item,
+                    result=result,
+                    error=error,
+                    attempts=attempts,
+                )
+            start += len(chunk)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -16,6 +16,12 @@ from repro.sim.cluster import Cluster, DowntimeInterval, Node, NodeState
 from repro.sim.engine import SimulationEngine
 from repro.sim.faults import FaultInjector
 from repro.sim.jobs import Job, JobState, WorkloadConfig, WorkloadGenerator
+from repro.sim.montecarlo import (
+    EnsembleReport,
+    MetricStats,
+    run_replications,
+    spawn_seeds,
+)
 from repro.sim.proactive import ProactiveMaintainer
 from repro.sim.repair import RepairPolicy, RepairService, SparePool
 from repro.sim.scheduler import Scheduler, SchedulerStats
@@ -32,9 +38,11 @@ __all__ = [
     "Cluster",
     "ClusterSimulator",
     "DowntimeInterval",
+    "EnsembleReport",
     "FaultInjector",
     "Job",
     "JobState",
+    "MetricStats",
     "Node",
     "NodeState",
     "ProactiveMaintainer",
@@ -50,6 +58,8 @@ __all__ = [
     "effective_goodput_fraction",
     "expected_waste_fraction",
     "hardware_categories",
+    "run_replications",
     "simulate_card_wear",
+    "spawn_seeds",
     "young_daly_interval",
 ]

@@ -80,6 +80,13 @@ class Cluster:
             for index in range(spec.num_nodes)
         ]
         self._history: list[DowntimeInterval] = []
+        # Swap-remove index of healthy node ids: O(1) membership
+        # updates on fail/repair and O(1) uniform sampling, so the
+        # fault injector never scans the fleet per event.  The list
+        # order is arbitrary but evolves deterministically with the
+        # event history.
+        self._available: list[int] = list(range(spec.num_nodes))
+        self._available_slot: list[int] = list(range(spec.num_nodes))
 
     @property
     def spec(self) -> MachineSpec:
@@ -107,12 +114,45 @@ class Cluster:
         return self._nodes[node_id]
 
     def available_nodes(self) -> list[int]:
-        """Ids of nodes currently healthy."""
+        """Ids of nodes currently healthy, in ascending order."""
         return [n.node_id for n in self._nodes if n.is_available]
 
     def num_available(self) -> int:
         """Count of healthy nodes."""
-        return sum(1 for n in self._nodes if n.is_available)
+        return len(self._available)
+
+    def available_at(self, index: int) -> int:
+        """Return one healthy node id by positional index in O(1).
+
+        The ordering is an implementation detail (swap-remove order,
+        not ascending); it is deterministic for a given event history,
+        which is all uniform sampling needs — pair with
+        :meth:`num_available` to draw a random healthy node without
+        materialising the fleet-sized list of
+        :meth:`available_nodes`.
+
+        Raises:
+            SimulationError: If the index is out of range (including
+                when no node is healthy).
+        """
+        if not 0 <= index < len(self._available):
+            raise SimulationError(
+                f"available index {index} out of range "
+                f"[0, {len(self._available)})"
+            )
+        return self._available[index]
+
+    def _mark_unavailable(self, node_id: int) -> None:
+        slot = self._available_slot[node_id]
+        last = self._available[-1]
+        self._available[slot] = last
+        self._available_slot[last] = slot
+        self._available.pop()
+        self._available_slot[node_id] = -1
+
+    def _mark_available(self, node_id: int) -> None:
+        self._available_slot[node_id] = len(self._available)
+        self._available.append(node_id)
 
     # -- state transitions -------------------------------------------------
 
@@ -145,6 +185,7 @@ class Cluster:
         node.current_category = category
         node.failed_at = time
         node.repair_started_at = None
+        self._mark_unavailable(node_id)
 
     def start_repair(self, node_id: int, time: float) -> None:
         """Mark a technician as having started on a failed node.
@@ -190,6 +231,7 @@ class Cluster:
         node.current_category = None
         node.failed_at = None
         node.repair_started_at = None
+        self._mark_available(node_id)
         return interval
 
     # -- aggregate metrics ---------------------------------------------------

@@ -16,7 +16,6 @@ subscription order, at the simulation time of the publish.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from collections.abc import Callable
 
@@ -30,7 +29,7 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._now = 0.0
         self._processed = 0
         self._subscribers: dict[str, list[Callable[..., None]]] = {}
@@ -59,6 +58,16 @@ class SimulationEngine:
         if not topic:
             raise SimulationError("topic must be a non-empty string")
         self._subscribers.setdefault(topic, []).append(callback)
+
+    def has_subscribers(self, topic: str) -> bool:
+        """True when at least one callback listens on ``topic``.
+
+        Publishers with a non-trivial payload should check this first:
+        it lets them skip building the payload dict (and any values
+        that exist only to be published) on the hot path of a headless
+        run where nobody is listening.
+        """
+        return topic in self._subscribers
 
     def publish(self, topic: str, **payload) -> None:
         """Deliver a domain event to every subscriber of ``topic``.
@@ -111,7 +120,8 @@ class SimulationEngine:
                 f"cannot schedule at {time} h; the clock is already at "
                 f"{self._now} h"
             )
-        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, callback))
 
     def schedule_in(
         self, delay: float, callback: Callable[[], None]
@@ -128,7 +138,14 @@ class SimulationEngine:
             )
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        self.schedule_at(self._now + delay, callback)
+        # Inlined schedule_at: now and delay are finite and delay >= 0,
+        # so the absolute time passes both of its checks by
+        # construction.  (finite + finite can only overflow to inf for
+        # times ~1e308 hours, far past any meaningful horizon.)
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, self._sequence, callback)
+        )
 
     def run_until(self, horizon: float) -> None:
         """Process events in order until the horizon.
@@ -151,11 +168,17 @@ class SimulationEngine:
                 f"horizon {horizon} h is before the current time "
                 f"{self._now} h"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            time, _, callback = heapq.heappop(self._queue)
-            self._now = time
+        # Hot loop: bind the heap and heappop once.  Entries are
+        # indexed rather than unpacked so the unused sequence number
+        # never hits a local, and ``_processed`` stays current per
+        # event (callbacks may read it).
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][0] <= horizon:
+            entry = pop(queue)
+            self._now = entry[0]
             self._processed += 1
-            callback()
+            entry[2]()
         self._now = horizon
 
     def run_all(self, max_events: int = 1_000_000) -> None:

@@ -5,6 +5,21 @@ statistics the trace generator uses: Weibull renewal arrivals, the
 profile's category mix, GPU involvement and per-category lognormal
 repair durations.  Unlike the offline generator, the injector reacts
 to cluster state — failures land on nodes that are currently up.
+
+Two draw strategies are available.  The default (``presample=True``)
+pre-samples every stochastic quantity in vectorized NumPy batches and
+hands the event loop plain Python floats, so a simulated failure costs
+a couple of list indexes instead of several ``Generator`` round-trips;
+paired with the cluster's O(1) healthy-node index this is what makes
+Monte-Carlo replication fast.  ``presample=False`` retains the
+original one-RNG-call-per-draw path (including the fleet-sized
+``available_nodes()`` scan per event) as the reference baseline that
+``benchmarks/perf_sim.py`` measures speedups against.
+
+The two strategies draw from the *same distributions* but consume the
+underlying bit stream differently, so a given seed produces different
+(equally valid) trajectories under each.  Within one strategy, runs
+are bit-reproducible for a seed.
 """
 
 from __future__ import annotations
@@ -25,6 +40,162 @@ from repro.synth.recovery import LognormalTtrSampler
 
 __all__ = ["FaultInjector"]
 
+#: Draws pre-sampled per vectorized refill.  Large enough that refill
+#: overhead amortises to noise, small enough that short runs do not
+#: waste milliseconds sampling draws they never consume.
+_BATCH = 512
+#: Smaller refill for per-category TTR and slot streams (each category
+#: only sees its share of the failures).
+_SMALL_BATCH = 128
+
+
+class _Stream:
+    """A refillable buffer of pre-sampled draws.
+
+    ``fill`` returns a *list* of Python scalars (``ndarray.tolist()``)
+    so consumers index native floats/ints, not NumPy scalars — the
+    arithmetic downstream (heap pushes, comparisons) is measurably
+    faster on native types.
+    """
+
+    __slots__ = ("_fill", "_buffer", "_index")
+
+    def __init__(self, fill) -> None:
+        self._fill = fill
+        self._buffer: list = []
+        self._index = 0
+
+    def next(self):
+        index = self._index
+        buffer = self._buffer
+        if index >= len(buffer):
+            buffer = self._buffer = self._fill()
+            index = 0
+        self._index = index + 1
+        return buffer[index]
+
+
+class _BatchedFaultDraws:
+    """Vectorized pre-sampling of every per-failure random quantity."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        renewal,
+        category_names: list[str],
+        category_probabilities: np.ndarray,
+        involvement_values: list[int],
+        involvement_probabilities: np.ndarray,
+        ttr_samplers: dict[str, LognormalTtrSampler],
+        slot_weights: tuple[float, ...],
+    ) -> None:
+        self._rng = rng
+        names = category_names
+        num_categories = len(names)
+        self._gaps = _Stream(
+            lambda: renewal.sample_gaps(rng, _BATCH).tolist()
+        )
+        self._categories = _Stream(
+            lambda: [
+                names[i]
+                for i in rng.choice(
+                    num_categories, size=_BATCH, p=category_probabilities
+                )
+            ]
+        )
+        involvement = np.asarray(involvement_values)
+        self._involvement = _Stream(
+            lambda: rng.choice(
+                involvement,
+                size=_SMALL_BATCH,
+                p=involvement_probabilities,
+            ).tolist()
+        )
+        self._uniforms = _Stream(lambda: rng.random(_BATCH).tolist())
+        self._ttr = {
+            name: _Stream(
+                lambda s=sampler: s.sample_batch(
+                    rng, _SMALL_BATCH
+                ).tolist()
+            )
+            for name, sampler in ttr_samplers.items()
+        }
+        weights = np.asarray(slot_weights, dtype=float)
+        slot_probabilities = weights / weights.sum()
+        num_slots = len(slot_weights)
+        self._single_slots = _Stream(
+            lambda: rng.choice(
+                num_slots, size=_SMALL_BATCH, p=slot_probabilities
+            ).tolist()
+        )
+
+    def next_gap(self) -> float:
+        return self._gaps.next()
+
+    def next_category(self) -> str:
+        return self._categories.next()
+
+    def next_involvement(self) -> int:
+        return self._involvement.next()
+
+    def next_uniform(self) -> float:
+        return self._uniforms.next()
+
+    def next_ttr(self, category: str) -> float:
+        return self._ttr[category].next()
+
+    def next_single_slot(self) -> int:
+        """One GPU slot by raw propensity (the ``num_involved == 1``
+        case of :func:`repro.synth.involvement.choose_slots`, where
+        the topology-affinity bonus never applies)."""
+        return self._single_slots.next()
+
+
+class _PerEventFaultDraws:
+    """The pre-PR reference path: one RNG round-trip per draw."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        renewal,
+        category_names: list[str],
+        category_probabilities: np.ndarray,
+        involvement_values: list[int],
+        involvement_probabilities: np.ndarray,
+        ttr_samplers: dict[str, LognormalTtrSampler],
+    ) -> None:
+        self._rng = rng
+        self._renewal = renewal
+        self._category_names = category_names
+        self._category_probabilities = category_probabilities
+        self._involvement_values = involvement_values
+        self._involvement_probabilities = involvement_probabilities
+        self._ttr_samplers = ttr_samplers
+
+    def next_gap(self) -> float:
+        return float(self._renewal.sample_gaps(self._rng, 1)[0])
+
+    def next_category(self) -> str:
+        return str(
+            self._rng.choice(
+                self._category_names, p=self._category_probabilities
+            )
+        )
+
+    def next_involvement(self) -> int:
+        return int(
+            self._rng.choice(
+                self._involvement_values,
+                p=self._involvement_probabilities,
+            )
+        )
+
+    def next_uniform(self) -> float:
+        return float(self._rng.random())
+
+    def next_ttr(self, category: str) -> float:
+        return self._ttr_samplers[category].sample(self._rng)
+
 
 class FaultInjector:
     """Drives failures into a cluster simulation.
@@ -44,6 +215,16 @@ class FaultInjector:
             for multi-GPU cards on the same node and proactive
             replacements".  0 reproduces the profile's involvement
             shares unchanged.
+        presample: Pre-sample stochastic draws in vectorized batches
+            (the fast default).  ``False`` selects the per-event
+            reference path; same distributions, different bit-stream
+            consumption, so per-seed trajectories differ between the
+            two modes.
+        record_injected: Keep a :class:`FailureRecord` per injected
+            failure so :meth:`injected_log` works.  Headless
+            Monte-Carlo replications that only need the simulation
+            report can pass ``False`` to skip the per-failure record
+            (and timestamp) construction.
     """
 
     def __init__(
@@ -55,6 +236,8 @@ class FaultInjector:
         seed: int = 0,
         intensity: float = 1.0,
         health_test_effectiveness: float = 0.0,
+        presample: bool = True,
+        record_injected: bool = True,
     ) -> None:
         if intensity <= 0:
             raise SimulationError(
@@ -102,6 +285,29 @@ class FaultInjector:
                 for k in sorted(profile.gpu_involvement_counts)
             ]
         )
+        self._presample = presample
+        if presample:
+            self._draws = _BatchedFaultDraws(
+                self._rng,
+                self._renewal,
+                self._category_names,
+                self._category_probabilities,
+                self._involvement_values,
+                self._involvement_probabilities,
+                self._ttr_samplers,
+                profile.gpu_slot_weights,
+            )
+        else:
+            self._draws = _PerEventFaultDraws(
+                self._rng,
+                self._renewal,
+                self._category_names,
+                self._category_probabilities,
+                self._involvement_values,
+                self._involvement_probabilities,
+                self._ttr_samplers,
+            )
+        self._record_injected = record_injected
         self._injected: list[FailureRecord] = []
         self._next_record_id = 0
         self._contained_multi_gpu = 0
@@ -142,8 +348,15 @@ class FaultInjector:
         delays live in the cluster history instead).
 
         Raises:
-            SimulationError: If nothing has been injected yet.
+            SimulationError: If nothing has been injected yet, or if
+                record keeping was disabled (``record_injected=False``).
         """
+        if self._next_record_id and not self._record_injected:
+            raise SimulationError(
+                "injected-failure records were disabled "
+                "(record_injected=False); re-run with record keeping "
+                "on to get an analyzable log"
+            )
         if not self._injected:
             raise SimulationError("no failures injected yet")
         from datetime import timedelta
@@ -160,41 +373,28 @@ class FaultInjector:
     # -- internals -----------------------------------------------------------
 
     def _schedule_next(self) -> None:
-        gap = float(self._renewal.sample_gaps(self._rng, 1)[0])
+        gap = self._draws.next_gap()
         # Degenerate zero gaps would stall heap ordering determinism.
         self._engine.schedule_in(max(gap, 1e-6), self._fire)
 
     def _fire(self) -> None:
-        category = str(
-            self._rng.choice(
-                self._category_names, p=self._category_probabilities
-            )
-        )
+        draws = self._draws
+        category = draws.next_category()
         node_id = self._pick_node()
         gpus: tuple[int, ...] = ()
         if category == "GPU":
-            involved = int(
-                self._rng.choice(
-                    self._involvement_values,
-                    p=self._involvement_probabilities,
-                )
-            )
+            involved = draws.next_involvement()
             if (
                 involved > 1
-                and self._rng.random() < self._health_test_effectiveness
+                and draws.next_uniform() < self._health_test_effectiveness
             ):
                 # A health test caught the degrading bus-mates early;
                 # only one GPU actually fails in service.
                 involved = 1
                 self._contained_multi_gpu += 1
             if involved > 0:
-                gpus = choose_slots(
-                    self._rng,
-                    involved,
-                    self._profile.gpu_slot_weights,
-                    topology=self._topology,
-                )
-        duration = self._ttr_samplers[category].sample(self._rng)
+                gpus = self._choose_slots(involved)
+        duration = draws.next_ttr(category)
         was_healthy = (
             self._cluster.node(node_id).state is NodeState.HEALTHY
         )
@@ -206,7 +406,32 @@ class FaultInjector:
             callback(node_id, category)
         self._schedule_next()
 
+    def _choose_slots(self, involved: int) -> tuple[int, ...]:
+        num_slots = len(self._profile.gpu_slot_weights)
+        if involved == num_slots:
+            return tuple(range(num_slots))
+        if involved == 1 and self._presample:
+            # Single-slot picks (the common case) come from the
+            # pre-sampled propensity stream; multi-slot picks need the
+            # sequential topology-affinity walk below.
+            return (self._draws.next_single_slot(),)
+        return choose_slots(
+            self._rng,
+            involved,
+            self._profile.gpu_slot_weights,
+            topology=self._topology,
+        )
+
     def _pick_node(self) -> int:
+        if self._presample:
+            count = self._cluster.num_available()
+            if count:
+                # Uniform over healthy nodes via one pre-sampled
+                # uniform and the cluster's O(1) index — no
+                # fleet-sized list per event.
+                index = int(self._draws.next_uniform() * count)
+                return self._cluster.available_at(index)
+            return int(self._draws.next_uniform() * self._cluster.num_nodes)
         available = self._cluster.available_nodes()
         if available:
             return int(self._rng.choice(available))
@@ -220,21 +445,31 @@ class FaultInjector:
         duration: float,
         gpus: tuple[int, ...],
     ) -> None:
+        engine = self._engine
+        need_record = (
+            self._record_injected
+            or self._record_listeners
+            or engine.has_subscribers("failure")
+        )
+        self._next_record_id += 1
+        if not need_record:
+            return
         from datetime import timedelta
 
         record = FailureRecord(
-            record_id=self._next_record_id,
+            record_id=self._next_record_id - 1,
             timestamp=self._spec.log_start
-            + timedelta(hours=self._engine.now),
+            + timedelta(hours=engine.now),
             node_id=node_id,
             category=category,
             ttr_hours=duration,
             gpus_involved=gpus,
         )
-        self._injected.append(record)
-        self._next_record_id += 1
+        if self._record_injected:
+            self._injected.append(record)
         for callback in self._record_listeners:
-            callback(record, self._engine.now)
-        self._engine.publish(
-            "failure", record=record, time_hours=self._engine.now
-        )
+            callback(record, engine.now)
+        if engine.has_subscribers("failure"):
+            engine.publish(
+                "failure", record=record, time_hours=engine.now
+            )

@@ -222,9 +222,10 @@ class RepairService:
         self._dispatch()
         for callback in self._completion_listeners:
             callback(pending.node_id)
-        self._engine.publish(
-            "repair",
-            node_id=pending.node_id,
-            category=pending.category,
-            time_hours=self._engine.now,
-        )
+        if self._engine.has_subscribers("repair"):
+            self._engine.publish(
+                "repair",
+                node_id=pending.node_id,
+                category=pending.category,
+                time_hours=self._engine.now,
+            )

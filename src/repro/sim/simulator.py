@@ -80,6 +80,15 @@ class ClusterSimulator:
             failure is contained to one GPU by proactive health tests
             (the Tsubame-3 practice; see
             :class:`repro.sim.faults.FaultInjector`).
+        presample: Use the injector's vectorized pre-sampled draw
+            streams (fast default).  ``False`` selects the per-event
+            RNG reference path — same distributions, different per-seed
+            trajectories.
+        keep_injected_log: Record every injected failure so
+            :meth:`injected_log` works afterwards.  Monte-Carlo
+            replications that only consume the
+            :class:`SimulationReport` pass ``False`` to skip per-failure
+            record construction.
     """
 
     def __init__(
@@ -93,6 +102,8 @@ class ClusterSimulator:
         checkpoint_policy: CheckpointPolicy | None = None,
         profile: MachineProfile | None = None,
         health_test_effectiveness: float = 0.0,
+        presample: bool = True,
+        keep_injected_log: bool = True,
     ) -> None:
         self._profile = profile or profile_for(machine)
         if self._profile.machine != machine:
@@ -126,6 +137,8 @@ class ClusterSimulator:
             seed=seed,
             intensity=intensity,
             health_test_effectiveness=health_test_effectiveness,
+            presample=presample,
+            record_injected=keep_injected_log,
         )
         self.scheduler: Scheduler | None = None
         self._workload_jobs = []

@@ -80,6 +80,26 @@ class Welford:
         self._mean += delta / self._n
         self._m2 += delta * (value - self._mean)
 
+    def push_many(self, values) -> None:
+        """Fold an iterable of observations, in order.
+
+        Deliberately a sequential loop rather than a Chan-style moment
+        merge: the result is *bit-identical* to pushing each value with
+        :meth:`push`, which is the parity contract batch ingestion
+        (``FailureMonitor.observe_many``) is tested against.
+        """
+        n = self._n
+        mean = self._mean
+        m2 = self._m2
+        for value in values:
+            n += 1
+            delta = value - mean
+            mean += delta / n
+            m2 += delta * (value - mean)
+        self._n = n
+        self._mean = mean
+        self._m2 = m2
+
 
 class P2Quantile:
     """Single-quantile P² estimator: five markers, constant memory.
@@ -253,6 +273,16 @@ class GKQuantileSketch:
         self._n += 1
         if self._n % self._compress_every == 0:
             self._compress()
+
+    def push_many(self, values) -> None:
+        """Insert an iterable of observations, in order.
+
+        A plain loop over :meth:`push` (not a sketch merge), so the
+        resulting tuple list — and every subsequent quantile answer —
+        is bit-identical to single-value insertion.
+        """
+        for value in values:
+            self.push(value)
 
     def _compress(self) -> None:
         limit = int(2.0 * self._epsilon * self._n)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from datetime import datetime, timedelta
+from functools import lru_cache
 
 import numpy as np
 from scipy import optimize, special
@@ -54,6 +55,7 @@ class WeibullRenewal:
         return self.scale * rng.weibull(self.shape, size=n)
 
 
+@lru_cache(maxsize=256)
 def calibrate_weibull(
     mean_hours: float, p75_hours: float
 ) -> WeibullRenewal:
@@ -61,6 +63,9 @@ def calibrate_weibull(
 
     The ratio p75/mean pins the shape (it is strictly decreasing in the
     shape parameter), after which the scale follows from the mean.
+    The numerical solve (a bounded minimisation plus a Brent root
+    find) is cached on the target pair: every Monte-Carlo replication
+    of the same profile re-calibrates the same renewal process.
 
     Raises:
         CalibrationError: If the targets are non-positive or the ratio

@@ -12,6 +12,7 @@ provenance list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.taxonomy import SOFTWARE_ROOT_LOCI, categories_for
 from repro.errors import CalibrationError, ValidationError
@@ -373,8 +374,13 @@ _PROFILES = {
 }
 
 
+@lru_cache(maxsize=None)
 def profile_for(machine: str) -> MachineProfile:
     """Return the calibrated profile for a machine.
+
+    Cached: profiles are frozen and looked up on every simulator /
+    generator construction, which Monte-Carlo replication multiplies
+    by the replication count.
 
     Raises:
         CalibrationError: If no profile exists for the machine.

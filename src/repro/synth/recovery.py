@@ -55,6 +55,22 @@ class LognormalTtrSampler:
             return math.exp(self._mu)
         return float(rng.lognormal(self._mu, self._sigma))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` recovery times in one vectorized call.
+
+        Same distribution as :meth:`sample`; batching exists so the
+        fault injector can pre-sample its draws instead of paying one
+        RNG round-trip per simulated failure.
+
+        Raises:
+            ValidationError: On a non-positive ``n``.
+        """
+        if n < 1:
+            raise ValidationError(f"n must be positive, got {n}")
+        if self._sigma == 0.0:
+            return np.full(n, math.exp(self._mu))
+        return rng.lognormal(self._mu, self._sigma, size=n)
+
 
 def normalize_to_mean(
     values: list[float], target_mean: float

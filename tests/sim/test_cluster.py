@@ -100,3 +100,42 @@ class TestAggregates:
         available = cluster.available_nodes()
         assert 7 not in available
         assert len(available) == TSUBAME3.num_nodes - 1
+
+
+class TestAvailabilityIndex:
+    def test_available_at_covers_all_healthy_nodes(self, cluster):
+        cluster.fail(7, "GPU", time=1.0)
+        cluster.fail(0, "Memory", time=2.0)
+        ids = {
+            cluster.available_at(i)
+            for i in range(cluster.num_available())
+        }
+        assert ids == set(cluster.available_nodes())
+        assert 7 not in ids and 0 not in ids
+
+    def test_available_at_out_of_range(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.available_at(cluster.num_available())
+        with pytest.raises(SimulationError):
+            cluster.available_at(-1)
+
+    def test_index_survives_fail_repair_cycles(self, cluster):
+        for node_id in (3, 5, 9):
+            cluster.fail(node_id, "GPU", time=1.0)
+        cluster.start_repair(5, time=2.0)
+        cluster.complete_repair(5, time=3.0)
+        assert cluster.num_available() == TSUBAME3.num_nodes - 2
+        ids = {
+            cluster.available_at(i)
+            for i in range(cluster.num_available())
+        }
+        assert 5 in ids
+        assert ids == set(cluster.available_nodes())
+
+    def test_absorbed_refailure_does_not_corrupt_index(self, cluster):
+        cluster.fail(4, "GPU", time=1.0)
+        cluster.fail(4, "Memory", time=2.0)  # absorbed
+        assert cluster.num_available() == TSUBAME3.num_nodes - 1
+        cluster.start_repair(4, time=3.0)
+        cluster.complete_repair(4, time=4.0)
+        assert cluster.num_available() == TSUBAME3.num_nodes

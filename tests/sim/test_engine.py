@@ -174,3 +174,22 @@ class TestRunning:
             engine.schedule_at(float(t), lambda: fired.append(1))
         engine.run_all(max_events=5)
         assert len(fired) == 5
+
+
+class TestHasSubscribers:
+    def test_false_until_subscribed(self):
+        engine = SimulationEngine()
+        assert not engine.has_subscribers("failure")
+        engine.subscribe("failure", lambda **kw: None)
+        assert engine.has_subscribers("failure")
+        assert not engine.has_subscribers("repair")
+
+    def test_publish_counts_only_delivered_events(self):
+        engine = SimulationEngine()
+        engine.publish("failure", record=None)
+        assert engine.published == 0
+        seen = []
+        engine.subscribe("failure", lambda record: seen.append(record))
+        engine.publish("failure", record="r")
+        assert engine.published == 1
+        assert seen == ["r"]

@@ -196,3 +196,47 @@ class TestSources:
         assert monitor.snapshot().mttr_hours == pytest.approx(
             metrics.mttr(injected), rel=1e-9
         )
+
+
+class TestObserveMany:
+    def _events(self, n=150, seed=3):
+        rng = np.random.default_rng(seed)
+        times = np.cumsum(rng.exponential(12.0, size=n))
+        records = [
+            make_record(record_id=i, hours=float(t), ttr_hours=6.0)
+            for i, t in enumerate(times)
+        ]
+        log = make_log(records, span_hours=float(times[-1]) + 10.0)
+        return list(ReplaySource(log, include_repairs=True))
+
+    def test_parity_with_single_event_observe(self):
+        events = self._events()
+        one = FailureMonitor()
+        batched = FailureMonitor()
+        fired_single = []
+        for event in events:
+            fired_single.extend(one.observe(event))
+        fired_batch = batched.observe_many(events)
+        assert batched.snapshot() == one.snapshot()
+        assert len(fired_batch) == len(fired_single)
+        for a, b in zip(fired_batch, fired_single):
+            assert a.rule == b.rule
+            assert a.time_hours == b.time_hours
+
+    def test_parity_across_split_batches(self):
+        events = self._events()
+        whole = FailureMonitor()
+        split = FailureMonitor()
+        whole.observe_many(events)
+        split.observe_many(events[:40])
+        split.observe_many(events[40:])
+        assert whole.snapshot() == split.snapshot()
+
+    def test_out_of_order_stops_at_offender(self):
+        events = self._events(n=10)
+        monitor = FailureMonitor()
+        bad = events[:5] + [events[2]] + events[5:]
+        with pytest.raises(StreamError):
+            monitor.observe_many(bad)
+        # Everything before the offender was folded in.
+        assert monitor.events_seen == 5

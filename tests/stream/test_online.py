@@ -198,3 +198,29 @@ class TestOnlineMtbfMttr:
         assert online.mttr_hours == pytest.approx(30.0)
         with pytest.raises(StreamError):
             online.push_ttr(-1.0)
+
+
+class TestPushMany:
+    def test_welford_bit_identical_to_push_loop(self):
+        values = np.random.default_rng(0).lognormal(2.0, 1.0, 500)
+        single = Welford()
+        for v in values:
+            single.push(float(v))
+        batched = Welford()
+        batched.push_many(float(v) for v in values[:200])
+        batched.push_many(float(v) for v in values[200:])
+        assert batched.n == single.n
+        assert batched.mean == single.mean
+        assert batched.variance == single.variance
+
+    def test_gk_bit_identical_to_push_loop(self):
+        values = np.random.default_rng(1).exponential(10.0, 800)
+        single = GKQuantileSketch()
+        for v in values:
+            single.push(float(v))
+        batched = GKQuantileSketch()
+        batched.push_many(float(v) for v in values)
+        assert batched.n == single.n
+        assert batched.size == single.size
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert batched.value(q) == single.value(q)

@@ -5,7 +5,7 @@ import pickle
 import pytest
 
 from repro.errors import ValidationError
-from repro.parallel import default_processes, sweep
+from repro.parallel import default_processes, sweep, sweep_iter
 from repro.predict.tuning import sweep_rate_predictor
 from repro.synth import profile_for, replicate_scenario
 
@@ -16,6 +16,12 @@ def _square(seed: int) -> int:
 
 def _seeded_tuple(seed: int) -> tuple[int, int]:
     return (seed, seed + 1)
+
+
+def _square_unless_13(seed: int) -> int:
+    if seed == 13:
+        raise ValueError("poisoned seed")
+    return seed * seed
 
 
 class TestSweep:
@@ -97,3 +103,50 @@ class TestReplicateScenario:
 
         with pytest.raises(CalibrationError):
             replicate_scenario(profile_for("tsubame2"), ())
+
+
+class TestSweepIter:
+    def test_streams_in_input_order(self):
+        seeds = list(range(25))
+        outcomes = list(sweep_iter(_square, seeds))
+        assert [o.index for o in outcomes] == seeds
+        assert [o.result for o in outcomes] == [s * s for s in seeds]
+        assert all(o.ok for o in outcomes)
+
+    def test_matches_sweep_return_errors(self):
+        seeds = list(range(20))
+        streamed = list(sweep_iter(_square_unless_13, seeds, processes=2))
+        materialised = sweep(
+            _square_unless_13, seeds, processes=2, return_errors=True
+        )
+        assert [(o.index, o.item, o.result, o.ok) for o in streamed] == [
+            (o.index, o.item, o.result, o.ok) for o in materialised
+        ]
+
+    def test_captures_failures_without_raising(self):
+        outcomes = list(sweep_iter(_square_unless_13, [12, 13, 14]))
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, ValueError)
+
+    def test_parallel_matches_serial(self):
+        seeds = list(range(31))
+        serial = list(sweep_iter(_square, seeds))
+        parallel = list(sweep_iter(_square, seeds, processes=3))
+        assert [(o.index, o.result) for o in parallel] == [
+            (o.index, o.result) for o in serial
+        ]
+
+    def test_empty_input(self):
+        assert list(sweep_iter(_square, [])) == []
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValidationError):
+            list(sweep_iter(_square, [1], processes=0))
+        with pytest.raises(ValidationError):
+            list(sweep_iter(_square, [1, 2], retries=-1))
+
+    def test_early_abandonment_shuts_down(self):
+        iterator = sweep_iter(_square, list(range(40)), processes=2)
+        first = next(iterator)
+        assert first.index == 0
+        iterator.close()  # must not hang or leak the pool
