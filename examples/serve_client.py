@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Querying the analytics service: caching, coalescing, backpressure.
+
+Stands up a real :mod:`repro.serve` server on a background thread,
+then drives it with plain :mod:`http.client` connections to show the
+serving layer's three load-management behaviours:
+
+1. **Result cache** — the second identical query skips the backend
+   and returns the byte-identical payload orders of magnitude faster.
+2. **Single-flight coalescing** — eight clients firing the *same*
+   fresh Monte-Carlo request concurrently cost one backend execution.
+3. **Live telemetry** — ``/statsz`` reports cache hit rate, coalesced
+   requests, and per-endpoint latency quantiles.
+
+Run::
+
+    python examples/serve_client.py
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from repro.serve import DatasetRegistry, ReproApp, run_in_thread
+
+SIMULATE = {
+    "machine": "tsubame3",
+    "replications": 4,
+    "horizon_hours": 500.0,
+    "seed": 11,
+}
+
+
+def get(port: int, path: str) -> tuple[bytes, str | None, float]:
+    """One GET; returns (body, X-Cache header, seconds)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    start = time.perf_counter()
+    conn.request("GET", path)
+    response = conn.getresponse()
+    body = response.read()
+    elapsed = time.perf_counter() - start
+    conn.close()
+    return body, response.getheader("X-Cache"), elapsed
+
+
+def post(port: int, path: str, payload: dict) -> tuple[bytes, str | None, float]:
+    """One POST; returns (body, X-Cache header, seconds)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    start = time.perf_counter()
+    conn.request("POST", path, json.dumps(payload).encode())
+    response = conn.getresponse()
+    body = response.read()
+    elapsed = time.perf_counter() - start
+    conn.close()
+    return body, response.getheader("X-Cache"), elapsed
+
+
+def main() -> None:
+    registry = DatasetRegistry()
+    registry.synthesize("t2", "tsubame2", seed=42)
+    registry.synthesize("t3", "tsubame3", seed=42)
+    app = ReproApp(registry, workers=2)
+
+    with run_in_thread(app) as handle:
+        port = handle.port
+        print(f"server up on 127.0.0.1:{port} with datasets "
+              f"{registry.names()}\n")
+
+        print("== result cache ==")
+        cold, tag, cold_s = post(port, "/simulate", SIMULATE)
+        print(f"cold  simulate: {cold_s * 1e3:8.1f} ms  (X-Cache: {tag})")
+        warm, tag, warm_s = post(port, "/simulate", SIMULATE)
+        print(f"warm  simulate: {warm_s * 1e3:8.1f} ms  (X-Cache: {tag})")
+        print(f"speedup {cold_s / warm_s:.0f}x, byte-identical: "
+              f"{cold == warm}\n")
+
+        print("== single-flight coalescing ==")
+        fresh = dict(SIMULATE, seed=99)  # new key: nothing cached
+        before = handle.app.singleflight.executions
+        results: list[str | None] = [None] * 8
+        threads = [
+            threading.Thread(
+                target=lambda i=i: results.__setitem__(
+                    i, post(port, "/simulate", fresh)[1]
+                )
+            )
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        executions = handle.app.singleflight.executions - before
+        print(f"8 identical concurrent requests -> {executions} "
+              f"backend execution(s)")
+        print(f"X-Cache tags: {sorted(set(filter(None, results)))}\n")
+
+        print("== analysis endpoints ==")
+        for path in ("/analyze/t2/breakdown", "/analyze/t3/metrics"):
+            body, tag, elapsed = get(port, path)
+            payload = json.loads(body)
+            keys = ", ".join(sorted(payload)[:4])
+            print(f"{path:<24} {elapsed * 1e3:6.1f} ms  "
+                  f"[{tag}]  keys: {keys}, ...")
+
+        print("\n== /statsz ==")
+        stats = json.loads(get(port, "/statsz")[0])
+        cache = stats["cache"]
+        flight = stats["singleflight"]
+        print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+              f"(hit rate {cache['hit_rate']:.0%})")
+        print(f"single-flight: {flight['executions']} executions, "
+              f"{flight['coalesced']} coalesced")
+        simulate = stats["server"]["endpoints"].get("simulate", {})
+        latency = simulate.get("latency_ms", {})
+        if "p50" in latency:
+            print(f"simulate latency: p50 {latency['p50']:.1f} ms, "
+                  f"p99 {latency['p99']:.1f} ms")
+
+    print("\nserver drained and stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

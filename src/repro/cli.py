@@ -9,6 +9,7 @@ Subcommands::
         --technicians 4
     repro-failures monitor t2.csv [--window 720] [--report-every 200]
     repro-failures monitor --live --machine tsubame2 --horizon 5000
+    repro-failures serve --port 8080 --datasets t2=synth:tsubame2:42
 
 ``generate`` writes a calibrated synthetic log; ``analyze`` prints the
 headline metrics of an existing log file (format inferred from the
@@ -17,7 +18,10 @@ and figure for both machines; ``simulate`` runs the discrete-event
 cluster simulation and prints its operational report; ``monitor``
 streams a log (or a live simulation) through the online estimators of
 :mod:`repro.stream`, printing rolling metrics, alerts, and — for
-replays — an online-vs-batch parity check.
+replays — an online-vs-batch parity check; ``serve`` runs the
+:mod:`repro.serve` analytics service (HTTP/JSON over asyncio, with
+result caching, request coalescing, and backpressure — see
+docs/SERVING.md).
 
 ``--lenient`` (on ``analyze`` and ``monitor``) quarantines malformed
 log rows instead of aborting and prints the quarantine summary.  Exit
@@ -28,6 +32,7 @@ interrupted (see docs/ROBUSTNESS.md).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -191,6 +196,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet-alerts", action="store_true",
         help="do not print alerts as they fire",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP analytics service (see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--datasets",
+        default="t2=synth:tsubame2:42,t3=synth:tsubame3:42",
+        help="comma-separated NAME=PATH or "
+             "NAME=synth:MACHINE[:SEED[:FAILURES]] specs "
+             "(empty string starts with no datasets)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads/processes for CPU-bound requests",
+    )
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity in entries")
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0,
+        help="result-cache TTL in seconds (0 = no expiry)",
+    )
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent backend executions")
+    serve.add_argument(
+        "--max-queue", type=int, default=32,
+        help="requests queued beyond --max-inflight before shedding",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-client requests/second budget (default: unlimited)",
+    )
+    serve.add_argument("--burst", type=float, default=20.0,
+                       help="token-bucket depth for --rate-limit")
     return parser
 
 
@@ -468,6 +510,72 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_async(args: argparse.Namespace) -> int:
+    """Run the service until stopped; 130 on SIGINT/SIGTERM."""
+    import signal
+
+    from repro.serve import (
+        DatasetRegistry,
+        ReproApp,
+        ReproServer,
+        register_from_spec,
+    )
+
+    registry = DatasetRegistry()
+    for spec in filter(None, args.datasets.split(",")):
+        dataset = register_from_spec(registry, spec.strip())
+        print(f"registered dataset {dataset.name!r}: "
+              f"{dataset.source} ({len(dataset.log)} failures)")
+
+    app = ReproApp(
+        registry,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl or None,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        rate_per_second=args.rate_limit,
+        burst=args.burst,
+    )
+    server = ReproServer(app, host=args.host, port=args.port)
+    await server.start()
+    print(f"serving on http://{args.host}:{server.port} "
+          f"(Ctrl-C to stop)", flush=True)
+
+    loop = asyncio.get_running_loop()
+    interrupted = asyncio.Event()
+    installed: list[signal.Signals] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, interrupted.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):
+            pass
+    try:
+        waiters = [
+            asyncio.ensure_future(interrupted.wait()),
+            asyncio.ensure_future(server.wait_stopped()),
+        ]
+        done, pending = await asyncio.wait(
+            waiters, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        if interrupted.is_set():
+            print("shutting down (draining in-flight requests)...",
+                  flush=True)
+            await server.stop()
+            return EXIT_INTERRUPT
+        return EXIT_OK
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return asyncio.run(_serve_async(args))
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -478,6 +586,7 @@ _COMMANDS = {
     "spares": _cmd_spares,
     "trends": _cmd_trends,
     "monitor": _cmd_monitor,
+    "serve": _cmd_serve,
 }
 
 

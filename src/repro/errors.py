@@ -47,3 +47,8 @@ class SweepError(ReproError):
 class StreamError(ReproError):
     """A live event stream violated an invariant (e.g. time went
     backwards) or a streaming component was misconfigured."""
+
+
+class ServeError(ReproError):
+    """The analytics service was misconfigured (bad dataset spec,
+    unknown dataset handle, invalid server parameters)."""

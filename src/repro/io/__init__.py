@@ -12,7 +12,14 @@ error-policy matrix.
 """
 
 from repro.io.csvio import read_csv, write_csv
-from repro.io.formats import KNOWN_FORMATS, infer_format, read_log
+from repro.io.formats import (
+    KNOWN_FORMATS,
+    MEDIA_TYPES,
+    format_for_media_type,
+    infer_format,
+    media_type_for,
+    read_log,
+)
 from repro.io.jsonio import read_jsonl, write_jsonl
 from repro.io.rawlog import normalize_category, read_raw_csv
 from repro.io.schema import CSV_COLUMNS, record_from_row, record_to_row
@@ -26,9 +33,12 @@ __all__ = [
     "CSV_COLUMNS",
     "KNOWN_FORMATS",
     "LogReadReport",
+    "MEDIA_TYPES",
     "ON_ERROR_MODES",
     "QuarantinedRow",
+    "format_for_media_type",
     "infer_format",
+    "media_type_for",
     "normalize_category",
     "read_csv",
     "read_jsonl",

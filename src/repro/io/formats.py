@@ -15,7 +15,14 @@ from repro.io.csvio import read_csv
 from repro.io.jsonio import read_jsonl
 from repro.io.tolerant import LogReadReport, check_on_error
 
-__all__ = ["KNOWN_FORMATS", "infer_format", "read_log"]
+__all__ = [
+    "KNOWN_FORMATS",
+    "MEDIA_TYPES",
+    "format_for_media_type",
+    "infer_format",
+    "media_type_for",
+    "read_log",
+]
 
 #: Formats understood by :func:`read_log`.
 KNOWN_FORMATS = ("csv", "jsonl")
@@ -25,6 +32,59 @@ _EXTENSIONS = {
     ".jsonl": "jsonl",
     ".ndjson": "jsonl",
 }
+
+#: HTTP media types accepted for each format — the content-negotiation
+#: twin of the extension map, shared by the serving layer so ``serve``
+#: and ``analyze --format`` agree on what the names mean.
+MEDIA_TYPES = {
+    "text/csv": "csv",
+    "application/csv": "csv",
+    "application/jsonl": "jsonl",
+    "application/jsonlines": "jsonl",
+    "application/x-jsonlines": "jsonl",
+    "application/x-ndjson": "jsonl",
+    "application/ndjson": "jsonl",
+}
+
+#: Canonical media type emitted for each format.
+_CANONICAL_MEDIA = {"csv": "text/csv", "jsonl": "application/x-ndjson"}
+
+
+def format_for_media_type(media_type: str) -> str:
+    """Map an HTTP ``Content-Type`` value to a log format name.
+
+    Parameters after ``;`` (``charset=...``) are ignored.  Plain
+    format names (``csv``, ``jsonl``) are accepted too, so a client
+    may send either the media type or the ``--format`` name.
+
+    Raises:
+        SerializationError: For a media type no reader understands.
+    """
+    bare = media_type.split(";", 1)[0].strip().lower()
+    if bare in KNOWN_FORMATS:
+        return bare
+    try:
+        return MEDIA_TYPES[bare]
+    except KeyError:
+        raise SerializationError(
+            f"unsupported media type {bare!r} (known: "
+            f"{', '.join(sorted(MEDIA_TYPES))})"
+        ) from None
+
+
+def media_type_for(format: str) -> str:
+    """Canonical media type for a log format name.
+
+    Raises:
+        SerializationError: For an unknown format name.
+    """
+    try:
+        return _CANONICAL_MEDIA[format]
+    except KeyError:
+        raise SerializationError(
+            f"unknown log format {format!r} (known: "
+            f"{', '.join(KNOWN_FORMATS)})"
+        ) from None
 
 
 def infer_format(path: Path | str) -> str:

@@ -1,0 +1,211 @@
+"""Admission control: rate limiting, bounded queueing, load shedding.
+
+The service degrades *predictably* under overload instead of letting
+latency grow without bound:
+
+* :class:`RateLimiter` — per-client token buckets.  A client over its
+  budget is shed with **429** and a ``Retry-After`` telling it when
+  the next token lands.
+* :class:`AdmissionController` — at most ``max_inflight`` requests
+  execute concurrently; up to ``max_queue`` more wait their turn; any
+  further arrival is shed immediately with **503** + ``Retry-After``
+  (shedding at the door is cheaper than timing out at the back of an
+  unbounded queue).
+
+Both raise :class:`~repro.serve.http.HttpError`, which the app layer
+renders; neither ever blocks the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.errors import ServeError
+from repro.serve.http import HttpError
+
+__all__ = ["TokenBucket", "RateLimiter", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` deep."""
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ServeError(
+                f"rate_per_second must be positive, got {rate_per_second}"
+            )
+        if burst < 1:
+            raise ServeError(f"burst must be >= 1, got {burst}")
+        self.rate = rate_per_second
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_acquire(self) -> tuple[bool, float]:
+        """Take one token if available.
+
+        Returns:
+            ``(True, 0.0)`` on success, else ``(False, wait_seconds)``
+            where ``wait_seconds`` is until the next token matures.
+        """
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets with bounded client tracking.
+
+    Args:
+        rate_per_second: Sustained budget per client.
+        burst: Bucket depth (short bursts above the rate are fine).
+        max_clients: Buckets kept; least-recently-seen clients are
+            forgotten first (their next request starts a fresh,
+            full bucket — generous, but bounded memory wins).
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: float = 10.0,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate_per_second
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.allowed = 0
+        self.limited = 0
+
+    def check(self, client_id: str) -> None:
+        """Charge one request to ``client_id``.
+
+        Raises:
+            HttpError: 429 with ``Retry-After`` when over budget.
+        """
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                self._buckets.popitem(last=False)
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[client_id] = bucket
+        else:
+            self._buckets.move_to_end(client_id)
+        ok, wait_seconds = bucket.try_acquire()
+        if ok:
+            self.allowed += 1
+            return
+        self.limited += 1
+        raise HttpError(
+            429,
+            f"client {client_id!r} over its rate budget "
+            f"({self.rate:g} requests/s)",
+            retry_after_seconds=math.ceil(wait_seconds),
+        )
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "rate_per_second": self.rate,
+            "burst": self.burst,
+            "clients_tracked": len(self._buckets),
+            "allowed": self.allowed,
+            "limited": self.limited,
+        }
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded queue, shedding beyond both.
+
+    Use as an async context manager around the backend work::
+
+        async with admission:   # may raise HttpError(503)
+            ... compute ...
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ServeError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after_seconds = retry_after_seconds
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._inflight = 0
+        self._queued = 0
+        self.admitted = 0
+        self.shed = 0
+        self.peak_inflight = 0
+        self.peak_queued = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    async def __aenter__(self) -> "AdmissionController":
+        if (
+            self._inflight >= self.max_inflight
+            and self._queued >= self.max_queue
+        ):
+            self.shed += 1
+            raise HttpError(
+                503,
+                f"server overloaded ({self._inflight} in flight, "
+                f"{self._queued} queued); try again later",
+                retry_after_seconds=self.retry_after_seconds,
+            )
+        self._queued += 1
+        self.peak_queued = max(self.peak_queued, self._queued)
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._queued -= 1
+        self._inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        self.admitted += 1
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._inflight -= 1
+        self._semaphore.release()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queued": self._queued,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "peak_inflight": self.peak_inflight,
+            "peak_queued": self.peak_queued,
+        }

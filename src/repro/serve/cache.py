@@ -1,0 +1,139 @@
+"""Result cache: LRU + TTL over canonical request keys.
+
+Responses are cached as the exact bytes that went over the wire, keyed
+by a SHA-256 over ``(endpoint, dataset fingerprint, normalized
+params)``.  Two consequences the test suite leans on:
+
+* a hit returns the *byte-identical* payload of the cold miss (the
+  body is canonical JSON, so equality is meaningful), and
+* re-registering a dataset under the same handle changes its
+  fingerprint and therefore silently invalidates every cached result
+  computed from the old data — no explicit purge protocol needed.
+
+The cache never stores errors; a failed computation leaves no entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.errors import ServeError
+
+__all__ = ["canonical_key", "ResultCache"]
+
+
+def canonical_key(
+    endpoint: str,
+    params: dict[str, Any],
+    fingerprint: str | None = None,
+) -> str:
+    """Stable cache key for one logical request.
+
+    ``params`` must be JSON-serializable; key order is irrelevant
+    (the encoding sorts keys), so semantically identical requests map
+    to the same key however the client spelled them.
+    """
+    payload = json.dumps(
+        {
+            "endpoint": endpoint,
+            "fingerprint": fingerprint,
+            "params": params,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU cache with per-entry TTL and hit/miss accounting.
+
+    Args:
+        max_entries: Capacity; the least-recently-used entry is
+            evicted on overflow.  0 disables caching (every ``get``
+            is a miss and ``put`` is a no-op).
+        ttl_seconds: Entry lifetime; ``None`` means entries never
+            expire (LRU eviction only).
+        clock: Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: float | None = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 0:
+            raise ServeError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServeError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[float, bytes]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> bytes | None:
+        """Return the cached bytes, or ``None`` (and count a miss)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_at, value = entry
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - stored_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self.expirations += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value``, evicting the LRU entry on overflow."""
+        if self.max_entries == 0:
+            return
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = (self._clock(), value)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Accounting snapshot for ``/statsz``."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "ttl_seconds": self.ttl_seconds,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": round(self.hit_rate, 6),
+        }

@@ -1,0 +1,200 @@
+"""Request coalescing: single-flight dedup and micro-batching.
+
+Two independent mechanisms collapse redundant backend work:
+
+* :class:`SingleFlight` deduplicates *identical* concurrent requests:
+  the first caller for a key becomes the leader and actually executes;
+  everyone else arriving before it finishes awaits the leader's result.
+  N identical concurrent requests therefore trigger exactly one
+  backend execution — the property the e2e suite and ``BENCH_serve``
+  assert.  Errors propagate to every waiter and are never cached.
+
+* :class:`MicroBatcher` collapses *compatible but distinct* requests:
+  submissions are parked for a short linger window (or until the batch
+  fills) and then executed as one batch — the server's simulate
+  endpoint drains a batch through
+  :func:`repro.parallel.sweep_iter`, so M concurrent what-if
+  simulations cost one pool dispatch instead of M.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.errors import ServeError
+
+__all__ = ["SingleFlight", "MicroBatcher"]
+
+
+class SingleFlight:
+    """Deduplicate identical in-flight computations by key."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.executions = 0
+        self.coalesced = 0
+
+    @property
+    def inflight_keys(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, thunk: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """Execute ``thunk`` once per key among concurrent callers.
+
+        Returns:
+            ``(value, coalesced)`` — ``coalesced`` is True when this
+            caller joined a leader instead of executing.
+
+        Raises:
+            Whatever the leader's ``thunk`` raised, to every waiter.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing), True
+
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = future
+        self.executions += 1
+        try:
+            value = await thunk()
+        except BaseException as error:
+            if not future.cancelled():
+                future.set_exception(error)
+                # Mark retrieved so a waiterless failure does not log
+                # an "exception was never retrieved" warning.
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(value)
+            return value, False
+        finally:
+            self._inflight.pop(key, None)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "executions": self.executions,
+            "coalesced": self.coalesced,
+            "inflight_keys": len(self._inflight),
+        }
+
+
+class MicroBatcher:
+    """Collect submissions briefly and execute them as one batch.
+
+    Args:
+        execute_batch: ``async`` callable receiving the batched items;
+            must return one result per item, in order.  A returned
+            item that is an ``Exception`` instance is raised to that
+            item's submitter alone; a raised exception fails the whole
+            batch.
+        max_batch: Execute immediately once this many items are
+            pending.
+        linger_seconds: How long the first item of a batch waits for
+            company before the batch executes anyway.
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[list[Any]], Awaitable[list[Any]]],
+        max_batch: int = 16,
+        linger_seconds: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_seconds < 0:
+            raise ServeError(
+                f"linger_seconds must be >= 0, got {linger_seconds}"
+            )
+        self._execute = execute_batch
+        self.max_batch = max_batch
+        self.linger_seconds = linger_seconds
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._full = asyncio.Event()
+        self._runner: asyncio.Task | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self.batches = 0
+        self.items = 0
+        self.largest_batch = 0
+
+    async def submit(self, item: Any) -> Any:
+        """Park ``item`` for the next batch and await its result."""
+        if self._closed:
+            raise ServeError("batcher is closed")
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append((item, future))
+        if self._runner is None:
+            self._full = asyncio.Event()
+            self._runner = asyncio.create_task(self._run_soon())
+            self._tasks.add(self._runner)
+            self._runner.add_done_callback(self._tasks.discard)
+        if len(self._pending) >= self.max_batch:
+            self._full.set()
+        return await future
+
+    async def _run_soon(self) -> None:
+        """Wait out the linger window (or a full batch), then run."""
+        if self.linger_seconds > 0:
+            try:
+                await asyncio.wait_for(
+                    self._full.wait(), timeout=self.linger_seconds
+                )
+            except asyncio.TimeoutError:
+                pass
+        batch, self._pending = self._pending, []
+        self._runner = None
+        if not batch:
+            return
+        self.batches += 1
+        self.items += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        items = [item for item, _ in batch]
+        try:
+            results = await self._execute(items)
+            if len(results) != len(items):
+                raise ServeError(
+                    f"batch executor returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except Exception as error:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(batch, results):
+            if future.done():
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    async def close(self) -> None:
+        """Flush pending work and refuse further submissions."""
+        self._closed = True
+        self._full.set()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks))
+
+    @property
+    def batching_factor(self) -> float:
+        """Mean items per executed batch (1.0 = no batching win)."""
+        return self.items / self.batches if self.batches else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "largest_batch": self.largest_batch,
+            "batching_factor": round(self.batching_factor, 4),
+            "pending": len(self._pending),
+        }

@@ -1,0 +1,218 @@
+"""Dataset registry: named failure logs the service analyzes.
+
+Every query endpoint addresses data by *handle* (``/analyze/t2/...``)
+rather than by path, so the service decides once — at registration —
+how a log is loaded, validated, and fingerprinted.  Handles come from
+three places: files (via :func:`repro.io.read_log`, same tolerant
+ingest modes as the CLI), synthesis (:func:`repro.synth.generate_log`,
+the calibrated paper logs), and uploads (the ``POST /datasets``
+endpoint).
+
+The fingerprint is a SHA-256 over the log's full content; it keys the
+result cache, so replacing a handle's data invalidates its cached
+results implicitly (old keys simply stop being generated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.records import FailureLog
+from repro.errors import ServeError, ValidationError
+from repro.io import read_log
+from repro.io.tolerant import LogReadReport
+from repro.machines.specs import known_machines
+from repro.synth import GeneratorConfig, generate_log
+
+__all__ = [
+    "fingerprint_log",
+    "Dataset",
+    "DatasetRegistry",
+    "parse_dataset_spec",
+    "register_from_spec",
+]
+
+
+def fingerprint_log(log: FailureLog) -> str:
+    """Content hash of a failure log (hex SHA-256).
+
+    Hashes the machine, observation window, and every record field, so
+    two logs fingerprint equal iff they carry the same data — however
+    they were loaded.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{log.machine}|{log.window_start.isoformat()}"
+        f"|{log.window_end.isoformat()}|{len(log)}\n".encode()
+    )
+    for record in log:
+        digest.update(
+            f"{record.record_id}|{record.timestamp.isoformat()}"
+            f"|{record.node_id}|{record.category}|{record.ttr_hours!r}"
+            f"|{record.gpus_involved}|{record.root_locus}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One registered log: handle + data + provenance."""
+
+    name: str
+    log: FailureLog
+    fingerprint: str
+    source: str
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly summary for the ``/datasets`` endpoints."""
+        log = self.log
+        return {
+            "name": self.name,
+            "machine": log.machine,
+            "failures": len(log),
+            "window_start": log.window_start.isoformat(),
+            "window_end": log.window_end.isoformat(),
+            "span_hours": log.span_hours,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+        }
+
+
+class DatasetRegistry:
+    """Named :class:`FailureLog` handles for the service."""
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, Dataset] = {}
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def names(self) -> list[str]:
+        """Registered handles, sorted."""
+        return sorted(self._datasets)
+
+    def get(self, name: str) -> Dataset:
+        """Look a handle up.
+
+        Raises:
+            ServeError: For an unknown handle.
+        """
+        try:
+            return self._datasets[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "none registered"
+            raise ServeError(
+                f"unknown dataset {name!r} (known: {known})"
+            ) from None
+
+    def register(
+        self, name: str, log: FailureLog, source: str
+    ) -> Dataset:
+        """Register (or replace) a handle with an in-memory log."""
+        if not name or "/" in name:
+            raise ServeError(
+                f"invalid dataset name {name!r} (must be non-empty, "
+                f"no '/')"
+            )
+        dataset = Dataset(
+            name=name,
+            log=log,
+            fingerprint=fingerprint_log(log),
+            source=source,
+        )
+        self._datasets[name] = dataset
+        return dataset
+
+    def load(
+        self,
+        name: str,
+        path: str | Path,
+        format: str | None = None,
+        on_error: str = "raise",
+    ) -> Dataset:
+        """Register a handle from a log file on disk.
+
+        ``format``/``on_error`` have :func:`repro.io.read_log`
+        semantics; in ``"collect"`` mode quarantined rows are dropped
+        and only the clean log is registered.
+        """
+        loaded = read_log(path, format=format, on_error=on_error)
+        log = loaded.log if isinstance(loaded, LogReadReport) else loaded
+        return self.register(name, log, source=f"file:{path}")
+
+    def synthesize(
+        self,
+        name: str,
+        machine: str,
+        seed: int = 0,
+        failures: int | None = None,
+    ) -> Dataset:
+        """Register a calibrated synthetic log for ``machine``."""
+        if machine not in known_machines():
+            raise ServeError(
+                f"unknown machine {machine!r} "
+                f"(known: {', '.join(known_machines())})"
+            )
+        config = GeneratorConfig(seed=seed, num_failures=failures)
+        log = generate_log(machine, config=config)
+        source = f"synth:{machine}:seed={seed}"
+        if failures is not None:
+            source += f":failures={failures}"
+        return self.register(name, log, source=source)
+
+
+def parse_dataset_spec(spec: str) -> tuple[str, str]:
+    """Split one ``--datasets`` item into ``(name, location)``.
+
+    Grammar: ``NAME=LOCATION`` where ``LOCATION`` is either a log file
+    path or ``synth:MACHINE[:SEED[:FAILURES]]``.
+
+    Raises:
+        ValidationError: On a malformed spec.
+    """
+    name, sep, location = spec.partition("=")
+    name, location = name.strip(), location.strip()
+    if not sep or not name or not location:
+        raise ValidationError(
+            f"malformed dataset spec {spec!r} (expected NAME=PATH or "
+            f"NAME=synth:MACHINE[:SEED[:FAILURES]])"
+        )
+    return name, location
+
+
+def register_from_spec(
+    registry: DatasetRegistry, spec: str
+) -> Dataset:
+    """Register one CLI ``--datasets`` spec into ``registry``.
+
+    Raises:
+        ValidationError: On a malformed spec.
+        ServeError: On an unknown machine in a synth spec.
+        OSError: If a file location cannot be read.
+    """
+    name, location = parse_dataset_spec(spec)
+    if location.startswith("synth:"):
+        parts = location.split(":")
+        machine = parts[1] if len(parts) > 1 else ""
+        try:
+            seed = int(parts[2]) if len(parts) > 2 else 0
+            failures = int(parts[3]) if len(parts) > 3 else None
+        except ValueError:
+            raise ValidationError(
+                f"malformed synth spec {location!r} (seed and "
+                f"failures must be integers)"
+            ) from None
+        if len(parts) > 4:
+            raise ValidationError(
+                f"malformed synth spec {location!r} (too many fields)"
+            )
+        return registry.synthesize(
+            name, machine, seed=seed, failures=failures
+        )
+    return registry.load(name, location)

@@ -1,0 +1,236 @@
+"""The asyncio transport: sockets in, :class:`ReproApp` verdicts out.
+
+Dependency-free by design — ``asyncio.start_server`` plus the minimal
+HTTP/1.1 codec in :mod:`repro.serve.http`.  The server owns connection
+lifecycle (keep-alive, malformed-request rejection, quiet handling of
+client disconnects) and graceful shutdown: :meth:`ReproServer.stop`
+stops accepting, lets in-flight requests finish (bounded by
+``drain_timeout``), then closes whatever remains.
+
+:func:`run_in_thread` runs a server on a private event loop in a
+daemon thread — how the test-suite, the benchmark, and the example
+client stand up a real socket without owning a loop themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ServeError
+from repro.serve.app import ReproApp
+from repro.serve.http import (
+    HttpError,
+    Response,
+    error_body,
+    read_request,
+    render_response,
+)
+
+__all__ = ["ReproServer", "ServerHandle", "run_in_thread"]
+
+
+class ReproServer:
+    """Serve a :class:`ReproApp` over TCP.
+
+    Args:
+        app: The application to dispatch requests into.
+        host: Bind address.
+        port: Bind port; ``0`` picks an ephemeral port (read it back
+            from :attr:`port` after :meth:`start`).
+        drain_timeout: Seconds :meth:`stop` waits for in-flight
+            requests before force-closing connections.
+    """
+
+    def __init__(
+        self,
+        app: ReproApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.Server | None = None
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    async def start(self) -> None:
+        """Bind and begin accepting connections.
+
+        Raises:
+            OSError: If the address cannot be bound (port in use,
+                privileged port, bad interface).
+        """
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, then close.
+
+        New connections are refused immediately; ``/healthz`` flips to
+        ``draining`` for anything already connected; in-flight
+        requests get up to ``drain_timeout`` seconds to finish.
+        """
+        self.app.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            pass
+        await self.app.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as error:
+                    writer.write(
+                        render_response(
+                            Response(
+                                error.status,
+                                error_body("HttpError", str(error)),
+                            ),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return  # Client hung up mid-request.
+                if request is None:
+                    return  # Clean EOF between requests.
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    response = await self.app.dispatch(request)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                keep = request.keep_alive and not self.app.draining
+                writer.write(render_response(response, keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    return
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            TimeoutError,
+        ):
+            pass  # Client went away; nothing to report.
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+@dataclass
+class ServerHandle:
+    """A server running on a background thread's private loop."""
+
+    server: ReproServer
+    loop: asyncio.AbstractEventLoop
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def app(self) -> ReproApp:
+        return self.server.app
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join its thread."""
+        if not self.thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_in_thread(
+    app: ReproApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    drain_timeout: float = 10.0,
+) -> ServerHandle:
+    """Start a server on a daemon thread and return its handle.
+
+    Blocks until the socket is bound (so :attr:`ServerHandle.port` is
+    valid on return) and re-raises any startup failure — a busy port
+    surfaces as ``OSError`` in the caller, not a dead thread.
+    """
+    server = ReproServer(
+        app, host=host, port=port, drain_timeout=drain_timeout
+    )
+    started: "threading.Event" = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # Propagate bind failures.
+            box["error"] = error
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-serve", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(server=server, loop=box["loop"], thread=thread)

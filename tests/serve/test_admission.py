@@ -1,0 +1,164 @@
+"""Admission control: token buckets, rate limiting, load shedding."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import (
+    AdmissionController,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.serve.http import HttpError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire()[0] for _ in range(3))
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.5)
+        clock.now = 0.5  # one token matured (2 tokens/s)
+        assert bucket.try_acquire()[0]
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, burst=2.0, clock=clock)
+        clock.now = 60.0  # an hour's worth of refill
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServeError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ServeError):
+            TokenBucket(1.0, 0.5)
+
+
+class TestRateLimiter:
+    def test_over_budget_raises_429_with_retry_after(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=2.0, clock=clock)
+        limiter.check("alice")
+        limiter.check("alice")
+        with pytest.raises(HttpError) as excinfo:
+            limiter.check("alice")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_seconds >= 1
+        assert limiter.limited == 1
+        assert limiter.allowed == 2
+
+    def test_clients_have_independent_budgets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1.0, clock=clock)
+        limiter.check("alice")
+        limiter.check("bob")  # alice's spend does not affect bob
+        with pytest.raises(HttpError):
+            limiter.check("alice")
+
+    def test_lru_client_forgetting_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            1.0, burst=1.0, max_clients=2, clock=clock
+        )
+        limiter.check("a")
+        limiter.check("b")
+        limiter.check("c")  # evicts "a", the least recently seen
+        assert limiter.stats()["clients_tracked"] == 2
+        limiter.check("a")  # fresh bucket again, so allowed
+
+    def test_stats(self):
+        limiter = RateLimiter(5.0, burst=10.0)
+        limiter.check("x")
+        stats = limiter.stats()
+        assert stats["rate_per_second"] == 5.0
+        assert stats["allowed"] == 1
+
+
+class TestAdmissionController:
+    def test_sheds_503_beyond_queue(self):
+        async def scenario():
+            admission = AdmissionController(
+                max_inflight=1, max_queue=1, retry_after_seconds=2.0
+            )
+            release = asyncio.Event()
+
+            async def hold():
+                async with admission:
+                    await release.wait()
+
+            holder = asyncio.ensure_future(hold())
+            waiter = asyncio.ensure_future(hold())
+            await asyncio.sleep(0.01)  # holder admitted, waiter queued
+            assert admission.inflight == 1
+            assert admission.queued == 1
+            with pytest.raises(HttpError) as excinfo:
+                async with admission:
+                    pass
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after_seconds == 2.0
+            release.set()
+            await asyncio.gather(holder, waiter)
+            return admission
+
+        admission = asyncio.run(scenario())
+        assert admission.shed == 1
+        assert admission.admitted == 2
+        assert admission.inflight == 0
+        assert admission.queued == 0
+        assert admission.peak_inflight == 1
+        assert admission.peak_queued == 1
+
+    def test_queue_drains_in_turn(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=2, max_queue=8)
+            done = []
+
+            async def work(i):
+                async with admission:
+                    await asyncio.sleep(0.001)
+                    done.append(i)
+
+            await asyncio.gather(*(work(i) for i in range(6)))
+            return admission, done
+
+        admission, done = asyncio.run(scenario())
+        assert sorted(done) == list(range(6))
+        assert admission.admitted == 6
+        assert admission.shed == 0
+        assert admission.peak_inflight <= 2
+
+    def test_released_on_body_exception(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(ValueError):
+                async with admission:
+                    raise ValueError("handler blew up")
+            # Slot must be free again.
+            async with admission:
+                pass
+            return admission
+
+        admission = asyncio.run(scenario())
+        assert admission.inflight == 0
+        assert admission.admitted == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServeError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServeError):
+            AdmissionController(max_queue=-1)

@@ -1,0 +1,97 @@
+"""Result cache: keys, LRU eviction, TTL expiry, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.cache import ResultCache, canonical_key
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCanonicalKey:
+    def test_param_order_is_irrelevant(self):
+        assert canonical_key(
+            "simulate", {"a": 1, "b": 2}
+        ) == canonical_key("simulate", {"b": 2, "a": 1})
+
+    def test_distinct_inputs_distinct_keys(self):
+        base = canonical_key("simulate", {"seed": 1}, "fp")
+        assert canonical_key("simulate", {"seed": 2}, "fp") != base
+        assert canonical_key("analyze", {"seed": 1}, "fp") != base
+        assert canonical_key("simulate", {"seed": 1}, "other") != base
+
+    def test_fingerprint_none_versus_set(self):
+        assert canonical_key("e", {}) != canonical_key("e", {}, "fp")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4, None)
+        key = canonical_key("e", {})
+        assert cache.get(key) is None
+        cache.put(key, b"payload")
+        assert cache.get(key) == b"payload"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2, None)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", b"3")
+        assert cache.get("b") is None
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+        assert cache.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", b"v")
+        clock.now = 9.9
+        assert cache.get("k") == b"v"
+        clock.now = 10.1
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_put_refreshes_ttl_and_value(self):
+        clock = FakeClock()
+        cache = ResultCache(4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", b"old")
+        clock.now = 8.0
+        cache.put("k", b"new")
+        clock.now = 15.0  # 7s after refresh, 15s after first put
+        assert cache.get("k") == b"new"
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(0, None)
+        cache.put("k", b"v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_stats_snapshot(self):
+        cache = ResultCache(4, ttl_seconds=60.0)
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            ResultCache(-1)
+        with pytest.raises(ServeError):
+            ResultCache(4, ttl_seconds=0.0)

@@ -1,0 +1,245 @@
+"""Coalescing: single-flight dedup and the micro-batcher."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.coalesce import MicroBatcher, SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_n_concurrent_one_execution(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = 0
+            release = asyncio.Event()
+
+            async def thunk():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return "value"
+
+            tasks = [
+                asyncio.ensure_future(flight.run("k", thunk))
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)  # all callers reach the gate
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return calls, results, flight
+
+        calls, results, flight = run(scenario())
+        assert calls == 1
+        assert [value for value, _ in results] == ["value"] * 8
+        assert sum(coalesced for _, coalesced in results) == 7
+        assert flight.executions == 1
+        assert flight.coalesced == 7
+        assert flight.inflight_keys == 0
+
+    def test_distinct_keys_execute_independently(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def make(value):
+                return value
+
+            first = await flight.run("a", lambda: make(1))
+            second = await flight.run("b", lambda: make(2))
+            return first, second, flight.executions
+
+        first, second, executions = run(scenario())
+        assert first == (1, False)
+        assert second == (2, False)
+        assert executions == 2
+
+    def test_sequential_same_key_reexecutes(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = 0
+
+            async def thunk():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            await flight.run("k", thunk)
+            await flight.run("k", thunk)
+            return calls
+
+        assert run(scenario()) == 2
+
+    def test_error_propagates_to_all_waiters(self):
+        async def scenario():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def thunk():
+                await release.wait()
+                raise ValueError("boom")
+
+            tasks = [
+                asyncio.ensure_future(flight.run("k", thunk))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, ValueError) for r in results)
+
+
+class TestMicroBatcher:
+    def test_linger_collects_a_batch(self):
+        async def scenario():
+            batches = []
+
+            async def execute(items):
+                batches.append(list(items))
+                return [item * 10 for item in items]
+
+            batcher = MicroBatcher(
+                execute, max_batch=16, linger_seconds=0.05
+            )
+            results = await asyncio.gather(
+                batcher.submit(1), batcher.submit(2), batcher.submit(3)
+            )
+            await batcher.close()
+            return batches, results
+
+        batches, results = run(scenario())
+        assert batches == [[1, 2, 3]]
+        assert results == [10, 20, 30]
+
+    def test_full_batch_fires_without_waiting_linger(self):
+        async def scenario():
+            batches = []
+
+            async def execute(items):
+                batches.append(list(items))
+                return items
+
+            batcher = MicroBatcher(
+                execute, max_batch=2, linger_seconds=60.0
+            )
+            results = await asyncio.wait_for(
+                asyncio.gather(batcher.submit("a"), batcher.submit("b")),
+                timeout=5.0,
+            )
+            await batcher.close()
+            return batches, results
+
+        batches, results = run(scenario())
+        assert batches == [["a", "b"]]
+        assert results == ["a", "b"]
+
+    def test_per_item_exception_result(self):
+        async def scenario():
+            async def execute(items):
+                return [
+                    ValueError(f"bad {item}") if item == 2 else item
+                    for item in items
+                ]
+
+            batcher = MicroBatcher(
+                execute, max_batch=3, linger_seconds=0.01
+            )
+            results = await asyncio.gather(
+                batcher.submit(1),
+                batcher.submit(2),
+                batcher.submit(3),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = run(scenario())
+        assert results[0] == 1
+        assert isinstance(results[1], ValueError)
+        assert results[2] == 3
+
+    def test_raised_exception_fails_whole_batch(self):
+        async def scenario():
+            async def execute(items):
+                raise RuntimeError("pool died")
+
+            batcher = MicroBatcher(
+                execute, max_batch=4, linger_seconds=0.01
+            )
+            results = await asyncio.gather(
+                batcher.submit(1),
+                batcher.submit(2),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_wrong_result_count_is_an_error(self):
+        async def scenario():
+            async def execute(items):
+                return items[:-1]
+
+            batcher = MicroBatcher(
+                execute, max_batch=2, linger_seconds=0.01
+            )
+            results = await asyncio.gather(
+                batcher.submit(1),
+                batcher.submit(2),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        assert all(isinstance(r, ServeError) for r in run(scenario()))
+
+    def test_stats_and_batching_factor(self):
+        async def scenario():
+            async def execute(items):
+                return items
+
+            batcher = MicroBatcher(
+                execute, max_batch=8, linger_seconds=0.02
+            )
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.submit(99)
+            await batcher.close()
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.batches == 2
+        assert batcher.items == 5
+        assert batcher.largest_batch == 4
+        assert batcher.batching_factor == pytest.approx(2.5)
+
+    def test_closed_batcher_refuses_submissions(self):
+        async def scenario():
+            async def execute(items):
+                return items
+
+            batcher = MicroBatcher(execute)
+            await batcher.close()
+            with pytest.raises(ServeError):
+                await batcher.submit(1)
+
+        run(scenario())
+
+    def test_invalid_parameters_rejected(self):
+        async def noop(items):
+            return items
+
+        with pytest.raises(ServeError):
+            MicroBatcher(noop, max_batch=0)
+        with pytest.raises(ServeError):
+            MicroBatcher(noop, linger_seconds=-1.0)

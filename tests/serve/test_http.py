@@ -1,0 +1,172 @@
+"""HTTP framing: parsing, limits, canonical JSON, error bodies."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    Response,
+    error_body,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes) -> HttpRequest | None:
+    """Feed raw bytes through the async parser synchronously."""
+
+    async def run() -> HttpRequest | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_basic_get(self):
+        request = parse(
+            b"GET /analyze/t2/breakdown?x=1&y=two HTTP/1.1\r\n"
+            b"Host: localhost\r\nX-Client-Id: alice\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/analyze/t2/breakdown"
+        assert request.query == {"x": "1", "y": "two"}
+        assert request.headers["host"] == "localhost"
+        assert request.client_id == "alice"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"machine":"tsubame2"}'
+        request = parse(
+            b"POST /simulate HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.json() == {"machine": "tsubame2"}
+
+    def test_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ).keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / SPDY/3\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+        assert excinfo.value.status == 413
+
+    def test_oversized_headers_rejected(self):
+        filler = b"X-Pad: " + b"a" * 4000 + b"\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + filler * 10 + b"\r\n")
+        assert excinfo.value.status == 431
+
+    def test_malformed_json_body(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_empty_json_body_decodes_to_empty_dict(self):
+        assert parse(b"POST / HTTP/1.1\r\n\r\n").json() == {}
+
+
+class TestRenderResponse:
+    def test_wire_format(self):
+        wire = render_response(
+            Response(200, b'{"ok":true}\n'), keep_alive=True
+        )
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok":true}\n'
+
+    def test_extra_headers_and_close(self):
+        wire = render_response(
+            Response(429, b"{}\n", {"Retry-After": "2"}),
+            keep_alive=False,
+        )
+        assert b"HTTP/1.1 429 Too Many Requests" in wire
+        assert b"Retry-After: 2" in wire
+        assert b"Connection: close" in wire
+
+
+class TestJsonBody:
+    def test_canonical_encoding_is_key_order_independent(self):
+        assert json_body({"b": 1, "a": 2}) == json_body({"a": 2, "b": 1})
+
+    def test_non_finite_floats_are_sanitized(self):
+        payload = json.loads(
+            json_body(
+                {"nan": math.nan, "inf": math.inf, "ninf": -math.inf}
+            )
+        )
+        assert payload == {"nan": None, "inf": "inf", "ninf": "-inf"}
+
+    def test_nested_structures(self):
+        payload = json.loads(
+            json_body({"rows": [(1, math.nan)], 3: "int-key"})
+        )
+        assert payload == {"rows": [[1, None]], "3": "int-key"}
+
+
+class TestErrorBody:
+    def test_shape(self):
+        payload = json.loads(error_body("ValueError", "boom"))
+        assert payload == {
+            "error": {"type": "ValueError", "message": "boom"}
+        }
+
+    def test_truncation(self):
+        payload = json.loads(error_body("E", "x" * 1000))
+        assert len(payload["error"]["message"]) == 300
+        assert payload["error"]["message"].endswith("...")

@@ -1,0 +1,174 @@
+"""Dataset registry: fingerprints, specs, media-type negotiation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    SerializationError,
+    ServeError,
+    ValidationError,
+)
+from repro.io import write_csv, write_jsonl
+from repro.io.formats import (
+    MEDIA_TYPES,
+    format_for_media_type,
+    media_type_for,
+)
+from repro.serve.registry import (
+    DatasetRegistry,
+    fingerprint_log,
+    parse_dataset_spec,
+    register_from_spec,
+)
+from tests.conftest import make_log, make_record
+
+
+class TestFingerprint:
+    def test_deterministic(self, t2_log):
+        assert fingerprint_log(t2_log) == fingerprint_log(t2_log)
+
+    def test_sensitive_to_content(self):
+        base = make_log([make_record(0, 1.0), make_record(1, 2.0)])
+        changed = make_log(
+            [make_record(0, 1.0), make_record(1, 2.0, node_id=7)]
+        )
+        assert fingerprint_log(base) != fingerprint_log(changed)
+
+    def test_sensitive_to_machine_and_window(self):
+        records = [make_record(0, 1.0)]
+        assert fingerprint_log(make_log(records)) != fingerprint_log(
+            make_log(records, machine="tsubame3")
+        )
+        assert fingerprint_log(make_log(records)) != fingerprint_log(
+            make_log(records, span_hours=2000.0)
+        )
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = DatasetRegistry()
+        log = make_log([make_record(0, 1.0)])
+        dataset = registry.register("small", log, source="test")
+        assert registry.names() == ["small"]
+        assert "small" in registry
+        assert registry.get("small") is dataset
+        described = dataset.describe()
+        assert described["name"] == "small"
+        assert described["failures"] == 1
+        assert described["fingerprint"] == fingerprint_log(log)
+
+    def test_unknown_handle_raises(self):
+        with pytest.raises(ServeError, match="unknown dataset"):
+            DatasetRegistry().get("nope")
+
+    def test_invalid_names_rejected(self):
+        registry = DatasetRegistry()
+        log = make_log([make_record(0, 1.0)])
+        for bad in ("", "a/b"):
+            with pytest.raises(ServeError):
+                registry.register(bad, log, source="test")
+
+    def test_reregistration_changes_fingerprint(self):
+        registry = DatasetRegistry()
+        registry.register(
+            "d", make_log([make_record(0, 1.0)]), source="v1"
+        )
+        old = registry.get("d").fingerprint
+        registry.register(
+            "d", make_log([make_record(0, 2.0)]), source="v2"
+        )
+        assert registry.get("d").fingerprint != old
+
+    def test_synthesize(self):
+        registry = DatasetRegistry()
+        dataset = registry.synthesize(
+            "t2", "tsubame2", seed=7, failures=50
+        )
+        assert len(dataset.log) == 50
+        assert dataset.source == "synth:tsubame2:seed=7:failures=50"
+        with pytest.raises(ServeError, match="unknown machine"):
+            registry.synthesize("bad", "not-a-machine")
+
+    @pytest.mark.parametrize("format", ["csv", "jsonl"])
+    def test_load_from_file(self, tmp_path, format):
+        log = make_log([make_record(i, float(i + 1)) for i in range(5)])
+        path = tmp_path / f"log.{format}"
+        (write_csv if format == "csv" else write_jsonl)(log, path)
+        registry = DatasetRegistry()
+        dataset = registry.load("disk", path)
+        assert len(dataset.log) == 5
+        assert dataset.fingerprint == fingerprint_log(dataset.log)
+
+
+class TestDatasetSpecs:
+    def test_file_spec(self):
+        assert parse_dataset_spec("t2=/data/t2.csv") == (
+            "t2",
+            "/data/t2.csv",
+        )
+
+    @pytest.mark.parametrize(
+        "spec", ["no-equals", "=path", "name=", "  =  "]
+    )
+    def test_malformed_specs(self, spec):
+        with pytest.raises(ValidationError):
+            parse_dataset_spec(spec)
+
+    def test_register_synth_spec(self):
+        registry = DatasetRegistry()
+        dataset = register_from_spec(
+            registry, "t2=synth:tsubame2:42:60"
+        )
+        assert dataset.name == "t2"
+        assert len(dataset.log) == 60
+
+    def test_register_file_spec(self, tmp_path):
+        log = make_log([make_record(0, 1.0)])
+        path = tmp_path / "x.jsonl"
+        write_jsonl(log, path)
+        registry = DatasetRegistry()
+        dataset = register_from_spec(registry, f"x={path}")
+        assert dataset.name == "x"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "t2=synth:tsubame2:notanint",
+            "t2=synth:tsubame2:1:2:3",
+        ],
+    )
+    def test_malformed_synth_specs(self, spec):
+        with pytest.raises(ValidationError):
+            register_from_spec(DatasetRegistry(), spec)
+
+    def test_unknown_machine_in_synth_spec(self):
+        with pytest.raises(ServeError):
+            register_from_spec(DatasetRegistry(), "x=synth:nope")
+
+
+class TestMediaTypes:
+    """The io.formats negotiation the upload endpoint builds on."""
+
+    def test_known_media_types_resolve(self):
+        assert format_for_media_type("text/csv") == "csv"
+        assert format_for_media_type("application/x-ndjson") == "jsonl"
+
+    def test_parameters_and_case_are_ignored(self):
+        assert (
+            format_for_media_type("Text/CSV; charset=utf-8") == "csv"
+        )
+
+    def test_bare_format_names_accepted(self):
+        assert format_for_media_type("csv") == "csv"
+        assert format_for_media_type("jsonl") == "jsonl"
+
+    def test_unknown_media_type_raises(self):
+        with pytest.raises(SerializationError):
+            format_for_media_type("application/pdf")
+
+    def test_round_trip_through_canonical_types(self):
+        for media_type, format in MEDIA_TYPES.items():
+            assert format_for_media_type(media_type) == format
+        for format in ("csv", "jsonl"):
+            assert format_for_media_type(media_type_for(format)) == format

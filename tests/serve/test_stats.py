@@ -1,0 +1,82 @@
+"""Server telemetry built on the repro.stream online estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.stats import EndpointStats, ServerStats
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEndpointStats:
+    def test_status_classes_and_latency(self):
+        stats = EndpointStats()
+        for latency in (0.010, 0.020, 0.030):
+            stats.observe(200, latency)
+        stats.observe(404, 0.001)
+        stats.observe(503, 0.001)
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == 5
+        assert snapshot["by_status"] == {"2xx": 3, "4xx": 1, "5xx": 1}
+        assert snapshot["latency_ms"]["mean"] == pytest.approx(
+            (10 + 20 + 30 + 1 + 1) / 5
+        )
+        assert 1.0 <= snapshot["latency_ms"]["p50"] <= 30.0
+        assert snapshot["latency_ms"]["p99"] >= snapshot["latency_ms"]["p50"]
+
+    def test_empty_snapshot_has_no_quantiles(self):
+        snapshot = EndpointStats().snapshot()
+        assert snapshot["requests"] == 0
+        assert "p50" not in snapshot["latency_ms"]
+
+
+class TestServerStats:
+    def test_counters_by_status(self):
+        clock = FakeClock()
+        stats = ServerStats(clock=clock)
+        stats.observe("analyze", 200, 0.01)
+        stats.observe("analyze", 500, 0.01)
+        stats.observe("simulate", 429, 0.001)
+        stats.observe("simulate", 503, 0.001)
+        assert stats.requests_total == 4
+        assert stats.errors_5xx == 1
+        assert stats.shed_total == 2
+
+    def test_uptime_tracks_clock(self):
+        clock = FakeClock()
+        stats = ServerStats(clock=clock)
+        clock.now += 12.5
+        assert stats.uptime_seconds == pytest.approx(12.5)
+
+    def test_request_rate_decays(self):
+        clock = FakeClock()
+        stats = ServerStats(rate_tau_seconds=10.0, clock=clock)
+        for _ in range(50):
+            clock.now += 0.1
+            stats.observe("analyze", 200, 0.001)
+        busy = stats.requests_per_second()
+        assert busy > 1.0
+        clock.now += 120.0  # long quiet period: rate must decay
+        assert stats.requests_per_second() < busy / 10
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        stats = ServerStats(clock=clock)
+        stats.observe("healthz", 200, 0.001)
+        snapshot = stats.snapshot()
+        assert set(snapshot) == {
+            "uptime_seconds",
+            "requests_total",
+            "errors_5xx",
+            "shed_total",
+            "requests_per_second",
+            "endpoints",
+        }
+        assert "healthz" in snapshot["endpoints"]
