@@ -58,11 +58,17 @@ def test_sweep_parallel_identical_to_serial(results):
 
 
 def test_sweep_parallel_speedup(results):
-    cpu_count = results["cpu_count"]
-    measured = results["sweep"]["speedup"]
-    if cpu_count < 4:
+    bench = results["sweep"]
+    measured = bench["speedup"]
+    if not bench["speedup_asserted"]:
+        # Parity (identical) was asserted above on every host; the
+        # JSON carries speedup_asserted=false so the single-core
+        # ratio is never mistaken for a measured result.
         pytest.skip(
-            f"only {cpu_count} core(s); measured {measured:.2f}x "
-            "recorded in BENCH_core.json without asserting >2x"
+            f"speedup unasserted on this host; measured "
+            f"{measured:.2f}x recorded in BENCH_core.json"
         )
-    assert measured > 2.0
+    if perf_core.available_cpus() >= 4:
+        assert measured > 2.0, bench
+    else:
+        assert measured > 1.0, bench

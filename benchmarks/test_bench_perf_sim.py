@@ -8,10 +8,12 @@ injector processes events >= 5x faster than the per-event reference
 path at 10x intensity, and the parallel ensemble is bit-identical to
 the serial one.
 
-The near-linear replication-scaling criterion (>2x with 4 workers) is
-asserted only when the machine actually has >= 4 cores; on smaller
-boxes the measured numbers are still recorded in ``BENCH_sim.json``
-for the trajectory.
+Parity is asserted on every host.  The replication-scaling criterion
+(>2x with 4 workers) is asserted only when the machine actually has
+>= 4 schedulable cores; on smaller boxes the measured numbers are
+still recorded in ``BENCH_sim.json`` with
+``"speedup_asserted": false`` so a <1.0x ratio on a 1-core host is
+never mistaken for a passing result.
 """
 
 import json
@@ -61,11 +63,19 @@ def test_ensemble_throughput_positive(results):
 
 
 def test_ensemble_parallel_scaling(results):
-    cpu_count = results["cpu_count"]
-    measured = results["ensemble"]["speedup"]
-    if cpu_count < 4:
+    ensemble = results["ensemble"]
+    measured = ensemble["speedup"]
+    if not ensemble["speedup_asserted"]:
+        # Parity was still asserted above; the JSON records the
+        # timings with speedup_asserted=false so the ratio is never
+        # read as a result on a host that cannot show one.
+        assert results["cpu_count"] >= 1
         pytest.skip(
-            f"only {cpu_count} core(s); measured {measured:.2f}x "
-            "recorded in BENCH_sim.json without asserting >2x"
+            f"speedup unasserted on this host; measured "
+            f"{measured:.2f}x recorded in BENCH_sim.json"
         )
-    assert measured > 2.0
+    if perf_sim.available_cpus() >= 4:
+        assert measured > 2.0, ensemble
+    else:
+        # 2-3 cores: demand a real win, just not near-linear.
+        assert measured > 1.0, ensemble

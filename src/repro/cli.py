@@ -120,8 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes for the ensemble (default: serial; "
-             "results are identical either way)",
+        help="worker processes for the ensemble (default: "
+             "REPRO_WORKERS if set, else the schedulable CPU count; "
+             "results are identical at any worker count)",
     )
 
     compare = sub.add_parser(
@@ -213,7 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=None,
-        help="worker threads/processes for CPU-bound requests",
+        help="worker threads/processes for CPU-bound requests "
+             "(default: REPRO_WORKERS if set, else the schedulable "
+             "CPU count)",
     )
     serve.add_argument("--cache-size", type=int, default=256,
                        help="result-cache capacity in entries")
@@ -293,15 +296,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.replications > 1:
+        from repro.parallel import default_processes
         from repro.sim.montecarlo import run_replications
 
+        workers = (
+            args.workers if args.workers is not None
+            else default_processes()
+        )
         ensemble = run_replications(
             args.machine,
             replications=args.replications,
             horizon_hours=args.horizon,
             seed=args.seed,
             ci=args.ci,
-            max_workers=args.workers,
+            max_workers=workers,
             num_technicians=args.technicians,
             spare_lead_time_hours=args.lead_time,
         )

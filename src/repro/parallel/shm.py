@@ -1,0 +1,448 @@
+"""Zero-copy payload handoff over ``multiprocessing.shared_memory``.
+
+A process-pool task pays for its *payload*: every argument pickles in
+the parent, travels a pipe, and unpickles in the worker — per task.
+For sweeps whose items share one large read-mostly object (a
+:class:`~repro.core.records.FailureLog` scored under many
+configurations, a :class:`~repro.core.columns.ColumnarView` fed to
+many kernels), that cost is O(dataset bytes) *per task* and is exactly
+what made parallel sweeps a slowdown at realistic sizes
+(``BENCH_core.json`` 0.93x, ``BENCH_sim.json`` 0.89x before this
+module existed).
+
+Two layers fix it:
+
+* :class:`ShmColumnBlock` — the NumPy transport.  ``export`` copies a
+  set of named arrays into one shared-memory segment *once*;
+  ``attach`` reconstructs them in a worker as **views over the shared
+  pages** (read-only, no copy, no pickle of the data).  The picklable
+  :class:`ShmBlockHandle` is a few hundred bytes of dtype/shape/offset
+  metadata regardless of array size.
+
+* :class:`SharedPayload` — the object protocol used by
+  ``sweep(..., shared=obj)``.  The parent exports ``obj`` once; each
+  dispatched chunk carries only a :class:`SharedSpec` token, and each
+  worker materialises the object once per process (cached by token)
+  and reuses it for every subsequent task of the sweep — and of later
+  sweeps sharing the same payload.  Export strategy by type:
+
+  - ``ColumnarView`` → pure shm views (true zero-copy).
+  - ``FailureLog`` → the compact record pickle rides shm (unpickled
+    once per worker), and the log's columnar view is exported as shm
+    views and *injected* into the reconstructed log's cache, so every
+    vectorized kernel in the worker reads the parent's arrays.
+  - anything else → its pickle bytes ride shm (the documented
+    fallback for non-columnar payloads; still one unpickle per
+    worker instead of one per task).
+
+Every strategy preserves bit-parity with handing the object itself to
+``fn`` — the shm test suite asserts it.
+
+Lifetime: the parent owns the segments and unlinks them when the
+sweep finishes (``SharedPayload.close``).  POSIX keeps the pages
+alive for workers that still map them, so a long-lived warm pool can
+finish in-flight chunks safely; worker-side attachments are dropped
+LRU once a handful of distinct payloads have been seen.
+"""
+
+from __future__ import annotations
+
+import pickle
+import uuid
+from dataclasses import dataclass, fields
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SweepError
+
+__all__ = [
+    "ShmArraySpec",
+    "ShmBlockHandle",
+    "ShmColumnBlock",
+    "SharedSpec",
+    "SharedPayload",
+    "resolve_shared",
+]
+
+#: Byte alignment of each array inside a block (cache-line friendly).
+_ALIGN = 64
+
+#: Distinct shared payloads a worker keeps attached before dropping
+#: the least recently used one.
+_WORKER_CACHE_CAP = 4
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with this
+    process's resource tracker (fixed by ``track=False`` in 3.13),
+    which would unlink the parent's segment when *this* process exits.
+    Attachers must never unlink — deregister on the older runtimes.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return segment
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Location of one array inside a shared block."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ShmBlockHandle:
+    """Picklable description of an exported block: O(metadata) bytes.
+
+    ``meta`` carries small picklable scalars alongside the arrays
+    (e.g. a view's machine name and category table).
+    """
+
+    segment: str
+    size: int
+    arrays: tuple[ShmArraySpec, ...]
+    meta: dict[str, Any]
+
+
+class ShmColumnBlock:
+    """One shared-memory segment holding named NumPy arrays.
+
+    Owner side: :meth:`export` copies the arrays in and returns the
+    owning block; :attr:`handle` is the picklable pointer to ship to
+    workers; :meth:`close` unmaps and unlinks.  Worker side:
+    :meth:`attach` maps the segment and rebuilds read-only views.
+
+    Lifetime caveat: the views returned by :meth:`array` /
+    :meth:`arrays` are valid only while this block object is alive
+    and unclosed.  ``SharedMemory``'s finalizer unmaps the segment
+    even under live NumPy views (their base chain ends at the raw
+    ``mmap`` and does not pin the wrapper), so consumers must keep a
+    reference to the block alongside the arrays —
+    :func:`view_from_handle` pins it on the rebuilt view for exactly
+    this reason.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        handle: ShmBlockHandle,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.handle = handle
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def export(
+        cls,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any] | None = None,
+    ) -> "ShmColumnBlock":
+        """Copy ``arrays`` into a fresh shared segment (the one copy).
+
+        Raises:
+            SweepError: If the segment cannot be allocated.
+        """
+        specs: list[ShmArraySpec] = []
+        offset = 0
+        prepared: dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            prepared[key] = array
+            offset = _aligned(offset)
+            specs.append(
+                ShmArraySpec(
+                    key=key,
+                    dtype=array.dtype.str,
+                    shape=tuple(array.shape),
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, offset)
+            )
+        except OSError as error:  # pragma: no cover - shm exhausted
+            raise SweepError(
+                f"could not allocate {offset} shared-memory bytes: "
+                f"{error}"
+            ) from error
+        for spec in specs:
+            source = prepared[spec.key]
+            if source.nbytes == 0:
+                continue
+            view = np.ndarray(
+                spec.shape,
+                dtype=spec.dtype,
+                buffer=segment.buf,
+                offset=spec.offset,
+            )
+            view[...] = source
+        handle = ShmBlockHandle(
+            segment=segment.name,
+            size=max(1, offset),
+            arrays=tuple(specs),
+            meta=dict(meta or {}),
+        )
+        return cls(segment, handle, owner=True)
+
+    @classmethod
+    def attach(cls, handle: ShmBlockHandle) -> "ShmColumnBlock":
+        """Map an exported block (no copy; arrays view shared pages)."""
+        return cls(_attach_segment(handle.segment), handle, owner=False)
+
+    def array(self, key: str) -> np.ndarray:
+        """Read-only view of one array in the block.
+
+        Raises:
+            KeyError: If ``key`` was not exported.
+        """
+        for spec in self.handle.arrays:
+            if spec.key == key:
+                view = np.ndarray(
+                    spec.shape,
+                    dtype=spec.dtype,
+                    buffer=self._segment.buf,
+                    offset=spec.offset,
+                )
+                view.setflags(write=False)
+                return view
+        raise KeyError(key)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Read-only views of every array, keyed as exported."""
+        return {
+            spec.key: self.array(spec.key)
+            for spec in self.handle.arrays
+        }
+
+    def close(self) -> None:
+        """Unmap the segment; the owner also unlinks it.
+
+        POSIX semantics: an unlinked segment stays alive until the
+        last process unmaps it, so workers holding views are safe.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - live exported views
+            # Views into the buffer are still alive in this process;
+            # the mapping will drop when they are garbage collected.
+            return
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmColumnBlock":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# ColumnarView transport
+# --------------------------------------------------------------------------
+
+def export_view(view: Any) -> ShmColumnBlock:
+    """Export a :class:`~repro.core.columns.ColumnarView`'s arrays.
+
+    The scalar fields (machine, category table, taxonomy flag) ride
+    the handle's ``meta``; every ndarray field rides the segment.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] = {"__kind__": "columnar_view"}
+    for field in fields(view):
+        value = getattr(view, field.name)
+        if isinstance(value, np.ndarray):
+            arrays[field.name] = value
+        else:
+            meta[field.name] = value
+    return ShmColumnBlock.export(arrays, meta)
+
+
+def view_from_handle(handle: ShmBlockHandle) -> Any:
+    """Rebuild a ColumnarView over an exported block's shared pages.
+
+    The returned view's arrays are read-only views into the segment —
+    no bytes are copied.  The attached block is pinned on the view
+    itself: ``SharedMemory.__del__`` unmaps the segment even while
+    NumPy views into it exist (the views' base chain ends at the raw
+    ``mmap``, which does not protect against the wrapper's
+    finalizer), so the view must own the wrapper for as long as it
+    lives.
+
+    Raises:
+        SweepError: If the handle was not exported from a view.
+    """
+    from repro.core.columns import ColumnarView
+
+    meta = dict(handle.meta)
+    if meta.pop("__kind__", None) != "columnar_view":
+        raise SweepError(
+            "shared-memory handle does not describe a ColumnarView"
+        )
+    block = ShmColumnBlock.attach(handle)
+    view = ColumnarView(**meta, **block.arrays())
+    object.__setattr__(view, "_shm_block", block)
+    return view
+
+
+# --------------------------------------------------------------------------
+# SharedPayload: the sweep(shared=...) protocol
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedSpec:
+    """What a chunk actually carries for its shared payload.
+
+    Tiny and picklable: a cache token plus the shm handles needed to
+    materialise the payload once per worker.
+    """
+
+    token: str
+    kind: str  # "view" | "log" | "pickle"
+    block: ShmBlockHandle
+    columns: ShmBlockHandle | None = None
+
+
+class SharedPayload:
+    """Parent-side registration of one sweep-wide shared object.
+
+    Built by :func:`repro.parallel.sweep` when ``shared=`` is passed;
+    owns the shm segments until :meth:`close`.
+    """
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self._blocks: list[ShmColumnBlock] = []
+        self.spec = self._export(value)
+
+    def _export(self, value: Any) -> SharedSpec:
+        from repro.core.columns import ColumnarView
+        from repro.core.records import FailureLog
+
+        token = uuid.uuid4().hex
+        if isinstance(value, ColumnarView):
+            block = export_view(value)
+            self._blocks.append(block)
+            return SharedSpec(
+                token=token, kind="view", block=block.handle
+            )
+        if isinstance(value, FailureLog):
+            columns = export_view(value.columns)
+            self._blocks.append(columns)
+            body = ShmColumnBlock.export(
+                {"pickle": _pickle_array(value)},
+                {"__kind__": "pickle"},
+            )
+            self._blocks.append(body)
+            return SharedSpec(
+                token=token,
+                kind="log",
+                block=body.handle,
+                columns=columns.handle,
+            )
+        body = ShmColumnBlock.export(
+            {"pickle": _pickle_array(value)}, {"__kind__": "pickle"}
+        )
+        self._blocks.append(body)
+        return SharedSpec(token=token, kind="pickle", block=body.handle)
+
+    def spec_nbytes(self) -> int:
+        """Serialized per-chunk cost of referencing this payload."""
+        return len(pickle.dumps(self.spec))
+
+    def close(self) -> None:
+        """Unlink the owned segments (workers' mappings stay valid)."""
+        for block in self._blocks:
+            block.close()
+        self._blocks = []
+
+    def __enter__(self) -> "SharedPayload":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _pickle_array(value: Any) -> np.ndarray:
+    return np.frombuffer(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        dtype=np.uint8,
+    )
+
+
+def _unpickle_block(handle: ShmBlockHandle) -> Any:
+    block = ShmColumnBlock.attach(handle)
+    try:
+        # bytes() copies out of the segment before unpickling, so the
+        # materialised object never aliases pages the parent unlinks.
+        return pickle.loads(bytes(block.array("pickle")))
+    finally:
+        block.close()
+
+
+#: token -> materialised payload, insertion-ordered for LRU eviction.
+_worker_cache: dict[str, Any] = {}
+
+
+def resolve_shared(spec: SharedSpec) -> Any:
+    """Materialise a shared payload in this process, once per token.
+
+    Called by the chunk runner inside pool workers (and by the
+    parent's serial-recovery path when a pool breaks, where the cache
+    simply fills from the local copy of the segments).
+    """
+    cached = _worker_cache.get(spec.token)
+    if cached is not None:
+        return cached
+    if spec.kind == "view":
+        value = view_from_handle(spec.block)
+    elif spec.kind == "log":
+        value = _unpickle_block(spec.block)
+        assert spec.columns is not None
+        view = view_from_handle(spec.columns)
+        # Inject the zero-copy view into the log's derived cache so
+        # every columnar kernel in this worker reads the parent's
+        # arrays instead of rebuilding them from records.
+        object.__setattr__(value, "_derived_cache", {"columns": view})
+    elif spec.kind == "pickle":
+        value = _unpickle_block(spec.block)
+    else:
+        raise SweepError(f"unknown shared payload kind {spec.kind!r}")
+    while len(_worker_cache) >= _WORKER_CACHE_CAP:
+        _worker_cache.pop(next(iter(_worker_cache)))
+    _worker_cache[spec.token] = value
+    return value

@@ -39,11 +39,13 @@ class SweepPoint:
 
 
 def _evaluate_pair(
-    task: tuple[FailureLog, float, int]
+    task: tuple[float, int], log: FailureLog
 ) -> SweepPoint:
     """Score one (window, threshold) pair — module-level so the
-    parallel sweep can ship it to worker processes."""
-    log, window, threshold = task
+    parallel sweep can ship it to worker processes.  The log arrives
+    as the sweep's ``shared=`` payload: one shared-memory export for
+    the whole grid instead of a pickled copy per task."""
+    window, threshold = task
     predictor = RateBasedPredictor(
         window_hours=window,
         threshold=threshold,
@@ -67,9 +69,11 @@ def sweep_rate_predictor(
     The alarm horizon is tied to the window (a node hot over the last
     W hours is flagged for the next W hours).
 
-    ``processes > 1`` spreads the grid over worker processes via
-    :func:`repro.parallel.sweep`; results are identical to the serial
-    run, in the same (window-major) order.
+    ``processes > 1`` spreads the grid over the warm worker pool via
+    :func:`repro.parallel.sweep`, handing the log to workers once over
+    shared memory (``shared=log``) rather than pickling it into every
+    task; results are identical to the serial run, in the same
+    (window-major) order.
 
     Raises:
         AnalysisError: On empty grids or an empty log.
@@ -79,11 +83,11 @@ def sweep_rate_predictor(
     if len(log) == 0:
         raise AnalysisError("cannot sweep on an empty log")
     tasks = [
-        (log, window, threshold)
+        (window, threshold)
         for window in window_grid
         for threshold in threshold_grid
     ]
-    return sweep(_evaluate_pair, tasks, processes=processes)
+    return sweep(_evaluate_pair, tasks, processes=processes, shared=log)
 
 
 def best_by_f1(points: list[SweepPoint]) -> SweepPoint:

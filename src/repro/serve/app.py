@@ -43,7 +43,7 @@ from repro.io import KNOWN_FORMATS, read_log
 from repro.io.formats import format_for_media_type
 from repro.io.tolerant import ON_ERROR_MODES, LogReadReport
 from repro.machines.specs import get_machine, known_machines
-from repro.parallel import sweep_iter
+from repro.parallel import default_processes, sweep_iter
 from repro.serve.admission import AdmissionController, RateLimiter
 from repro.serve.cache import ResultCache, canonical_key
 from repro.serve.coalesce import MicroBatcher, SingleFlight
@@ -240,7 +240,10 @@ class ReproApp:
         registry: Pre-loaded dataset registry (a fresh empty one by
             default).
         workers: Executor threads for CPU-bound work, and the process
-            count used to drain multi-job simulate batches.
+            count used to drain multi-job simulate batches on the warm
+            worker pool.  ``None`` resolves via
+            :func:`repro.parallel.default_processes` (``REPRO_WORKERS``
+            if set, else the schedulable CPU count).
         cache_size: Result-cache capacity (entries).
         cache_ttl_seconds: Result-cache TTL (``None`` = LRU only).
         max_inflight: Concurrent backend executions admitted.
@@ -274,7 +277,7 @@ class ReproApp:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.registry = registry if registry is not None else DatasetRegistry()
-        self.workers = workers or 1
+        self.workers = workers if workers is not None else default_processes()
         self.cache = ResultCache(
             cache_size, cache_ttl_seconds, clock=clock
         )
@@ -687,8 +690,11 @@ class ReproApp:
 
         Single-job batches run serially in the executor thread;
         multi-job batches fan out across ``workers`` processes via
-        :func:`repro.parallel.sweep_iter`.  Per-job failures come back
-        as exceptions for that job's submitter only.
+        :func:`repro.parallel.sweep_iter` — which dispatches to the
+        process-wide *warm* worker pool, so consecutive ``/simulate``
+        batches reuse the same worker processes instead of paying a
+        pool spawn per batch.  Per-job failures come back as
+        exceptions for that job's submitter only.
         """
         processes = (
             self.workers if len(jobs) > 1 and self.workers > 1 else None

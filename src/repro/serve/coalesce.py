@@ -14,7 +14,11 @@ Two independent mechanisms collapse redundant backend work:
   fills) and then executed as one batch — the server's simulate
   endpoint drains a batch through
   :func:`repro.parallel.sweep_iter`, so M concurrent what-if
-  simulations cost one pool dispatch instead of M.
+  simulations cost one pool dispatch instead of M.  That dispatch
+  lands on the process-wide *warm* worker pool
+  (:mod:`repro.parallel.pool`): the worker processes are spawned once
+  per server lifetime and reused by every batch, so batch latency no
+  longer includes a pool cold start.
 """
 
 from __future__ import annotations

@@ -17,9 +17,10 @@ whether the replications run serially or across worker processes.
 Per-replication seeds come from :func:`spawn_seeds` (NumPy
 ``SeedSequence`` spawning, prefix-stable in ``n``), replications are
 dispatched through the fault-tolerant
-:func:`repro.parallel.sweep_iter` machinery which yields outcomes in
-input order, and the fold itself is a sequential loop — so worker
-scheduling can never touch the numbers.
+:func:`repro.parallel.sweep_iter` machinery — riding the process-wide
+warm worker pool, so consecutive ensembles stop paying a pool spawn
+each — which yields outcomes in input order, and the fold itself is a
+sequential loop — so worker scheduling can never touch the numbers.
 """
 
 from __future__ import annotations
@@ -232,8 +233,11 @@ def run_replications(
         intensity: Failure-rate multiplier passed to every run.
         ci: Confidence level of the percentile intervals, in (0, 1).
         max_workers: ``None`` or ``1`` runs serially in-process;
-            ``N > 1`` fans replications across a process pool.  The
-            result is bit-identical either way.
+            ``N > 1`` fans replications across the process-wide warm
+            worker pool (spawned once, reused by every ensemble in
+            the process) with work-stealing chunking, so uneven
+            replication lengths do not leave workers idle.  The
+            result is bit-identical at any worker count.
         health_test_effectiveness: See
             :class:`~repro.sim.faults.FaultInjector`.
         num_technicians: Override the repair policy's staffing.

@@ -5,10 +5,19 @@ poisoned items (always raise), flaky items (transient, succeed on
 retry), and worker crashes (break the process pool).
 """
 
+import pickle
+
 import pytest
 
 from repro.errors import SweepError, ValidationError
-from repro.parallel import SweepItemError, SweepOutcome, sweep
+from repro.parallel import (
+    SweepItemError,
+    SweepOutcome,
+    pool_stats,
+    shutdown_pool,
+    sweep,
+    sweep_iter,
+)
 from repro.testing.chaos import (
     ChaosInjectedError,
     CrashOnce,
@@ -142,6 +151,123 @@ class TestRetries:
     def test_negative_backoff_rejected(self):
         with pytest.raises(ValidationError):
             sweep(_square, [1], backoff_seconds=-0.1)
+
+
+class _CtorArgsError(Exception):
+    """An exception whose constructor requires arguments — the shape
+    that breaks the default exception reduce on unpickling."""
+
+    def __init__(self, code: int, detail: str) -> None:
+        self.code = code
+        self.detail = detail
+        super().__init__(f"[{code}] {detail}")
+
+
+def _raise_ctor_args_error(seed: int) -> int:
+    if seed == 3:
+        raise _CtorArgsError(42, "required-args exception from worker")
+    return seed * seed
+
+
+def _raise_nested_sweep_error(seed: int) -> int:
+    if seed == 2:
+        # A SweepItemError raised *inside* a worker — e.g. a nested
+        # sweep failing — must survive the trip back to the parent.
+        raise SweepItemError(7, "inner", 1, ValueError("inner cause"))
+    return seed
+
+
+class TestErrorPickling:
+    """Regression: exceptions whose constructors require arguments
+    pickle fine (``dumps`` succeeds) but explode with a secondary
+    ``TypeError`` on ``loads``, because the default exception reduce
+    replays ``__init__`` with the formatted message.  The round-trip
+    audit must catch both directions, and ``SweepItemError`` itself —
+    the most likely such class to cross a process boundary — must
+    round-trip typed."""
+
+    def test_sweep_item_error_roundtrips_typed(self):
+        original = SweepItemError(5, "item-5", 3, ValueError("boom"))
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, SweepItemError)
+        assert clone.index == 5
+        assert clone.item == "item-5"
+        assert clone.attempts == 3
+        assert isinstance(clone.cause, ValueError)
+        assert str(clone) == str(original)
+
+    def test_worker_raising_ctor_args_exception_is_captured(self):
+        outcomes = sweep(
+            _raise_ctor_args_error, list(range(6)), processes=2,
+            return_errors=True,
+        )
+        assert [o.ok for o in outcomes] == [
+            True, True, True, False, True, True
+        ]
+        error = outcomes[3].error
+        # The original class does not survive unpickling; the audit
+        # must degrade it to a SweepError stand-in naming the type,
+        # not let a secondary TypeError kill the whole chunk.
+        assert isinstance(error, SweepError)
+        assert "_CtorArgsError" in str(error)
+
+    def test_worker_raising_sweep_item_error_stays_typed(self):
+        outcomes = sweep(
+            _raise_nested_sweep_error, [1, 2, 3], processes=2,
+            return_errors=True,
+        )
+        error = outcomes[1].error
+        assert isinstance(error, SweepItemError)
+        assert error.index == 7
+        assert error.item == "inner"
+        assert isinstance(error.cause, ValueError)
+
+
+class TestWarmPoolCrash:
+    """Chaos coverage: a worker hard-killed mid-chunk on the *warm*
+    pool must not leave the singleton broken for later sweeps."""
+
+    @pytest.fixture(autouse=True)
+    def _cold_pool(self):
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    def test_crash_respawns_pool_and_next_sweep_reuses_it(
+        self, tmp_path
+    ):
+        def squares(n):
+            return [s * s for s in range(n)]
+
+        crasher = CrashOnce(
+            _square, crash_items=[9], state_dir=tmp_path
+        )
+        assert sweep(
+            crasher, list(range(20)), processes=2, chunksize=3
+        ) == squares(20)
+        stats = pool_stats()
+        assert stats is not None and stats["alive"]
+        assert stats["generation"] == 2  # respawned after the crash
+        assert stats["spawns"] == 2
+        # The respawned pool serves the next sweep without another
+        # cold start.
+        assert sweep(_square, list(range(10)), processes=2) == squares(10)
+        assert pool_stats()["spawns"] == 2
+
+    def test_crash_mid_stream_recovers_in_order(self, tmp_path):
+        crasher = CrashOnce(
+            _square, crash_items=[5], state_dir=tmp_path
+        )
+        outcomes = list(
+            sweep_iter(
+                crasher, list(range(12)), processes=2, chunksize=2
+            )
+        )
+        assert [o.index for o in outcomes] == list(range(12))
+        assert [o.result for o in outcomes] == [
+            s * s for s in range(12)
+        ]
+        assert pool_stats()["generation"] == 2
 
 
 class TestBrokenPoolRecovery:

@@ -1,0 +1,211 @@
+"""Tests for the warm worker pool and work-stealing dispatch.
+
+The pool singleton is process-wide state, so every test that touches
+it shuts it down afterwards — a leaked warm pool would make later
+tests' spawn counters lie.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import (
+    WorkerPool,
+    available_cpus,
+    default_processes,
+    get_pool,
+    pool_stats,
+    shutdown_pool,
+    sweep,
+    sweep_iter,
+)
+
+
+@pytest.fixture(autouse=True)
+def _cold_pool():
+    """Each test starts and ends with no warm pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+def _sleep_then_square(task: tuple[int, float]) -> int:
+    seed, duration = task
+    time.sleep(duration)
+    return seed * seed
+
+
+def _interrupt_on_three(item: int) -> int:
+    if item == 3:
+        raise KeyboardInterrupt
+    return item
+
+
+class TestWarmPoolReuse:
+    def test_singleton_survives_across_sweeps(self):
+        sweep(_square, list(range(8)), processes=2)
+        first = pool_stats()
+        assert first is not None and first["alive"]
+        assert first["spawns"] == 1
+        sweep(_square, list(range(8)), processes=2)
+        second = pool_stats()
+        assert second["spawns"] == 1  # no second cold start
+        assert second["generation"] == first["generation"]
+
+    def test_sweep_iter_keeps_pool_warm(self):
+        list(sweep_iter(_square, list(range(8)), processes=2))
+        assert pool_stats()["alive"]
+        list(sweep_iter(_square, list(range(8)), processes=2))
+        assert pool_stats()["spawns"] == 1
+
+    def test_early_abandonment_keeps_pool_warm(self):
+        iterator = sweep_iter(_square, list(range(40)), processes=2)
+        next(iterator)
+        iterator.close()
+        stats = pool_stats()
+        assert stats is not None and stats["alive"]
+        # ... and the pool is still usable afterwards.
+        assert sweep(_square, [5, 6], processes=2) == [25, 36]
+        assert pool_stats()["spawns"] == 1
+
+    def test_grows_but_never_shrinks(self):
+        sweep(_square, list(range(6)), processes=2)
+        assert pool_stats()["max_workers"] == 2
+        sweep(_square, list(range(6)), processes=3)
+        grown = pool_stats()
+        assert grown["max_workers"] == 3
+        assert grown["spawns"] == 2
+        sweep(_square, list(range(6)), processes=2)
+        assert pool_stats()["max_workers"] == 3
+        assert pool_stats()["spawns"] == 2
+
+    def test_serial_sweeps_never_spawn_a_pool(self):
+        sweep(_square, list(range(6)))
+        sweep(_square, list(range(6)), processes=1)
+        assert pool_stats() is None
+
+
+class TestPoolLifecycle:
+    def test_shutdown_is_idempotent(self):
+        sweep(_square, [1, 2, 3], processes=2)
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_stats() is None
+
+    def test_pool_respawns_after_shutdown(self):
+        sweep(_square, [1, 2], processes=2)
+        shutdown_pool()
+        assert sweep(_square, [3, 4], processes=2) == [9, 16]
+        assert pool_stats()["spawns"] == 1  # fresh pool, fresh counter
+
+    def test_get_pool_reuses_until_shutdown(self):
+        pool = get_pool(2)
+        assert get_pool(2) is pool
+        shutdown_pool()
+        assert get_pool(2) is not pool
+
+    def test_direct_worker_pool_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_shutdown_pool_closes_executor(self):
+        pool = get_pool(2)
+        shutdown_pool()
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.executor()
+
+    def test_notify_broken_respawns_once_per_generation(self):
+        pool = get_pool(2)
+        _executor, generation = pool.executor()
+        pool.notify_broken(generation)
+        pool.notify_broken(generation)  # stale: no second respawn
+        stats = pool.stats()
+        assert stats["generation"] == generation + 1
+        assert stats["spawns"] == 2
+
+    def test_stats_record_creating_pid(self):
+        get_pool(2)
+        assert pool_stats()["created_pid"] == os.getpid()
+
+    def test_keyboard_interrupt_shuts_pool_down(self):
+        """Ctrl-C mid-sweep must not leave warm workers behind — the
+        CLI's exit-130 path relies on the pool dying with the sweep,
+        not being joined at interpreter exit."""
+        sweep(_square, list(range(4)), processes=2)  # warm the pool
+        with pytest.raises(KeyboardInterrupt):
+            sweep(_interrupt_on_three, list(range(8)), processes=2)
+        assert pool_stats() is None
+        # ... and parallelism still works afterwards (fresh pool).
+        assert sweep(_square, [2, 3], processes=2) == [4, 9]
+
+
+class TestWorkerCountPolicy:
+    def test_repro_workers_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_processes() == 3
+
+    def test_without_env_follows_affinity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_processes() == available_cpus()
+
+    def test_env_must_be_positive_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValidationError):
+            default_processes()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValidationError):
+            default_processes()
+
+    def test_available_cpus_ignores_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert available_cpus() <= (os.cpu_count() or 1)
+
+
+class TestWorkStealing:
+    def test_uneven_lengths_ordered_and_complete(self):
+        """One 100x-long item among 31 short ones: results must come
+        back complete and input-ordered regardless of which worker
+        drew the long straw."""
+        short, long = 0.005, 0.5
+        tasks = [(i, long if i == 7 else short) for i in range(32)]
+        outcomes = list(
+            sweep_iter(_sleep_then_square, tasks, processes=4)
+        )
+        assert [o.index for o in outcomes] == list(range(32))
+        assert [o.result for o in outcomes] == [
+            i * i for i in range(32)
+        ]
+        assert all(o.ok for o in outcomes)
+
+    def test_no_idle_worker_stall(self):
+        """Autotuned chunking must not serialize behind the long item:
+        the 31 short items (~0.31 s of sleep) and one 0.75 s item at 4
+        workers should finish in well under the serial ~1.06 s — even
+        on a single-CPU host, since sleeps overlap across processes.
+        Generous bound (0.75 s of irreducible long-item time + slack)
+        so a loaded CI box does not flake."""
+        short, long = 0.01, 0.75
+        tasks = [(i, long if i == 0 else short) for i in range(32)]
+        sweep(_sleep_then_square, tasks, processes=4)  # warm the pool
+        started = time.perf_counter()
+        results = sweep(_sleep_then_square, tasks, processes=4)
+        elapsed = time.perf_counter() - started
+        assert results == [i * i for i in range(32)]
+        serial_sum = long + 31 * short
+        assert elapsed < serial_sum, (
+            f"parallel run took {elapsed:.3f}s, not faster than the "
+            f"{serial_sum:.3f}s serial sum — workers stalled"
+        )
+
+    def test_explicit_chunksize_bypasses_autotune(self):
+        tasks = [(i, 0.001) for i in range(9)]
+        assert sweep(
+            _sleep_then_square, tasks, processes=2, chunksize=9
+        ) == [i * i for i in range(9)]
