@@ -10,6 +10,9 @@ Subcommands::
     repro-failures monitor t2.csv [--window 720] [--report-every 200]
     repro-failures monitor --live --machine tsubame2 --horizon 5000
     repro-failures serve --port 8080 --datasets t2=synth:tsubame2:42
+    repro-failures store init events.store --machine tsubame3
+    repro-failures store append events.store t3.csv
+    repro-failures store query events.store --as-of 2014-03-01T00:00:00
 
 ``generate`` writes a calibrated synthetic log; ``analyze`` prints the
 headline metrics of an existing log file (format inferred from the
@@ -21,7 +24,9 @@ streams a log (or a live simulation) through the online estimators of
 replays — an online-vs-batch parity check; ``serve`` runs the
 :mod:`repro.serve` analytics service (HTTP/JSON over asyncio, with
 result caching, request coalescing, and backpressure — see
-docs/SERVING.md).
+docs/SERVING.md); ``store`` manages a persistent columnar event store
+with incrementally materialized analytics (``init``/``append``/
+``info``/``compact``/``query --as-of`` — see docs/STORAGE.md).
 
 ``--lenient`` (on ``analyze`` and ``monitor``) quarantines malformed
 log rows instead of aborting and prints the quarantine summary.  Exit
@@ -34,13 +39,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+from datetime import datetime
 from pathlib import Path
 
 from repro.core import metrics
 from repro.core.breakdown import category_breakdown
 from repro.core.report import full_report
 from repro.errors import ReproError
-from repro.io import KNOWN_FORMATS, read_log, write_csv, write_jsonl
+from repro.io import KNOWN_FORMATS, read_log, sniff_format, write_log
 from repro.machines.specs import known_machines
 from repro.sim import ClusterSimulator, RepairPolicy
 from repro.synth import GeneratorConfig, TraceGenerator, profile_for
@@ -208,8 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--datasets",
         default="t2=synth:tsubame2:42,t3=synth:tsubame3:42",
-        help="comma-separated NAME=PATH or "
-             "NAME=synth:MACHINE[:SEED[:FAILURES]] specs "
+        help="comma-separated NAME=PATH, "
+             "NAME=synth:MACHINE[:SEED[:FAILURES]], or "
+             "NAME=store:PATH specs "
              "(empty string starts with no datasets)",
     )
     serve.add_argument(
@@ -236,6 +243,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--burst", type=float, default=20.0,
                        help="token-bucket depth for --rate-limit")
+
+    store = sub.add_parser(
+        "store",
+        help="manage a persistent columnar event store "
+             "(see docs/STORAGE.md)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_init = store_sub.add_parser(
+        "init", help="create an empty store directory"
+    )
+    store_init.add_argument("path", type=Path)
+    store_init.add_argument(
+        "--machine", choices=known_machines(), required=True
+    )
+    store_init.add_argument(
+        "--lenient", action="store_true",
+        help="accept categories outside the paper taxonomy",
+    )
+
+    store_append = store_sub.add_parser(
+        "append", help="append a log file's events to a store"
+    )
+    store_append.add_argument("path", type=Path)
+    store_append.add_argument("log", type=Path,
+                              help="log file to append (.csv or .jsonl)")
+    store_append.add_argument(
+        "--format", choices=KNOWN_FORMATS, default=None,
+        help="input format (default: inferred from the file extension)",
+    )
+    store_append.add_argument(
+        "--reindex", action="store_true",
+        help="renumber the batch's record ids after the store's "
+             "committed ids instead of rejecting collisions",
+    )
+
+    store_info = store_sub.add_parser(
+        "info", help="print a store's identity, lineage, and health"
+    )
+    store_info.add_argument("path", type=Path)
+
+    store_compact = store_sub.add_parser(
+        "compact", help="merge a store's segments into one"
+    )
+    store_compact.add_argument("path", type=Path)
+
+    store_query = store_sub.add_parser(
+        "query",
+        help="print headline metrics from the materialized views",
+    )
+    store_query.add_argument("path", type=Path)
+    store_query.add_argument(
+        "--as-of", type=datetime.fromisoformat, default=None,
+        metavar="ISO8601",
+        help="query the store's state as of this event time "
+             "(time travel)",
+    )
     return parser
 
 
@@ -247,10 +311,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     profile = profile_for(args.machine)
     config = GeneratorConfig(seed=args.seed, num_failures=args.failures)
     log = TraceGenerator(profile, config).generate()
-    if args.out.suffix == ".jsonl":
-        write_jsonl(log, args.out)
-    else:
-        write_csv(log, args.out)
+    write_log(log, args.out, format=sniff_format(args.out) or "csv")
     print(f"wrote {len(log)} failures for {args.machine} to {args.out}")
     return 0
 
@@ -533,7 +594,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
     for spec in filter(None, args.datasets.split(",")):
         dataset = register_from_spec(registry, spec.strip())
         print(f"registered dataset {dataset.name!r}: "
-              f"{dataset.source} ({len(dataset.log)} failures)")
+              f"{dataset.source} "
+              f"({dataset.describe()['failures']} failures)")
 
     app = ReproApp(
         registry,
@@ -584,6 +646,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(_serve_async(args))
 
 
+def _store_info_lines(info: dict) -> list[str]:
+    lines = [
+        f"machine:          {info['machine']}",
+        f"rows:             {info['rows']}",
+        f"segments:         {info['segments']} "
+        f"(generation {info['generation']}, "
+        f"{info['appends']} appends)",
+        f"schema version:   {info['schema_version']}",
+        f"strict taxonomy:  {info['strict_taxonomy']}",
+        f"fingerprint:      {info['fingerprint']}",
+    ]
+    if "window_start" in info:
+        lines.append(f"window:           {info['window_start']} .. "
+                     f"{info['window_end']}")
+    if "watermark" in info:
+        lines.append(f"watermark:        {info['watermark']}")
+    if "as_of" in info:
+        lines.append(f"as of:            {info['as_of']}")
+    if info["recovered"]:
+        lines.append("recovered:        yes (a torn tail was dropped)")
+    if info["quarantined"]:
+        lines.append("quarantined:      "
+                     + ", ".join(info["quarantined"]))
+    return lines
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import init_store, open_store
+
+    if args.store_command == "init":
+        store = init_store(
+            args.path, args.machine,
+            strict_taxonomy=not args.lenient,
+        )
+        print(f"initialized {args.machine} store at {args.path}")
+        del store
+        return 0
+
+    if args.store_command == "append":
+        log = _read_log(args.log, format=args.format)
+        store = open_store(args.path)
+        summary = store.append(log, reindex=args.reindex)
+        print(f"appended {summary['rows']} failures to {args.path} "
+              f"({summary['rows_total']} total, "
+              f"segment {summary['segment']})")
+        return 0
+
+    if args.store_command == "info":
+        for line in _store_info_lines(open_store(args.path).info()):
+            print(line)
+        return 0
+
+    if args.store_command == "compact":
+        summary = open_store(args.path).compact()
+        if not summary["compacted"]:
+            print(f"nothing to compact: {summary['reason']}")
+            return 0
+        print(f"compacted {summary['segments']} segments into "
+              f"{summary['segment']} "
+              f"(generation {summary['generation']}, "
+              f"{summary['rows']} rows)")
+        return 0
+
+    # query: headline metrics straight from the materialized views —
+    # O(1) in the store's size for a full handle.
+    store = open_store(args.path, as_of=args.as_of)
+    payloads = store.payloads()
+    info = store.info()
+    when = info.get("as_of", "latest")
+    print(f"machine:          {store.machine}")
+    print(f"state:            {when} ({store.rows} failures)")
+    if "window_start" in info:
+        print(f"window:           {info['window_start']} .. "
+              f"{info['window_end']}")
+    metrics_payload = payloads.get("metrics")
+    if metrics_payload is not None:
+        print(f"MTBF:             {metrics_payload['mtbf_hours']:.1f} h")
+        print(f"MTTR:             {metrics_payload['mttr_hours']:.1f} h")
+        print(f"availability:     "
+              f"{100 * metrics_payload['availability']:.3f}%")
+    breakdown_payload = payloads.get("breakdown")
+    if breakdown_payload is not None:
+        print(f"dominant:         "
+              f"{breakdown_payload['dominant_category']}")
+        print("top categories:")
+        for entry in breakdown_payload["categories"][:5]:
+            print(f"  {entry['category']:<16} {entry['count']:>5} "
+                  f"({100 * entry['share']:.2f}%)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -595,6 +748,7 @@ _COMMANDS = {
     "trends": _cmd_trends,
     "monitor": _cmd_monitor,
     "serve": _cmd_serve,
+    "store": _cmd_store,
 }
 
 

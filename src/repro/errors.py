@@ -52,3 +52,14 @@ class StreamError(ReproError):
 class ServeError(ReproError):
     """The analytics service was misconfigured (bad dataset spec,
     unknown dataset handle, invalid server parameters)."""
+
+
+class StoreError(ReproError):
+    """A persistent event store rejected an operation (out-of-order
+    append, colliding record ids, schema mismatch, unknown path)."""
+
+
+class StoreCorruptError(StoreError):
+    """A persistent event store's on-disk state failed verification
+    (torn segment, bad checksum, unreadable manifest) in a way
+    recovery could not repair without losing non-tail data."""

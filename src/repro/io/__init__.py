@@ -19,6 +19,8 @@ from repro.io.formats import (
     infer_format,
     media_type_for,
     read_log,
+    sniff_format,
+    write_log,
 )
 from repro.io.jsonio import read_jsonl, write_jsonl
 from repro.io.rawlog import normalize_category, read_raw_csv
@@ -46,6 +48,8 @@ __all__ = [
     "read_raw_csv",
     "record_from_row",
     "record_to_row",
+    "sniff_format",
     "write_csv",
     "write_jsonl",
+    "write_log",
 ]

@@ -11,8 +11,8 @@ from pathlib import Path
 
 from repro.core.records import FailureLog
 from repro.errors import SerializationError
-from repro.io.csvio import read_csv
-from repro.io.jsonio import read_jsonl
+from repro.io.csvio import read_csv, write_csv
+from repro.io.jsonio import read_jsonl, write_jsonl
 from repro.io.tolerant import LogReadReport, check_on_error
 
 __all__ = [
@@ -22,6 +22,8 @@ __all__ = [
     "infer_format",
     "media_type_for",
     "read_log",
+    "sniff_format",
+    "write_log",
 ]
 
 #: Formats understood by :func:`read_log`.
@@ -87,6 +89,19 @@ def media_type_for(format: str) -> str:
         ) from None
 
 
+def sniff_format(path: Path | str) -> str | None:
+    """Format a path's extension suggests, or None if unrecognised.
+
+    The single source of truth for extension -> format: the CLI
+    (``generate``/``analyze``), the streaming file source, and the
+    store importer all sniff here rather than keeping their own
+    suffix maps.  Unlike :func:`infer_format` this never raises, so
+    callers with a sensible default (the CLI writes CSV for odd
+    extensions) can fall back instead of aborting.
+    """
+    return _EXTENSIONS.get(Path(path).suffix.lower())
+
+
 def infer_format(path: Path | str) -> str:
     """Infer a log file's format from its extension.
 
@@ -94,15 +109,15 @@ def infer_format(path: Path | str) -> str:
         SerializationError: For an unrecognised extension — pass an
             explicit format instead (``--format`` on the CLI).
     """
-    suffix = Path(path).suffix.lower()
-    try:
-        return _EXTENSIONS[suffix]
-    except KeyError:
+    chosen = sniff_format(path)
+    if chosen is None:
+        suffix = Path(path).suffix.lower()
         raise SerializationError(
             f"cannot infer log format from extension {suffix!r} "
             f"(known: {', '.join(sorted(_EXTENSIONS))}); pass an "
             f"explicit format"
-        ) from None
+        )
+    return chosen
 
 
 def read_log(
@@ -137,3 +152,28 @@ def read_log(
         f"unknown log format {chosen!r} (known: "
         f"{', '.join(KNOWN_FORMATS)})"
     )
+
+
+def write_log(
+    log: FailureLog, path: Path | str, format: str | None = None
+) -> None:
+    """Write a failure log, inferring the format from the extension.
+
+    The writing twin of :func:`read_log`: ``format`` overrides
+    inference, otherwise the extension decides via
+    :func:`sniff_format`.
+
+    Raises:
+        SerializationError: On an unknown format name or an
+            unrecognisable extension without an explicit format.
+    """
+    chosen = format or infer_format(path)
+    if chosen == "csv":
+        write_csv(log, path)
+    elif chosen == "jsonl":
+        write_jsonl(log, path)
+    else:
+        raise SerializationError(
+            f"unknown log format {chosen!r} (known: "
+            f"{', '.join(KNOWN_FORMATS)})"
+        )

@@ -30,6 +30,7 @@ from repro.serve.http import HttpError, HttpRequest, Response
 from repro.serve.registry import (
     Dataset,
     DatasetRegistry,
+    fingerprint_file,
     fingerprint_log,
     parse_dataset_spec,
     register_from_spec,
@@ -56,6 +57,7 @@ __all__ = [
     "SingleFlight",
     "TokenBucket",
     "canonical_key",
+    "fingerprint_file",
     "fingerprint_log",
     "parse_dataset_spec",
     "register_from_spec",

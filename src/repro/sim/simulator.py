@@ -196,3 +196,19 @@ class ClusterSimulator:
     def injected_log(self) -> FailureLog:
         """Failures injected during the run, as an analyzable log."""
         return self.injector.injected_log()
+
+    def to_store(self, path, *, reindex: bool = True):
+        """Persist the run's injected failures to the store at ``path``.
+
+        A missing store is created with the run's observation window;
+        see :func:`repro.store.ingest_log`.  ``reindex`` defaults to
+        True because every run numbers its records from zero, which
+        would collide with any previously persisted run.  Returns the
+        append summary.
+
+        Raises:
+            SimulationError: If nothing has been injected yet.
+        """
+        from repro.store import ingest_log
+
+        return ingest_log(path, self.injected_log(), reindex=reindex)

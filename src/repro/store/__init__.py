@@ -1,0 +1,44 @@
+"""repro.store — a persistent, append-only columnar event store.
+
+Failure logs live on disk as immutable, checksummed segments of
+aligned NumPy column arrays under an atomic JSON manifest; reads
+memory-map the segments and materialize
+:class:`~repro.core.columns.ColumnarView` /
+:class:`~repro.core.records.FailureLog` without copying the stored
+columns.  Every append incrementally updates materialized analytics
+(:mod:`repro.store.views`), so opening a store and serving its
+``/analyze`` payloads costs O(1) in the store's size — the warm
+restart the serving layer's ``store:PATH`` dataset specs build on.
+
+Quick tour::
+
+    from repro.store import init_store, open_store
+
+    store = init_store("events.store", "tsubame3")
+    store.append(log)                     # validated, fsync'd, committed
+    store.payloads()["breakdown"]         # materialized, O(1)
+    log2 = open_store("events.store").log()   # zero-copy over mmap
+    past = open_store("events.store", as_of=march).log()  # time travel
+
+See ``docs/STORAGE.md`` for the format specification, recovery
+semantics, and the incremental-vs-cold parity contract.
+"""
+
+from repro.store.segments import SCHEMA_VERSION
+from repro.store.store import (
+    FailureStore,
+    ingest_log,
+    init_store,
+    open_store,
+)
+from repro.store.views import StoreViews, verify_parity
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FailureStore",
+    "StoreViews",
+    "ingest_log",
+    "init_store",
+    "open_store",
+    "verify_parity",
+]

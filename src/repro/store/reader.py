@@ -1,0 +1,271 @@
+"""Zero-copy reads: segments -> ColumnarView / FailureLog.
+
+The read path materializes the same structures the in-memory layer
+builds from records — :class:`~repro.core.columns.ColumnarView` for
+the vectorized kernels, :class:`~repro.core.records.FailureLog` for
+the record API — but sources the column arrays from the mmap'd
+segments.  For a single-segment store the stored columns (node ids,
+TTR, category codes, calendar fields, slot CSR) are handed out as
+direct read-only views over the mapping: NumPy's base chain keeps the
+mmap alive under every derived array (the same pinning guarantee
+:mod:`repro.parallel.shm` documents), so no bytes are copied and no
+lifetime bugs are possible.  Multi-segment stores concatenate, which
+compaction (:mod:`repro.store.compact`) remedies.
+
+Bit-identity: the assembled view reproduces
+:func:`repro.core.columns.build_columns` exactly — the global
+category table is the sorted union of segment tables (== the sorted
+unique categories present), class/GPU code lookups run through the
+same ``_category_table`` helper, and hour offsets use the same float
+expression ``(Δus / 1e6) / 3600.0`` that ``timedelta.total_seconds``
+produces — so a round trip through the store is indistinguishable
+from having built the log in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.columns import ColumnarView, _category_table
+from repro.core.records import FailureLog, FailureRecord
+from repro.store.segments import Segment, us_to_datetime
+
+__all__ = ["assemble_view", "materialize_log", "cut_rows"]
+
+
+def cut_rows(segment: Segment, as_of_us: int | None) -> int:
+    """Rows of a segment visible at ``as_of_us`` (all when None).
+
+    Appends are time-monotone and segments store records in order, so
+    an event-time cut is always a row *prefix* — found by bisecting
+    the timestamp column.
+    """
+    if as_of_us is None or segment.max_ts_us <= as_of_us:
+        return segment.rows
+    if segment.min_ts_us > as_of_us:
+        return 0
+    return int(
+        np.searchsorted(segment.col("ts_us"), as_of_us, side="right")
+    )
+
+
+def _remap(
+    codes: np.ndarray,
+    local: tuple[str, ...],
+    table: tuple[str, ...],
+    none_sentinel: bool = False,
+) -> np.ndarray:
+    """Translate segment-local codes into a global table's codes."""
+    if local == table:
+        return codes
+    lookup = np.empty(
+        len(local) + (1 if none_sentinel else 0), dtype=np.int32
+    )
+    for index, name in enumerate(local):
+        lookup[index] = table.index(name)
+    if none_sentinel:
+        # -1 (no locus) indexes the extra trailing slot.
+        lookup[-1] = -1
+    return lookup[codes]
+
+
+def assemble_view(
+    segments: Sequence[Segment],
+    machine: str,
+    window_start_us: int,
+    as_of_us: int | None = None,
+) -> tuple[ColumnarView, np.ndarray, np.ndarray, tuple[str, ...]]:
+    """Build a ColumnarView over the segments' mmap'd columns.
+
+    Returns ``(view, record_ids, locus_codes, locus_table)`` — the
+    extra arrays carry what a ColumnarView does not model but
+    :func:`materialize_log` needs.
+    """
+    visible = []
+    for segment in segments:
+        rows = cut_rows(segment, as_of_us)
+        if rows:
+            visible.append((segment, rows))
+
+    names: set[str] = set()
+    loci: set[str] = set()
+    for segment, _ in visible:
+        names.update(segment.category_table)
+        loci.update(segment.locus_table)
+    table, class_by_code, gpu_by_code, complete = _category_table(
+        machine, sorted(names)
+    )
+    locus_table = tuple(sorted(loci))
+
+    def prefix(segment: Segment, name: str, rows: int) -> np.ndarray:
+        array = segment.col(name)
+        return array if rows == segment.rows else array[:rows]
+
+    if len(visible) == 1:
+        segment, rows = visible[0]
+        ts_us = prefix(segment, "ts_us", rows)
+        record_ids = prefix(segment, "record_id", rows)
+        node_ids = prefix(segment, "node_id", rows)
+        ttr = prefix(segment, "ttr_hours", rows)
+        codes = _remap(
+            prefix(segment, "category", rows),
+            segment.category_table,
+            table,
+        )
+        locus_codes = _remap(
+            prefix(segment, "locus", rows),
+            segment.locus_table,
+            locus_table,
+            none_sentinel=True,
+        )
+        months = prefix(segment, "month", rows)
+        weekdays = prefix(segment, "weekday", rows)
+        hours = prefix(segment, "hour", rows)
+        offsets = segment.col("slot_offsets")[: rows + 1]
+        slot_values = segment.col("slot_values")[: int(offsets[-1])]
+    elif visible:
+        parts: dict[str, list[np.ndarray]] = {
+            key: []
+            for key in (
+                "ts_us", "record_id", "node_id", "ttr_hours",
+                "category", "locus", "month", "weekday", "hour",
+                "slot_values",
+            )
+        }
+        offset_parts: list[np.ndarray] = []
+        base = 0
+        for segment, rows in visible:
+            for key in (
+                "ts_us", "record_id", "node_id", "ttr_hours",
+                "month", "weekday", "hour",
+            ):
+                parts[key].append(prefix(segment, key, rows))
+            parts["category"].append(
+                _remap(
+                    prefix(segment, "category", rows),
+                    segment.category_table,
+                    table,
+                )
+            )
+            parts["locus"].append(
+                _remap(
+                    prefix(segment, "locus", rows),
+                    segment.locus_table,
+                    locus_table,
+                    none_sentinel=True,
+                )
+            )
+            seg_offsets = segment.col("slot_offsets")[: rows + 1]
+            slots = int(seg_offsets[-1])
+            parts["slot_values"].append(
+                segment.col("slot_values")[:slots]
+            )
+            offset_parts.append(seg_offsets[:-1] + base)
+            base += slots
+        offset_parts.append(np.asarray([base], dtype=np.int64))
+        ts_us = np.concatenate(parts["ts_us"])
+        record_ids = np.concatenate(parts["record_id"])
+        node_ids = np.concatenate(parts["node_id"])
+        ttr = np.concatenate(parts["ttr_hours"])
+        codes = np.concatenate(parts["category"])
+        locus_codes = np.concatenate(parts["locus"])
+        months = np.concatenate(parts["month"])
+        weekdays = np.concatenate(parts["weekday"])
+        hours = np.concatenate(parts["hour"])
+        slot_values = np.concatenate(parts["slot_values"])
+        offsets = np.concatenate(offset_parts)
+    else:
+        ts_us = record_ids = node_ids = np.empty(0, dtype=np.int64)
+        ttr = np.empty(0, dtype=np.float64)
+        codes = locus_codes = np.empty(0, dtype=np.int32)
+        months = weekdays = hours = np.empty(0, dtype=np.int8)
+        slot_values = np.empty(0, dtype=np.int32)
+        offsets = np.zeros(1, dtype=np.int64)
+
+    view = ColumnarView(
+        machine=machine,
+        category_names=table,
+        taxonomy_complete=complete,
+        ts_hours=(ts_us - window_start_us) / 1e6 / 3600.0,
+        node_ids=node_ids,
+        ttr_hours=ttr,
+        category_codes=codes,
+        class_codes=class_by_code[codes],
+        gpu_counts=np.diff(offsets).astype(np.int16),
+        gpu_category=gpu_by_code[codes],
+        months=months,
+        weekdays=weekdays,
+        hours_of_day=hours,
+        slot_values=slot_values,
+        slot_offsets=offsets,
+    )
+    return view, record_ids, locus_codes, locus_table
+
+
+def materialize_log(
+    segments: Sequence[Segment],
+    machine: str,
+    window_start_us: int,
+    window_end_us: int,
+    strict_taxonomy: bool,
+    as_of_us: int | None = None,
+) -> FailureLog:
+    """Materialize a FailureLog (records + injected columnar view).
+
+    Records are rebuilt through the validating ``FailureRecord``
+    constructor; log-level invariants (chronological order, unique
+    ids, in-window timestamps) are guaranteed by the store's append
+    rules and checksums, so :meth:`FailureLog._from_trusted` applies —
+    the injected view means kernels run on the mmap'd arrays without
+    a rebuild.
+    """
+    view, record_ids, locus_codes, locus_table = assemble_view(
+        segments, machine, window_start_us, as_of_us
+    )
+    ts_us = None
+    records = []
+    offsets = view.slot_offsets
+    slot_values = view.slot_values
+    names = view.category_names
+    for segment in segments:
+        rows = cut_rows(segment, as_of_us)
+        if rows:
+            part = segment.col("ts_us")
+            part = part if rows == segment.rows else part[:rows]
+            ts_us = part if ts_us is None else np.concatenate(
+                [ts_us, part]
+            )
+    if ts_us is None:
+        ts_us = np.empty(0, dtype=np.int64)
+    ids = record_ids.tolist()
+    stamps = ts_us.tolist()
+    nodes = view.node_ids.tolist()
+    ttrs = view.ttr_hours.tolist()
+    codes = view.category_codes.tolist()
+    loci = locus_codes.tolist()
+    bounds = offsets.tolist()
+    slots = slot_values.tolist()
+    for index in range(len(ids)):
+        start, end = bounds[index], bounds[index + 1]
+        locus = loci[index]
+        records.append(
+            FailureRecord(
+                record_id=ids[index],
+                timestamp=us_to_datetime(stamps[index]),
+                node_id=nodes[index],
+                category=names[codes[index]],
+                ttr_hours=ttrs[index],
+                gpus_involved=tuple(slots[start:end]),
+                root_locus=locus_table[locus] if locus >= 0 else None,
+            )
+        )
+    return FailureLog._from_trusted(
+        machine=machine,
+        records=tuple(records),
+        window_start=us_to_datetime(window_start_us),
+        window_end=us_to_datetime(window_end_us),
+        strict_taxonomy=strict_taxonomy,
+        columns=view,
+    )

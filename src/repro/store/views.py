@@ -1,0 +1,602 @@
+"""Materialized analytics, maintained incrementally on append.
+
+A :class:`StoreViews` carries enough sufficient statistics to rebuild
+every ``/analyze`` payload the serving layer exposes — breakdown,
+metrics, spatial, seasonal, multigpu — without touching the event
+columns.  Appending a batch updates the statistics as deltas
+(:meth:`StoreViews.absorb`), so analytics over a million-record store
+cost O(batch), not O(store); the :mod:`repro.stream` online estimators
+(:class:`~repro.stream.online.Welford` for means,
+:class:`~repro.stream.online.GKQuantileSketch` for quantiles,
+:class:`~repro.stream.online.EwmaRate` for the recent failure rate)
+are the merge algebra, persisted across restarts via their
+``state()``/``from_state()`` snapshots.
+
+Parity contract (asserted by :func:`verify_parity`, the property
+suite, and the store benchmark):
+
+* every integer-derived value — counts, shares (``count / total``),
+  ``span``/``mtbf_span`` (same float expression), sort orders, CDFs —
+  is **exactly** equal to the cold :mod:`repro.core` kernels;
+* float means (MTBF, MTTR, availability, monthly TTR, clustering
+  gaps) agree to a relative 1e-9: the cold kernels use NumPy's
+  pairwise summation while the incremental path uses Welford updates
+  and exact integer microsecond sums, which round differently in the
+  last bits;
+* the state depends only on the record *sequence*, never on how it
+  was split into batches — Welford/GK updates are per-element and the
+  multi-GPU clustering sums are exact integers — so rebuilding from
+  segments after compaction reproduces the incremental state
+  bit-for-bit (the lone exception, the EWMA mass, is diagnostic-only
+  and never enters a payload).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.seasonal import MONTHS
+from repro.core.taxonomy import failure_class
+from repro.errors import AnalysisError, StoreCorruptError, TaxonomyError
+from repro.machines.specs import get_machine
+from repro.stream.online import EwmaRate, GKQuantileSketch, Welford
+
+__all__ = ["StoreViews", "VIEWS_NAME", "verify_parity"]
+
+VIEWS_NAME = "views.json"
+
+_STATE_VERSION = 1
+_US_PER_HOUR = 3_600_000_000
+#: int64-safe chunk size for exact microsecond sums (see _exact_sum).
+_SUM_CHUNK = 16_384
+
+
+def _exact_sum(values: np.ndarray) -> int:
+    """Exact Python-int sum of an int64 array.
+
+    Microsecond offsets over a decade reach ~3e14; a million-row
+    ``np.sum`` would overflow int64.  Chunked partial sums stay safely
+    inside int64 and accumulate in arbitrary-precision Python ints.
+    """
+    total = 0
+    for start in range(0, values.size, _SUM_CHUNK):
+        total += int(values[start:start + _SUM_CHUNK].sum())
+    return total
+
+
+class StoreViews:
+    """Incrementally maintained sufficient statistics of one store."""
+
+    def __init__(self, machine: str, window_start_us: int) -> None:
+        self.machine = machine
+        self.window_start_us = int(window_start_us)
+        self.rows = 0
+        self.category_counts: dict[str, int] = {}
+        self.node_counts: dict[int, int] = {}
+        self.month_counts = [0] * 12
+        self.weekday_counts = [0] * 7
+        self.hour_counts = [0] * 24
+        self.month_ttr: dict[int, Welford] = {}
+        self.ttr = Welford()
+        self.gaps = Welford()
+        self.last_ts_us: int | None = None
+        self.first_ts_us: int | None = None
+        self.involvement: dict[int, int] = {}
+        # Multi-GPU clustering (Figure 8) as exact integer sums: every
+        # involved event waits for the *next* multi-GPU event; when one
+        # arrives at T, each pending event at t contributes a gap
+        # T - t, classified by whether it was itself multi-GPU.  Sums
+        # are microseconds relative to the window start.
+        self.pending_single_count = 0
+        self.pending_single_us = 0
+        self.last_multi_us: int | None = None
+        self.gaps_multi_count = 0
+        self.gaps_multi_us = 0
+        self.gaps_single_count = 0
+        self.gaps_single_us = 0
+        # Diagnostic estimators (store info, never in payloads).
+        self.ttr_sketch = GKQuantileSketch()
+        self.gap_sketch = GKQuantileSketch()
+        self.rate = EwmaRate()
+
+    # -- delta maintenance -------------------------------------------------
+
+    def absorb(
+        self,
+        columns: dict[str, np.ndarray],
+        category_table: tuple[str, ...],
+        locus_table: tuple[str, ...],
+    ) -> None:
+        """Fold one batch of segment-shaped columns into the views.
+
+        The caller (writer on append, reader on rebuild) passes the
+        exact arrays a segment stores, in record order; both paths run
+        this one method, which is what makes a rebuild bit-identical
+        to the incremental history.
+        """
+        del locus_table  # loci never enter a materialized payload
+        ts_us = columns["ts_us"]
+        n = int(ts_us.shape[0])
+        if n == 0:
+            return
+        ttr = columns["ttr_hours"]
+        months = columns["month"]
+
+        # Category / node / calendar tallies: exact integer counts.
+        codes, tallies = np.unique(columns["category"], return_counts=True)
+        for code, count in zip(codes.tolist(), tallies.tolist()):
+            name = category_table[code]
+            self.category_counts[name] = (
+                self.category_counts.get(name, 0) + count
+            )
+        nodes, tallies = np.unique(columns["node_id"], return_counts=True)
+        for node, count in zip(nodes.tolist(), tallies.tolist()):
+            self.node_counts[node] = self.node_counts.get(node, 0) + count
+        for month, count in zip(
+            *map(np.ndarray.tolist, np.unique(months, return_counts=True))
+        ):
+            self.month_counts[month - 1] += count
+        for day, count in zip(
+            *map(
+                np.ndarray.tolist,
+                np.unique(columns["weekday"], return_counts=True),
+            )
+        ):
+            self.weekday_counts[day] += count
+        for hour, count in zip(
+            *map(
+                np.ndarray.tolist,
+                np.unique(columns["hour"], return_counts=True),
+            )
+        ):
+            self.hour_counts[hour] += count
+
+        # TTR means: Welford per calendar month plus overall.
+        for month in np.unique(months).tolist():
+            self.month_ttr.setdefault(month, Welford()).push_many(
+                ttr[months == month]
+            )
+        self.ttr.push_many(ttr)
+        self.ttr_sketch.push_many(ttr)
+
+        # MTBF gaps in the same float domain as the cold kernel:
+        # hour offsets from the window start, then differences, so
+        # each individual gap is bit-identical to np.diff(ts_hours).
+        ts_hours = (ts_us - self.window_start_us) / 1e6 / 3600.0
+        if self.last_ts_us is not None:
+            previous = (
+                (self.last_ts_us - self.window_start_us) / 1e6 / 3600.0
+            )
+            gap_values = np.diff(ts_hours, prepend=previous)
+        else:
+            gap_values = np.diff(ts_hours)
+            self.first_ts_us = int(ts_us[0])
+        self.gaps.push_many(gap_values)
+        self.gap_sketch.push_many(gap_values)
+        self.last_ts_us = int(ts_us[-1])
+
+        rate = self.rate.state()
+        tau = rate["tau"]
+        last_hour = float(ts_hours[-1])
+        decayed = rate["mass"] * math.exp(
+            -(last_hour - rate["last"]) / tau
+        ) + float(np.sum(np.exp(-(last_hour - ts_hours) / tau)))
+        self.rate = EwmaRate.from_state(
+            {"tau": tau, "mass": decayed, "last": last_hour,
+             "count": rate["count"] + n}
+        )
+
+        # Multi-GPU involvement and clustering.
+        gpu_counts = np.diff(columns["slot_offsets"])
+        involved = np.nonzero(gpu_counts > 0)[0]
+        if involved.size:
+            nums, tallies = np.unique(
+                gpu_counts[involved], return_counts=True
+            )
+            for num, count in zip(nums.tolist(), tallies.tolist()):
+                self.involvement[num] = (
+                    self.involvement.get(num, 0) + count
+                )
+            rel_us = (ts_us[involved] - self.window_start_us).astype(
+                np.int64
+            )
+            is_multi = gpu_counts[involved] > 1
+            previous = 0
+            for position in np.nonzero(is_multi)[0].tolist():
+                # Everything between two multi events is single-GPU.
+                span = rel_us[previous:position]
+                self.pending_single_count += span.size
+                self.pending_single_us += _exact_sum(span)
+                arrival = int(rel_us[position])
+                self.gaps_single_us += (
+                    self.pending_single_count * arrival
+                    - self.pending_single_us
+                )
+                self.gaps_single_count += self.pending_single_count
+                self.pending_single_count = 0
+                self.pending_single_us = 0
+                if self.last_multi_us is not None:
+                    self.gaps_multi_count += 1
+                    self.gaps_multi_us += arrival - self.last_multi_us
+                self.last_multi_us = arrival
+                previous = position + 1
+            tail = rel_us[previous:]
+            self.pending_single_count += tail.size
+            self.pending_single_us += _exact_sum(tail)
+
+        self.rows += n
+
+    # -- payloads ----------------------------------------------------------
+
+    def payloads(self, window_end_us: int) -> dict[str, dict[str, Any]]:
+        """Every ``/analyze`` payload whose preconditions hold.
+
+        Shapes mirror :mod:`repro.serve.app` exactly; analyses the
+        cold kernels would refuse (empty store, single failure, no GPU
+        involvement) are simply absent, so the serving layer falls
+        back to the cold path — which raises the same error the
+        in-memory dataset would.
+        """
+        payloads: dict[str, dict[str, Any]] = {}
+        builders = {
+            "breakdown": self._breakdown,
+            "metrics": lambda: self._metrics(window_end_us),
+            "spatial": self._spatial,
+            "seasonal": self._seasonal,
+            "multigpu": self._multigpu,
+        }
+        for name, builder in builders.items():
+            try:
+                payloads[name] = builder()
+            except (AnalysisError, TaxonomyError):
+                # Ad-hoc categories in lenient stores raise
+                # TaxonomyError exactly like the cold kernels would.
+                continue
+        return payloads
+
+    def _breakdown(self) -> dict[str, Any]:
+        if self.rows == 0:
+            raise AnalysisError(
+                "category breakdown of an empty log is undefined"
+            )
+        ranked = sorted(
+            self.category_counts.items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return {
+            "machine": self.machine,
+            "failures": self.rows,
+            "dominant_category": ranked[0][0],
+            "categories": [
+                {
+                    "category": name,
+                    "count": count,
+                    "share": count / self.rows,
+                    "class": failure_class(self.machine, name).name,
+                }
+                for name, count in ranked
+            ],
+        }
+
+    def _metrics(self, window_end_us: int) -> dict[str, Any]:
+        if self.rows < 2:
+            raise AnalysisError(
+                f"TBF needs at least 2 failures, store has {self.rows}"
+            )
+        spec = get_machine(self.machine)
+        span_hours = (
+            (window_end_us - self.window_start_us) / 1e6 / 3600.0
+        )
+        downtime = self.ttr.mean * self.rows
+        return {
+            "machine": self.machine,
+            "failures": self.rows,
+            "span_hours": span_hours,
+            "mtbf_hours": self.gaps.mean,
+            "mtbf_span_hours": span_hours / self.rows,
+            "mttr_hours": self.ttr.mean,
+            "availability": max(
+                0.0, 1.0 - downtime / (spec.num_nodes * span_hours)
+            ),
+            "num_nodes": spec.num_nodes,
+        }
+
+    def _spatial(self) -> dict[str, Any]:
+        if self.rows == 0:
+            raise AnalysisError(
+                "node failure distribution of an empty log is undefined"
+            )
+        affected = len(self.node_counts)
+        histogram: dict[int, int] = {}
+        for count in self.node_counts.values():
+            histogram[count] = histogram.get(count, 0) + 1
+        ranked = sorted(
+            self.node_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        cdf = []
+        running = 0
+        for k in sorted(histogram):
+            running += histogram[k]
+            cdf.append([k, running / affected])
+        return {
+            "machine": self.machine,
+            "affected_nodes": affected,
+            "total_failures": sum(self.node_counts.values()),
+            "top_nodes": [[node, count] for node, count in ranked[:10]],
+            "cdf": cdf,
+        }
+
+    def _seasonal(self) -> dict[str, Any]:
+        if self.rows == 0:
+            raise AnalysisError("monthly TTR of an empty log is undefined")
+        return {
+            "machine": self.machine,
+            "monthly_failures": list(self.month_counts),
+            "peak_month": max(
+                MONTHS, key=lambda m: (self.month_counts[m - 1], -m)
+            ),
+            "monthly_ttr_means_hours": [
+                self.month_ttr[m].mean
+                if m in self.month_ttr
+                else float("nan")
+                for m in MONTHS
+            ],
+        }
+
+    def _multigpu(self) -> dict[str, Any]:
+        total = sum(self.involvement.values())
+        if total == 0:
+            raise AnalysisError(
+                "log has no GPU failures with recorded involvement"
+            )
+        spec = get_machine(self.machine)
+        max_gpus = spec.gpus_per_node
+        if max(self.involvement) > max_gpus:
+            raise AnalysisError(
+                f"a record involves {max(self.involvement)} GPUs but "
+                f"the node only has {max_gpus}"
+            )
+        multi = sum(
+            count for num, count in self.involvement.items() if num > 1
+        )
+        if self.gaps_multi_count == 0:
+            mean_after_multi = float("nan")
+        else:
+            mean_after_multi = (
+                self.gaps_multi_us / self.gaps_multi_count
+            ) / _US_PER_HOUR
+        if not math.isfinite(mean_after_multi) or mean_after_multi <= 0:
+            ratio = float("nan")
+        elif self.gaps_single_count == 0:
+            ratio = float("inf")
+        else:
+            ratio = (
+                (self.gaps_single_us / self.gaps_single_count)
+                / _US_PER_HOUR
+            ) / mean_after_multi
+        return {
+            "machine": self.machine,
+            "multi_gpu_share": multi / total,
+            "involvement": [
+                {
+                    "gpus": num,
+                    "count": self.involvement.get(num, 0),
+                    "share": self.involvement.get(num, 0) / total,
+                }
+                for num in range(1, max_gpus + 1)
+            ],
+            "clustering_ratio": ratio,
+            "is_clustered": bool(
+                not math.isnan(ratio) and ratio > 1.0
+            ),
+        }
+
+    def info(self) -> dict[str, Any]:
+        """Diagnostic summary for ``store info`` / dataset describe."""
+        summary: dict[str, Any] = {
+            "rows": self.rows,
+            "categories": len(self.category_counts),
+            "affected_nodes": len(self.node_counts),
+            "gpu_involved_failures": sum(self.involvement.values()),
+        }
+        if self.ttr.n:
+            summary["ttr_hours"] = {
+                "mean": self.ttr.mean,
+                "p50": self.ttr_sketch.value(0.5),
+                "p90": self.ttr_sketch.value(0.9),
+                "p99": self.ttr_sketch.value(0.99),
+            }
+        if self.gaps.n:
+            summary["tbf_hours"] = {
+                "mean": self.gaps.mean,
+                "p50": self.gap_sketch.value(0.5),
+            }
+        if self.rate.count:
+            summary["recent_rate_per_hour"] = self.rate.rate_per_hour()
+        return summary
+
+    # -- persistence -------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot; exact inverse of :meth:`from_state`."""
+        return {
+            "version": _STATE_VERSION,
+            "machine": self.machine,
+            "window_start_us": self.window_start_us,
+            "rows": self.rows,
+            "category_counts": self.category_counts,
+            "node_counts": {
+                str(node): count
+                for node, count in self.node_counts.items()
+            },
+            "month_counts": self.month_counts,
+            "weekday_counts": self.weekday_counts,
+            "hour_counts": self.hour_counts,
+            "month_ttr": {
+                str(month): welford.state()
+                for month, welford in self.month_ttr.items()
+            },
+            "ttr": self.ttr.state(),
+            "gaps": self.gaps.state(),
+            "last_ts_us": self.last_ts_us,
+            "first_ts_us": self.first_ts_us,
+            "involvement": {
+                str(num): count for num, count in self.involvement.items()
+            },
+            "pending_single_count": self.pending_single_count,
+            "pending_single_us": self.pending_single_us,
+            "last_multi_us": self.last_multi_us,
+            "gaps_multi_count": self.gaps_multi_count,
+            "gaps_multi_us": self.gaps_multi_us,
+            "gaps_single_count": self.gaps_single_count,
+            "gaps_single_us": self.gaps_single_us,
+            "ttr_sketch": self.ttr_sketch.state(),
+            "gap_sketch": self.gap_sketch.state(),
+            "rate": self.rate.state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StoreViews":
+        """Restore views bit-identically from a :meth:`state` snapshot."""
+        views = cls(state["machine"], state["window_start_us"])
+        views.rows = int(state["rows"])
+        views.category_counts = dict(state["category_counts"])
+        views.node_counts = {
+            int(node): count
+            for node, count in state["node_counts"].items()
+        }
+        views.month_counts = list(state["month_counts"])
+        views.weekday_counts = list(state["weekday_counts"])
+        views.hour_counts = list(state["hour_counts"])
+        views.month_ttr = {
+            int(month): Welford.from_state(snapshot)
+            for month, snapshot in state["month_ttr"].items()
+        }
+        views.ttr = Welford.from_state(state["ttr"])
+        views.gaps = Welford.from_state(state["gaps"])
+        views.last_ts_us = state["last_ts_us"]
+        views.first_ts_us = state["first_ts_us"]
+        views.involvement = {
+            int(num): count
+            for num, count in state["involvement"].items()
+        }
+        views.pending_single_count = int(state["pending_single_count"])
+        views.pending_single_us = int(state["pending_single_us"])
+        views.last_multi_us = state["last_multi_us"]
+        views.gaps_multi_count = int(state["gaps_multi_count"])
+        views.gaps_multi_us = int(state["gaps_multi_us"])
+        views.gaps_single_count = int(state["gaps_single_count"])
+        views.gaps_single_us = int(state["gaps_single_us"])
+        views.ttr_sketch = GKQuantileSketch.from_state(
+            state["ttr_sketch"]
+        )
+        views.gap_sketch = GKQuantileSketch.from_state(
+            state["gap_sketch"]
+        )
+        views.rate = EwmaRate.from_state(state["rate"])
+        return views
+
+    def save(self, root: str | Path, token: str) -> None:
+        """Write ``views.json`` bound to one committed manifest state.
+
+        Written via temp-and-rename like the manifest; a stale or torn
+        file merely costs a rebuild, never wrong analytics, because
+        :meth:`load` refuses any token mismatch.
+        """
+        root = Path(root)
+        path = root / VIEWS_NAME
+        tmp = root / (VIEWS_NAME + ".tmp")
+        blob = json.dumps(
+            {"token": token, "state": self.state()}
+        ).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, root: str | Path, token: str) -> "StoreViews | None":
+        """Load saved views if they match ``token``; None means rebuild."""
+        path = Path(root) / VIEWS_NAME
+        try:
+            saved = json.loads(path.read_bytes())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(saved, dict) or saved.get("token") != token:
+            return None
+        try:
+            state = saved["state"]
+            if state.get("version") != _STATE_VERSION:
+                return None
+            return cls.from_state(state)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+# --------------------------------------------------------------------------
+# Parity against the cold kernels
+# --------------------------------------------------------------------------
+
+def verify_parity(
+    payloads: dict[str, dict[str, Any]],
+    log,
+    *,
+    rel_tol: float = 1e-9,
+) -> None:
+    """Assert materialized payloads match the cold kernels on ``log``.
+
+    Integer-derived values must be exactly equal; floats to
+    ``rel_tol`` (see the module docstring for why bit-exact float
+    means are impossible against pairwise summation).
+
+    Raises:
+        StoreCorruptError: On the first mismatch, naming the path.
+    """
+    from repro.serve.app import ANALYSES  # lazy: avoids an import cycle
+
+    for name, payload in payloads.items():
+        cold = ANALYSES[name](log)
+        _compare(name, payload, cold, rel_tol)
+
+
+def _compare(path: str, ours: Any, cold: Any, rel_tol: float) -> None:
+    if isinstance(cold, float) and isinstance(ours, (int, float)):
+        ours = float(ours)
+        if math.isnan(cold) and math.isnan(ours):
+            return
+        if math.isclose(ours, cold, rel_tol=rel_tol, abs_tol=1e-12):
+            return
+        raise StoreCorruptError(
+            f"materialized analytics diverge from the cold kernels at "
+            f"{path}: {ours!r} != {cold!r}"
+        )
+    if isinstance(cold, dict) and isinstance(ours, dict):
+        if set(cold) != set(ours):
+            raise StoreCorruptError(
+                f"materialized analytics diverge at {path}: keys "
+                f"{sorted(ours)} != {sorted(cold)}"
+            )
+        for key in cold:
+            _compare(f"{path}.{key}", ours[key], cold[key], rel_tol)
+        return
+    if isinstance(cold, (list, tuple)) and isinstance(ours, (list, tuple)):
+        if len(cold) != len(ours):
+            raise StoreCorruptError(
+                f"materialized analytics diverge at {path}: length "
+                f"{len(ours)} != {len(cold)}"
+            )
+        for index, (a, b) in enumerate(zip(ours, cold)):
+            _compare(f"{path}[{index}]", a, b, rel_tol)
+        return
+    if ours != cold:
+        raise StoreCorruptError(
+            f"materialized analytics diverge from the cold kernels at "
+            f"{path}: {ours!r} != {cold!r}"
+        )

@@ -100,6 +100,26 @@ class Welford:
         self._mean = mean
         self._m2 = m2
 
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the running moments.
+
+        Restoring via :meth:`from_state` is bit-identical: the same
+        future pushes yield the same mean/variance as if the estimator
+        had never been persisted.  This is what lets the persistent
+        store (:mod:`repro.store.views`) keep its materialized
+        analytics incremental across process restarts.
+        """
+        return {"n": self._n, "mean": self._mean, "m2": self._m2}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Welford":
+        """Rebuild an estimator from a :meth:`state` snapshot."""
+        est = cls()
+        est._n = int(state["n"])
+        est._mean = float(state["mean"])
+        est._m2 = float(state["m2"])
+        return est
+
 
 class P2Quantile:
     """Single-quantile P² estimator: five markers, constant memory.
@@ -284,6 +304,30 @@ class GKQuantileSketch:
         for value in values:
             self.push(value)
 
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the sketch.
+
+        The tuple list is captured verbatim, so a sketch restored with
+        :meth:`from_state` answers every future query bit-identically
+        to one that was never persisted.
+        """
+        return {
+            "epsilon": self._epsilon,
+            "n": self._n,
+            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GKQuantileSketch":
+        """Rebuild a sketch from a :meth:`state` snapshot."""
+        sketch = cls(epsilon=float(state["epsilon"]))
+        sketch._n = int(state["n"])
+        sketch._tuples = [
+            _GKTuple(float(value), int(g), int(delta))
+            for value, g, delta in state["tuples"]
+        ]
+        return sketch
+
     def _compress(self) -> None:
         limit = int(2.0 * self._epsilon * self._n)
         tuples = self._tuples
@@ -417,6 +461,24 @@ class EwmaRate:
         if time_hours is not None:
             self._decay(time_hours)
         return self._mass / self._tau
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the decayed mass."""
+        return {
+            "tau": self._tau,
+            "mass": self._mass,
+            "last": self._last,
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EwmaRate":
+        """Rebuild a rate estimator from a :meth:`state` snapshot."""
+        est = cls(tau_hours=float(state["tau"]))
+        est._mass = float(state["mass"])
+        est._last = float(state["last"])
+        est._count = int(state["count"])
+        return est
 
 
 class OnlineMtbf:

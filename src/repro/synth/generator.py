@@ -354,6 +354,17 @@ class TraceGenerator:
             window_end=self._spec.log_end,
         )
 
+    def to_store(self, path, *, reindex: bool = False):
+        """Generate one log and append it to the store at ``path``.
+
+        A missing store is created with this machine's observation
+        window; see :func:`repro.store.ingest_log`.  Returns the
+        append summary.
+        """
+        from repro.store import ingest_log
+
+        return ingest_log(path, self.generate(), reindex=reindex)
+
 
 def generate_log(
     machine: str,

@@ -18,7 +18,9 @@ from repro.testing.chaos import (
     PoisonedFunction,
     corrupt_log_file,
     duplicate_stream,
+    flip_byte,
     shuffle_stream,
+    truncate_file,
 )
 
 __all__ = [
@@ -30,5 +32,7 @@ __all__ = [
     "PoisonedFunction",
     "corrupt_log_file",
     "duplicate_stream",
+    "flip_byte",
     "shuffle_stream",
+    "truncate_file",
 ]

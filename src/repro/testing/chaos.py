@@ -23,6 +23,11 @@ stack defends:
   worker process once, to break the pool) are picklable wrappers for
   exercising :func:`repro.parallel.sweep`'s error capture, retry, and
   broken-pool recovery.
+* **Stores** — :func:`truncate_file` (a torn write: the file's tail
+  is cut off mid-byte-stream) and :func:`flip_byte` (bit rot: one
+  byte inverted in place) model the two crash/corruption shapes
+  :mod:`repro.store`'s recovery defends against, applied to segment
+  or manifest files directly.
 
 Everything is deterministic given a seed; nothing here touches global
 state.
@@ -50,6 +55,8 @@ __all__ = [
     "PoisonedFunction",
     "FlakyFunction",
     "CrashOnce",
+    "truncate_file",
+    "flip_byte",
 ]
 
 
@@ -237,6 +244,65 @@ def corrupt_log_file(
         )
     dst.write_text("\n".join(out) + "\n")
     return manifest
+
+
+# --------------------------------------------------------------------------
+# Binary-file corruption (store segments and manifests)
+# --------------------------------------------------------------------------
+
+def truncate_file(
+    path: str | Path, keep_fraction: float = 0.5
+) -> int:
+    """Tear a file as a crashed write would: keep a byte prefix.
+
+    Truncates in place to ``keep_fraction`` of the current size
+    (rounded down; at least 0).  Returns the new size in bytes.
+
+    Raises:
+        ValueError: If ``keep_fraction`` is outside ``[0, 1)``.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(
+            f"keep_fraction must lie in [0, 1), got {keep_fraction}"
+        )
+    path = Path(path)
+    keep = int(path.stat().st_size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def flip_byte(
+    path: str | Path,
+    offset: int | None = None,
+    seed: int = 0,
+) -> int:
+    """Invert one byte of a file in place (bit rot).
+
+    ``offset`` may be negative (from the end) or None to draw a
+    seeded-random position.  Returns the absolute offset flipped.
+
+    Raises:
+        ValueError: On an empty file or an out-of-range offset.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"{path} is empty; nothing to flip")
+    if offset is None:
+        offset = random.Random(seed).randrange(size)
+    elif offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(
+            f"offset {offset} outside file of {size} bytes"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ 0xFF]))
+    return offset
 
 
 # --------------------------------------------------------------------------

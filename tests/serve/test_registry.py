@@ -17,6 +17,7 @@ from repro.io.formats import (
 )
 from repro.serve.registry import (
     DatasetRegistry,
+    fingerprint_file,
     fingerprint_log,
     parse_dataset_spec,
     register_from_spec,
@@ -98,7 +99,27 @@ class TestRegistry:
         registry = DatasetRegistry()
         dataset = registry.load("disk", path)
         assert len(dataset.log) == 5
-        assert dataset.fingerprint == fingerprint_log(dataset.log)
+        assert dataset.fingerprint == fingerprint_file(path)
+
+    @pytest.mark.parametrize("format", ["csv", "jsonl"])
+    def test_file_fingerprint_stable_across_restarts(
+        self, tmp_path, format
+    ):
+        # Regression: a file-backed dataset's fingerprint is a pure
+        # function of the file bytes, so a fresh registry (a process
+        # restart) generates the same cache keys and warm restarts
+        # reuse every cached result.
+        log = make_log([make_record(i, float(i + 1)) for i in range(5)])
+        path = tmp_path / f"log.{format}"
+        (write_csv if format == "csv" else write_jsonl)(log, path)
+        first = DatasetRegistry().load("disk", path).fingerprint
+        second = DatasetRegistry().load("disk", path).fingerprint
+        assert first == second
+        # ... and it still tracks content: new bytes, new fingerprint.
+        (write_csv if format == "csv" else write_jsonl)(
+            make_log([make_record(9, 4.0)]), path
+        )
+        assert DatasetRegistry().load("disk", path).fingerprint != first
 
 
 class TestDatasetSpecs:

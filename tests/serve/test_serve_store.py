@@ -1,0 +1,154 @@
+"""Warm-restart serving over ``store:`` datasets, end to end.
+
+The acceptance property of the store subsystem: a serve process that
+restarts over a ``store:`` spec answers its *first* analytics request
+from cache — byte-identical to what the previous process served —
+without materializing records or running a single cold kernel.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.serve import DatasetRegistry, ReproApp, run_in_thread
+from repro.serve.registry import register_from_spec
+from repro.store import ingest_log, open_store
+from repro.synth import GeneratorConfig, generate_log
+from tests.serve.test_server_e2e import request
+
+ANALYSES = ("breakdown", "metrics", "spatial", "seasonal", "multigpu")
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-store") / "events.store"
+    log = generate_log(
+        "tsubame3", config=GeneratorConfig(seed=9, num_failures=120)
+    )
+    ingest_log(path, log)
+    return path
+
+
+def _store_registry(store_path) -> DatasetRegistry:
+    registry = DatasetRegistry()
+    register_from_spec(registry, f"ev=store:{store_path}")
+    return registry
+
+
+class TestRegistration:
+    def test_store_spec_registers_lazily(self, store_path):
+        registry = _store_registry(store_path)
+        dataset = registry.get("ev")
+        assert dataset.source == f"store:{store_path}"
+        assert dataset.fingerprint.startswith("store-")
+        # Registration and describe never materialize the records.
+        described = dataset.describe()
+        assert described["machine"] == "tsubame3"
+        assert described["failures"] == 120
+        assert described["span_hours"] > 0
+        assert dataset._log is None
+
+    def test_fingerprint_matches_store(self, store_path):
+        registry = _store_registry(store_path)
+        assert (
+            registry.get("ev").fingerprint
+            == open_store(store_path).fingerprint
+        )
+
+    def test_materialized_payloads_are_exposed(self, store_path):
+        registry = _store_registry(store_path)
+        dataset = registry.get("ev")
+        for analysis in ANALYSES:
+            payload = dataset.materialized(analysis)
+            assert payload is not None, analysis
+            assert payload["machine"] == "tsubame3"
+        assert dataset.materialized("nope") is None
+        assert dataset._log is None
+
+
+class TestWarmRestart:
+    def test_restart_serves_identical_bytes_from_cache(self, store_path):
+        """Two independent 'processes': both answer the first request
+        from cache with byte-identical payloads and never touch the
+        records."""
+        transcripts = []
+        for _ in range(2):
+            registry = _store_registry(store_path)
+            app = ReproApp(registry, workers=2)
+            with run_in_thread(app) as handle:
+                bodies = {}
+                for analysis in ANALYSES:
+                    response = request(
+                        handle.port, "GET", f"/analyze/ev/{analysis}"
+                    )
+                    assert response.status == 200, analysis
+                    # First request of this process: already a hit,
+                    # seeded from the materialized views at startup.
+                    assert response.getheader("X-Cache") == "hit", (
+                        analysis
+                    )
+                    bodies[analysis] = response.body
+                transcripts.append(bodies)
+            # The whole session ran without materializing the log.
+            assert registry.get("ev")._log is None
+        assert transcripts[0] == transcripts[1]
+
+    def test_poisoned_kernels_prove_no_recomputation(self, store_path):
+        """With every cold kernel replaced by a bomb and the cache
+        disabled, analytics still answer — straight from the
+        materialized views."""
+        registry = _store_registry(store_path)
+        app = ReproApp(registry, workers=2, cache_size=0)
+
+        def boom(log):
+            raise AnalysisError("cold kernel executed")
+
+        app.analyses = {name: boom for name in app.analyses}
+        with run_in_thread(app) as handle:
+            for analysis in ANALYSES:
+                response = request(
+                    handle.port, "GET", f"/analyze/ev/{analysis}"
+                )
+                assert response.status == 200, analysis
+                payload = json.loads(response.body)
+                assert payload["machine"] == "tsubame3"
+        assert registry.get("ev")._log is None
+
+    def test_dataset_endpoints_describe_store(self, store_path):
+        registry = _store_registry(store_path)
+        with run_in_thread(ReproApp(registry, workers=2)) as handle:
+            detail = json.loads(
+                request(handle.port, "GET", "/datasets/ev").body
+            )
+            assert detail["machine"] == "tsubame3"
+            assert detail["failures"] == 120
+            assert detail["source"].startswith("store:")
+            assert detail["fingerprint"].startswith("store-")
+
+    def test_append_invalidates_by_fingerprint(
+        self, store_path, tmp_path
+    ):
+        """An append commits a new fingerprint, so a restarted server
+        computes fresh cache keys instead of serving stale bytes."""
+        import shutil
+
+        copy = tmp_path / "events.store"
+        shutil.copytree(store_path, copy)
+        before = _store_registry(copy).get("ev").fingerprint
+        store = open_store(copy)
+        log = store.log()
+        import dataclasses
+        from datetime import timedelta
+
+        late = dataclasses.replace(
+            log.records[-1],
+            record_id=99_999,
+            timestamp=log.records[-1].timestamp
+            + timedelta(seconds=1),
+        )
+        store.append([late])
+        after = _store_registry(copy).get("ev").fingerprint
+        assert after != before

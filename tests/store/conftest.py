@@ -1,0 +1,101 @@
+"""Fixtures and bit-identity helpers for the store test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.records import FailureLog
+from repro.store import init_store
+from repro.synth import GeneratorConfig, generate_log
+
+#: ColumnarView array attributes a store round trip must preserve
+#: bit-for-bit (values AND dtypes).
+COLUMN_ATTRS = (
+    "ts_hours",
+    "node_ids",
+    "ttr_hours",
+    "category_codes",
+    "class_codes",
+    "gpu_counts",
+    "gpu_category",
+    "months",
+    "weekdays",
+    "hours_of_day",
+    "slot_values",
+    "slot_offsets",
+)
+
+
+def sub_log(log: FailureLog, start: int, stop: int) -> FailureLog:
+    """A contiguous record slice carrying the full observation window.
+
+    Batches appended to a store must share the store's window origin,
+    so slices keep the parent log's window rather than shrinking it.
+    """
+    return FailureLog(
+        machine=log.machine,
+        records=log.records[start:stop],
+        window_start=log.window_start,
+        window_end=log.window_end,
+        _strict_taxonomy=log._strict_taxonomy,
+    )
+
+
+def split_log(log: FailureLog, parts: int) -> list[FailureLog]:
+    """Split a log into ``parts`` contiguous, time-ordered batches."""
+    n = len(log.records)
+    bounds = [round(i * n / parts) for i in range(parts + 1)]
+    return [
+        sub_log(log, a, b)
+        for a, b in zip(bounds, bounds[1:])
+        if b > a
+    ]
+
+
+def assert_log_roundtrip(actual: FailureLog, expected: FailureLog) -> None:
+    """Assert two logs are bit-identical: records, window, columns."""
+    assert actual.machine == expected.machine
+    assert actual.window_start == expected.window_start
+    assert actual.window_end == expected.window_end
+    assert len(actual) == len(expected)
+    assert actual.records == expected.records
+    ours, theirs = actual.columns, expected.columns
+    assert ours.category_names == theirs.category_names
+    assert ours.taxonomy_complete == theirs.taxonomy_complete
+    for name in COLUMN_ATTRS:
+        a = getattr(ours, name)
+        b = getattr(theirs, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+@pytest.fixture(scope="session")
+def t3_small() -> FailureLog:
+    """A small calibrated Tsubame-3 log (software loci + multi-GPU)."""
+    return generate_log(
+        "tsubame3", config=GeneratorConfig(seed=7, num_failures=160)
+    )
+
+
+@pytest.fixture(scope="session")
+def t2_small() -> FailureLog:
+    """A small calibrated Tsubame-2 log."""
+    return generate_log(
+        "tsubame2", config=GeneratorConfig(seed=7, num_failures=120)
+    )
+
+
+@pytest.fixture
+def stored(tmp_path, t3_small):
+    """A two-segment store holding ``t3_small``: ``(path, store)``."""
+    path = tmp_path / "events.store"
+    store = init_store(
+        path,
+        t3_small.machine,
+        window_start=t3_small.window_start,
+        window_end=t3_small.window_end,
+    )
+    for batch in split_log(t3_small, 2):
+        store.append(batch)
+    return path, store

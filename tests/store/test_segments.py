@@ -1,0 +1,161 @@
+"""Segment files: layout, round trips, and corruption detection."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreCorruptError, StoreError
+from repro.store.segments import (
+    COLUMN_DTYPES,
+    datetimes_to_us,
+    open_segment,
+    us_to_datetime,
+    write_segment,
+)
+from repro.store.writer import batch_columns
+from repro.testing import flip_byte, truncate_file
+from tests.conftest import make_log, make_record
+
+_FOOTER_LEN = 8 + 8 + 32
+
+
+def _sample_columns():
+    log = make_log(
+        [
+            make_record(0, 1.0, node_id=3, category="GPU",
+                        gpus_involved=(0, 2)),
+            make_record(1, 5.5, node_id=1, category="CPU"),
+            make_record(2, 9.25, node_id=3, category="GPU",
+                        gpus_involved=(1,)),
+            make_record(3, 20.0, node_id=9, category="SSD"),
+        ]
+    )
+    return batch_columns(log)
+
+
+@pytest.fixture
+def segment_path(tmp_path):
+    columns, categories, loci = _sample_columns()
+    path = tmp_path / "seg-000000-g000.rps"
+    entry = write_segment(path, columns, categories, loci)
+    return path, columns, categories, loci, entry
+
+
+class TestRoundTrip:
+    def test_columns_round_trip_bit_identically(self, segment_path):
+        path, columns, categories, loci, entry = segment_path
+        segment = open_segment(path)
+        assert segment.rows == 4
+        assert len(segment) == 4
+        assert segment.category_table == categories
+        assert segment.locus_table == loci
+        for name, dtype in COLUMN_DTYPES.items():
+            array = segment.col(name)
+            assert array.dtype == np.dtype(dtype), name
+            assert np.array_equal(array, columns[name]), name
+
+    def test_manifest_entry_matches_header(self, segment_path):
+        path, columns, _, _, entry = segment_path
+        segment = open_segment(path)
+        assert entry["file"] == path.name
+        assert entry["rows"] == segment.rows
+        assert entry["nbytes"] == path.stat().st_size
+        assert segment.min_ts_us == int(columns["ts_us"][0])
+        assert segment.max_ts_us == int(columns["ts_us"][-1])
+        assert segment.min_record_id == 0
+        assert segment.max_record_id == 3
+
+    def test_columns_are_read_only(self, segment_path):
+        path = segment_path[0]
+        segment = open_segment(path)
+        with pytest.raises((ValueError, RuntimeError)):
+            segment.col("node_id")[0] = 99
+
+    def test_write_is_deterministic(self, tmp_path):
+        columns, categories, loci = _sample_columns()
+        a = write_segment(tmp_path / "a.rps", columns, categories, loci)
+        b = write_segment(tmp_path / "b.rps", columns, categories, loci)
+        assert a["sha256"] == b["sha256"]
+        assert (tmp_path / "a.rps").read_bytes() == (
+            tmp_path / "b.rps"
+        ).read_bytes()
+
+
+class TestValidation:
+    def test_missing_column_rejected(self, tmp_path):
+        columns, categories, loci = _sample_columns()
+        del columns["ttr_hours"]
+        with pytest.raises(StoreError, match="missing"):
+            write_segment(tmp_path / "x.rps", columns, categories, loci)
+
+    def test_extra_column_rejected(self, tmp_path):
+        columns, categories, loci = _sample_columns()
+        columns["bogus"] = columns["node_id"]
+        with pytest.raises(StoreError, match="unexpected"):
+            write_segment(tmp_path / "x.rps", columns, categories, loci)
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        columns, categories, loci = _sample_columns()
+        columns["node_id"] = columns["node_id"][:-1]
+        with pytest.raises(StoreError, match="shape"):
+            write_segment(tmp_path / "x.rps", columns, categories, loci)
+
+
+class TestCorruptionDetection:
+    def test_flipped_data_byte_fails_checksum(self, segment_path):
+        path = segment_path[0]
+        flip_byte(path, offset=-(_FOOTER_LEN + 1))
+        with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+            open_segment(path)
+
+    def test_verify_false_skips_digest_only(self, segment_path):
+        # Structural checks still run; only the sha256 pass is skipped,
+        # which is what lets appends reopen their own fsync'd file
+        # cheaply.
+        path = segment_path[0]
+        flip_byte(path, offset=-(_FOOTER_LEN + 1))
+        segment = open_segment(path, verify=False)
+        assert segment.rows == 4
+
+    def test_truncation_is_a_torn_write(self, segment_path):
+        path = segment_path[0]
+        truncate_file(path, keep_fraction=0.6)
+        with pytest.raises(StoreCorruptError):
+            open_segment(path)
+
+    def test_truncation_to_nearly_nothing(self, segment_path):
+        path = segment_path[0]
+        truncate_file(path, keep_fraction=0.01)
+        with pytest.raises(StoreCorruptError, match="too short"):
+            open_segment(path)
+
+    def test_bad_magic(self, segment_path):
+        path = segment_path[0]
+        flip_byte(path, offset=0)
+        with pytest.raises(StoreCorruptError, match="magic"):
+            open_segment(path)
+
+    def test_corrupt_header_json(self, segment_path):
+        path = segment_path[0]
+        flip_byte(path, offset=20)  # inside the header JSON
+        with pytest.raises(StoreCorruptError):
+            open_segment(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreCorruptError, match="unreadable"):
+            open_segment(tmp_path / "nope.rps")
+
+
+class TestTimestampCodec:
+    def test_microsecond_round_trip_is_exact(self):
+        stamps = [
+            datetime(2013, 4, 1, 12, 30, 59, 999999),
+            datetime(1999, 12, 31, 23, 59, 59, 1),
+            datetime(2020, 2, 29, 0, 0, 0, 0),
+        ]
+        us = datetimes_to_us(stamps)
+        assert us.dtype == np.int64
+        assert [us_to_datetime(v) for v in us.tolist()] == stamps
