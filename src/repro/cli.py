@@ -13,6 +13,11 @@ Subcommands::
     repro-failures store init events.store --machine tsubame3
     repro-failures store append events.store t3.csv
     repro-failures store query events.store --as-of 2014-03-01T00:00:00
+    repro-failures trace record --machine tsubame2 --horizon 2000 \
+        --out run.trace.jsonl
+    repro-failures trace replay run.trace.jsonl [--to-store PATH]
+    repro-failures trace whatif run.trace.jsonl --technicians 2
+    repro-failures trace info run.trace.jsonl
 
 ``generate`` writes a calibrated synthetic log; ``analyze`` prints the
 headline metrics of an existing log file (format inferred from the
@@ -26,7 +31,11 @@ replays — an online-vs-batch parity check; ``serve`` runs the
 result caching, request coalescing, and backpressure — see
 docs/SERVING.md); ``store`` manages a persistent columnar event store
 with incrementally materialized analytics (``init``/``append``/
-``info``/``compact``/``query --as-of`` — see docs/STORAGE.md).
+``info``/``compact``/``query --as-of`` — see docs/STORAGE.md);
+``trace`` records a simulation run as a replayable JSONL trace,
+replays one bit-exactly (exit 1 with a first-divergence diagnosis if
+it does not reproduce), and re-runs a recorded failure history under
+counterfactual repair/checkpoint policies (see docs/REPLAY.md).
 
 ``--lenient`` (on ``analyze`` and ``monitor``) quarantines malformed
 log rows instead of aborting and prints the quarantine summary.  Exit
@@ -177,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a live simulation instead of replaying a file",
     )
     monitor.add_argument(
+        "--trace", action="store_true",
+        help="treat the path as a recorded simulation trace "
+             "(repro-failures trace record) instead of a log file",
+    )
+    monitor.add_argument(
         "--machine", choices=known_machines(), default=None,
         help="machine to simulate (required with --live)",
     )
@@ -299,6 +313,108 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ISO8601",
         help="query the store's state as of this event time "
              "(time travel)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="record, replay, and counterfactually re-run simulation "
+             "traces (see docs/REPLAY.md)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record", help="run a simulation and record it as a trace"
+    )
+    trace_record.add_argument(
+        "--machine", choices=known_machines(), required=True
+    )
+    trace_record.add_argument("--horizon", type=float, default=2000.0,
+                              help="simulated hours")
+    trace_record.add_argument("--seed", type=int, default=0)
+    trace_record.add_argument("--technicians", type=int, default=4)
+    trace_record.add_argument(
+        "--lead-time", type=float, default=168.0,
+        help="spare procurement lead time in hours",
+    )
+    trace_record.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="failure-rate multiplier",
+    )
+    trace_record.add_argument(
+        "--health-tests", type=float, default=0.0, metavar="P",
+        help="probability a multi-GPU failure is contained to one GPU",
+    )
+    trace_record.add_argument(
+        "--workload", action="store_true",
+        help="run the batch scheduler under a default synthetic "
+             "workload",
+    )
+    trace_record.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="H",
+        help="checkpoint interval in hours (enables checkpointing; "
+             "requires --workload)",
+    )
+    trace_record.add_argument(
+        "--checkpoint-cost", type=float, default=0.2, metavar="H",
+        help="cost of one checkpoint in hours",
+    )
+    trace_record.add_argument("--out", type=Path, required=True,
+                              help="trace output path (.jsonl)")
+
+    trace_replay = trace_sub.add_parser(
+        "replay",
+        help="re-execute a trace and verify it reproduces bit-exactly",
+    )
+    trace_replay.add_argument("path", type=Path)
+    trace_replay.add_argument(
+        "--to-store", type=Path, default=None, metavar="STORE",
+        help="persist the replayed failure history to this event "
+             "store (created if missing)",
+    )
+
+    trace_whatif = trace_sub.add_parser(
+        "whatif",
+        help="replay a recorded failure history under different "
+             "operational policies and diff the outcomes",
+    )
+    trace_whatif.add_argument("path", type=Path)
+    trace_whatif.add_argument(
+        "--technicians", type=int, default=None,
+        help="override the number of concurrent repairs",
+    )
+    trace_whatif.add_argument(
+        "--lead-time", type=float, default=None,
+        help="override the spare procurement lead time in hours",
+    )
+    trace_whatif.add_argument(
+        "--spares", default=None, metavar="CAT=N[,CAT=N...]",
+        help="override the starting spare inventory",
+    )
+    trace_whatif.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="H",
+        help="override the checkpoint interval in hours",
+    )
+    trace_whatif.add_argument(
+        "--backfill-depth", type=int, default=None,
+        help="override the scheduler's backfill depth",
+    )
+    trace_whatif.add_argument(
+        "--all-fields", action="store_true",
+        help="print unchanged outcome fields too",
+    )
+    trace_whatif.add_argument(
+        "--json", action="store_true",
+        help="emit the diff as JSON instead of text",
+    )
+
+    trace_info = trace_sub.add_parser(
+        "info", help="summarize a trace file"
+    )
+    trace_info.add_argument("path", type=Path)
+    trace_info.add_argument(
+        "--lenient", action="store_true",
+        help="quarantine malformed trace lines instead of aborting, "
+             "and print the quarantine summary",
     )
     return parser
 
@@ -552,14 +668,26 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             print(line)
         return 0
 
-    source = FileSource(
-        args.path,
-        format=args.format,
-        on_error="collect" if args.lenient else "raise",
-    )
-    if source.read_report is not None:
-        for line in source.read_report.summary_lines():
-            print(line)
+    if args.trace:
+        from repro.stream import TraceSource
+
+        source = TraceSource(
+            args.path,
+            include_repairs=True,
+            on_error="quarantine" if args.lenient else "raise",
+        )
+        if source.quarantined:
+            print(f"quarantined {len(source.quarantined)} malformed "
+                  f"trace lines")
+    else:
+        source = FileSource(
+            args.path,
+            format=args.format,
+            on_error="collect" if args.lenient else "raise",
+        )
+        if source.read_report is not None:
+            for line in source.read_report.summary_lines():
+                print(line)
     every = args.report_every
     for event in source:
         monitor.observe(event)
@@ -573,7 +701,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
           f"{monitor.failures_seen} failures)")
     for line in monitor.snapshot().format_lines():
         print(line)
-    if not args.no_parity:
+    # Parity needs the batch log; a trace replay has only events.
+    if not args.no_parity and not args.trace:
         for line in _parity_lines(monitor, source.log):
             print(line)
     return 0
@@ -737,6 +866,160 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_spares(text: str) -> dict[str, int]:
+    from repro.errors import ValidationError
+
+    spares: dict[str, int] = {}
+    for item in filter(None, text.split(",")):
+        name, _, count = item.partition("=")
+        if not name or not count:
+            raise ValidationError(
+                f"--spares entries must be CAT=N, got {item!r}"
+            )
+        try:
+            spares[name.strip()] = int(count)
+        except ValueError:
+            raise ValidationError(
+                f"--spares count for {name.strip()!r} must be an "
+                f"integer, got {count!r}"
+            ) from None
+    return spares
+
+
+def _trace_report_lines(report: dict) -> list[str]:
+    lines = [
+        f"failures injected:  {report['failures_injected']}",
+        f"repairs completed:  {report['repairs_completed']}",
+        f"effective MTTR:     {report['effective_mttr_hours']:.1f} h",
+        f"availability:       {100 * report['availability']:.3f}%",
+        f"spare stockouts:    {report['spare_stockouts']}",
+    ]
+    scheduler = report.get("scheduler")
+    if scheduler is not None:
+        lines.append(
+            f"jobs:               {scheduler['jobs_completed']}"
+            f"/{scheduler['jobs_submitted']} completed, "
+            f"{scheduler['jobs_killed_by_failures']} killed"
+        )
+    return lines
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.trace import (
+        WhatIf,
+        read_trace,
+        record_run,
+        replay,
+        report_to_dict,
+        run_whatif,
+        write_trace,
+    )
+
+    if args.trace_command == "record":
+        from repro.errors import ValidationError
+        from repro.sim import CheckpointPolicy, WorkloadConfig
+
+        checkpoint = None
+        if args.checkpoint_interval is not None:
+            if not args.workload:
+                raise ValidationError(
+                    "--checkpoint-interval requires --workload"
+                )
+            checkpoint = CheckpointPolicy(
+                interval_hours=args.checkpoint_interval,
+                cost_hours=args.checkpoint_cost,
+            )
+        simulator = ClusterSimulator(
+            args.machine,
+            repair_policy=RepairPolicy(
+                num_technicians=args.technicians,
+                spare_lead_time_hours=args.lead_time,
+            ),
+            seed=args.seed,
+            intensity=args.intensity,
+            health_test_effectiveness=args.health_tests,
+            workload=WorkloadConfig() if args.workload else None,
+            checkpoint_policy=checkpoint,
+        )
+        report, trace = record_run(simulator, args.horizon)
+        write_trace(trace, args.out)
+        print(f"recorded {args.machine} x {args.horizon:.0f} h to "
+              f"{args.out} ({len(trace.events)} events, "
+              f"{report.failures_injected} failures)")
+        return 0
+
+    if args.trace_command == "replay":
+        trace, _ = read_trace(args.path)
+        result = replay(trace)  # raises ReplayDivergenceError on drift
+        report = report_to_dict(result.report)
+        print(f"replayed {args.path} bit-exactly "
+              f"({len(result.trace.events)} events)")
+        for line in _trace_report_lines(report):
+            print(line)
+        if args.to_store is not None:
+            summary = result.simulator.to_store(args.to_store)
+            print(f"stored {summary['rows']} failures in "
+                  f"{args.to_store} ({summary['rows_total']} total)")
+        return 0
+
+    if args.trace_command == "whatif":
+        trace, _ = read_trace(args.path)
+        overrides = WhatIf(
+            num_technicians=args.technicians,
+            spare_lead_time_hours=args.lead_time,
+            initial_spares=(
+                _parse_spares(args.spares)
+                if args.spares is not None
+                else None
+            ),
+            checkpoint_interval_hours=args.checkpoint_interval,
+            backfill_depth=args.backfill_depth,
+        )
+        result = run_whatif(trace, overrides)
+        if args.json:
+            print(_json.dumps(result.diff.to_dict(), indent=2,
+                              sort_keys=True))
+        else:
+            print(f"counterfactual replay of {args.path}:")
+            print(result.diff.format_text(
+                changed_only=not args.all_fields
+            ))
+        return 0
+
+    # info
+    trace, quarantined = read_trace(
+        args.path, on_error="quarantine" if args.lenient else "raise"
+    )
+    config = trace.config
+    counts: dict[str, int] = {}
+    for event in trace.events:
+        counts[event["t"]] = counts.get(event["t"], 0) + 1
+    print(f"machine:            {config.machine}")
+    print(f"horizon:            {trace.horizon_hours:.0f} h")
+    print(f"seed:               {config.seed}")
+    if trace.events:
+        breakdown = ", ".join(
+            f"{kind}={counts[kind]}" for kind in sorted(counts)
+        )
+        print(f"events:             {len(trace.events)} ({breakdown})")
+    else:
+        print("events:             0")
+    print(f"workload:           "
+          f"{'yes' if config.workload is not None else 'no'}")
+    print(f"checkpointing:      "
+          f"{'yes' if config.checkpoint_policy is not None else 'no'}")
+    if trace.report is not None:
+        for line in _trace_report_lines(trace.report):
+            print(line)
+    if quarantined:
+        print(f"quarantined lines:  {len(quarantined)}")
+        for entry in quarantined[:5]:
+            print(f"  line {entry.line_number}: {entry.reason}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -749,6 +1032,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "serve": _cmd_serve,
     "store": _cmd_store,
+    "trace": _cmd_trace,
 }
 
 

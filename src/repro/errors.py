@@ -54,6 +54,20 @@ class ServeError(ReproError):
     unknown dataset handle, invalid server parameters)."""
 
 
+class TraceError(ReproError):
+    """An execution trace could not be recorded, parsed, or replayed
+    (unknown schema, missing header, malformed line)."""
+
+
+class ReplayDivergenceError(TraceError):
+    """A replay did not reproduce the recorded execution bit-exactly;
+    carries the first mismatching event for diagnosis."""
+
+    def __init__(self, message: str, divergence=None) -> None:
+        super().__init__(message)
+        self.divergence = divergence
+
+
 class StoreError(ReproError):
     """A persistent event store rejected an operation (out-of-order
     append, colliding record ids, schema mismatch, unknown path)."""

@@ -38,6 +38,7 @@ class TokenBucket:
         rate_per_second: float,
         burst: float,
         clock: Callable[[], float] = time.monotonic,
+        initial_tokens: float | None = None,
     ) -> None:
         if rate_per_second <= 0:
             raise ServeError(
@@ -48,7 +49,10 @@ class TokenBucket:
         self.rate = rate_per_second
         self.burst = float(burst)
         self._clock = clock
-        self._tokens = float(burst)
+        if initial_tokens is None:
+            self._tokens = float(burst)
+        else:
+            self._tokens = min(float(burst), max(0.0, initial_tokens))
         self._last = clock()
 
     def try_acquire(self) -> tuple[bool, float]:
@@ -76,8 +80,13 @@ class RateLimiter:
         rate_per_second: Sustained budget per client.
         burst: Bucket depth (short bursts above the rate are fine).
         max_clients: Buckets kept; least-recently-seen clients are
-            forgotten first (their next request starts a fresh,
-            full bucket — generous, but bounded memory wins).
+            forgotten first.  Once any eviction has happened, a
+            client without a bucket (new *or* re-admitted — the
+            limiter cannot tell them apart) starts with only the
+            tokens that could have refilled since the last eviction,
+            not a full burst: otherwise rotating through
+            ``max_clients + 1`` identities resets every bucket and
+            bypasses the rate limit entirely.
     """
 
     def __init__(
@@ -92,8 +101,10 @@ class RateLimiter:
         self.max_clients = max_clients
         self._clock = clock
         self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._last_evicted_at: float | None = None
         self.allowed = 0
         self.limited = 0
+        self.evictions = 0
 
     def check(self, client_id: str) -> None:
         """Charge one request to ``client_id``.
@@ -105,7 +116,23 @@ class RateLimiter:
         if bucket is None:
             if len(self._buckets) >= self.max_clients:
                 self._buckets.popitem(last=False)
-            bucket = TokenBucket(self.rate, self.burst, self._clock)
+                self._last_evicted_at = self._clock()
+                self.evictions += 1
+            initial_tokens = None
+            if self._last_evicted_at is not None:
+                # An evicted client may be coming back.  Grant one
+                # token (a genuinely new client must not be refused
+                # outright) plus the refill accrued since the last
+                # eviction, capped at the burst — the most the client
+                # could legitimately hold had its bucket survived.
+                elapsed = self._clock() - self._last_evicted_at
+                initial_tokens = 1.0 + self.rate * elapsed
+            bucket = TokenBucket(
+                self.rate,
+                self.burst,
+                self._clock,
+                initial_tokens=initial_tokens,
+            )
             self._buckets[client_id] = bucket
         else:
             self._buckets.move_to_end(client_id)
@@ -128,6 +155,7 @@ class RateLimiter:
             "clients_tracked": len(self._buckets),
             "allowed": self.allowed,
             "limited": self.limited,
+            "evictions": self.evictions,
         }
 
 

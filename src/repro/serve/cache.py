@@ -36,17 +36,36 @@ def canonical_key(
     ``params`` must be JSON-serializable; key order is irrelevant
     (the encoding sorts keys), so semantically identical requests map
     to the same key however the client spelled them.
+
+    Non-serializable params are rejected rather than coerced.  A
+    ``default=str`` fallback here would be a cache-poisoning bug, in
+    both directions: objects whose ``str()`` embeds ``id()`` (the
+    ``repr`` of any plain object) give the same request a *different*
+    key per instance, and distinct params with equal ``str()`` (e.g.
+    ``2`` vs ``Decimal(2)`` wrapped in a container, or two exceptions
+    with the same message) *collide* and serve each other's cached
+    bytes.
+
+    Raises:
+        ServeError: If ``params`` is not JSON-serializable (maps to a
+            400 at the HTTP boundary).
     """
-    payload = json.dumps(
-        {
-            "endpoint": endpoint,
-            "fingerprint": fingerprint,
-            "params": params,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-        default=str,
-    )
+    try:
+        payload = json.dumps(
+            {
+                "endpoint": endpoint,
+                "fingerprint": fingerprint,
+                "params": params,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServeError(
+            f"request params for {endpoint!r} are not "
+            f"JSON-serializable: {exc}"
+        ) from exc
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

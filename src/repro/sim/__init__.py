@@ -27,6 +27,7 @@ from repro.sim.repair import RepairPolicy, RepairService, SparePool
 from repro.sim.scheduler import Scheduler, SchedulerStats
 from repro.sim.simulator import (
     ClusterSimulator,
+    SimulationConfig,
     SimulationReport,
     hardware_categories,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "RepairService",
     "Scheduler",
     "SchedulerStats",
+    "SimulationConfig",
     "SimulationEngine",
     "SimulationReport",
     "SparePool",

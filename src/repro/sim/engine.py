@@ -48,9 +48,16 @@ class SimulationEngine:
         """Register ``callback(**payload)`` for a topic.
 
         Known topics: ``"failure"`` (payload ``record``,
-        ``time_hours``) published by the fault injector, and
-        ``"repair"`` (payload ``node_id``, ``category``,
-        ``time_hours``) published by the repair service.
+        ``time_hours``) published by the fault injector;
+        ``"repair_start"`` and ``"repair"`` (payload ``node_id``,
+        ``category``, ``time_hours``) published by the repair service
+        when hands-on work begins and completes; and the scheduler's
+        job lifecycle — ``"job_submit"`` (``job_id``, ``num_nodes``,
+        ``duration_hours``, ``time_hours``), ``"job_start"``
+        (``job_id``, ``nodes``, ``time_hours``), ``"job_complete"``
+        (``job_id``, ``time_hours``) and ``"job_killed"``
+        (``job_id``, ``node_id``, ``time_hours``).  The trace
+        recorder (:mod:`repro.trace`) subscribes to all of them.
 
         Raises:
             SimulationError: On an empty topic.

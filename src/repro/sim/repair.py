@@ -210,6 +210,13 @@ class RepairService:
             pending = self._queue.popleft()
             self._busy_technicians += 1
             self._cluster.start_repair(pending.node_id, self._engine.now)
+            if self._engine.has_subscribers("repair_start"):
+                self._engine.publish(
+                    "repair_start",
+                    node_id=pending.node_id,
+                    category=pending.category,
+                    time_hours=self._engine.now,
+                )
             self._engine.schedule_in(
                 pending.duration_hours,
                 lambda p=pending: self._complete(p),

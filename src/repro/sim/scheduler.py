@@ -140,6 +140,14 @@ class Scheduler:
         job.state = JobState.PENDING
         self._pending.append(job)
         self.stats.jobs_submitted += 1
+        if self._engine.has_subscribers("job_submit"):
+            self._engine.publish(
+                "job_submit",
+                job_id=job.job_id,
+                num_nodes=job.num_nodes,
+                duration_hours=job.duration_hours,
+                time_hours=self._engine.now,
+            )
         self._try_schedule()
 
     def submit_all(self, jobs: list[Job]) -> None:
@@ -170,6 +178,13 @@ class Scheduler:
         for node in entry.nodes:
             self._node_to_job.pop(node, None)
         job = entry.job
+        if self._engine.has_subscribers("job_killed"):
+            self._engine.publish(
+                "job_killed",
+                job_id=job.job_id,
+                node_id=node_id,
+                time_hours=self._engine.now,
+            )
         elapsed = self._engine.now - entry.started_at
         committed = self._committed_work(elapsed)
         lost = max(0.0, elapsed - committed)
@@ -250,6 +265,13 @@ class Scheduler:
         )
         for node in nodes:
             self._node_to_job[node] = job.job_id
+        if self._engine.has_subscribers("job_start"):
+            self._engine.publish(
+                "job_start",
+                job_id=job.job_id,
+                nodes=list(nodes),
+                time_hours=now,
+            )
         wall = self._wall_time_for(job.remaining_hours)
         self._engine.schedule_in(
             wall, lambda j=job, e=epoch: self._complete(j, e)
@@ -275,3 +297,9 @@ class Scheduler:
         self.stats.jobs_completed += 1
         if job.start_time is not None:
             self.stats.total_wait_hours += job.waited_hours
+        if self._engine.has_subscribers("job_complete"):
+            self._engine.publish(
+                "job_complete",
+                job_id=job.job_id,
+                time_hours=self._engine.now,
+            )

@@ -26,7 +26,12 @@ from repro.sim.repair import RepairPolicy, RepairService, SparePool
 from repro.sim.scheduler import Scheduler, SchedulerStats
 from repro.synth.profiles import MachineProfile, profile_for
 
-__all__ = ["SimulationReport", "ClusterSimulator", "hardware_categories"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationReport",
+    "ClusterSimulator",
+    "hardware_categories",
+]
 
 
 def hardware_categories(machine: str) -> frozenset[str]:
@@ -36,6 +41,27 @@ def hardware_categories(machine: str) -> frozenset[str]:
         for cat in taxonomy.categories_for(machine)
         if cat.failure_class is FailureClass.HARDWARE
     )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Normalized constructor arguments of a :class:`ClusterSimulator`.
+
+    Captured after defaulting (repair policy gains its hardware
+    categories, spares their per-category counts), so the config alone
+    is enough to rebuild an identical simulator — this is what the
+    trace recorder (:mod:`repro.trace`) writes into a trace header.
+    """
+
+    machine: str
+    seed: int
+    intensity: float
+    health_test_effectiveness: float
+    presample: bool
+    repair_policy: RepairPolicy
+    initial_spares: dict[str, int]
+    checkpoint_policy: CheckpointPolicy | None
+    workload: WorkloadConfig | None
 
 
 @dataclass(frozen=True)
@@ -122,6 +148,17 @@ class ClusterSimulator:
             )
         if initial_spares is None:
             initial_spares = {name: 2 for name in hardware}
+        self.config = SimulationConfig(
+            machine=machine,
+            seed=seed,
+            intensity=intensity,
+            health_test_effectiveness=health_test_effectiveness,
+            presample=presample,
+            repair_policy=repair_policy,
+            initial_spares=dict(initial_spares),
+            checkpoint_policy=checkpoint_policy,
+            workload=workload,
+        )
 
         self.engine = SimulationEngine()
         self.cluster = Cluster(self._spec)

@@ -73,6 +73,7 @@ from repro.stream.sources import (
     ReplaySource,
     SimulationSource,
     SyntheticSource,
+    TraceSource,
 )
 from repro.stream.tolerance import (
     DISORDER_POLICIES,
@@ -112,6 +113,7 @@ __all__ = [
     "StreamEvent",
     "StreamStats",
     "SyntheticSource",
+    "TraceSource",
     "Welford",
     "default_rules",
     "ensure_monotonic",

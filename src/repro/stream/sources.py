@@ -1,6 +1,6 @@
 """Event-stream sources.
 
-Four ways events reach a :class:`~repro.stream.monitor.FailureMonitor`:
+Five ways events reach a :class:`~repro.stream.monitor.FailureMonitor`:
 
 * :class:`ReplaySource` — replay a finished
   :class:`~repro.core.records.FailureLog` (batch → stream bridge).
@@ -14,6 +14,11 @@ Four ways events reach a :class:`~repro.stream.monitor.FailureMonitor`:
   yield them.  For *in-loop* consumption (react to events while the
   simulation is still running) attach the monitor directly with
   :meth:`FailureMonitor.attach` before calling ``run``.
+* :class:`TraceSource` — replay a recorded simulation trace file
+  (see :mod:`repro.trace`) without re-running the simulation; repair
+  events carry the trace's *actual* completion times (queueing
+  included), unlike the ``failure + ttr`` approximation of
+  ``include_repairs`` replays.
 
 All sources are iterables of monotonic
 :class:`~repro.stream.events.StreamEvent`s, so ``monitor.consume(source)``
@@ -23,9 +28,10 @@ works uniformly.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from datetime import timedelta
 from pathlib import Path
 
-from repro.core.records import FailureLog
+from repro.core.records import FailureLog, FailureRecord
 from repro.errors import StreamError
 from repro.stream.events import StreamEvent, events_from_log
 
@@ -34,6 +40,7 @@ __all__ = [
     "FileSource",
     "SyntheticSource",
     "SimulationSource",
+    "TraceSource",
 ]
 
 
@@ -195,3 +202,83 @@ class SimulationSource:
         if self._recorded is None:
             self._recorded = self._run()
         return iter(self._recorded)
+
+
+class TraceSource:
+    """Replay a recorded simulation trace file as a stream.
+
+    Reads a :mod:`repro.trace` JSONL trace and yields its failure
+    (and, optionally, repair-completion) events in recorded order —
+    no simulation is re-run.  The ``rdone`` events in a trace are the
+    moments repairs actually completed, so with ``include_repairs``
+    the stream reflects technician/spare queueing faithfully.
+
+    Args:
+        path: Trace file recorded by ``repro-failures trace record``
+            or :func:`repro.trace.record_run` + ``write_trace``.
+        include_repairs: Also emit REPAIR events (from ``rdone``).
+        on_error: ``"raise"`` (default) aborts on a malformed trace
+            line; ``"quarantine"`` sets bad lines aside (available on
+            :attr:`quarantined`) and streams the rest — the
+            chaos-tolerant mode for truncated or corrupt traces.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        include_repairs: bool = False,
+        on_error: str = "raise",
+    ) -> None:
+        from repro.machines.specs import get_machine
+        from repro.trace import read_trace
+
+        self._path = Path(path)
+        self._trace, self._quarantined = read_trace(
+            path, on_error=on_error
+        )
+        self._include_repairs = include_repairs
+        self._log_start = get_machine(self.machine).log_start
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def trace(self):
+        """The parsed :class:`repro.trace.Trace`."""
+        return self._trace
+
+    @property
+    def quarantined(self):
+        """Malformed lines set aside by ``on_error="quarantine"``."""
+        return self._quarantined
+
+    @property
+    def machine(self) -> str:
+        return self._trace.config.machine
+
+    @property
+    def span_hours(self) -> float:
+        """The recorded horizon, for :meth:`FailureMonitor.finalize`."""
+        return self._trace.horizon_hours
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        record_id = 0
+        for event in self._trace.events:
+            kind = event["t"]
+            if kind == "fail":
+                record = FailureRecord(
+                    record_id=record_id,
+                    timestamp=self._log_start
+                    + timedelta(hours=event["time"]),
+                    node_id=event["node"],
+                    category=event["cat"],
+                    ttr_hours=event["ttr"],
+                    gpus_involved=tuple(event["gpus"]),
+                )
+                record_id += 1
+                yield StreamEvent.failure(event["time"], record)
+            elif kind == "rdone" and self._include_repairs:
+                yield StreamEvent.repair(
+                    event["time"], event["node"], event["cat"]
+                )

@@ -11,12 +11,14 @@ who want to chaos-test their own pipelines built on :mod:`repro`.
 
 from repro.testing.chaos import (
     LOG_FAULT_KINDS,
+    TRACE_FAULT_KINDS,
     ChaosInjectedError,
     CrashOnce,
     FlakyFunction,
     InjectedFault,
     PoisonedFunction,
     corrupt_log_file,
+    corrupt_trace_file,
     duplicate_stream,
     flip_byte,
     shuffle_stream,
@@ -25,12 +27,14 @@ from repro.testing.chaos import (
 
 __all__ = [
     "LOG_FAULT_KINDS",
+    "TRACE_FAULT_KINDS",
     "ChaosInjectedError",
     "CrashOnce",
     "FlakyFunction",
     "InjectedFault",
     "PoisonedFunction",
     "corrupt_log_file",
+    "corrupt_trace_file",
     "duplicate_stream",
     "flip_byte",
     "shuffle_stream",

@@ -28,6 +28,11 @@ stack defends:
   byte inverted in place) model the two crash/corruption shapes
   :mod:`repro.store`'s recovery defends against, applied to segment
   or manifest files directly.
+* **Traces** — :func:`corrupt_trace_file` rewrites a clean
+  :mod:`repro.trace` JSONL trace with garbage lines, mangled JSON,
+  unknown event types, events missing required keys, and/or a torn
+  final line, with a manifest; the tolerant trace reader
+  (``on_error="quarantine"``) must set aside exactly those lines.
 
 Everything is deterministic given a seed; nothing here touches global
 state.
@@ -57,6 +62,8 @@ __all__ = [
     "CrashOnce",
     "truncate_file",
     "flip_byte",
+    "TRACE_FAULT_KINDS",
+    "corrupt_trace_file",
 ]
 
 
@@ -303,6 +310,109 @@ def flip_byte(
         handle.seek(offset)
         handle.write(bytes([byte ^ 0xFF]))
     return offset
+
+
+# --------------------------------------------------------------------------
+# Trace corruption
+# --------------------------------------------------------------------------
+
+#: Line-level fault kinds understood by :func:`corrupt_trace_file`.
+#: Every kind makes the line unparseable or semantically invalid, so a
+#: quarantine read must set aside exactly the manifested lines.
+TRACE_FAULT_KINDS = (
+    "garbage",
+    "mangled_json",
+    "unknown_type",
+    "missing_key",
+)
+
+
+def _corrupt_trace_line(line: str, kind: str) -> str:
+    if kind == "garbage":
+        return _GARBAGE
+    if kind == "mangled_json":
+        # Drop the closing brace: still one line, no longer JSON.
+        return line.rstrip()[:-1]
+    obj = json.loads(line)
+    if kind == "unknown_type":
+        obj["t"] = "flux_capacitor"
+    else:  # missing_key: every event kind requires "time"
+        obj.pop("time", None)
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def corrupt_trace_file(
+    src: str | Path,
+    dst: str | Path,
+    seed: int = 0,
+    kinds: Sequence[str] = TRACE_FAULT_KINDS,
+    rate: float = 0.2,
+    truncate: bool = False,
+) -> list[InjectedFault]:
+    """Write a corrupted copy of a clean simulation trace.
+
+    The header (line 1) is never touched — a broken header makes the
+    whole file unreadable by contract, which is a different test.
+    ``report`` and ``end`` lines are also left intact so outcome
+    comparisons stay meaningful; only event lines are corrupted.
+
+    Args:
+        src: Clean trace written by :func:`repro.trace.write_trace`.
+        dst: Where to write the corrupted copy.
+        seed: Corruption RNG seed — same seed, same corruption.
+        kinds: Fault kinds to draw from (:data:`TRACE_FAULT_KINDS`).
+        rate: Per-event-line corruption probability.
+        truncate: Also chop the final line mid-way (a torn write).
+
+    Returns:
+        The fault manifest, line numbers valid in ``dst``.
+
+    Raises:
+        ValueError: On unknown fault kinds or a trace with no event
+            lines.
+    """
+    unknown = set(kinds) - set(TRACE_FAULT_KINDS)
+    if unknown:
+        raise ValueError(f"unknown fault kinds {sorted(unknown)}")
+    src, dst = Path(src), Path(dst)
+    rng = random.Random(seed)
+    lines = src.read_text().splitlines()
+    if len(lines) < 2:
+        raise ValueError(f"{src} has no event lines to corrupt")
+
+    manifest: list[InjectedFault] = []
+    out: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        kind_tag = None
+        try:
+            kind_tag = json.loads(line).get("t")
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        protected = number == 1 or kind_tag in ("report", "end")
+        if not protected and rng.random() < rate:
+            kind = kinds[rng.randrange(len(kinds))]
+            out.append(_corrupt_trace_line(line, kind))
+            manifest.append(
+                InjectedFault(
+                    len(out), kind, f"trace line corrupted: {kind}"
+                )
+            )
+        else:
+            out.append(line)
+    if truncate:
+        cut = max(1, len(out[-1]) // 3)
+        out[-1] = out[-1][:cut]
+        manifest = [
+            fault for fault in manifest
+            if fault.line_number != len(out)
+        ]
+        manifest.append(
+            InjectedFault(
+                len(out), "truncated", "final line torn mid-write"
+            )
+        )
+    dst.write_text("\n".join(out) + "\n")
+    return manifest
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,71 @@
+"""Deterministic execution traces for the failure simulator.
+
+A trace is a schema-versioned JSONL file capturing one simulated
+horizon: the normalized configuration, every injected failure (node,
+category, hands-on duration, GPU slots), the repair and job lifecycle
+events the run published, and the final :class:`SimulationReport`.
+Because the failure history is recorded *explicitly* rather than as an
+RNG seed, a trace can be
+
+* **replayed bit-exactly** — :func:`replay` re-executes the recorded
+  history through the real repair service, cluster, and scheduler and
+  verifies that every event and the final report reproduce exactly,
+  diagnosing any divergence to the first mismatching event; and
+* **replayed counterfactually** — :func:`run_whatif` re-runs the same
+  failures under a different repair policy, spare inventory,
+  checkpoint interval, or backfill depth and emits a structured diff
+  of the two outcome reports.
+
+See ``docs/REPLAY.md`` for the format and the determinism contract.
+"""
+
+from repro.trace.format import (
+    SCHEMA_VERSION,
+    QuarantinedLine,
+    Trace,
+    canonical_line,
+    config_from_dict,
+    config_to_dict,
+    parse_trace,
+    read_trace,
+    report_to_dict,
+    write_trace,
+)
+from repro.trace.recorder import TraceRecorder, record_run
+from repro.trace.replay import (
+    ReplayInjector,
+    ReplayResult,
+    ReplaySimulator,
+    TraceDivergence,
+    compare_traces,
+    replay,
+)
+from repro.trace.diff import FieldDiff, ReportDiff, diff_reports
+from repro.trace.whatif import WhatIf, WhatIfResult, run_whatif
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FieldDiff",
+    "QuarantinedLine",
+    "ReplayInjector",
+    "ReplayResult",
+    "ReplaySimulator",
+    "ReportDiff",
+    "Trace",
+    "TraceDivergence",
+    "TraceRecorder",
+    "WhatIf",
+    "WhatIfResult",
+    "canonical_line",
+    "compare_traces",
+    "config_from_dict",
+    "config_to_dict",
+    "diff_reports",
+    "parse_trace",
+    "read_trace",
+    "record_run",
+    "replay",
+    "report_to_dict",
+    "run_whatif",
+    "write_trace",
+]

@@ -1,0 +1,441 @@
+"""Trace file format: canonical JSONL codec.
+
+One trace = one JSONL file.  The first line is a header carrying the
+schema version and the normalized :class:`SimulationConfig`; every
+subsequent line is a typed event (key ``"t"``), ending with the final
+simulation report and an ``end`` summary line:
+
+``header``
+    ``{"t":"header","schema":1,"config":{...},"horizon_hours":H}``
+``fail``
+    ``{"t":"fail","time":h,"node":n,"cat":c,"ttr":d,"gpus":[...]}``
+``rstart`` / ``rdone``
+    ``{"t":"rstart","time":h,"node":n,"cat":c}`` — hands-on repair
+    work beginning / completing.
+``jsub`` / ``jstart`` / ``jdone`` / ``jkill``
+    Job lifecycle: submission (``job``, ``width``, ``hours``), start
+    (``nodes``), completion, and kill-by-node-failure (``node``).
+``report``
+    The final :class:`SimulationReport` as a dict.
+``end``
+    Run summary (event count, wall seconds); excluded from bit-exact
+    comparison because wall time is not deterministic.
+
+Every line is canonical JSON — sorted keys, no whitespace, ``nan``
+rejected — so byte equality of two traces is equivalent to semantic
+equality, and Python float repr round-trips bit-exactly through the
+codec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.jobs import WorkloadConfig
+from repro.sim.repair import RepairPolicy
+from repro.sim.simulator import SimulationConfig, SimulationReport
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "QuarantinedLine",
+    "Trace",
+    "canonical_line",
+    "config_to_dict",
+    "config_from_dict",
+    "report_to_dict",
+    "parse_trace",
+    "read_trace",
+    "write_trace",
+]
+
+#: Current trace schema.  Readers reject traces from a newer schema
+#: rather than silently misinterpreting them.
+SCHEMA_VERSION = 1
+
+#: Event line types (``"t"`` values) other than header/report/end.
+EVENT_KINDS = frozenset(
+    {"fail", "rstart", "rdone", "jsub", "jstart", "jdone", "jkill"}
+)
+
+#: Required keys per event kind (beyond ``"t"``).
+_EVENT_KEYS: dict[str, frozenset[str]] = {
+    "fail": frozenset({"time", "node", "cat", "ttr", "gpus"}),
+    "rstart": frozenset({"time", "node", "cat"}),
+    "rdone": frozenset({"time", "node", "cat"}),
+    "jsub": frozenset({"time", "job", "width", "hours"}),
+    "jstart": frozenset({"time", "job", "nodes"}),
+    "jdone": frozenset({"time", "job"}),
+    "jkill": frozenset({"time", "job", "node"}),
+}
+
+
+def canonical_line(obj: dict) -> str:
+    """Serialize one trace line as canonical JSON (no newline).
+
+    Raises:
+        TraceError: If the object contains NaN/Infinity or values JSON
+            cannot represent — traces must stay machine-comparable, so
+            nothing is ever silently coerced.
+    """
+    try:
+        return json.dumps(
+            obj,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"trace line is not canonical JSON: {exc}") from exc
+
+
+def config_to_dict(config: SimulationConfig) -> dict:
+    """Serialize a normalized simulation config for the trace header."""
+    checkpoint = config.checkpoint_policy
+    workload = config.workload
+    return {
+        "machine": config.machine,
+        "seed": config.seed,
+        "intensity": config.intensity,
+        "health_test_effectiveness": config.health_test_effectiveness,
+        "presample": config.presample,
+        "repair": {
+            "num_technicians": config.repair_policy.num_technicians,
+            "spare_lead_time_hours": (
+                config.repair_policy.spare_lead_time_hours
+            ),
+            "hardware_categories": sorted(
+                config.repair_policy.hardware_categories
+            ),
+        },
+        "spares": {
+            name: config.initial_spares[name]
+            for name in sorted(config.initial_spares)
+        },
+        "checkpoint": (
+            None
+            if checkpoint is None
+            else {
+                "interval_hours": checkpoint.interval_hours,
+                "cost_hours": checkpoint.cost_hours,
+                "restart_cost_hours": checkpoint.restart_cost_hours,
+            }
+        ),
+        "workload": (
+            None
+            if workload is None
+            else {
+                "mean_interarrival_hours": (
+                    workload.mean_interarrival_hours
+                ),
+                "mean_duration_hours": workload.mean_duration_hours,
+                "duration_sigma": workload.duration_sigma,
+                "size_choices": list(workload.size_choices),
+                "size_weights": list(workload.size_weights),
+                "max_duration_hours": workload.max_duration_hours,
+            }
+        ),
+    }
+
+
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from a trace header.
+
+    Raises:
+        TraceError: On missing or malformed keys.
+    """
+    try:
+        repair = data["repair"]
+        checkpoint = data["checkpoint"]
+        workload = data["workload"]
+        return SimulationConfig(
+            machine=data["machine"],
+            seed=data["seed"],
+            intensity=data["intensity"],
+            health_test_effectiveness=data["health_test_effectiveness"],
+            presample=data["presample"],
+            repair_policy=RepairPolicy(
+                num_technicians=repair["num_technicians"],
+                spare_lead_time_hours=repair["spare_lead_time_hours"],
+                hardware_categories=frozenset(
+                    repair["hardware_categories"]
+                ),
+            ),
+            initial_spares=dict(data["spares"]),
+            checkpoint_policy=(
+                None
+                if checkpoint is None
+                else CheckpointPolicy(
+                    interval_hours=checkpoint["interval_hours"],
+                    cost_hours=checkpoint["cost_hours"],
+                    restart_cost_hours=checkpoint["restart_cost_hours"],
+                )
+            ),
+            workload=(
+                None
+                if workload is None
+                else WorkloadConfig(
+                    mean_interarrival_hours=workload[
+                        "mean_interarrival_hours"
+                    ],
+                    mean_duration_hours=workload["mean_duration_hours"],
+                    duration_sigma=workload["duration_sigma"],
+                    size_choices=tuple(workload["size_choices"]),
+                    size_weights=tuple(workload["size_weights"]),
+                    max_duration_hours=workload["max_duration_hours"],
+                )
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise TraceError(
+            f"trace header config is malformed: {exc!r}"
+        ) from exc
+
+
+def report_to_dict(report: SimulationReport) -> dict:
+    """Serialize a simulation report for the trace ``report`` line."""
+    scheduler = report.scheduler
+    return {
+        "machine": report.machine,
+        # float() for the same reason as Trace.horizon_hours: an int
+        # horizon from the caller must not break byte comparison with
+        # a replay driven by the (always-float) parsed header.
+        "horizon_hours": float(report.horizon_hours),
+        "failures_injected": report.failures_injected,
+        "repairs_completed": report.repairs_completed,
+        "effective_mttr_hours": report.effective_mttr_hours,
+        "mean_waiting_hours": report.mean_waiting_hours,
+        "availability": report.availability,
+        "spare_stockouts": report.spare_stockouts,
+        "spares_consumed": report.spares_consumed,
+        "scheduler": (
+            None
+            if scheduler is None
+            else {
+                "jobs_submitted": scheduler.jobs_submitted,
+                "jobs_completed": scheduler.jobs_completed,
+                "jobs_killed_by_failures": (
+                    scheduler.jobs_killed_by_failures
+                ),
+                "useful_node_hours": scheduler.useful_node_hours,
+                "lost_node_hours": scheduler.lost_node_hours,
+                "total_wait_hours": scheduler.total_wait_hours,
+            }
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class QuarantinedLine:
+    """One trace line that failed to parse and was set aside."""
+
+    line_number: int
+    raw: str
+    reason: str
+
+
+@dataclass
+class Trace:
+    """A parsed (or freshly recorded) execution trace."""
+
+    config: SimulationConfig
+    horizon_hours: float
+    events: list[dict] = field(default_factory=list)
+    report: dict | None = None
+    end: dict | None = None
+
+    def __post_init__(self) -> None:
+        # Canonical form is float: an int horizon would serialize as
+        # "600" but parse back as 600.0 and re-emit as "600.0",
+        # breaking byte-identical codec round-trips.
+        self.horizon_hours = float(self.horizon_hours)
+
+    @property
+    def failures(self) -> list[dict]:
+        """The ``fail`` events, in firing order."""
+        return [e for e in self.events if e["t"] == "fail"]
+
+    @property
+    def jobs(self) -> list[dict]:
+        """The ``jsub`` events, in submission order."""
+        return [e for e in self.events if e["t"] == "jsub"]
+
+    def header_dict(self) -> dict:
+        """The header line as a dict (including ``"t"``)."""
+        return {
+            "t": "header",
+            "schema": SCHEMA_VERSION,
+            "config": config_to_dict(self.config),
+            "horizon_hours": self.horizon_hours,
+        }
+
+    def lines(self) -> list[str]:
+        """Every line of the trace in canonical form, in order."""
+        out = [canonical_line(self.header_dict())]
+        out.extend(canonical_line(event) for event in self.events)
+        if self.report is not None:
+            out.append(canonical_line({"t": "report", **self.report}))
+        if self.end is not None:
+            out.append(canonical_line({"t": "end", **self.end}))
+        return out
+
+    def event_lines(self) -> list[str]:
+        """Canonical lines of the events only (the bit-exact body)."""
+        return [canonical_line(event) for event in self.events]
+
+    def dumps(self) -> str:
+        """The whole trace as JSONL text (trailing newline included)."""
+        return "\n".join(self.lines()) + "\n"
+
+
+def parse_trace(
+    text: str, *, on_error: str = "raise"
+) -> tuple[Trace, list[QuarantinedLine]]:
+    """Parse JSONL trace text.
+
+    Args:
+        text: The trace file contents.
+        on_error: ``"raise"`` (default) aborts on the first malformed
+            line; ``"quarantine"`` sets malformed lines aside and
+            returns them alongside the trace — the chaos-tolerant mode
+            stream sources use on truncated or corrupt files.
+
+    Returns:
+        ``(trace, quarantined)``; ``quarantined`` is empty under
+        ``"raise"``.
+
+    Raises:
+        TraceError: On a malformed line (``"raise"`` mode), a missing
+            or invalid header, or an unsupported schema version.  A
+            bad *header* always raises — without it nothing else in
+            the file is interpretable.
+    """
+    if on_error not in ("raise", "quarantine"):
+        raise TraceError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
+    header: dict | None = None
+    events: list[dict] = []
+    report: dict | None = None
+    end: dict | None = None
+    quarantined: list[QuarantinedLine] = []
+
+    def bad(number: int, raw: str, reason: str) -> None:
+        if on_error == "raise":
+            raise TraceError(f"trace line {number}: {reason}")
+        quarantined.append(
+            QuarantinedLine(line_number=number, raw=raw, reason=reason)
+        )
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if header is None:
+                raise TraceError(
+                    f"trace line {number}: header is not valid JSON "
+                    f"({exc.msg})"
+                ) from exc
+            bad(number, raw, f"not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(obj, dict) or "t" not in obj:
+            if header is None:
+                raise TraceError(
+                    f"trace line {number}: expected a header object "
+                    f"with a 't' key"
+                )
+            bad(number, raw, "not an object with a 't' key")
+            continue
+        kind = obj["t"]
+        if header is None:
+            if kind != "header":
+                raise TraceError(
+                    f"trace line {number}: first line must be the "
+                    f"header, got {kind!r}"
+                )
+            schema = obj.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise TraceError(
+                    f"unsupported trace schema {schema!r} "
+                    f"(this reader supports {SCHEMA_VERSION})"
+                )
+            if not isinstance(obj.get("config"), dict):
+                raise TraceError(
+                    f"trace line {number}: header has no config object"
+                )
+            if not isinstance(
+                obj.get("horizon_hours"), (int, float)
+            ):
+                raise TraceError(
+                    f"trace line {number}: header has no numeric "
+                    f"horizon_hours"
+                )
+            header = obj
+            continue
+        if kind == "header":
+            bad(number, raw, "duplicate header")
+        elif kind == "report":
+            report = {k: v for k, v in obj.items() if k != "t"}
+        elif kind == "end":
+            end = {k: v for k, v in obj.items() if k != "t"}
+        elif kind in EVENT_KINDS:
+            missing = _EVENT_KEYS[kind] - obj.keys()
+            if missing:
+                bad(
+                    number,
+                    raw,
+                    f"{kind} event missing keys "
+                    f"{sorted(missing)}",
+                )
+            else:
+                events.append(obj)
+        else:
+            bad(number, raw, f"unknown event type {kind!r}")
+
+    if header is None:
+        raise TraceError("trace has no header line")
+    trace = Trace(
+        config=config_from_dict(header["config"]),
+        horizon_hours=float(header["horizon_hours"]),
+        events=events,
+        report=report,
+        end=end,
+    )
+    return trace, quarantined
+
+
+def read_trace(
+    path: str | os.PathLike, *, on_error: str = "raise"
+) -> tuple[Trace, list[QuarantinedLine]]:
+    """Read and parse a trace file (see :func:`parse_trace`).
+
+    Raises:
+        TraceError: If the file cannot be read or (in ``"raise"``
+            mode) contains a malformed line.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    return parse_trace(text, on_error=on_error)
+
+
+def write_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace to disk as canonical JSONL.
+
+    Raises:
+        TraceError: If the file cannot be written.
+    """
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(trace.dumps())
+    except OSError as exc:
+        raise TraceError(f"cannot write trace {path}: {exc}") from exc

@@ -1,0 +1,152 @@
+"""Counterfactual replay: same failures, different operations.
+
+The paper's RQ5 discussion frames MTTR as an *operational* choice —
+staffing, spares on hand, procurement lead times.  ``run_whatif``
+makes that discussion quantitative for a concrete recorded history:
+replay the same failure sequence under an alternative repair policy /
+spare inventory / checkpoint interval / backfill depth and diff the
+outcomes.  The failure *history* is held fixed; only the response to
+it changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.repair import RepairPolicy
+from repro.sim.simulator import SimulationReport
+from repro.trace.diff import ReportDiff, diff_reports
+from repro.trace.format import Trace
+from repro.trace.replay import ReplaySimulator, replay
+
+__all__ = ["WhatIf", "WhatIfResult", "run_whatif"]
+
+
+@dataclass(frozen=True)
+class WhatIf:
+    """Counterfactual overrides; ``None`` fields keep the recording's
+    value.
+
+    ``checkpoint_interval_hours`` adjusts only the interval of the
+    recorded checkpoint policy (or creates one with the default costs
+    if the recording had none); ``checkpoint_policy`` replaces the
+    policy wholesale and wins when both are given.
+    """
+
+    num_technicians: int | None = None
+    spare_lead_time_hours: float | None = None
+    initial_spares: dict[str, int] | None = None
+    checkpoint_interval_hours: float | None = None
+    checkpoint_policy: CheckpointPolicy | None = None
+    backfill_depth: int | None = None
+
+    @property
+    def empty(self) -> bool:
+        """True when no override is set."""
+        return all(
+            getattr(self, name) is None
+            for name in (
+                "num_technicians",
+                "spare_lead_time_hours",
+                "initial_spares",
+                "checkpoint_interval_hours",
+                "checkpoint_policy",
+                "backfill_depth",
+            )
+        )
+
+    def build_simulator(self, trace: Trace) -> ReplaySimulator:
+        """Construct the counterfactual replay for a trace."""
+        base = trace.config
+        repair_policy = None
+        if (
+            self.num_technicians is not None
+            or self.spare_lead_time_hours is not None
+        ):
+            repair_policy = RepairPolicy(
+                num_technicians=(
+                    self.num_technicians
+                    if self.num_technicians is not None
+                    else base.repair_policy.num_technicians
+                ),
+                spare_lead_time_hours=(
+                    self.spare_lead_time_hours
+                    if self.spare_lead_time_hours is not None
+                    else base.repair_policy.spare_lead_time_hours
+                ),
+                hardware_categories=(
+                    base.repair_policy.hardware_categories
+                ),
+            )
+        kwargs: dict = {}
+        if repair_policy is not None:
+            kwargs["repair_policy"] = repair_policy
+        if self.initial_spares is not None:
+            kwargs["initial_spares"] = self.initial_spares
+        if self.checkpoint_policy is not None:
+            kwargs["checkpoint_policy"] = self.checkpoint_policy
+        elif self.checkpoint_interval_hours is not None:
+            recorded = base.checkpoint_policy
+            if recorded is None:
+                kwargs["checkpoint_policy"] = CheckpointPolicy(
+                    interval_hours=self.checkpoint_interval_hours,
+                    cost_hours=0.0,
+                )
+            else:
+                kwargs["checkpoint_policy"] = CheckpointPolicy(
+                    interval_hours=self.checkpoint_interval_hours,
+                    cost_hours=recorded.cost_hours,
+                    restart_cost_hours=recorded.restart_cost_hours,
+                )
+        if self.backfill_depth is not None:
+            kwargs["backfill_depth"] = self.backfill_depth
+        return ReplaySimulator(trace, **kwargs)
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """A counterfactual outcome next to its recorded baseline."""
+
+    baseline: dict
+    counterfactual: SimulationReport
+    diff: ReportDiff
+
+
+def run_whatif(
+    trace: Trace,
+    overrides: WhatIf,
+    *,
+    verify_baseline: bool = False,
+) -> WhatIfResult:
+    """Replay a trace under overrides and diff against the recording.
+
+    The baseline is the report stored *in* the trace; when the trace
+    predates the report line (or ``verify_baseline`` is set), the
+    baseline is re-derived by a bit-exact replay first, so the diff
+    never compares against a stale or absent report.
+
+    Raises:
+        TraceError: If the overrides are empty — a whatif with nothing
+            changed is a :func:`repro.trace.replay.replay` in
+            disguise, and silently returning an all-zero diff would
+            mask a caller bug.
+        ReplayDivergenceError: If baseline re-derivation was needed
+            and the trace does not replay bit-exactly.
+    """
+    if overrides.empty:
+        raise TraceError(
+            "whatif overrides are empty; use replay() to re-execute "
+            "a trace unchanged"
+        )
+    baseline = trace.report
+    if baseline is None or verify_baseline:
+        baseline_result = replay(trace)
+        baseline = baseline_result.trace.report
+    counterfactual = overrides.build_simulator(trace).run()
+    return WhatIfResult(
+        baseline=baseline,
+        counterfactual=counterfactual,
+        diff=diff_reports(baseline, counterfactual),
+    )

@@ -81,12 +81,61 @@ class TestRateLimiter:
         assert limiter.stats()["clients_tracked"] == 2
         limiter.check("a")  # fresh bucket again, so allowed
 
+    def test_eviction_rotation_cannot_reset_budget(self):
+        # Regression: an evicted client used to come back to a fresh
+        # full bucket, so rotating through max_clients + 1 identities
+        # bypassed the rate limit entirely.  After an eviction, a
+        # returning client gets one token plus the refill accrued
+        # since the eviction — not a new burst.
+        clock = FakeClock()
+        limiter = RateLimiter(
+            1.0, burst=5.0, max_clients=2, clock=clock
+        )
+        for _ in range(5):
+            limiter.check("attacker")
+        with pytest.raises(HttpError):
+            limiter.check("attacker")  # burst spent
+        limiter.check("pad")       # second tracked client
+        limiter.check("rotate")    # evicts "attacker"
+        assert limiter.evictions == 1
+        limiter.check("attacker")  # re-admitted: 1 token, not 5
+        with pytest.raises(HttpError) as excinfo:
+            limiter.check("attacker")
+        assert excinfo.value.status == 429
+
+    def test_readmitted_client_refills_from_eviction_time(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            1.0, burst=3.0, max_clients=1, clock=clock
+        )
+        limiter.check("a")
+        limiter.check("b")  # evicts "a" at t=0
+        clock.now = 2.0
+        # 1 granted + 2 s of refill at 1/s = 3 tokens (= burst cap).
+        limiter.check("a")
+        limiter.check("b")
+        clock.now = 4.0
+        limiter.check("a")
+        with pytest.raises(HttpError):
+            limiter.check("a")  # 1 + 2*rate spent; nothing left
+
+    def test_new_clients_before_any_eviction_get_full_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            1.0, burst=2.0, max_clients=8, clock=clock
+        )
+        limiter.check("a")
+        limiter.check("a")  # full burst honoured: no eviction yet
+        with pytest.raises(HttpError):
+            limiter.check("a")
+
     def test_stats(self):
         limiter = RateLimiter(5.0, burst=10.0)
         limiter.check("x")
         stats = limiter.stats()
         assert stats["rate_per_second"] == 5.0
         assert stats["allowed"] == 1
+        assert stats["evictions"] == 0
 
 
 class TestAdmissionController:

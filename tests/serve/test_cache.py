@@ -31,6 +31,37 @@ class TestCanonicalKey:
     def test_fingerprint_none_versus_set(self):
         assert canonical_key("e", {}) != canonical_key("e", {}, "fp")
 
+    def test_non_serializable_params_rejected(self):
+        # Regression: json.dumps(default=str) used to coerce these.
+        # An object's str() embeds id(), so the "same" request got a
+        # different key per instance — every lookup a miss — while
+        # distinct params with equal str() collided and served each
+        # other's cached bytes.  Both directions must now refuse.
+        with pytest.raises(ServeError, match="not JSON-serializable"):
+            canonical_key("simulate", {"policy": object()})
+
+    def test_equal_str_distinct_params_do_not_collide(self):
+        class Spec:
+            def __init__(self, hidden: int) -> None:
+                self.hidden = hidden
+
+            def __str__(self) -> str:
+                return "spec"
+
+        # Under default=str these two distinct params produced the
+        # SAME key; now both are rejected before they can collide.
+        with pytest.raises(ServeError):
+            canonical_key("simulate", {"spec": Spec(1)})
+        with pytest.raises(ServeError):
+            canonical_key("simulate", {"spec": Spec(2)})
+
+    def test_nan_params_rejected(self):
+        # NaN != NaN, so a NaN param can never hit its own cache
+        # entry; reject it at the key boundary like the body encoder
+        # (repro.serve.http.json_body) already does.
+        with pytest.raises(ServeError):
+            canonical_key("analyze", {"threshold": float("nan")})
+
 
 class TestResultCache:
     def test_miss_then_hit(self):

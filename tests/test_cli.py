@@ -305,3 +305,106 @@ class TestLenientFlag:
         assert "lenient read:" in out
         assert "quarantined" in out
         assert "replayed" in out
+
+
+class TestTraceCommands:
+    def _record(self, tmp_path, **extra):
+        path = tmp_path / "run.jsonl"
+        argv = ["trace", "record", "--machine", "tsubame2",
+                "--seed", "5", "--horizon", "300", "--out", str(path)]
+        for flag, value in extra.items():
+            argv.append(f"--{flag.replace('_', '-')}")
+            if value is not True:
+                argv.append(str(value))
+        assert main(argv) == 0
+        return path
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert "recorded tsubame2" in out
+        assert main(["trace", "replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exactly" in out
+        assert "failures injected:" in out
+
+    def test_record_workload_then_replay(self, tmp_path, capsys):
+        path = self._record(
+            tmp_path, workload=True, checkpoint_interval=6.0
+        )
+        assert main(["trace", "replay", str(path)]) == 0
+        assert "bit-exactly" in capsys.readouterr().out
+
+    def test_checkpoint_interval_requires_workload(self, tmp_path):
+        argv = ["trace", "record", "--machine", "tsubame2",
+                "--checkpoint-interval", "6.0",
+                "--out", str(tmp_path / "x.jsonl")]
+        assert main(argv) == 1
+
+    def test_replay_to_store(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        store = tmp_path / "store"
+        assert main(["trace", "replay", str(path),
+                     "--to-store", str(store)]) == 0
+        assert "stored" in capsys.readouterr().out
+        from repro.store import open_store
+
+        assert len(open_store(store).log()) > 0
+
+    def test_replay_tampered_trace_fails(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        lines = path.read_text().splitlines()
+        import json as _json
+
+        for i, line in enumerate(lines):
+            obj = _json.loads(line)
+            if obj.get("t") == "fail":
+                obj["node"] += 1
+                lines[i] = _json.dumps(
+                    obj, sort_keys=True, separators=(",", ":")
+                )
+                break
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "replay", str(path)]) == 1
+        assert "diverged" in capsys.readouterr().err
+
+    def test_whatif_text_and_json(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "whatif", str(path),
+                     "--technicians", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "counterfactual replay" in out
+        assert "effective_mttr_hours" in out
+        assert main(["trace", "whatif", str(path),
+                     "--technicians", "1", "--json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert "effective_mttr_hours" in payload
+
+    def test_whatif_without_overrides_fails(self, tmp_path):
+        path = self._record(tmp_path)
+        assert main(["trace", "whatif", str(path)]) == 1
+
+    def test_whatif_spares_parsing(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "whatif", str(path),
+                     "--spares", "GPU=10,CPU=5"]) == 0
+        assert main(["trace", "whatif", str(path),
+                     "--spares", "GPU=ten"]) == 1
+
+    def test_info(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "machine:            tsubame2" in out
+        assert "fail=" in out
+
+    def test_monitor_consumes_trace(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", str(path), "--trace"]) == 0
+        assert "events=" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Shared fixtures for the trace/replay suite.
+
+Recording a run is the expensive part, so the recorded traces are
+session-scoped; tests that need to tamper with one work on copies
+(:func:`Trace` is mutable — copy before editing).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim import (
+    CheckpointPolicy,
+    ClusterSimulator,
+    WorkloadConfig,
+)
+from repro.trace import Trace, parse_trace, record_run
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def copy_trace(trace: Trace) -> Trace:
+    """A deep, independent copy safe for tampering."""
+    copied, quarantined = parse_trace(trace.dumps())
+    assert not quarantined
+    return copied
+
+
+@pytest.fixture(scope="session")
+def headless_trace() -> Trace:
+    """A recorded headless tsubame2 run (no workload)."""
+    sim = ClusterSimulator("tsubame2", seed=7)
+    _, trace = record_run(sim, 400)
+    return trace
+
+
+@pytest.fixture(scope="session")
+def workload_trace() -> Trace:
+    """A recorded tsubame3 run with scheduler + checkpointing."""
+    sim = ClusterSimulator(
+        "tsubame3",
+        seed=11,
+        intensity=3.0,
+        health_test_effectiveness=0.5,
+        workload=WorkloadConfig(),
+        checkpoint_policy=CheckpointPolicy(6.0, 0.2),
+    )
+    _, trace = record_run(sim, 300)
+    return trace

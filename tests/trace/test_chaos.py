@@ -1,0 +1,101 @@
+"""Chaos: corrupt and truncated traces must quarantine, not crash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.stream import TraceSource
+from repro.testing import TRACE_FAULT_KINDS, corrupt_trace_file
+from repro.trace import read_trace, write_trace
+
+
+@pytest.fixture()
+def clean_path(tmp_path, headless_trace):
+    path = tmp_path / "clean.jsonl"
+    write_trace(headless_trace, path)
+    return path
+
+
+class TestCorruptTraceFile:
+    def test_manifest_matches_quarantine_exactly(
+        self, tmp_path, clean_path
+    ):
+        dirty = tmp_path / "dirty.jsonl"
+        manifest = corrupt_trace_file(clean_path, dirty, seed=3)
+        assert manifest, "rate=0.2 over ~100 lines must corrupt some"
+        trace, quarantined = read_trace(dirty, on_error="quarantine")
+        assert [q.line_number for q in quarantined] == [
+            fault.line_number for fault in manifest
+        ]
+        # Clean lines all survived.
+        clean, _ = read_trace(clean_path)
+        assert len(trace.events) == (
+            len(clean.events) - len(manifest)
+        )
+
+    def test_strict_read_refuses_corruption(self, tmp_path, clean_path):
+        dirty = tmp_path / "dirty.jsonl"
+        corrupt_trace_file(clean_path, dirty, seed=3)
+        with pytest.raises(TraceError):
+            read_trace(dirty)
+
+    def test_each_kind_individually(self, tmp_path, clean_path):
+        for kind in TRACE_FAULT_KINDS:
+            dirty = tmp_path / f"{kind}.jsonl"
+            manifest = corrupt_trace_file(
+                clean_path, dirty, seed=11, kinds=(kind,), rate=0.3
+            )
+            _, quarantined = read_trace(dirty, on_error="quarantine")
+            assert len(quarantined) == len(manifest), kind
+
+    def test_truncated_tail_quarantined(self, tmp_path, clean_path):
+        dirty = tmp_path / "torn.jsonl"
+        manifest = corrupt_trace_file(
+            clean_path, dirty, seed=3, rate=0.0, truncate=True
+        )
+        assert [f.kind for f in manifest] == ["truncated"]
+        trace, quarantined = read_trace(dirty, on_error="quarantine")
+        assert len(quarantined) == 1
+        assert quarantined[0].line_number == manifest[0].line_number
+
+    def test_deterministic_given_seed(self, tmp_path, clean_path):
+        a = corrupt_trace_file(clean_path, tmp_path / "a.jsonl", seed=5)
+        b = corrupt_trace_file(clean_path, tmp_path / "b.jsonl", seed=5)
+        assert a == b
+        assert (
+            (tmp_path / "a.jsonl").read_text()
+            == (tmp_path / "b.jsonl").read_text()
+        )
+
+    def test_unknown_kind_rejected(self, tmp_path, clean_path):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            corrupt_trace_file(
+                clean_path, tmp_path / "x.jsonl", kinds=("gremlins",)
+            )
+
+    def test_header_never_corrupted(self, tmp_path, clean_path):
+        # Even at rate=1.0 the header survives, so a lenient read
+        # still yields a usable trace.
+        dirty = tmp_path / "all.jsonl"
+        corrupt_trace_file(clean_path, dirty, seed=1, rate=1.0)
+        trace, quarantined = read_trace(dirty, on_error="quarantine")
+        assert trace.config.machine == "tsubame2"
+        assert quarantined  # everything else got hit
+
+
+class TestLenientTraceSource:
+    def test_streams_surviving_events(self, tmp_path, clean_path):
+        dirty = tmp_path / "dirty.jsonl"
+        corrupt_trace_file(clean_path, dirty, seed=3)
+        source = TraceSource(dirty, on_error="quarantine")
+        assert source.quarantined
+        events = list(source)
+        assert events, "surviving failures must still stream"
+        assert all(e.is_failure for e in events)
+
+    def test_strict_source_raises(self, tmp_path, clean_path):
+        dirty = tmp_path / "dirty.jsonl"
+        corrupt_trace_file(clean_path, dirty, seed=3)
+        with pytest.raises(TraceError):
+            TraceSource(dirty)

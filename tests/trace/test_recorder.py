@@ -1,0 +1,81 @@
+"""TraceRecorder: bus capture, deferred serialization, one-shot use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim import ClusterSimulator, WorkloadConfig
+from repro.trace import TraceRecorder, parse_trace, record_run
+
+
+class TestRecording:
+    def test_record_run_returns_report_and_trace(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        report, trace = record_run(sim, 300)
+        assert trace.config == sim.config
+        assert trace.horizon_hours == 300.0
+        assert len(trace.failures) == report.failures_injected
+        rdone = [e for e in trace.events if e["t"] == "rdone"]
+        assert len(rdone) == report.repairs_completed
+
+    def test_event_times_monotonic_nondecreasing(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        _, trace = record_run(sim, 300)
+        times = [event["time"] for event in trace.events]
+        assert times == sorted(times)
+
+    def test_workload_jobs_recorded(self):
+        sim = ClusterSimulator(
+            "tsubame3", seed=2, workload=WorkloadConfig()
+        )
+        report, trace = record_run(sim, 200)
+        kinds = {event["t"] for event in trace.events}
+        assert {"jsub", "jstart", "jdone"} <= kinds
+        assert len(trace.jobs) == report.scheduler.jobs_submitted
+
+    def test_report_and_end_lines_present(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        report, trace = record_run(sim, 300)
+        assert trace.report["failures_injected"] == (
+            report.failures_injected
+        )
+        assert trace.end["events"] == len(trace.events)
+        assert trace.end["wall_s"] >= 0.0
+
+    def test_trace_parses_byte_identical(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        _, trace = record_run(sim, 300)
+        parsed, quarantined = parse_trace(trace.dumps())
+        assert not quarantined
+        assert parsed.dumps() == trace.dumps()
+
+
+class TestLifecycle:
+    def test_finalize_is_one_shot(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        recorder = TraceRecorder.attach(sim)
+        report = sim.run(100)
+        recorder.finalize(report, 100)
+        with pytest.raises(TraceError, match="already finalized"):
+            recorder.finalize(report, 100)
+
+    def test_event_count_tracks_buffer(self):
+        sim = ClusterSimulator("tsubame2", seed=5)
+        recorder = TraceRecorder.attach(sim)
+        assert recorder.event_count == 0
+        sim.run(300)
+        assert recorder.event_count > 0
+
+    def test_attach_before_run_misses_nothing(self):
+        # The recorder must see the very first failure: compare with a
+        # twin run counted via a direct subscription.
+        twin = ClusterSimulator("tsubame2", seed=5)
+        seen = []
+        twin.engine.subscribe(
+            "failure", lambda record, time_hours: seen.append(record)
+        )
+        twin.run(300)
+        sim = ClusterSimulator("tsubame2", seed=5)
+        _, trace = record_run(sim, 300)
+        assert len(trace.failures) == len(seen)
