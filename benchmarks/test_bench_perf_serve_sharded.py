@@ -1,0 +1,63 @@
+"""Sharded-serving bench — the scale-out PR acceptance, kept green.
+
+Runs the full :mod:`perf_serve_sharded` benchmark (single-process
+baseline, then router + N real shard processes), writes
+``BENCH_serve_sharded.json``, and asserts the invariants that must
+never regress: byte-identical responses across shards, a clean
+priority-job roundtrip whose result the synchronous endpoint then
+serves from cache, and — only on hardware that can deliver it — the
+>= 4x aggregate throughput floor.
+"""
+
+import json
+
+import pytest
+
+import perf_serve_sharded
+
+
+@pytest.fixture(scope="module")
+def results():
+    res = perf_serve_sharded.run_benchmark()
+    perf_serve_sharded.write_report(res)
+    return res
+
+
+def test_report_written_and_loads(results):
+    on_disk = json.loads(
+        perf_serve_sharded.REPORT_PATH.read_text()
+    )
+    assert on_disk["schema"] == results["schema"]
+    assert set(on_disk) == set(results)
+    # The honesty fields the satellite demands are always present.
+    assert "cpu_count" in on_disk
+    assert "speedup_asserted" in on_disk
+
+
+def test_responses_byte_identical_across_shards(results):
+    identity = results["cross_shard_identity"]
+    assert identity["byte_identical"] is True
+    assert len(identity["paths"]) >= 2
+
+
+def test_jobs_roundtrip_through_router(results):
+    jobs = results["jobs"]
+    assert jobs["status"] == "done"
+    assert jobs["sync_simulate_matches_job_result"] is True
+    assert jobs["job_id"].startswith("s")
+
+
+def test_sharded_throughput_positive(results):
+    assert results["single_process"]["requests_per_s"] > 0.0
+    assert results["sharded"]["requests_per_s"] > 0.0
+    assert results["speedup"] > 0.0
+
+
+def test_speedup_floor_when_hardware_allows(results):
+    """The 4x floor is asserted exactly when the host can deliver it."""
+    expected = (
+        results["cpu_count"] >= 4 and results["shards"] >= 4
+    )
+    assert results["speedup_asserted"] is expected
+    if results["speedup_asserted"]:
+        assert results["speedup"] >= results["speedup_floor"]

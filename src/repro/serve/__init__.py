@@ -5,8 +5,11 @@ A dependency-free service layer over the analysis core: named datasets
 result caching (:mod:`~repro.serve.cache`), request coalescing
 (:mod:`~repro.serve.coalesce`), and admission control
 (:mod:`~repro.serve.admission`), served by ``asyncio.start_server``
-(:mod:`~repro.serve.server`).  See ``docs/SERVING.md`` for endpoint
-schemas and operational semantics.
+(:mod:`~repro.serve.server`).  Scale-out mode fronts N shard worker
+processes with a consistent-hashing router (:mod:`~repro.serve.shard`,
+:mod:`~repro.serve.router`) and queues expensive simulations through a
+priority job queue (:mod:`~repro.serve.jobs`).  See ``docs/SERVING.md``
+for endpoint schemas and operational semantics.
 
 Quick start::
 
@@ -27,6 +30,7 @@ from repro.serve.app import ANALYSES, ReproApp, SimulateJob
 from repro.serve.cache import ResultCache, canonical_key
 from repro.serve.coalesce import MicroBatcher, SingleFlight
 from repro.serve.http import HttpError, HttpRequest, Response
+from repro.serve.jobs import JOB_STATES, Job, JobConflict, JobQueue
 from repro.serve.registry import (
     Dataset,
     DatasetRegistry,
@@ -35,31 +39,49 @@ from repro.serve.registry import (
     parse_dataset_spec,
     register_from_spec,
 )
+from repro.serve.router import BackendPool, RouterApp, run_router_in_thread
 from repro.serve.server import ReproServer, ServerHandle, run_in_thread
-from repro.serve.stats import ServerStats
+from repro.serve.shard import HashRing, ShardConfig, spawn_shard
+from repro.serve.stats import (
+    ServerStats,
+    merge_counter_dicts,
+    merge_server_snapshots,
+)
 
 __all__ = [
     "ANALYSES",
     "AdmissionController",
+    "BackendPool",
     "Dataset",
     "DatasetRegistry",
+    "HashRing",
     "HttpError",
     "HttpRequest",
+    "JOB_STATES",
+    "Job",
+    "JobConflict",
+    "JobQueue",
     "MicroBatcher",
     "RateLimiter",
     "ReproApp",
     "ReproServer",
     "ResultCache",
     "Response",
+    "RouterApp",
     "ServerHandle",
     "ServerStats",
+    "ShardConfig",
     "SimulateJob",
     "SingleFlight",
     "TokenBucket",
     "canonical_key",
     "fingerprint_file",
     "fingerprint_log",
+    "merge_counter_dicts",
+    "merge_server_snapshots",
     "parse_dataset_spec",
     "register_from_spec",
     "run_in_thread",
+    "run_router_in_thread",
+    "spawn_shard",
 ]

@@ -186,6 +186,7 @@ class AdmissionController:
         self._semaphore = asyncio.Semaphore(max_inflight)
         self._inflight = 0
         self._queued = 0
+        self._draining = False
         self.admitted = 0
         self.shed = 0
         self.peak_inflight = 0
@@ -199,7 +200,27 @@ class AdmissionController:
     def queued(self) -> int:
         return self._queued
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Shed every *new* admission with 503 from now on.
+
+        Work already admitted (or queued) proceeds — graceful drain
+        means in-flight requests complete while arrivals are turned
+        away at the door with a ``Retry-After``.
+        """
+        self._draining = True
+
     async def __aenter__(self) -> "AdmissionController":
+        if self._draining:
+            self.shed += 1
+            raise HttpError(
+                503,
+                "server is draining; retry against another instance",
+                retry_after_seconds=self.retry_after_seconds,
+            )
         if (
             self._inflight >= self.max_inflight
             and self._queued >= self.max_queue
@@ -236,4 +257,5 @@ class AdmissionController:
             "shed": self.shed,
             "peak_inflight": self.peak_inflight,
             "peak_queued": self.peak_queued,
+            "draining": self._draining,
         }

@@ -24,6 +24,7 @@ feeds this layer deliberately broken handlers to prove it.
 from __future__ import annotations
 
 import asyncio
+import json
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -54,6 +55,7 @@ from repro.serve.http import (
     error_body,
     json_body,
 )
+from repro.serve.jobs import JOB_STATES, Job, JobConflict, JobQueue
 from repro.serve.registry import DatasetRegistry
 from repro.serve.stats import ServerStats
 from repro.sim.montecarlo import EnsembleReport, run_replications
@@ -257,6 +259,15 @@ class ReproApp:
             batch company.
         max_replications: Per-request ensemble-size ceiling
             (admission control for the most expensive endpoint).
+        shard_index: This instance's position in a sharded
+            deployment; ``None`` for a standalone server.  When set,
+            every response carries an ``X-Shard`` header (affinity is
+            observable) and job ids embed the shard for routing.
+        job_concurrency: Runner tasks draining the ``/jobs`` queue.
+            More than one lets concurrent jobs micro-batch into one
+            warm-pool dispatch; exactly one gives strict priority
+            order.  ``None`` sizes to the worker count.
+        job_retention: Finished jobs kept for polling.
         clock: Injectable monotonic clock for cache/limiter/stats.
     """
 
@@ -274,6 +285,9 @@ class ReproApp:
         batch_max: int = 16,
         batch_linger_seconds: float = 0.005,
         max_replications: int = 512,
+        shard_index: int | None = None,
+        job_concurrency: int | None = None,
+        job_retention: int = 512,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.registry = registry if registry is not None else DatasetRegistry()
@@ -291,6 +305,7 @@ class ReproApp:
         self.stats = ServerStats(clock=clock)
         self.analyses = dict(ANALYSES)
         self.max_replications = max_replications
+        self.shard_index = shard_index
         self.draining = False
         self._clock = clock
         self._executor = ThreadPoolExecutor(
@@ -301,6 +316,17 @@ class ReproApp:
             self._run_simulate_batch,
             max_batch=batch_max,
             linger_seconds=batch_linger_seconds,
+        )
+        self.jobs = JobQueue(
+            self._execute_job,
+            shard_index=shard_index if shard_index is not None else 0,
+            concurrency=(
+                job_concurrency
+                if job_concurrency is not None
+                else max(2, min(8, self.workers))
+            ),
+            retention=job_retention,
+            clock=clock,
         )
         self._warm_cache()
 
@@ -327,12 +353,21 @@ class ReproApp:
     # -- lifecycle ---------------------------------------------------------
 
     def begin_drain(self) -> None:
-        """Flag the app as draining (reflected by ``/healthz``)."""
+        """Start a graceful drain.
+
+        ``/healthz`` flips to ``draining``; new data requests are shed
+        with 503 + ``Retry-After``; queued jobs are cancelled with
+        drain attribution (running jobs finish — :meth:`close` awaits
+        them); requests already in flight complete normally.
+        """
         self.draining = True
+        self.admission.begin_drain()
+        self.jobs.drain(reason="server drain")
 
     async def close(self) -> None:
-        """Flush the batcher and release the executor."""
+        """Drain jobs, flush the batcher, release the executor."""
         self.draining = True
+        await self.jobs.close()
         await self.batcher.close()
         self._executor.shutdown(wait=False)
 
@@ -369,6 +404,10 @@ class ReproApp:
         self.stats.observe(
             label, response.status, self._clock() - start
         )
+        if self.shard_index is not None:
+            response.headers.setdefault(
+                "X-Shard", str(self.shard_index)
+            )
         return response
 
     @staticmethod
@@ -398,9 +437,18 @@ class ReproApp:
             return "healthz", self._healthz()
         if head == "statsz" and len(parts) == 1:
             self._require(method, "GET")
-            return "statsz", self._statsz()
+            return "statsz", self._statsz(request)
 
-        # Everything below is a data/compute endpoint: rate-limited.
+        # Everything below is a data/compute endpoint.  During a
+        # drain, arrivals are turned away at the door — in-flight
+        # requests finish, new ones go elsewhere.
+        if self.draining:
+            raise HttpError(
+                503,
+                "server is draining; retry against another instance",
+                retry_after_seconds=1.0,
+            )
+        # Rate-limited from here on.
         if self.limiter is not None:
             self.limiter.check(request.client_id)
 
@@ -427,6 +475,21 @@ class ReproApp:
         if head == "generate" and len(parts) == 1:
             self._require(method, "POST")
             return "generate", await self._generate(request)
+        if head == "jobs":
+            if len(parts) == 1:
+                if method == "POST":
+                    return "jobs", self._submit_job(request)
+                self._require(method, "GET")
+                return "jobs", self._list_jobs(request)
+            if len(parts) == 2:
+                if method == "GET":
+                    return "jobs", self._get_job(parts[1])
+                if method == "DELETE":
+                    return "jobs", self._cancel_job(parts[1])
+                raise HttpError(
+                    405,
+                    f"method {method} not allowed on {request.path}",
+                )
         raise HttpError(404, f"no route for {request.path}")
 
     @staticmethod
@@ -459,33 +522,42 @@ class ReproApp:
                         + "{" + "|".join(sorted(ANALYSES)) + "}",
                         "POST /simulate",
                         "POST /generate",
+                        "POST /jobs",
+                        "GET /jobs",
+                        "GET /jobs/{id}",
+                        "DELETE /jobs/{id}",
                     ],
                 }
             ),
         )
 
     def _healthz(self) -> Response:
-        return Response(
-            200,
-            json_body(
-                {
-                    "status": "draining" if self.draining else "ok",
-                    "uptime_seconds": self.stats.uptime_seconds,
-                    "datasets": self.registry.names(),
-                    "inflight": self.admission.inflight,
-                    "queued": self.admission.queued,
-                    "requests_total": self.stats.requests_total,
-                }
-            ),
-        )
-
-    def _statsz(self) -> Response:
         payload = {
-            "server": self.stats.snapshot(),
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": self.stats.uptime_seconds,
+            "datasets": self.registry.names(),
+            "inflight": self.admission.inflight,
+            "queued": self.admission.queued,
+            "requests_total": self.stats.requests_total,
+            "jobs_queued": self.jobs.queued,
+            "jobs_running": self.jobs.running,
+        }
+        if self.shard_index is not None:
+            payload["shard"] = self.shard_index
+        return Response(200, json_body(payload))
+
+    def _statsz(self, request: HttpRequest) -> Response:
+        # ``?states=1`` adds the raw estimator states (Welford
+        # moments, GK tuple lists) so a router can merge per-shard
+        # latency distributions instead of averaging averages.
+        include_states = request.query.get("states") in ("1", "true")
+        payload = {
+            "server": self.stats.snapshot(include_states),
             "cache": self.cache.stats(),
             "singleflight": self.singleflight.stats(),
             "batcher": self.batcher.stats(),
             "admission": self.admission.stats(),
+            "jobs": self.jobs.stats(),
             "rate_limiter": (
                 self.limiter.stats() if self.limiter else None
             ),
@@ -494,6 +566,8 @@ class ReproApp:
                 for name in self.registry.names()
             },
         }
+        if self.shard_index is not None:
+            payload["shard"] = self.shard_index
         return Response(200, json_body(payload))
 
     # -- dataset endpoints -------------------------------------------------
@@ -648,6 +722,11 @@ class ReproApp:
         params = request.json()
         if not isinstance(params, dict):
             raise HttpError(400, "body must be a JSON object")
+        return self._parse_simulate_params(params)
+
+    def _parse_simulate_params(
+        self, params: dict[str, Any]
+    ) -> SimulateJob:
         machine = params.get("machine")
         if machine not in known_machines():
             raise HttpError(
@@ -738,6 +817,105 @@ class ReproApp:
             return results
 
         return await self._offload(drain)
+
+    # -- job endpoints ------------------------------------------------------
+
+    def _submit_job(self, request: HttpRequest) -> Response:
+        """``POST /jobs``: enqueue a simulate job, answer 202.
+
+        The body is the ``/simulate`` parameter object plus an
+        optional integer ``priority`` (higher runs first, default 0).
+        """
+        params = request.json()
+        if not isinstance(params, dict):
+            raise HttpError(400, "body must be a JSON object")
+        priority = _as_int(params.pop("priority", 0), "priority")
+        sim = self._parse_simulate_params(params)
+        if self.draining:
+            raise HttpError(
+                503,
+                "server is draining; jobs are not accepted",
+                retry_after_seconds=1.0,
+            )
+        job = self.jobs.submit(sim.params(), priority=priority)
+        return Response(202, json_body({"job": job.describe()}))
+
+    def _get_job(self, job_id: str) -> Response:
+        try:
+            job = self.jobs.get(job_id)
+        except ServeError as error:
+            raise HttpError(404, str(error)) from None
+        payload: dict[str, Any] = {"job": job.describe()}
+        if job.status == "done" and job.result is not None:
+            payload["result"] = json.loads(job.result)
+        return Response(200, json_body(payload))
+
+    def _cancel_job(self, job_id: str) -> Response:
+        try:
+            job = self.jobs.cancel(job_id)
+        except JobConflict as error:
+            raise HttpError(409, str(error)) from None
+        except ServeError as error:
+            raise HttpError(404, str(error)) from None
+        return Response(200, json_body({"job": job.describe()}))
+
+    def _list_jobs(self, request: HttpRequest) -> Response:
+        status = request.query.get("status")
+        if status is not None and status not in JOB_STATES:
+            raise HttpError(
+                400,
+                f"unknown job status {status!r} "
+                f"(known: {', '.join(JOB_STATES)})",
+            )
+        limit = 100
+        if "limit" in request.query:
+            try:
+                limit = max(1, min(1000, int(request.query["limit"])))
+            except ValueError:
+                raise HttpError(
+                    400,
+                    f"limit must be an integer, "
+                    f"got {request.query['limit']!r}",
+                ) from None
+        jobs = self.jobs.list(status=status, limit=limit)
+        return Response(
+            200,
+            json_body(
+                {
+                    "jobs": [job.describe() for job in jobs],
+                    "stats": self.jobs.stats(),
+                }
+            ),
+        )
+
+    async def _execute_job(
+        self, params: dict[str, Any], job: Job
+    ) -> bytes:
+        """Run one queued job through the shared serving machinery.
+
+        Jobs reuse the result cache and single-flight exactly like
+        the synchronous endpoint — a queued job whose parameters were
+        already computed finishes instantly as a cache hit, and the
+        result it stores makes a later ``POST /simulate`` with the
+        same parameters a byte-identical hit.  Jobs bypass admission
+        control: the queue itself is the backpressure.
+        """
+        sim = SimulateJob(**params)
+        key = canonical_key("simulate", sim.params())
+        cached = self.cache.get(key)
+        if cached is not None:
+            job.cached = True
+            return cached
+
+        async def compute() -> bytes:
+            payload = await self.batcher.submit(sim)
+            body = json_body(payload)
+            self.cache.put(key, body)
+            return body
+
+        body, coalesced = await self.singleflight.run(key, compute)
+        job.cached = coalesced
+        return body
 
 
 # --------------------------------------------------------------------------

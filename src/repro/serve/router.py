@@ -1,0 +1,907 @@
+"""The front router: one listener, N shard processes behind it.
+
+:class:`RouterApp` duck-types the :class:`~repro.serve.app.ReproApp`
+surface the transport uses (``dispatch`` / ``begin_drain`` / ``close``
+/ ``draining``), so the existing :class:`~repro.serve.server.ReproServer`
+hosts it unchanged.  It owns the shard fleet end to end:
+
+* **Spawn & supervise** — shard children come up via
+  :func:`~repro.serve.shard.spawn_shard`; each child's ``sentinel`` fd
+  is watched on the event loop and a shard that dies is respawned
+  (its ``store:``/``synth:`` datasets re-register from the spec, so
+  the replacement's cache re-warms itself).
+* **Route** — dataset-addressed requests hash the dataset's SHA-256
+  *fingerprint* (not its name) onto the :class:`~repro.serve.shard.HashRing`,
+  so the same data always lands on the same shard's warm cache even
+  when two names alias one upload.  ``/simulate`` and ``POST /jobs``
+  hash their canonical parameter encoding; ``GET``/``DELETE
+  /jobs/{id}`` follow the shard index embedded in the job id; dataset
+  mutations (upload / generate) broadcast to every shard so the fleet
+  stays replicated.
+* **Proxy** — persistent keep-alive connections per shard
+  (:class:`BackendPool`), bounded per-backend concurrency, and
+  honest failure semantics: idempotent ``GET`` is retried once on a
+  torn connection, anything else maps a backend failure to **503** +
+  ``Retry-After`` rather than risk double-submitting a job.  Shard
+  backpressure (429/503 and their ``Retry-After``) passes through
+  unchanged — the router adds no second opinion.
+* **Aggregate** — ``/statsz?fleet=1`` gathers every shard's
+  ``/statsz?states=1`` and merges latency distributions through the
+  estimators' own merge algebra (:mod:`repro.serve.stats`); ratio
+  fields (``hit_rate``, ``batching_factor``) are recomputed from the
+  merged counters, never averaged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable
+from urllib.parse import urlencode
+
+from repro.errors import ServeError
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    Response,
+    error_body,
+    json_body,
+    read_response,
+    render_request,
+)
+from repro.serve.shard import (
+    HashRing,
+    ShardConfig,
+    ShardProcess,
+    spawn_shard,
+)
+from repro.serve.stats import (
+    ServerStats,
+    merge_counter_dicts,
+    merge_server_snapshots,
+)
+
+__all__ = ["BackendPool", "RouterApp", "run_router_in_thread"]
+
+#: Hop-by-hop headers never forwarded in either direction.
+_HOP_HEADERS = ("connection", "content-length", "host", "keep-alive")
+
+
+class BackendPool:
+    """Persistent keep-alive connections to one shard.
+
+    Connections are pooled and reused across requests — the fix the
+    benchmark satellite demands (a fresh TCP handshake per proxied
+    request costs more than the analysis for cached hits).  At most
+    ``limit`` requests are in flight to the backend at once; further
+    senders queue on the semaphore, which is how shard backpressure
+    propagates into the router instead of piling unbounded sockets
+    onto a struggling child.
+    """
+
+    def __init__(
+        self, host: str, port: int, limit: int = 16
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.limit = limit
+        self._idle: list[
+            tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = []
+        self._semaphore = asyncio.Semaphore(limit)
+        self._closed = False
+        self.requests = 0
+        self.reused = 0
+        self.opened = 0
+        self.retries = 0
+
+    async def _connect(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        self.opened += 1
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes = b"",
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Proxy one request; returns ``(status, headers, body)``.
+
+        Raises:
+            HttpError: 503 if the shard is unreachable or tears the
+                connection on a non-idempotent request; 502 if it
+                breaks HTTP framing.
+        """
+        if self._closed:
+            raise HttpError(
+                503,
+                "shard is restarting; retry shortly",
+                retry_after_seconds=1.0,
+            )
+        retriable = method == "GET"
+        async with self._semaphore:
+            self.requests += 1
+            attempts = 0
+            while True:
+                attempts += 1
+                fresh = not self._idle
+                try:
+                    if self._idle:
+                        reader, writer = self._idle.pop()
+                        self.reused += 1
+                    else:
+                        reader, writer = await self._connect()
+                except OSError as error:
+                    raise HttpError(
+                        503,
+                        f"shard at :{self.port} unreachable: {error}",
+                        retry_after_seconds=1.0,
+                    ) from None
+                try:
+                    writer.write(
+                        render_request(
+                            method, target, headers, body,
+                            keep_alive=True,
+                        )
+                    )
+                    await writer.drain()
+                    status, response_headers, payload = (
+                        await read_response(reader)
+                    )
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ) as error:
+                    writer.close()
+                    # A torn *reused* connection usually means the
+                    # shard idled it out — one retry on a fresh
+                    # connection is safe for idempotent GETs.  A fresh
+                    # connection failing, or a non-GET (retrying a
+                    # POST /jobs could double-submit), is surfaced.
+                    if retriable and not fresh and attempts == 1:
+                        self.retries += 1
+                        continue
+                    raise HttpError(
+                        503,
+                        f"shard at :{self.port} dropped the "
+                        f"connection: {type(error).__name__}",
+                        retry_after_seconds=1.0,
+                    ) from None
+                if (
+                    response_headers.get("connection", "keep-alive")
+                    .lower()
+                    != "close"
+                    and not self._closed
+                ):
+                    self._idle.append((reader, writer))
+                else:
+                    writer.close()
+                return status, response_headers, payload
+
+    def close(self) -> None:
+        self._closed = True
+        while self._idle:
+            _, writer = self._idle.pop()
+            writer.close()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "port": self.port,
+            "requests": self.requests,
+            "connections_opened": self.opened,
+            "connections_reused": self.reused,
+            "retries": self.retries,
+            "idle": len(self._idle),
+        }
+
+
+class RouterApp:
+    """Route requests across a fleet of shard worker processes.
+
+    Args:
+        num_shards: Shard processes to spawn and keep alive.
+        dataset_specs: CLI ``--datasets`` specs every shard registers
+            (shards are shared-nothing replicas; routing is cache
+            affinity, not partitioning).
+        vnodes: Virtual nodes per shard on the hash ring.
+        backend_limit: Max in-flight proxied requests per shard.
+        ready_timeout: Seconds to wait for a shard's port handshake.
+        respawn: Whether a dead shard is automatically replaced.
+        shard_kwargs: Extra :class:`~repro.serve.shard.ShardConfig`
+            fields (workers, cache_size, rate_per_second, …).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        dataset_specs: tuple[str, ...] = (),
+        *,
+        host: str = "127.0.0.1",
+        vnodes: int = 64,
+        backend_limit: int = 16,
+        ready_timeout: float = 60.0,
+        respawn: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        **shard_kwargs: Any,
+    ) -> None:
+        if num_shards < 1:
+            raise ServeError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        self.host = host
+        self.ring = HashRing(num_shards, vnodes=vnodes)
+        self.backend_limit = backend_limit
+        self.ready_timeout = ready_timeout
+        self.respawn = respawn
+        self.draining = False
+        self.stats = ServerStats(clock=clock)
+        self._clock = clock
+        self._configs = [
+            ShardConfig(
+                index=index,
+                dataset_specs=tuple(dataset_specs),
+                host=host,
+                **shard_kwargs,
+            )
+            for index in range(num_shards)
+        ]
+        self._shards: dict[int, ShardProcess] = {}
+        self._pools: dict[int, BackendPool] = {}
+        self._respawning: set[int] = set()
+        self._fingerprints: dict[str, str] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = False
+        self._closing = False
+        self.respawns_total = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the fleet and learn the dataset fingerprint map."""
+        if self._started:
+            raise ServeError("router already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        spawned = await asyncio.gather(
+            *(
+                self._loop.run_in_executor(
+                    None, spawn_shard, config, self.ready_timeout
+                )
+                for config in self._configs
+            )
+        )
+        for shard in spawned:
+            self._adopt(shard)
+        await self._refresh_fingerprints()
+
+    def _adopt(self, shard: ShardProcess) -> None:
+        self._shards[shard.index] = shard
+        self._pools[shard.index] = BackendPool(
+            self.host, shard.port, limit=self.backend_limit
+        )
+        assert self._loop is not None
+        self._loop.add_reader(
+            shard.sentinel, self._on_shard_exit, shard
+        )
+
+    def _on_shard_exit(self, shard: ShardProcess) -> None:
+        """Sentinel became readable: the child process exited."""
+        assert self._loop is not None
+        self._loop.remove_reader(shard.sentinel)
+        current = self._shards.get(shard.index)
+        if current is not shard or self._closing:
+            return
+        pool = self._pools.pop(shard.index, None)
+        if pool is not None:
+            pool.close()
+        del self._shards[shard.index]
+        if self.respawn and not self.draining:
+            self._respawning.add(shard.index)
+            self._loop.create_task(self._respawn(shard))
+
+    async def _respawn(self, dead: ShardProcess) -> None:
+        assert self._loop is not None
+        try:
+            replacement = await self._loop.run_in_executor(
+                None, spawn_shard, dead.config, self.ready_timeout
+            )
+        except Exception:
+            # The replacement refused to come up (e.g. the store file
+            # vanished).  Leave the slot empty — requests for it shed
+            # with 503 — rather than crash-loop the supervisor.
+            return
+        finally:
+            self._respawning.discard(dead.index)
+        if self._closing or self.draining:
+            replacement.process.terminate()
+            replacement.process.join(timeout=5.0)
+            return
+        replacement.respawns = dead.respawns + 1
+        replacement.generation = dead.generation + 1
+        self.respawns_total += 1
+        self._adopt(replacement)
+
+    def begin_drain(self) -> None:
+        """Stop accepting compute; shards finish what they hold."""
+        self.draining = True
+
+    async def close(self) -> None:
+        """Drain every shard (SIGTERM → graceful exit) and clean up."""
+        self._closing = True
+        self.draining = True
+        if self._loop is None:
+            return  # Never started; nothing to tear down.
+        shards = list(self._shards.values())
+        for shard in shards:
+            self._loop.remove_reader(shard.sentinel)
+            if shard.alive:
+                shard.process.terminate()  # SIGTERM → shard drains.
+        for pool in self._pools.values():
+            pool.close()
+
+        def join_all() -> None:
+            for shard in shards:
+                shard.process.join(timeout=15.0)
+                if shard.process.is_alive():
+                    shard.process.kill()
+                    shard.process.join(timeout=5.0)
+
+        await self._loop.run_in_executor(None, join_all)
+        self._shards.clear()
+        self._pools.clear()
+
+    # -- routing ------------------------------------------------------------
+
+    async def dispatch(self, request: HttpRequest) -> Response:
+        started = self._clock()
+        endpoint = "proxy"
+        try:
+            endpoint, response = await self._route(request)
+        except HttpError as error:
+            response = self._error_response(error)
+        except ServeError as error:
+            response = Response(400, error_body("ServeError", str(error)))
+        except Exception as error:  # noqa: BLE001 — router must survive.
+            response = Response(
+                500, error_body(type(error).__name__, str(error))
+            )
+        self.stats.observe(
+            endpoint, response.status, self._clock() - started
+        )
+        return response
+
+    @staticmethod
+    def _error_response(error: HttpError) -> Response:
+        headers = {}
+        if error.retry_after_seconds is not None:
+            headers["Retry-After"] = (
+                f"{max(1, round(error.retry_after_seconds))}"
+            )
+        return Response(
+            error.status,
+            error_body("HttpError", str(error)),
+            headers,
+        )
+
+    async def _route(
+        self, request: HttpRequest
+    ) -> tuple[str, Response]:
+        parts = [part for part in request.path.split("/") if part]
+        method = request.method
+
+        if not parts:
+            return "index", self._index(request)
+        head = parts[0]
+        if head == "healthz" and len(parts) == 1:
+            return "healthz", self._healthz()
+        if head == "shards" and len(parts) == 1:
+            return "shards", self._topology()
+        if head == "statsz" and len(parts) == 1:
+            if request.query.get("fleet") in ("1", "true"):
+                return "statsz", await self._fleet_statsz()
+            return "statsz", self._router_statsz()
+
+        if self.draining:
+            raise HttpError(
+                503,
+                "router is draining; retry against another instance",
+                retry_after_seconds=1.0,
+            )
+
+        if head == "datasets" and len(parts) == 2 and method in (
+            "POST",
+            "PUT",
+        ):
+            return "datasets", await self._broadcast(request)
+        if head == "generate" and len(parts) == 1:
+            return "generate", await self._broadcast(request)
+        if head == "datasets" and len(parts) == 2:
+            name = parts[1]
+            return "datasets", await self._proxy(
+                self._shard_for_dataset(name), request
+            )
+        if head == "datasets" and len(parts) == 1:
+            return "datasets", await self._proxy(
+                self._any_shard(), request
+            )
+        if head == "analyze" and len(parts) == 3:
+            return "analyze", await self._proxy(
+                self._shard_for_dataset(parts[1]), request
+            )
+        if head == "simulate" and len(parts) == 1:
+            return "simulate", await self._proxy(
+                self._shard_for_body(request), request
+            )
+        if head == "jobs":
+            if len(parts) == 1 and method == "POST":
+                return "jobs", await self._proxy(
+                    self._shard_for_body(request), request
+                )
+            if len(parts) == 1 and method == "GET":
+                return "jobs", await self._list_jobs(request)
+            if len(parts) == 2:
+                return "jobs", await self._proxy(
+                    self._shard_for_job(parts[1]), request
+                )
+        # Anything else: let a shard produce its canonical 404/405.
+        return "proxy", await self._proxy(self._any_shard(), request)
+
+    # -- shard selection ----------------------------------------------------
+
+    def _alive_indices(self) -> list[int]:
+        return sorted(self._shards)
+
+    def _any_shard(self) -> int:
+        alive = self._alive_indices()
+        if not alive:
+            raise HttpError(
+                503,
+                "no shard available",
+                retry_after_seconds=1.0,
+            )
+        return alive[0]
+
+    def _require_alive(self, index: int) -> int:
+        if index not in self._shards:
+            raise HttpError(
+                503,
+                f"shard {index} is restarting; retry shortly",
+                retry_after_seconds=1.0,
+            )
+        return index
+
+    def _shard_for_dataset(self, name: str) -> int:
+        # Route by content fingerprint when known — two names bound to
+        # the same upload share a shard (and its cache); fall back to
+        # the name so unknown datasets still 404 deterministically.
+        key = self._fingerprints.get(name, f"name:{name}")
+        return self._require_alive(self.ring.shard_for(key))
+
+    def _shard_for_body(self, request: HttpRequest) -> int:
+        params = request.json()
+        key = json.dumps(
+            params, sort_keys=True, separators=(",", ":")
+        )
+        return self._require_alive(self.ring.shard_for(key))
+
+    def _shard_for_job(self, job_id: str) -> int:
+        # Job ids are minted as ``s{shard}-{seq}-{nonce}``.
+        if job_id.startswith("s"):
+            head = job_id[1:].split("-", 1)[0]
+            if head.isdigit():
+                index = int(head)
+                if 0 <= index < self.num_shards:
+                    return self._require_alive(index)
+        raise HttpError(404, f"unknown job {job_id!r}")
+
+    # -- proxying -----------------------------------------------------------
+
+    @staticmethod
+    def _forward_headers(request: HttpRequest) -> dict[str, str]:
+        return {
+            name: value
+            for name, value in request.headers.items()
+            if name not in _HOP_HEADERS
+        }
+
+    @staticmethod
+    def _target(request: HttpRequest) -> str:
+        if request.query:
+            return f"{request.path}?{urlencode(request.query)}"
+        return request.path
+
+    @staticmethod
+    def _to_response(
+        status: int, headers: dict[str, str], body: bytes
+    ) -> Response:
+        passthrough = {}
+        for name in ("retry-after", "x-cache", "x-shard"):
+            if name in headers:
+                # Re-title-case for cosmetic consistency on the wire.
+                pretty = "-".join(
+                    part.capitalize() for part in name.split("-")
+                )
+                passthrough[pretty] = headers[name]
+        return Response(
+            status,
+            body,
+            passthrough,
+            content_type=headers.get(
+                "content-type", "application/json"
+            ),
+        )
+
+    async def _proxy(
+        self, index: int, request: HttpRequest
+    ) -> Response:
+        pool = self._pools.get(index)
+        if pool is None:
+            raise HttpError(
+                503,
+                f"shard {index} is restarting; retry shortly",
+                retry_after_seconds=1.0,
+            )
+        status, headers, body = await pool.request(
+            request.method,
+            self._target(request),
+            self._forward_headers(request),
+            request.body,
+        )
+        return self._to_response(status, headers, body)
+
+    async def _broadcast(self, request: HttpRequest) -> Response:
+        """Send one mutation to every shard; all must agree.
+
+        Dataset uploads and ``/generate`` must land on the whole fleet
+        (shards are replicas).  The slowest shard bounds the latency;
+        a partial failure is reported as 502 with per-shard statuses
+        so the operator knows the fleet diverged.
+        """
+        alive = self._alive_indices()
+        if not alive:
+            raise HttpError(
+                503, "no shard available", retry_after_seconds=1.0
+            )
+        target = self._target(request)
+        headers = self._forward_headers(request)
+        results = await asyncio.gather(
+            *(
+                self._pools[index].request(
+                    request.method, target, headers, request.body
+                )
+                for index in alive
+            ),
+            return_exceptions=True,
+        )
+        statuses: dict[int, int] = {}
+        first: tuple[int, dict[str, str], bytes] | None = None
+        for index, result in zip(alive, results):
+            if isinstance(result, BaseException):
+                statuses[index] = 503
+                continue
+            status, response_headers, body = result
+            statuses[index] = status
+            if first is None:
+                first = (status, response_headers, body)
+        assert first is not None
+        agreed = len(set(statuses.values())) == 1
+        if not agreed:
+            return Response(
+                502,
+                json_body(
+                    {
+                        "error": {
+                            "type": "BroadcastDiverged",
+                            "message": (
+                                "shards disagreed on a broadcast "
+                                "mutation"
+                            ),
+                        },
+                        "statuses": {
+                            str(k): v
+                            for k, v in sorted(statuses.items())
+                        },
+                    }
+                ),
+            )
+        status, response_headers, body = first
+        if status in (200, 201):
+            self._learn_fingerprint(body)
+        response = self._to_response(status, response_headers, body)
+        response.headers["X-Broadcast"] = str(len(alive))
+        return response
+
+    def _learn_fingerprint(self, body: bytes) -> None:
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return
+        name = payload.get("name")
+        fingerprint = payload.get("fingerprint")
+        if isinstance(name, str) and isinstance(fingerprint, str):
+            self._fingerprints[name] = fingerprint
+
+    async def _refresh_fingerprints(self) -> None:
+        """Learn the name → fingerprint map from one live shard."""
+        alive = self._alive_indices()
+        if not alive:
+            return
+        pool = self._pools[alive[0]]
+        status, _, body = await pool.request(
+            "GET", "/statsz", {}
+        )
+        if status != 200:
+            return
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return
+        datasets = payload.get("datasets")
+        if isinstance(datasets, dict):
+            self._fingerprints.update(
+                {
+                    name: fingerprint
+                    for name, fingerprint in datasets.items()
+                    if isinstance(fingerprint, str)
+                }
+            )
+
+    # -- aggregation endpoints ---------------------------------------------
+
+    async def _list_jobs(self, request: HttpRequest) -> Response:
+        """Fan ``GET /jobs`` out and concatenate per-shard lists."""
+        alive = self._alive_indices()
+        target = self._target(request)
+        headers = self._forward_headers(request)
+        results = await asyncio.gather(
+            *(
+                self._pools[index].request(
+                    "GET", target, headers
+                )
+                for index in alive
+            ),
+            return_exceptions=True,
+        )
+        jobs: list[Any] = []
+        reachable = 0
+        for result in results:
+            if isinstance(result, BaseException):
+                continue
+            status, _, body = result
+            if status != 200:
+                continue
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                continue
+            reachable += 1
+            jobs.extend(payload.get("jobs", []))
+        jobs.sort(key=lambda job: str(job.get("id", "")))
+        return Response(
+            200,
+            json_body({"jobs": jobs, "shards": reachable}),
+        )
+
+    async def _fleet_statsz(self) -> Response:
+        """Merge every shard's ``/statsz?states=1`` into one view."""
+        alive = self._alive_indices()
+        results = await asyncio.gather(
+            *(
+                self._pools[index].request(
+                    "GET", "/statsz?states=1", {}
+                )
+                for index in alive
+            ),
+            return_exceptions=True,
+        )
+        payloads: list[dict] = []
+        reporting: list[int] = []
+        for index, result in zip(alive, results):
+            if isinstance(result, BaseException):
+                continue
+            status, _, body = result
+            if status != 200:
+                continue
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                continue
+            payloads.append(payload)
+            reporting.append(index)
+
+        def section(key: str) -> list[dict]:
+            return [
+                p[key]
+                for p in payloads
+                if isinstance(p.get(key), dict)
+            ]
+
+        cache = merge_counter_dicts(section("cache"))
+        # Ratio fields are NOT counters: recompute them from the
+        # merged numerators/denominators instead of summing ratios.
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        cache["hit_rate"] = round(
+            hits / (hits + misses) if hits + misses else 0.0, 6
+        )
+        batcher = merge_counter_dicts(section("batcher"))
+        batches = batcher.get("batches", 0)
+        batcher["batching_factor"] = round(
+            batcher.get("items", 0) / batches if batches else 0.0, 4
+        )
+        fleet = {
+            "fleet": True,
+            "shards_total": self.num_shards,
+            "shards_reporting": reporting,
+            "respawns_total": self.respawns_total,
+            "server": merge_server_snapshots(section("server")),
+            "cache": cache,
+            "singleflight": merge_counter_dicts(
+                section("singleflight")
+            ),
+            "batcher": batcher,
+            "admission": merge_counter_dicts(section("admission")),
+            "jobs": merge_counter_dicts(section("jobs")),
+            "datasets": dict(sorted(self._fingerprints.items())),
+            "router": self._router_payload(),
+        }
+        return Response(200, json_body(fleet))
+
+    # -- local endpoints ----------------------------------------------------
+
+    def _router_payload(self) -> dict[str, Any]:
+        return {
+            "server": self.stats.snapshot(),
+            "backends": {
+                str(index): pool.stats()
+                for index, pool in sorted(self._pools.items())
+            },
+            "respawns_total": self.respawns_total,
+        }
+
+    def _router_statsz(self) -> Response:
+        payload = self._router_payload()
+        payload["hint"] = (
+            "pass ?fleet=1 for the merged per-shard view"
+        )
+        return Response(200, json_body(payload))
+
+    def _healthz(self) -> Response:
+        alive = self._alive_indices()
+        degraded = len(alive) < self.num_shards
+        status = (
+            "draining"
+            if self.draining
+            else ("degraded" if degraded else "ok")
+        )
+        return Response(
+            200,
+            json_body(
+                {
+                    "status": status,
+                    "role": "router",
+                    "shards_total": self.num_shards,
+                    "shards_alive": alive,
+                    "respawning": sorted(self._respawning),
+                    "uptime_seconds": self.stats.uptime_seconds,
+                    "requests_total": self.stats.requests_total,
+                }
+            ),
+        )
+
+    def _topology(self) -> Response:
+        shards = []
+        for index in range(self.num_shards):
+            shard = self._shards.get(index)
+            if shard is None:
+                shards.append(
+                    {
+                        "index": index,
+                        "alive": False,
+                        "respawning": index in self._respawning,
+                    }
+                )
+            else:
+                shards.append(
+                    {
+                        "index": index,
+                        "alive": shard.alive,
+                        "port": shard.port,
+                        "pid": shard.process.pid,
+                        "respawns": shard.respawns,
+                        "generation": shard.generation,
+                    }
+                )
+        return Response(
+            200,
+            json_body(
+                {
+                    "num_shards": self.num_shards,
+                    "vnodes": self.ring.vnodes,
+                    "shards": shards,
+                }
+            ),
+        )
+
+    def _index(self, request: HttpRequest) -> Response:
+        return Response(
+            200,
+            json_body(
+                {
+                    "service": "repro.serve.router",
+                    "description": (
+                        "consistent-hashing front router over "
+                        f"{self.num_shards} analysis shards"
+                    ),
+                    "endpoints": [
+                        "GET /healthz",
+                        "GET /statsz",
+                        "GET /statsz?fleet=1",
+                        "GET /shards",
+                        "… every shard endpoint, proxied",
+                    ],
+                }
+            ),
+        )
+
+
+def run_router_in_thread(
+    router: RouterApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    drain_timeout: float = 10.0,
+) -> "ServerHandle":
+    """Start router + shard fleet on a daemon thread; return handle.
+
+    The sharded sibling of :func:`repro.serve.server.run_in_thread`:
+    the fleet is spawned (and every shard's port handshake completed)
+    before this returns, so the handle's port serves immediately.
+    Startup failures — a shard that cannot register its datasets, a
+    busy port — re-raise in the caller.
+    """
+    import threading
+
+    from repro.serve.server import ReproServer, ServerHandle
+
+    server = ReproServer(
+        router, host=host, port=port, drain_timeout=drain_timeout
+    )
+    started: "threading.Event" = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(router.start())
+            loop.run_until_complete(server.start())
+        except BaseException as error:
+            box["error"] = error
+            try:
+                loop.run_until_complete(router.close())
+            except BaseException:
+                pass
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-router", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(server=server, loop=box["loop"], thread=thread)

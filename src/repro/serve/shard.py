@@ -1,0 +1,286 @@
+"""Shard topology: consistent hashing + worker process lifecycle.
+
+A sharded deployment runs N independent **shard** processes, each a
+complete single-process service (its own :class:`~repro.serve.app.ReproApp`,
+result cache, warm :mod:`repro.parallel` pool), fronted by one router
+(:mod:`repro.serve.router`).  Every shard registers *all* datasets —
+routing is about **cache affinity**, not data partitioning: the router
+hashes each request's dataset fingerprint onto the ring so repeated
+requests for the same data land on the same shard's warm cache.
+
+:class:`HashRing` is a classic consistent-hash ring over SHA-256 with
+virtual nodes.  Two properties the tests pin down:
+
+* **Determinism** — the mapping is a pure function of
+  ``(num_shards, vnodes, key)``; independent processes (router and a
+  respawned replacement) agree without coordination, regardless of
+  ``PYTHONHASHSEED``.
+* **Minimal movement** — growing the ring from N to N+1 shards only
+  adds the new shard's points, so the only keys that move are the
+  ones now owned by the new shard (≈1/(N+1) of the space); no key
+  moves *between* surviving shards.
+
+:func:`shard_main` is the child-process entry point: it builds the
+registry from pickled CLI specs, serves on an ephemeral port, reports
+``("ready", port)`` to the parent over a pipe, drains gracefully on
+SIGTERM/SIGINT, and exits if its parent disappears (a supervisor that
+died cannot reap orphans).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.errors import ServeError
+
+__all__ = ["HashRing", "ShardConfig", "ShardProcess", "shard_main", "spawn_shard"]
+
+
+# --------------------------------------------------------------------------
+# Consistent hashing
+# --------------------------------------------------------------------------
+
+def _ring_point(label: str) -> int:
+    """Position of ``label`` on the 2**64 ring (SHA-256 prefix)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto shard indices.
+
+    Args:
+        num_shards: Shards on the ring (indices ``0..num_shards-1``).
+        vnodes: Virtual nodes per shard.  More vnodes smooth the load
+            split between shards at the cost of a larger (still tiny)
+            sorted table; 64 keeps the max/min shard-load ratio close
+            to 1 for realistic key counts.
+    """
+
+    def __init__(self, num_shards: int, vnodes: int = 64) -> None:
+        if num_shards < 1:
+            raise ServeError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if vnodes < 1:
+            raise ServeError(f"vnodes must be >= 1, got {vnodes}")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                points.append(
+                    (_ring_point(f"shard={shard}/vnode={vnode}"), shard)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """Owning shard for ``key`` (first ring point at/after it)."""
+        point = _ring_point(key)
+        index = bisect.bisect_left(self._points, point)
+        if index == len(self._points):
+            index = 0  # Wrap past the top of the ring.
+        return self._owners[index]
+
+    def spread(self, keys: list[str]) -> dict[int, int]:
+        """Keys-per-shard histogram (diagnostics and tests)."""
+        counts: dict[int, int] = {
+            shard: 0 for shard in range(self.num_shards)
+        }
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+
+# --------------------------------------------------------------------------
+# Shard worker processes
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard child process needs, picklable for spawn.
+
+    Mirrors the knobs of :class:`~repro.serve.app.ReproApp` plus the
+    dataset specs (the CLI ``--datasets`` grammar) the child replays
+    through :func:`~repro.serve.registry.register_from_spec`.
+    """
+
+    index: int
+    dataset_specs: tuple[str, ...] = ()
+    host: str = "127.0.0.1"
+    workers: int | None = None
+    cache_size: int = 256
+    cache_ttl_seconds: float | None = 300.0
+    max_inflight: int = 8
+    max_queue: int = 32
+    rate_per_second: float | None = None
+    burst: float = 20.0
+    max_replications: int = 512
+    drain_timeout: float = 10.0
+    parent_poll_seconds: float = 1.0
+
+
+def shard_main(config: ShardConfig, conn: Connection) -> None:
+    """Child-process entry point: serve one shard until told to stop.
+
+    Protocol on ``conn``: exactly one message is sent — ``("ready",
+    port)`` once the socket is bound, or ``("error", message)`` if
+    startup failed — then the pipe is closed and all further control
+    is via signals (SIGTERM/SIGINT → graceful drain → exit 0).
+    """
+    # Imports happen here, not at module top, so the parent can spawn
+    # without the child re-importing the world before it forks… under
+    # the spawn start method the child pays them exactly once either way,
+    # but keeping them local documents what the child actually needs.
+    from repro.serve.app import ReproApp
+    from repro.serve.registry import DatasetRegistry, register_from_spec
+    from repro.serve.server import ReproServer
+
+    try:
+        registry = DatasetRegistry()
+        for spec in config.dataset_specs:
+            register_from_spec(registry, spec)
+        app = ReproApp(
+            registry,
+            workers=config.workers,
+            cache_size=config.cache_size,
+            cache_ttl_seconds=config.cache_ttl_seconds,
+            max_inflight=config.max_inflight,
+            max_queue=config.max_queue,
+            rate_per_second=config.rate_per_second,
+            burst=config.burst,
+            max_replications=config.max_replications,
+            shard_index=config.index,
+        )
+    except BaseException as error:
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        raise SystemExit(1)
+
+    async def serve() -> int:
+        server = ReproServer(
+            app,
+            host=config.host,
+            port=0,
+            drain_timeout=config.drain_timeout,
+        )
+        try:
+            await server.start()
+        except BaseException as error:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+            conn.close()
+            return 1
+        conn.send(("ready", server.port))
+        conn.close()
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+
+        async def watchdog() -> None:
+            # A shard must not outlive its supervisor: if the parent
+            # dies (kill -9, OOM) the child is re-parented and getppid
+            # changes — drain and exit instead of leaking.
+            parent = os.getppid()
+            while os.getppid() == parent:
+                await asyncio.sleep(config.parent_poll_seconds)
+            stop.set()
+
+        watchdog_task = asyncio.ensure_future(watchdog())
+        await stop.wait()
+        watchdog_task.cancel()
+        await server.stop()
+        # Idle keep-alive connections (the router's pool) observe the
+        # close asynchronously; one settle tick lets their handler
+        # tasks exit cleanly instead of being cancelled mid-read when
+        # asyncio.run tears the loop down.
+        await asyncio.sleep(0.05)
+        return 0
+
+    raise SystemExit(asyncio.run(serve()))
+
+
+@dataclass
+class ShardProcess:
+    """A live (or once-live) shard child, as the router sees it."""
+
+    index: int
+    config: ShardConfig
+    process: Any
+    port: int
+    respawns: int = 0
+    generation: int = 0
+    _extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def sentinel(self) -> int:
+        """Selectable fd that becomes ready when the child exits."""
+        return self.process.sentinel
+
+
+def spawn_shard(
+    config: ShardConfig, ready_timeout: float = 60.0
+) -> ShardProcess:
+    """Spawn one shard child and wait for its port handshake.
+
+    Uses the ``spawn`` start method unconditionally: the router runs
+    inside a (potentially threaded) asyncio process, and forking a
+    threaded parent is a deadlock lottery.  ``daemon=False`` because
+    shards spawn their own warm-pool children.
+
+    Raises:
+        ServeError: If the child reports a startup error, dies before
+            the handshake, or times out.
+    """
+    context = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=shard_main,
+        args=(config, child_conn),
+        name=f"repro-shard-{config.index}",
+        daemon=False,
+    )
+    process.start()
+    child_conn.close()  # Parent keeps only the read end.
+    try:
+        if not parent_conn.poll(ready_timeout):
+            process.terminate()
+            raise ServeError(
+                f"shard {config.index} did not report ready within "
+                f"{ready_timeout:g}s"
+            )
+        message = parent_conn.recv()
+    except EOFError:
+        raise ServeError(
+            f"shard {config.index} exited before reporting ready "
+            f"(exit code {process.exitcode})"
+        ) from None
+    finally:
+        parent_conn.close()
+    kind, payload = message
+    if kind == "error":
+        process.join(timeout=5.0)
+        raise ServeError(
+            f"shard {config.index} failed to start: {payload}"
+        )
+    return ShardProcess(
+        index=config.index,
+        config=config,
+        process=process,
+        port=int(payload),
+    )

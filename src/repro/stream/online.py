@@ -120,6 +120,32 @@ class Welford:
         est._m2 = float(state["m2"])
         return est
 
+    @classmethod
+    def merged(cls, estimators: "list[Welford]") -> "Welford":
+        """Combine independent estimators (Chan et al. 1979).
+
+        The merge algebra behind fleet telemetry: each serve shard
+        keeps its own per-endpoint latency moments, and the router
+        rolls them up into one estimator whose mean is exact and whose
+        variance matches pushing every shard's observations into a
+        single accumulator (up to float rounding — *not* the
+        bit-identity contract :meth:`push_many` keeps, which is why
+        the sequential path stays separate).
+        """
+        out = cls()
+        for est in estimators:
+            if est._n == 0:
+                continue
+            if out._n == 0:
+                out._n, out._mean, out._m2 = est._n, est._mean, est._m2
+                continue
+            n = out._n + est._n
+            delta = est._mean - out._mean
+            out._mean += delta * est._n / n
+            out._m2 += est._m2 + delta * delta * out._n * est._n / n
+            out._n = n
+        return out
+
 
 class P2Quantile:
     """Single-quantile P² estimator: five markers, constant memory.
@@ -327,6 +353,45 @@ class GKQuantileSketch:
             for value, g, delta in state["tuples"]
         ]
         return sketch
+
+    @classmethod
+    def merged(
+        cls, sketches: "list[GKQuantileSketch]"
+    ) -> "GKQuantileSketch":
+        """Combine independent sketches into one (conservative merge).
+
+        Tuple lists are merged by value; each tuple's ``delta`` is
+        inflated by the other sketches' worst-case rank uncertainty,
+        so every rank bound stays valid over the concatenated stream.
+        The price is additive error: merging sketches of rank error
+        ``eps_i * n_i`` yields a sketch whose error bound is
+        ``sum(eps_i)`` of the combined count — fine for fleet
+        telemetry rollups (a p99 over four 1%-sketches is within 4%
+        rank error), not a substitute for one sketch over one stream.
+        """
+        live = [s for s in sketches if s._n]
+        if not live:
+            return cls()
+        epsilon = min(0.499, sum(s._epsilon for s in live))
+        merged = cls(epsilon=epsilon)
+        entries: list[tuple[float, int, int]] = []
+        for sketch in live:
+            others = sum(
+                int(2.0 * other._epsilon * other._n)
+                for other in live
+                if other is not sketch
+            )
+            for entry in sketch._tuples:
+                entries.append(
+                    (entry.value, entry.g, entry.delta + others)
+                )
+        entries.sort(key=lambda entry: entry[0])
+        merged._tuples = [
+            _GKTuple(value, g, delta) for value, g, delta in entries
+        ]
+        merged._n = sum(s._n for s in live)
+        merged._compress()
+        return merged
 
     def _compress(self) -> None:
         limit = int(2.0 * self._epsilon * self._n)

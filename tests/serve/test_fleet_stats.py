@@ -1,0 +1,205 @@
+"""Fleet telemetry rollup: merging per-shard stats without lying.
+
+Two layers under test:
+
+* the estimator merge algebra — :meth:`Welford.merged` must match a
+  single accumulator over the union stream to float precision
+  (Chan et al.'s parallel update), and :meth:`GKQuantileSketch.merged`
+  must keep rank error within the *sum* of the constituent epsilons;
+* the snapshot rollup — counters sum, agree-or-drop for labels,
+  booleans never summed, quantiles merged through raw states rather
+  than averaged, count-weighted mean fallback when states are absent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve.stats import (
+    EndpointStats,
+    ServerStats,
+    merge_counter_dicts,
+    merge_server_snapshots,
+)
+from repro.stream.online import GKQuantileSketch, Welford
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestWelfordMerge:
+    def test_merged_matches_single_pass(self):
+        rng = random.Random(11)
+        values = [rng.gauss(50.0, 12.0) for _ in range(9000)]
+        parts = [Welford() for _ in range(4)]
+        for i, value in enumerate(values):
+            parts[i % 4].push(value)
+        merged = Welford.merged(parts)
+        exact = Welford()
+        exact.push_many(values)
+        assert merged.n == exact.n
+        assert merged.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert merged.std == pytest.approx(exact.std, rel=1e-9)
+
+    def test_empty_and_singleton_edges(self):
+        assert Welford.merged([]).n == 0
+        solo = Welford()
+        solo.push(3.0)
+        merged = Welford.merged([Welford(), solo, Welford()])
+        assert merged.n == 1
+        assert merged.mean == 3.0
+
+
+class TestSketchMerge:
+    def test_merged_rank_error_within_summed_epsilon(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(1.0, 0.8) for _ in range(8000)]
+        sketches = [GKQuantileSketch(epsilon=0.01) for _ in range(4)]
+        for i, value in enumerate(values):
+            sketches[i % 4].push(value)
+        merged = GKQuantileSketch.merged(sketches)
+        assert merged.n == len(values)
+        assert merged.epsilon == pytest.approx(0.04)
+        ordered = sorted(values)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            estimate = merged.value(q)
+            rank = sum(1 for v in ordered if v <= estimate)
+            error = abs(rank - q * len(values)) / len(values)
+            assert error <= merged.epsilon + 1e-9, (q, error)
+
+    def test_merge_of_one_is_identity(self):
+        sketch = GKQuantileSketch(epsilon=0.01)
+        for value in range(100):
+            sketch.push(float(value))
+        merged = GKQuantileSketch.merged([sketch])
+        assert merged.value(0.5) == pytest.approx(
+            sketch.value(0.5)
+        )
+
+
+class TestMergeCounterDicts:
+    def test_sums_numbers_keeps_agreement_drops_conflict(self):
+        merged = merge_counter_dicts(
+            [
+                {"hits": 3, "label": "x", "mode": "a", "on": True},
+                {"hits": 4, "label": "x", "mode": "b", "on": True},
+            ]
+        )
+        assert merged["hits"] == 7
+        assert merged["label"] == "x"  # everyone agrees: kept
+        assert "mode" not in merged  # disagreement: dropped
+        # Booleans are NOT counters: True + True must never become 2.
+        assert merged["on"] is True
+
+    def test_conflicting_booleans_dropped(self):
+        merged = merge_counter_dicts(
+            [{"draining": True}, {"draining": False}]
+        )
+        assert "draining" not in merged
+
+    def test_missing_keys_tolerated(self):
+        merged = merge_counter_dicts([{"a": 1}, {"a": 2, "b": 5}])
+        assert merged == {"a": 3, "b": 5}
+
+    def test_empty_input(self):
+        assert merge_counter_dicts([]) == {}
+
+
+def _loaded_server(clock, latencies_ms, endpoint="analyze"):
+    stats = ServerStats(clock=clock)
+    for latency_ms in latencies_ms:
+        stats.observe(endpoint, 200, latency_ms / 1e3)
+    return stats
+
+
+class TestMergeServerSnapshots:
+    def test_counters_sum_and_quantiles_merge_through_states(self):
+        clock = FakeClock()
+        rng = random.Random(3)
+        population: list[float] = []
+        snapshots = []
+        for shard in range(3):
+            latencies = [
+                rng.gauss(20.0 + 5.0 * shard, 4.0) for _ in range(800)
+            ]
+            population.extend(latencies)
+            stats = _loaded_server(clock, latencies)
+            clock.now += 10.0
+            snapshots.append(stats.snapshot(include_states=True))
+        merged = merge_server_snapshots(snapshots)
+        assert merged["shards"] == 3
+        assert merged["requests_total"] == 2400
+        endpoint = merged["endpoints"]["analyze"]
+        assert endpoint["requests"] == 2400
+        assert endpoint["by_status"] == {"2xx": 2400}
+        latency = endpoint["latency_ms"]
+        ordered = sorted(population)
+        exact_mean = sum(population) / len(population)
+        assert latency["mean"] == pytest.approx(exact_mean, rel=1e-9)
+        # Each shard's p95 differs (shifted means); the merged p95
+        # must track the union population within the summed epsilon,
+        # which averaging per-shard p95s would not.
+        p95 = latency["p95"]
+        rank = sum(1 for v in ordered if v <= p95) / len(ordered)
+        assert abs(rank - 0.95) <= latency["merged_epsilon"] + 1e-9
+
+    def test_uptime_is_oldest_and_rate_sums(self):
+        clock = FakeClock()
+        young = ServerStats(clock=clock)
+        clock.now += 100.0
+        old_snapshot_like = young.snapshot(include_states=True)
+        fresh = ServerStats(clock=clock)
+        clock.now += 5.0
+        merged = merge_server_snapshots(
+            [old_snapshot_like, fresh.snapshot(include_states=True)]
+        )
+        assert merged["uptime_seconds"] == pytest.approx(100.0)
+        assert merged["requests_per_second"] >= 0.0
+
+    def test_fallback_without_states_uses_weighted_mean(self):
+        clock = FakeClock()
+        a = _loaded_server(clock, [10.0] * 30).snapshot()
+        b = _loaded_server(clock, [40.0] * 10).snapshot()
+        merged = merge_server_snapshots([a, b])
+        latency = merged["endpoints"]["analyze"]["latency_ms"]
+        assert latency["mean"] == pytest.approx(17.5, rel=1e-6)
+        # No raw states -> no honest way to merge quantiles: absent,
+        # not fabricated.
+        assert "p95" not in latency
+
+    def test_empty_fleet(self):
+        merged = merge_server_snapshots([])
+        assert merged["shards"] == 0
+        assert merged["requests_total"] == 0
+        assert merged["endpoints"] == {}
+
+
+class TestStatesExport:
+    def test_snapshot_states_round_trip(self):
+        endpoint = EndpointStats()
+        for i in range(50):
+            endpoint.observe(200, 0.001 * (i + 1))
+        snapshot = endpoint.snapshot(include_states=True)
+        welford = Welford.from_state(snapshot["states"]["latency"])
+        sketch = GKQuantileSketch.from_state(
+            snapshot["states"]["sketch"]
+        )
+        assert welford.n == 50
+        assert welford.mean == pytest.approx(
+            snapshot["latency_ms"]["mean"]
+        )
+        assert sketch.value(0.5) == pytest.approx(
+            snapshot["latency_ms"]["p50"]
+        )
+
+    def test_default_snapshot_omits_states(self):
+        endpoint = EndpointStats()
+        endpoint.observe(200, 0.01)
+        assert "states" not in endpoint.snapshot()

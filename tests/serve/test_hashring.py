@@ -1,0 +1,115 @@
+"""Consistent-hash ring invariants.
+
+The ring is the router's only coordination mechanism — shards and a
+respawned router must agree on key placement with no shared state —
+so these properties are load-bearing:
+
+* determinism across processes (pure function of shards/vnodes/key,
+  independent of ``PYTHONHASHSEED``),
+* every shard owns a non-degenerate share of the keyspace,
+* growing the fleet N → N+1 moves only the keys claimed by the *new*
+  shard: nothing ever moves between surviving shards.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve import HashRing
+
+
+def test_rejects_degenerate_parameters():
+    with pytest.raises(ServeError):
+        HashRing(0)
+    with pytest.raises(ServeError):
+        HashRing(2, vnodes=0)
+
+
+def test_single_shard_owns_everything():
+    ring = HashRing(1)
+    assert all(
+        ring.shard_for(f"key-{i}") == 0 for i in range(100)
+    )
+
+
+def test_mapping_is_deterministic_across_instances():
+    a, b = HashRing(5), HashRing(5)
+    keys = [f"fingerprint-{i:04d}" for i in range(500)]
+    assert [a.shard_for(k) for k in keys] == [
+        b.shard_for(k) for k in keys
+    ]
+
+
+def test_mapping_is_stable_across_processes():
+    """SHA-256, not ``hash()``: a fresh interpreter with a different
+    PYTHONHASHSEED must place keys identically."""
+    keys = [f"key-{i}" for i in range(50)]
+    here = [HashRing(4).shard_for(k) for k in keys]
+    script = (
+        "from repro.serve import HashRing\n"
+        "ring = HashRing(4)\n"
+        f"print([ring.shard_for(k) for k in {keys!r}])\n"
+    )
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": src_dir, "PYTHONHASHSEED": "12345"},
+    )
+    assert eval(result.stdout.strip()) == here
+
+
+def test_load_spreads_across_all_shards():
+    ring = HashRing(4)
+    keys = [f"sha256:{i:06d}" for i in range(4000)]
+    spread = ring.spread(keys)
+    assert set(spread) == {0, 1, 2, 3}
+    # With 64 vnodes/shard the split is well within 2x of fair.
+    assert min(spread.values()) > 0
+    assert max(spread.values()) / (len(keys) / 4) < 2.0
+
+
+def test_growing_the_ring_moves_keys_only_to_the_new_shard():
+    keys = [f"dataset-{i:05d}" for i in range(3000)]
+    for n in (1, 2, 3, 5, 8):
+        before = HashRing(n)
+        after = HashRing(n + 1)
+        moved = 0
+        for key in keys:
+            old, new = before.shard_for(key), after.shard_for(key)
+            if old != new:
+                moved += 1
+                # The minimal-movement invariant: a key that moves
+                # can only have been claimed by the newcomer.
+                assert new == n, (key, old, new)
+        # The newcomer claims ≈ 1/(n+1) of the keyspace; allow 2x
+        # slack for vnode placement variance.
+        assert moved <= 2 * len(keys) / (n + 1), (n, moved)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    key=st.text(min_size=0, max_size=64),
+    n=st.integers(min_value=1, max_value=12),
+)
+def test_property_growth_never_reshuffles_survivors(key, n):
+    old = HashRing(n).shard_for(key)
+    new = HashRing(n + 1).shard_for(key)
+    assert new == old or new == n
+
+
+@settings(max_examples=100, deadline=None)
+@given(key=st.text(min_size=0, max_size=64))
+def test_property_same_key_same_shard(key):
+    ring = HashRing(7)
+    assert ring.shard_for(key) == ring.shard_for(key)
+    assert 0 <= ring.shard_for(key) < 7

@@ -1,0 +1,157 @@
+"""Chaos against the job queue: crashes lose nothing, duplicate nothing.
+
+Drives :class:`repro.serve.JobQueue` with executors that fail the way
+real pools fail — a worker process hard-killed mid-item
+(:class:`~repro.testing.chaos.CrashOnce` → ``os._exit`` inside the
+warm :mod:`repro.parallel` pool) and deterministically poisoned items
+— and asserts the accounting contract:
+
+* every submitted job reaches exactly **one** terminal state;
+* no result is lost (a crash surfaces as a completed re-run or an
+  attributed ``failed``, never a silently vanished job);
+* no result is duplicated (each job's executor runs at most once per
+  submission, and the terminal counters reconcile with submissions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.parallel import sweep
+from repro.serve.jobs import JobQueue
+from repro.testing.chaos import ChaosInjectedError, CrashOnce, PoisonedFunction
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _cube(value: int) -> int:
+    return value ** 3
+
+
+async def wait_all_terminal(queue, jobs, timeout=60.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    for job in jobs:
+        while not job.terminal:
+            assert (
+                asyncio.get_running_loop().time() < deadline
+            ), f"job {job.id} stuck {job.status}"
+            await asyncio.sleep(0.01)
+
+
+def test_pool_worker_crash_loses_no_job(tmp_path):
+    """A job whose sweep hard-kills a pool worker still completes.
+
+    The sweep layer re-runs the dead worker's chunk in-process and
+    respawns the pool; from the job queue's perspective the executor
+    simply returned — the job must land ``done`` with the full,
+    correct result, exactly once.
+    """
+    crashing = CrashOnce(_cube, crash_items=[13], state_dir=tmp_path)
+    execution_counts: dict[str, int] = {}
+
+    async def execute(params, job):
+        execution_counts[job.id] = execution_counts.get(job.id, 0) + 1
+        values = params["values"]
+        results = await asyncio.to_thread(
+            sweep, crashing, values, 2
+        )
+        return json.dumps(results).encode()
+
+    async def scenario():
+        queue = JobQueue(execute, concurrency=2)
+        # One job routes through the crash item, the others are calm;
+        # the dead worker must not take any sibling job with it.
+        jobs = [
+            queue.submit({"values": [1, 2, 3]}),
+            queue.submit({"values": [11, 12, 13, 14]}, priority=1),
+            queue.submit({"values": [5, 6]}),
+        ]
+        await wait_all_terminal(queue, jobs)
+        await queue.close()
+        return queue, jobs
+
+    queue, jobs = run(scenario())
+    assert [job.status for job in jobs] == ["done", "done", "done"]
+    assert json.loads(jobs[1].result) == [11**3, 12**3, 13**3, 14**3]
+    assert json.loads(jobs[0].result) == [1, 8, 27]
+    # No duplication: each job executed exactly once, and the
+    # terminal counters reconcile with submissions.
+    assert all(count == 1 for count in execution_counts.values())
+    assert queue.completed == queue.submitted == 3
+    assert queue.failed == queue.cancelled == 0
+
+
+def test_poisoned_job_fails_attributed_siblings_unharmed(tmp_path):
+    poisoned = PoisonedFunction(_cube, poisoned=[7])
+
+    async def execute(params, job):
+        results = await asyncio.to_thread(
+            sweep, poisoned, params["values"], 1
+        )
+        return json.dumps(results).encode()
+
+    async def scenario():
+        queue = JobQueue(execute, concurrency=2)
+        bad = queue.submit({"values": [6, 7, 8]})
+        good = queue.submit({"values": [2, 3]})
+        await wait_all_terminal(queue, [bad, good])
+        await queue.close()
+        return queue, bad, good
+
+    queue, bad, good = run(scenario())
+    assert bad.status == "failed"
+    # sweep() wraps the per-item failure; the chaos origin stays
+    # visible in the attributed message.
+    assert bad.error["type"] == "SweepItemError"
+    assert "poisoned" in bad.error["message"]
+    assert bad.result is None  # a failed job never carries a result
+    assert good.status == "done"
+    assert json.loads(good.result) == [8, 27]
+    assert queue.submitted == 2
+    assert queue.completed == 1 and queue.failed == 1
+
+
+def test_terminal_accounting_reconciles_under_mixed_chaos(tmp_path):
+    """Submitted == done + failed + cancelled, with zero overlap."""
+    poisoned = PoisonedFunction(_cube, poisoned=[99])
+    started = asyncio.Event()
+    release = asyncio.Event()
+
+    async def execute(params, job):
+        if params.get("slow"):
+            started.set()
+            await release.wait()
+        if params["value"] == 99:
+            poisoned(99)  # raises ChaosInjectedError
+        return str(_cube(params["value"])).encode()
+
+    async def scenario():
+        queue = JobQueue(execute, concurrency=1)
+        slow = queue.submit({"value": 1, "slow": True})
+        await started.wait()
+        ok = queue.submit({"value": 4})
+        bad = queue.submit({"value": 99})
+        doomed = queue.submit({"value": 5})
+        queue.cancel(doomed.id, reason="client request")
+        release.set()
+        await wait_all_terminal(queue, [slow, ok, bad, doomed])
+        await queue.close()
+        return queue, (slow, ok, bad, doomed)
+
+    queue, (slow, ok, bad, doomed) = run(scenario())
+    assert slow.status == "done" and slow.result == b"1"
+    assert ok.status == "done" and ok.result == b"64"
+    assert bad.status == "failed"
+    assert doomed.status == "cancelled"
+    assert doomed.cancel_reason == "client request"
+    terminal_total = queue.completed + queue.failed + queue.cancelled
+    assert terminal_total == queue.submitted == 4
+    # Exactly one terminal state each: the records agree with the
+    # counters, so nothing was double-counted or resurrected.
+    statuses = sorted(job.status for job in queue.list(limit=10))
+    assert statuses == ["cancelled", "done", "done", "failed"]
