@@ -18,6 +18,9 @@ Subcommands::
     repro-failures trace replay run.trace.jsonl [--to-store PATH]
     repro-failures trace whatif run.trace.jsonl --technicians 2
     repro-failures trace info run.trace.jsonl
+    repro-failures train simulate --machine a100 --nodes 64 \
+        --replications 8
+    repro-failures train compare --machines tsubame2,tsubame3,a100,h100
 
 ``generate`` writes a calibrated synthetic log; ``analyze`` prints the
 headline metrics of an existing log file (format inferred from the
@@ -35,7 +38,11 @@ with incrementally materialized analytics (``init``/``append``/
 ``trace`` records a simulation run as a replayable JSONL trace,
 replays one bit-exactly (exit 1 with a first-divergence diagnosis if
 it does not reproduce), and re-runs a recorded failure history under
-counterfactual repair/checkpoint policies (see docs/REPLAY.md).
+counterfactual repair/checkpoint policies (see docs/REPLAY.md);
+``train`` models gang-scheduled LLM training jobs — a single
+simulated run or Monte-Carlo ensemble of ETTF/goodput outcomes on one
+machine, and the cross-machine comparative study generalizing the
+paper's performance-error proportionality (see docs/TRAINING.md).
 
 ``--lenient`` (on ``analyze`` and ``monitor``) quarantines malformed
 log rows instead of aborting and prints the quarantine summary.  Exit
@@ -420,6 +427,110 @@ def build_parser() -> argparse.ArgumentParser:
         "--lenient", action="store_true",
         help="quarantine malformed trace lines instead of aborting, "
              "and print the quarantine summary",
+    )
+
+    train = sub.add_parser(
+        "train",
+        help="gang-scheduled LLM training reliability: per-machine "
+             "ETTF ensembles and the cross-machine study "
+             "(see docs/TRAINING.md)",
+    )
+    train_sub = train.add_subparsers(dest="train_command", required=True)
+
+    train_simulate = train_sub.add_parser(
+        "simulate",
+        help="simulate a gang-scheduled training job on one machine",
+    )
+    train_simulate.add_argument(
+        "--machine", choices=known_machines(), required=True
+    )
+    train_simulate.add_argument(
+        "--nodes", type=int, default=64,
+        help="gang size in nodes (clamped to the fleet)",
+    )
+    train_simulate.add_argument(
+        "--step-hours", type=float, default=0.01, metavar="H",
+        help="duration of one synchronous training step",
+    )
+    train_simulate.add_argument(
+        "--detection-delay", type=float, default=0.05, metavar="H",
+        help="hours between a member failure and the restart attempt",
+    )
+    train_simulate.add_argument(
+        "--total-work", type=float, default=None, metavar="H",
+        help="total useful work the job needs; default runs "
+             "open-ended to the horizon",
+    )
+    train_simulate.add_argument("--horizon", type=float, default=720.0,
+                                help="simulated hours")
+    train_simulate.add_argument("--seed", type=int, default=0)
+    train_simulate.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="failure-rate multiplier",
+    )
+    train_simulate.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="H",
+        help="checkpoint interval in hours; default is the "
+             "Young/Daly optimum for the gang's MTBF",
+    )
+    train_simulate.add_argument(
+        "--checkpoint-cost", type=float, default=0.25, metavar="H",
+        help="cost of one checkpoint in hours",
+    )
+    train_simulate.add_argument(
+        "--restart-cost", type=float, default=0.5, metavar="H",
+        help="hours to reload the last checkpoint on restart",
+    )
+    train_simulate.add_argument(
+        "--replications", type=int, default=1,
+        help="Monte-Carlo ensemble size (1 = single run)",
+    )
+    train_simulate.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the ensemble (default: auto)",
+    )
+    train_simulate.add_argument(
+        "--record", type=Path, default=None, metavar="PATH",
+        help="record the (single) run as a replayable trace",
+    )
+    train_simulate.add_argument(
+        "--json", action="store_true",
+        help="emit the result as JSON instead of text",
+    )
+
+    train_compare = train_sub.add_parser(
+        "compare",
+        help="cross-machine training study: synth -> sim -> analyze, "
+             "generalizing the paper's performance-error "
+             "proportionality",
+    )
+    train_compare.add_argument(
+        "--machines", default=",".join(known_machines()),
+        metavar="M[,M...]",
+        help="comma-separated machine names (default: all registered)",
+    )
+    train_compare.add_argument(
+        "--nodes", type=int, default=64,
+        help="gang size in nodes (clamped per machine)",
+    )
+    train_compare.add_argument("--horizon", type=float, default=720.0,
+                               help="simulated hours per replication")
+    train_compare.add_argument(
+        "--replications", type=int, default=8,
+        help="Monte-Carlo replications per machine",
+    )
+    train_compare.add_argument("--seed", type=int, default=0)
+    train_compare.add_argument(
+        "--checkpoint-cost", type=float, default=0.25, metavar="H",
+        help="cost of one checkpoint in hours",
+    )
+    train_compare.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes per ensemble (default: auto)",
+    )
+    train_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the study as JSON instead of a table",
     )
     return parser
 
@@ -1088,6 +1199,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"{'yes' if config.workload is not None else 'no'}")
     print(f"checkpointing:      "
           f"{'yes' if config.checkpoint_policy is not None else 'no'}")
+    if config.train is not None:
+        print(f"training gang:      {config.train.num_nodes} nodes")
     if trace.report is not None:
         for line in _trace_report_lines(trace.report):
             print(line)
@@ -1095,6 +1208,182 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"quarantined lines:  {len(quarantined)}")
         for entry in quarantined[:5]:
             print(f"  line {entry.line_number}: {entry.reason}")
+    return 0
+
+
+def _train_stats_lines(stats) -> list[str]:
+    """Single-run TrainStats rendered for the terminal."""
+    lines = [
+        f"gang nodes:         {stats.job_nodes}",
+        f"ETTR:               {stats.ettr:.4f}",
+        f"work committed:     {stats.work_committed_hours:.2f} h "
+        f"({stats.steps_committed} steps)",
+        f"interrupts:         {stats.interrupts} "
+        f"({stats.interrupts_per_day:.3f}/day)",
+        f"restarts:           {stats.restarts}",
+        f"lost work:          {stats.lost_work_hours:.2f} h",
+        f"stall:              {stats.stall_hours:.2f} h",
+        f"restart overhead:   {stats.restart_overhead_hours:.2f} h",
+        f"checkpoint cost:    {stats.checkpoint_overhead_hours:.2f} h",
+        f"blast radius:       {stats.blast_radius_node_hours:.1f} "
+        f"node-hours",
+    ]
+    if stats.completed:
+        lines.append(
+            f"completed at:       {stats.completed_at_hours:.2f} h"
+        )
+    if stats.lost_work_by_category:
+        lines.append("lost work by category:")
+        ranked = sorted(
+            stats.lost_work_by_category.items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        lines.extend(
+            f"  {category:<16} {hours:>8.2f} h"
+            for category, hours in ranked[:8]
+        )
+    return lines
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ValidationError
+    from repro.machines.specs import get_machine
+    from repro.sim import CheckpointPolicy, young_daly_policy
+    from repro.train import (
+        TrainingJobConfig,
+        compare_training,
+        run_train_replications,
+        train_ensemble_payload,
+    )
+
+    if args.train_command == "compare":
+        machines = tuple(
+            name.strip()
+            for name in args.machines.split(",")
+            if name.strip()
+        )
+        comparison = compare_training(
+            machines,
+            gang_nodes=args.nodes,
+            horizon_hours=args.horizon,
+            replications=args.replications,
+            seed=args.seed,
+            checkpoint_cost_hours=args.checkpoint_cost,
+            max_workers=args.workers,
+        )
+        if args.json:
+            print(_json.dumps(comparison.to_dict(), indent=2,
+                              sort_keys=True))
+            return 0
+        print(comparison.table())
+        if "tsubame2" in machines and "tsubame3" in machines:
+            ratio = comparison.proportionality_ratio(
+                "tsubame3", "tsubame2"
+            )
+            print(
+                f"tsubame3/tsubame2 proportionality: "
+                f"goodput x{ratio['goodput_pflops']:.2f}, "
+                f"PFLOP-hours/interrupt "
+                f"x{ratio['pflop_hours_between_interrupts']:.2f}"
+            )
+        return 0
+
+    # simulate
+    spec = get_machine(args.machine)
+    gang = min(args.nodes, spec.num_nodes)
+    if args.checkpoint_interval is not None:
+        policy = CheckpointPolicy(
+            interval_hours=args.checkpoint_interval,
+            cost_hours=args.checkpoint_cost,
+            restart_cost_hours=args.restart_cost,
+        )
+    else:
+        # Young/Daly at the gang's MTBF, estimated from the machine's
+        # reported failure rate thinned by gang / fleet.
+        system_mtbf = (
+            spec.log_span_hours
+            / (spec.reported_failures * args.intensity)
+        )
+        job_mtbf = system_mtbf * spec.num_nodes / gang
+        policy = young_daly_policy(
+            args.checkpoint_cost, job_mtbf,
+            restart_cost_hours=args.restart_cost,
+        )
+    train = TrainingJobConfig(
+        num_nodes=gang,
+        step_time_hours=args.step_hours,
+        detection_delay_hours=args.detection_delay,
+        total_work_hours=args.total_work,
+    )
+    if args.record is not None and args.replications != 1:
+        raise ValidationError("--record implies --replications 1")
+    if args.replications > 1:
+        ensemble = run_train_replications(
+            args.machine,
+            replications=args.replications,
+            horizon_hours=args.horizon,
+            checkpoint_policy=policy,
+            train=train,
+            seed=args.seed,
+            intensity=args.intensity,
+            max_workers=args.workers,
+        )
+        if args.json:
+            print(_json.dumps(train_ensemble_payload(ensemble),
+                              indent=2, sort_keys=True))
+        else:
+            print(ensemble.summary())
+        return 0
+    simulator = ClusterSimulator(
+        args.machine,
+        seed=args.seed,
+        intensity=args.intensity,
+        checkpoint_policy=policy,
+        train=train,
+    )
+    if args.record is not None:
+        from repro.trace import record_run, write_trace
+
+        report, trace = record_run(simulator, args.horizon)
+        write_trace(trace, args.record)
+        print(f"recorded {args.machine} x {args.horizon:.0f} h to "
+              f"{args.record} ({len(trace.events)} events, "
+              f"{report.failures_injected} failures)")
+    else:
+        report = simulator.run(args.horizon)
+    stats = report.train
+    if args.json:
+        payload = {
+            "machine": args.machine,
+            "horizon_hours": args.horizon,
+            "checkpoint_interval_hours": policy.interval_hours,
+            "ettr": stats.ettr,
+            "interrupts": stats.interrupts,
+            "restarts": stats.restarts,
+            "steps_committed": stats.steps_committed,
+            "work_committed_hours": stats.work_committed_hours,
+            "lost_work_hours": stats.lost_work_hours,
+            "lost_work_by_category": stats.lost_work_by_category,
+            "stall_hours": stats.stall_hours,
+            "restart_overhead_hours": stats.restart_overhead_hours,
+            "checkpoint_overhead_hours": (
+                stats.checkpoint_overhead_hours
+            ),
+            "blast_radius_node_hours": stats.blast_radius_node_hours,
+            "completed": stats.completed,
+            "completed_at_hours": stats.completed_at_hours,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"machine:            {args.machine}")
+    print(f"horizon:            {args.horizon:.0f} h")
+    print(f"checkpoint every:   {policy.interval_hours:.2f} h "
+          f"(cost {policy.cost_hours:.2f} h, restart "
+          f"{policy.restart_cost_hours:.2f} h)")
+    for line in _train_stats_lines(stats):
+        print(line)
     return 0
 
 
@@ -1111,6 +1400,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "store": _cmd_store,
     "trace": _cmd_trace,
+    "train": _cmd_train,
 }
 
 

@@ -24,6 +24,8 @@ __all__ = [
     "Category",
     "TSUBAME2_CATEGORIES",
     "TSUBAME3_CATEGORIES",
+    "A100_CATEGORIES",
+    "H100_CATEGORIES",
     "SOFTWARE_ROOT_LOCI",
     "categories_for",
     "category",
@@ -110,6 +112,67 @@ TSUBAME3_CATEGORIES: tuple[Category, ...] = (
              "Failure whose category could not be determined."),
 )
 
+#: A100 HGX fleet failure categories.  The GPU-incident taxonomy
+#: (distinct ECC, HBM, and NVLink categories) follows the A100
+#: characterization in arXiv:2503.11901 and Meta's fleet study
+#: (arXiv:2410.21680); host-side categories mirror the Tsubame tables.
+A100_CATEGORIES: tuple[Category, ...] = (
+    _hw("CPU", "CPU hardware failure."),
+    _sw("Filesystem", "Parallel/distributed filesystem failure."),
+    _hw("GPU", "GPU card hardware failure (fell off the bus, Xid).",
+        gpu_related=True),
+    _hw("GPU-ECC", "Uncorrectable GPU ECC error (double-bit DRAM/SRAM).",
+        gpu_related=True),
+    _hw("GPU-HBM", "GPU HBM stack failure (row remap exhaustion).",
+        gpu_related=True),
+    _sw("GPUDriver", "GPU driver or CUDA runtime fault.",
+        gpu_related=True),
+    _hw("IB", "InfiniBand host adapter or link failure."),
+    _hw("Memory", "Host DRAM DIMM failure (uncorrectable errors)."),
+    _hw("Network", "Ethernet / management-network failure."),
+    _hw("NVLink", "NVLink lane or NVSwitch failure on the HGX board.",
+        gpu_related=True),
+    _sw("OtherSW", "Software failure outside the named categories."),
+    _hw("PSU", "Power supply unit failure."),
+    _sw("Scheduler", "Cluster scheduler / orchestration failure."),
+    _hw("SSD", "Local NVMe SSD failure."),
+    _hw("System Board", "Motherboard / HGX baseboard failure."),
+    _hw("Thermal", "Overheating, cooling loop or fan failure."),
+    Category("Unknown", FailureClass.UNKNOWN,
+             "Failure whose category could not be determined."),
+)
+
+#: H100 HGX fleet failure categories: the A100 taxonomy plus the GSP
+#: (GPU System Processor) firmware faults that arXiv:2503.11901 reports
+#: as a new, prominent H100 failure mode.
+H100_CATEGORIES: tuple[Category, ...] = (
+    _hw("CPU", "CPU hardware failure."),
+    _sw("Filesystem", "Parallel/distributed filesystem failure."),
+    _hw("GPU", "GPU card hardware failure (fell off the bus, Xid).",
+        gpu_related=True),
+    _hw("GPU-ECC", "Uncorrectable GPU ECC error (double-bit DRAM/SRAM).",
+        gpu_related=True),
+    _hw("GPU-HBM", "GPU HBM3 stack failure (row remap exhaustion).",
+        gpu_related=True),
+    _sw("GPUDriver", "GPU driver or CUDA runtime fault.",
+        gpu_related=True),
+    _sw("GSP", "GPU System Processor firmware fault (RM offload).",
+        gpu_related=True),
+    _hw("IB", "InfiniBand host adapter or link failure."),
+    _hw("Memory", "Host DRAM DIMM failure (uncorrectable errors)."),
+    _hw("Network", "Ethernet / management-network failure."),
+    _hw("NVLink", "NVLink lane or NVSwitch failure on the HGX board.",
+        gpu_related=True),
+    _sw("OtherSW", "Software failure outside the named categories."),
+    _hw("PSU", "Power supply unit failure."),
+    _sw("Scheduler", "Cluster scheduler / orchestration failure."),
+    _hw("SSD", "Local NVMe SSD failure."),
+    _hw("System Board", "Motherboard / HGX baseboard failure."),
+    _hw("Thermal", "Overheating, cooling loop or fan failure."),
+    Category("Unknown", FailureClass.UNKNOWN,
+             "Failure whose category could not be determined."),
+)
+
 #: Root loci of Tsubame-3 ``Software`` failures (Figure 3, top 16).
 #:
 #: The paper names only a handful of loci explicitly: GPU-driver-related
@@ -139,6 +202,8 @@ SOFTWARE_ROOT_LOCI: tuple[str, ...] = (
 _BY_MACHINE: dict[str, tuple[Category, ...]] = {
     "tsubame2": TSUBAME2_CATEGORIES,
     "tsubame3": TSUBAME3_CATEGORIES,
+    "a100": A100_CATEGORIES,
+    "h100": H100_CATEGORIES,
 }
 
 _INDEX: dict[str, dict[str, Category]] = {
@@ -151,7 +216,8 @@ def categories_for(machine: str) -> tuple[Category, ...]:
     """Return the category tuple for ``machine``.
 
     Args:
-        machine: ``"tsubame2"`` or ``"tsubame3"``.
+        machine: A registered machine name (``"tsubame2"``,
+            ``"tsubame3"``, ``"a100"``, ``"h100"``).
 
     Raises:
         TaxonomyError: If the machine name is unknown.

@@ -86,6 +86,10 @@ class RackLayout:
 _NODES_PER_RACK = {
     "tsubame2": 32,
     "tsubame3": 27,
+    # Dense HGX chassis draw ~6-10 kW each; power/cooling caps the
+    # modern fleets well below the Tsubame-era rack densities.
+    "a100": 16,
+    "h100": 8,
 }
 
 

@@ -1,4 +1,12 @@
-"""Machine specifications for Tsubame-2 and Tsubame-3 (Table I).
+"""Machine specifications for the modelled fleets.
+
+Tsubame-2 and Tsubame-3 mirror Table I of the source paper.  The A100
+and H100 HGX fleets extend the study to modern multi-GPU AI clusters,
+calibrated against the published reliability numbers in Meta's
+large-scale training study (arXiv:2410.21680), the H100/A100 GPU
+resilience characterization (arXiv:2503.11901), and the 504-GPU LLM
+pre-training operations report (arXiv:2605.09370); see
+docs/CALIBRATION.md for the per-number sources.
 
 The spec carries everything the paper's system-level arguments use:
 per-node CPU/GPU counts (for the component-inventory normalisation of
@@ -18,6 +26,8 @@ __all__ = [
     "MachineSpec",
     "TSUBAME2",
     "TSUBAME3",
+    "A100",
+    "H100",
     "get_machine",
     "known_machines",
 ]
@@ -48,6 +58,29 @@ class MachineSpec:
     log_start: datetime
     log_end: datetime
     reported_failures: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu_cores", "cpu_threads", "cpus_per_node",
+                           "memory_gb", "gpus_per_node", "num_nodes",
+                           "reported_failures"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise MachineError(
+                    f"machine {self.name!r}: {field_name} must be strictly "
+                    f"positive, got {value!r}"
+                )
+        for field_name in ("rpeak_pflops", "power_mw"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise MachineError(
+                    f"machine {self.name!r}: {field_name} must be strictly "
+                    f"positive, got {value!r}"
+                )
+        if self.log_end <= self.log_start:
+            raise MachineError(
+                f"machine {self.name!r}: log window is empty or reversed "
+                f"({self.log_start} .. {self.log_end})"
+            )
 
     @property
     def total_cpus(self) -> int:
@@ -136,7 +169,55 @@ TSUBAME3 = MachineSpec(
     reported_failures=338,
 )
 
-_MACHINES = {spec.name: spec for spec in (TSUBAME2, TSUBAME3)}
+#: A100 HGX fleet (2023 window): 1024 nodes, 8x NVIDIA A100-SXM4 per
+#: node.  Node MTBF (~1536 h) and the GPU-dominated failure mix follow
+#: Meta's Llama-3 fleet study (arXiv:2410.21680) and the A100 half of
+#: the GPU resilience characterization (arXiv:2503.11901).
+A100 = MachineSpec(
+    name="a100",
+    display_name="A100 HGX Fleet",
+    cpu_model="AMD EPYC 7742 (Rome, 2.25GHz)",
+    cpu_cores=64,
+    cpu_threads=128,
+    cpus_per_node=2,
+    memory_gb=1024,
+    gpu_model="NVIDIA A100-SXM4-80GB (GA100)",
+    gpus_per_node=8,
+    ssd="15 TB NVMe",
+    interconnect="HDR InfiniBand 200Gbps - 8 ports",
+    num_nodes=1024,
+    rpeak_pflops=159.7,
+    power_mw=6.7,
+    log_start=datetime(2023, 1, 1),
+    log_end=datetime(2024, 1, 1),
+    reported_failures=5840,
+)
+
+#: H100 HGX fleet (2024 window): 512 nodes, 8x NVIDIA H100-SXM5 per
+#: node.  Per-node MTBF (~1229 h) and the ECC/NVLink/GSP category mix
+#: follow the H100 half of arXiv:2503.11901 and the 504-GPU LLM
+#: operations report (arXiv:2605.09370).
+H100 = MachineSpec(
+    name="h100",
+    display_name="H100 HGX Fleet",
+    cpu_model="Intel Xeon Platinum 8480+ (Sapphire Rapids, 2.0GHz)",
+    cpu_cores=56,
+    cpu_threads=112,
+    cpus_per_node=2,
+    memory_gb=2048,
+    gpu_model="NVIDIA H100-SXM5-80GB (GH100)",
+    gpus_per_node=8,
+    ssd="30 TB NVMe",
+    interconnect="NDR InfiniBand 400Gbps - 8 ports",
+    num_nodes=512,
+    rpeak_pflops=274.4,
+    power_mw=5.2,
+    log_start=datetime(2024, 1, 1),
+    log_end=datetime(2025, 1, 1),
+    reported_failures=3660,
+)
+
+_MACHINES = {spec.name: spec for spec in (TSUBAME2, TSUBAME3, A100, H100)}
 
 
 def known_machines() -> tuple[str, ...]:

@@ -194,9 +194,62 @@ def _build_tsubame3(spec: MachineSpec) -> nx.Graph:
     return graph
 
 
+def _build_hgx(spec: MachineSpec) -> nx.Graph:
+    """Shared builder for the 8-GPU HGX baseboards (A100 and H100).
+
+    Two sockets, four PCIe switches (two per socket), two GPUs per
+    switch, a NIC per GPU for the rail-optimized fabric, and an
+    NVLink/NVSwitch full mesh across all eight SXM sockets.
+    """
+    graph = nx.Graph()
+    board = _add(graph, Component(ComponentKind.SYSTEM_BOARD, 0,
+                                  "HGX baseboard"))
+    cpus = [
+        _add(graph, Component(ComponentKind.CPU, i, spec.cpu_model))
+        for i in range(spec.cpus_per_node)
+    ]
+    memories = [
+        _add(graph, Component(ComponentKind.MEMORY, i, f"{spec.memory_gb}GB"))
+        for i in range(spec.cpus_per_node)
+    ]
+    switches = [
+        _add(graph, Component(ComponentKind.PCIE_SWITCH, i, "PCIe switch"))
+        for i in range(4)
+    ]
+    gpus = [
+        _add(graph, Component(ComponentKind.GPU, i, spec.gpu_model))
+        for i in range(spec.gpus_per_node)
+    ]
+    nics = [
+        _add(graph, Component(ComponentKind.NIC, i, spec.interconnect))
+        for i in range(spec.gpus_per_node)
+    ]
+    ssd = _add(graph, Component(ComponentKind.SSD, 0, spec.ssd))
+
+    for cpu, memory in zip(cpus, memories):
+        graph.add_edge(board, cpu)
+        graph.add_edge(cpu, memory)
+    graph.add_edge(cpus[0], cpus[1])  # socket interconnect
+    # Two PCIe switches per socket; two GPUs and two NICs per switch.
+    for index, switch in enumerate(switches):
+        graph.add_edge(cpus[index // 2], switch)
+        graph.add_edge(switch, gpus[2 * index])
+        graph.add_edge(switch, gpus[2 * index + 1])
+        graph.add_edge(switch, nics[2 * index])
+        graph.add_edge(switch, nics[2 * index + 1])
+    # NVSwitch-backed NVLink full mesh among the eight SXM GPUs.
+    for i in range(spec.gpus_per_node):
+        for j in range(i + 1, spec.gpus_per_node):
+            graph.add_edge(gpus[i], gpus[j], link="nvlink")
+    graph.add_edge(switches[0], ssd)
+    return graph
+
+
 _BUILDERS = {
     "tsubame2": _build_tsubame2,
     "tsubame3": _build_tsubame3,
+    "a100": _build_hgx,
+    "h100": _build_hgx,
 }
 
 

@@ -60,6 +60,7 @@ from repro.serve.registry import DatasetRegistry
 from repro.serve.stats import ServerStats
 from repro.sim.montecarlo import EnsembleReport, run_replications
 from repro.synth import GeneratorConfig, generate_log
+from repro.train.metrics import ettf_payload
 
 __all__ = ["ANALYSES", "ReproApp", "SimulateJob"]
 
@@ -157,6 +158,7 @@ ANALYSES: dict[str, Callable[[FailureLog], dict[str, Any]]] = {
     "spatial": spatial_payload,
     "seasonal": seasonal_payload,
     "multigpu": multigpu_payload,
+    "ettf": ettf_payload,
 }
 
 

@@ -11,6 +11,7 @@ from repro.sim.checkpoint import (
     effective_goodput_fraction,
     expected_waste_fraction,
     young_daly_interval,
+    young_daly_policy,
 )
 from repro.sim.cluster import Cluster, DowntimeInterval, Node, NodeState
 from repro.sim.engine import SimulationEngine
@@ -64,4 +65,5 @@ __all__ = [
     "simulate_card_wear",
     "spawn_seeds",
     "young_daly_interval",
+    "young_daly_policy",
 ]

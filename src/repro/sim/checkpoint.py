@@ -18,6 +18,7 @@ from repro.errors import ValidationError
 __all__ = [
     "CheckpointPolicy",
     "young_daly_interval",
+    "young_daly_policy",
     "expected_waste_fraction",
     "effective_goodput_fraction",
 ]
@@ -39,6 +40,12 @@ class CheckpointPolicy:
     restart_cost_hours: float = 0.5
 
     def __post_init__(self) -> None:
+        for name in ("interval_hours", "cost_hours", "restart_cost_hours"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValidationError(
+                    f"{name} must be finite, got {value!r}"
+                )
         if self.interval_hours <= 0:
             raise ValidationError(
                 f"interval_hours must be positive, got {self.interval_hours}"
@@ -69,8 +76,18 @@ def young_daly_interval(
     """Young/Daly first-order optimal interval sqrt(2 * C * MTBF).
 
     Raises:
-        ValidationError: On non-positive inputs.
+        ValidationError: On non-positive or non-finite inputs, and when
+            the MTBF is shorter than the checkpoint cost — in that
+            regime the optimum interval sqrt(2*C*M) falls below C
+            itself, i.e. no valid checkpointing schedule can commit
+            work faster than the machine destroys it.
     """
+    for label, value in (
+        ("checkpoint cost", checkpoint_cost_hours),
+        ("MTBF", mtbf_hours),
+    ):
+        if not math.isfinite(value):
+            raise ValidationError(f"{label} must be finite, got {value!r}")
     if checkpoint_cost_hours <= 0:
         raise ValidationError(
             f"checkpoint cost must be positive, got {checkpoint_cost_hours}"
@@ -79,7 +96,37 @@ def young_daly_interval(
         raise ValidationError(
             f"MTBF must be positive, got {mtbf_hours}"
         )
+    if mtbf_hours < checkpoint_cost_hours:
+        raise ValidationError(
+            f"MTBF ({mtbf_hours} h) is shorter than the checkpoint cost "
+            f"({checkpoint_cost_hours} h); checkpointing cannot make "
+            f"progress in this regime"
+        )
     return math.sqrt(2.0 * checkpoint_cost_hours * mtbf_hours)
+
+
+def young_daly_policy(
+    checkpoint_cost_hours: float,
+    mtbf_hours: float,
+    restart_cost_hours: float = 0.5,
+) -> CheckpointPolicy:
+    """Build a :class:`CheckpointPolicy` at the Young/Daly optimum.
+
+    Safe by construction: :func:`young_daly_interval` requires
+    MTBF >= C, which guarantees sqrt(2*C*M) >= sqrt(2)*C > C, so the
+    resulting policy always passes the cost-smaller-than-interval
+    validation.
+
+    Raises:
+        ValidationError: Propagated from the interval computation or
+            the policy constructor.
+    """
+    interval = young_daly_interval(checkpoint_cost_hours, mtbf_hours)
+    return CheckpointPolicy(
+        interval_hours=interval,
+        cost_hours=checkpoint_cost_hours,
+        restart_cost_hours=restart_cost_hours,
+    )
 
 
 def expected_waste_fraction(

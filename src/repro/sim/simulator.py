@@ -11,6 +11,7 @@ spare stockouts, and — with a workload — goodput and queue waits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core import taxonomy
 from repro.core.records import FailureLog
@@ -25,6 +26,10 @@ from repro.sim.jobs import WorkloadConfig, WorkloadGenerator
 from repro.sim.repair import RepairPolicy, RepairService, SparePool
 from repro.sim.scheduler import Scheduler, SchedulerStats
 from repro.synth.profiles import MachineProfile, profile_for
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.train imports sim)
+    from repro.train.config import TrainingJobConfig
+    from repro.train.gang import GangTrainingRun, TrainStats
 
 __all__ = [
     "SimulationConfig",
@@ -62,6 +67,7 @@ class SimulationConfig:
     initial_spares: dict[str, int]
     checkpoint_policy: CheckpointPolicy | None
     workload: WorkloadConfig | None
+    train: TrainingJobConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,7 @@ class SimulationReport:
     spare_stockouts: int
     spares_consumed: int
     scheduler: SchedulerStats | None = None
+    train: TrainStats | None = None
 
     @property
     def waiting_share_of_mttr(self) -> float:
@@ -99,7 +106,12 @@ class ClusterSimulator:
         seed: RNG seed shared by faults and workload.
         intensity: Failure-rate multiplier.
         workload: Optional workload config; enables the scheduler.
-        checkpoint_policy: Optional checkpoint policy for jobs.
+        checkpoint_policy: Optional checkpoint policy for jobs
+            (required when ``train`` is set).
+        train: Optional gang-training config; runs one synchronous
+            N-node training job (:class:`repro.train.GangTrainingRun`)
+            instead of a batch workload.  Mutually exclusive with
+            ``workload``.
         profile: Override the calibration profile (defaults to the
             machine's published profile).
         health_test_effectiveness: Probability a would-be multi-GPU
@@ -130,6 +142,7 @@ class ClusterSimulator:
         health_test_effectiveness: float = 0.0,
         presample: bool = True,
         keep_injected_log: bool = True,
+        train: TrainingJobConfig | None = None,
     ) -> None:
         self._profile = profile or profile_for(machine)
         if self._profile.machine != machine:
@@ -148,6 +161,22 @@ class ClusterSimulator:
             )
         if initial_spares is None:
             initial_spares = {name: 2 for name in hardware}
+        if train is not None:
+            if workload is not None:
+                raise SimulationError(
+                    "train and workload are mutually exclusive: the gang "
+                    "owns its nodes for the whole run"
+                )
+            if checkpoint_policy is None:
+                raise SimulationError(
+                    "a training run requires a checkpoint_policy "
+                    "(use repro.sim.young_daly_policy for the optimum)"
+                )
+            if train.num_nodes > self._spec.num_nodes:
+                raise SimulationError(
+                    f"gang of {train.num_nodes} nodes exceeds "
+                    f"{machine}'s {self._spec.num_nodes}"
+                )
         self.config = SimulationConfig(
             machine=machine,
             seed=seed,
@@ -158,6 +187,7 @@ class ClusterSimulator:
             initial_spares=dict(initial_spares),
             checkpoint_policy=checkpoint_policy,
             workload=workload,
+            train=train,
         )
 
         self.engine = SimulationEngine()
@@ -178,7 +208,23 @@ class ClusterSimulator:
             record_injected=keep_injected_log,
         )
         self.scheduler: Scheduler | None = None
+        self.training: GangTrainingRun | None = None
         self._workload_jobs = []
+        if train is not None:
+            # Lazy import: repro.train builds on repro.sim, so the
+            # simulator cannot import it at module scope.
+            from repro.train.gang import GangTrainingRun
+
+            self.training = GangTrainingRun(
+                self.engine, self.cluster, train, checkpoint_policy
+            )
+            self.injector.add_failure_listener(
+                lambda node_id, category:
+                self.training.handle_node_failure(node_id, category)
+            )
+            self.repair.add_completion_listener(
+                self.training.handle_node_repair
+            )
         if workload is not None:
             self.scheduler = Scheduler(
                 self.engine, self.cluster, checkpoint_policy
@@ -208,6 +254,10 @@ class ClusterSimulator:
             jobs = self._workload.jobs_until(horizon_hours)
             self._workload_jobs = jobs
             self.scheduler.submit_all(jobs)
+        if self.training is not None:
+            # Start the gang before the injector so its t=0 submission
+            # precedes the first failure in event-insertion order.
+            self.training.start()
         self.injector.start()
         self.engine.run_until(horizon_hours)
         history = self.cluster.history
@@ -227,6 +277,10 @@ class ClusterSimulator:
             spares_consumed=self.spares.consumed,
             scheduler=(
                 self.scheduler.stats if self.scheduler is not None else None
+            ),
+            train=(
+                self.training.finalize(horizon_hours)
+                if self.training is not None else None
             ),
         )
 

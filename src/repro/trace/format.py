@@ -139,7 +139,22 @@ def config_to_dict(config: SimulationConfig) -> dict:
                 "max_duration_hours": workload.max_duration_hours,
             }
         ),
+        # The "train" key is emitted only when a training config is
+        # present so pre-existing traces stay byte-identical.
+        **(
+            {"train": config.train.to_dict()}
+            if config.train is not None else {}
+        ),
     }
+
+
+def _training_config_from_dict(data: dict):
+    # Lazy import: repro.train sits above repro.sim/trace in the
+    # package layering, so the codec only pulls it in for traces that
+    # actually carry a training config.
+    from repro.train.config import TrainingJobConfig
+
+    return TrainingJobConfig.from_dict(data)
 
 
 def config_from_dict(data: dict) -> SimulationConfig:
@@ -189,6 +204,11 @@ def config_from_dict(data: dict) -> SimulationConfig:
                     max_duration_hours=workload["max_duration_hours"],
                 )
             ),
+            train=(
+                None
+                if data.get("train") is None
+                else _training_config_from_dict(data["train"])
+            ),
         )
     except (KeyError, TypeError) as exc:
         raise TraceError(
@@ -225,6 +245,43 @@ def report_to_dict(report: SimulationReport) -> dict:
                 "lost_node_hours": scheduler.lost_node_hours,
                 "total_wait_hours": scheduler.total_wait_hours,
             }
+        ),
+        # Emitted only for training runs (pre-existing traces stay
+        # byte-identical).
+        **(
+            {
+                "train": {
+                    "job_nodes": report.train.job_nodes,
+                    "step_time_hours": report.train.step_time_hours,
+                    "interrupts": report.train.interrupts,
+                    "restarts": report.train.restarts,
+                    "steps_committed": report.train.steps_committed,
+                    "work_committed_hours": (
+                        report.train.work_committed_hours
+                    ),
+                    "lost_work_hours": report.train.lost_work_hours,
+                    "lost_work_by_category": {
+                        name: report.train.lost_work_by_category[name]
+                        for name in sorted(
+                            report.train.lost_work_by_category
+                        )
+                    },
+                    "stall_hours": report.train.stall_hours,
+                    "restart_overhead_hours": (
+                        report.train.restart_overhead_hours
+                    ),
+                    "checkpoint_overhead_hours": (
+                        report.train.checkpoint_overhead_hours
+                    ),
+                    "blast_radius_node_hours": (
+                        report.train.blast_radius_node_hours
+                    ),
+                    "elapsed_hours": report.train.elapsed_hours,
+                    "completed": report.train.completed,
+                    "completed_at_hours": report.train.completed_at_hours,
+                }
+            }
+            if report.train is not None else {}
         ),
     }
 

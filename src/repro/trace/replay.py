@@ -218,6 +218,7 @@ class ReplaySimulator:
             initial_spares=dict(initial_spares),
             checkpoint_policy=checkpoint_policy,
             workload=base.workload,
+            train=base.train,
         )
         self._trace = trace
         self._spec = get_machine(base.machine)
@@ -236,9 +237,32 @@ class ReplaySimulator:
             base.machine,
             trace.failures,
         )
+        self.training = None
+        if base.train is not None:
+            if checkpoint_policy is None:
+                raise TraceError(
+                    "training traces need a checkpoint policy; "
+                    "refusing the checkpoint_policy=None override"
+                )
+            from repro.train.gang import GangTrainingRun
+
+            self.training = GangTrainingRun(
+                self.engine, self.cluster, base.train, checkpoint_policy
+            )
+            self.injector.add_failure_listener(
+                lambda node_id, category:
+                self.training.handle_node_failure(node_id, category)
+            )
+            self.repair.add_completion_listener(
+                self.training.handle_node_repair
+            )
         self.scheduler: Scheduler | None = None
         job_events = trace.jobs
-        if base.workload is not None or job_events:
+        # A training trace carries the gang's own job events; they are
+        # re-emitted by the replayed gang, not a batch scheduler.
+        if base.train is None and (
+            base.workload is not None or job_events
+        ):
             self.scheduler = Scheduler(
                 self.engine,
                 self.cluster,
@@ -283,6 +307,10 @@ class ReplaySimulator:
         horizon_hours = self._trace.horizon_hours
         if self.scheduler is not None:
             self.scheduler.submit_all(self._jobs)
+        if self.training is not None:
+            # Same insertion order as ClusterSimulator: the gang's t=0
+            # submission precedes the first failure.
+            self.training.start()
         self.injector.start()
         self.engine.run_until(horizon_hours)
         history = self.cluster.history
@@ -302,6 +330,11 @@ class ReplaySimulator:
             spares_consumed=self.spares.consumed,
             scheduler=(
                 self.scheduler.stats if self.scheduler is not None else None
+            ),
+            train=(
+                self.training.finalize(horizon_hours)
+                if self.training is not None
+                else None
             ),
         )
 

@@ -1,0 +1,40 @@
+"""LLM training-fleet reliability model.
+
+``repro.train`` is the training-workload vertical on top of
+:mod:`repro.sim`: gang-scheduled synchronous jobs whose blast radius is
+the whole gang (:mod:`repro.train.gang`), Monte-Carlo ensembles of
+their ETTF/goodput outcomes (:mod:`repro.train.montecarlo`), log-driven
+ETTF analytics for serving (:mod:`repro.train.metrics`), and the
+cross-machine comparative study generalizing the source paper's
+performance-error proportionality to modern GPU fleets
+(:mod:`repro.train.compare`).
+"""
+
+from repro.train.compare import (
+    TrainComparison,
+    TrainComparisonRow,
+    compare_training,
+)
+from repro.train.config import TrainingJobConfig
+from repro.train.gang import GangTrainingRun, TrainStats
+from repro.train.metrics import ettf_payload
+from repro.train.montecarlo import (
+    TRAIN_METRICS,
+    TrainEnsembleReport,
+    run_train_replications,
+    train_ensemble_payload,
+)
+
+__all__ = [
+    "GangTrainingRun",
+    "TRAIN_METRICS",
+    "TrainComparison",
+    "TrainComparisonRow",
+    "TrainEnsembleReport",
+    "TrainStats",
+    "TrainingJobConfig",
+    "compare_training",
+    "ettf_payload",
+    "run_train_replications",
+    "train_ensemble_payload",
+]

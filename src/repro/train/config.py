@@ -1,0 +1,97 @@
+"""Configuration of a gang-scheduled LLM pre-training job.
+
+One training job owns a fixed gang of N nodes for the whole run.
+Steps are synchronous: every participating node must be up for the
+job to make progress, so *any* member failure stalls the entire gang —
+the blast-radius regime Meta's fleet study (arXiv:2410.21680) and the
+504-GPU operations report (arXiv:2605.09370) describe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = ["TrainingJobConfig"]
+
+
+@dataclass(frozen=True)
+class TrainingJobConfig:
+    """Parameters of one gang-scheduled synchronous training job.
+
+    Attributes:
+        num_nodes: Gang size — nodes the job must hold simultaneously.
+        step_time_hours: Wall-clock time of one synchronous training
+            step (the in-flight work quantum lost on interruption).
+        detection_delay_hours: Time between a member-node failure and
+            the moment the job is back in the restart queue (failure
+            detection + teardown, before any waiting for capacity).
+        total_work_hours: Useful work needed to finish the run; None
+            trains continuously for the whole horizon.
+    """
+
+    num_nodes: int = 64
+    step_time_hours: float = 0.01
+    detection_delay_hours: float = 0.05
+    total_work_hours: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValidationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        for name in ("step_time_hours", "detection_delay_hours"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValidationError(f"{name} must be finite, got {value!r}")
+        if self.step_time_hours <= 0:
+            raise ValidationError(
+                f"step_time_hours must be positive, got "
+                f"{self.step_time_hours}"
+            )
+        if self.detection_delay_hours < 0:
+            raise ValidationError(
+                f"detection_delay_hours must be >= 0, got "
+                f"{self.detection_delay_hours}"
+            )
+        if self.total_work_hours is not None:
+            if (not math.isfinite(self.total_work_hours)
+                    or self.total_work_hours <= 0):
+                raise ValidationError(
+                    f"total_work_hours must be positive and finite, got "
+                    f"{self.total_work_hours!r}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (trace headers, serve payloads)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "step_time_hours": self.step_time_hours,
+            "detection_delay_hours": self.detection_delay_hours,
+            "total_work_hours": self.total_work_hours,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrainingJobConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValidationError: On missing keys or invalid values.
+        """
+        try:
+            return cls(
+                num_nodes=int(data["num_nodes"]),
+                step_time_hours=float(data["step_time_hours"]),
+                detection_delay_hours=float(data["detection_delay_hours"]),
+                total_work_hours=(
+                    None if data["total_work_hours"] is None
+                    else float(data["total_work_hours"])
+                ),
+            )
+        except KeyError as exc:
+            raise ValidationError(
+                f"training config is missing key {exc.args[0]!r}"
+            ) from None

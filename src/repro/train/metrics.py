@@ -1,0 +1,84 @@
+"""ETTF analytics over a failure log.
+
+The serve-side counterpart of the simulation's
+:class:`~repro.train.gang.TrainStats`: given a machine's failure log,
+estimate — analytically, via the same Young/Daly waste model the
+simulator executes — what a gang-scheduled training job of each size
+would experience on that machine.  ``ettf_payload`` is the
+``/analyze/{dataset}/ettf`` endpoint body.
+
+ETTR here follows the Meta fleet-study definition: the effective
+training-time ratio, committed-useful-work hours per wall-clock hour.
+``useful_pflops`` generalizes the source paper's
+performance-error-proportionality metric (Rpeak x MTBF) to modern
+fleets: the share of peak FLOPs a gang actually banks after failures
+and checkpoint overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.metrics import job_interruption_probability, mtbf, mttr
+from repro.core.records import FailureLog
+from repro.machines.specs import get_machine
+from repro.sim.checkpoint import (
+    expected_waste_fraction,
+    young_daly_policy,
+)
+
+__all__ = ["DEFAULT_GANG_GRID", "DEFAULT_CHECKPOINT_COST_HOURS",
+           "ettf_payload"]
+
+#: Gang sizes evaluated by default (clamped to the fleet size).
+DEFAULT_GANG_GRID = (8, 64, 256, 512)
+
+#: Default checkpoint cost, matching the exposure report's convention.
+DEFAULT_CHECKPOINT_COST_HOURS = 0.25
+
+
+def ettf_payload(
+    log: FailureLog,
+    gang_grid: tuple[int, ...] = DEFAULT_GANG_GRID,
+    checkpoint_cost_hours: float = DEFAULT_CHECKPOINT_COST_HOURS,
+) -> dict[str, Any]:
+    """ETTF/goodput estimates for gang-training jobs on this machine.
+
+    For each gang size n the job MTBF is the system MTBF thinned by
+    n / fleet; the checkpoint interval is the Young/Daly optimum at
+    that MTBF; ETTR is 1 - expected waste; ``useful_pflops`` is the
+    gang's share of Rpeak discounted by its ETTR.
+    """
+    spec = get_machine(log.machine)
+    system_mtbf = mtbf(log)
+    system_mttr = mttr(log)
+    rows = []
+    for nodes in sorted({min(n, spec.num_nodes) for n in gang_grid}):
+        job_mtbf = system_mtbf * spec.num_nodes / nodes
+        policy = young_daly_policy(checkpoint_cost_hours, job_mtbf)
+        waste = expected_waste_fraction(policy, job_mtbf)
+        ettr = 1.0 - waste
+        rows.append({
+            "gang_nodes": nodes,
+            "job_mtbf_hours": job_mtbf,
+            "checkpoint_interval_hours": policy.interval_hours,
+            "expected_waste_fraction": waste,
+            "ettr_estimate": ettr,
+            "interrupts_per_day": 24.0 / job_mtbf,
+            "interruption_probability_24h": job_interruption_probability(
+                system_mtbf, spec.num_nodes, nodes, 24.0
+            ),
+            "useful_pflops": (
+                spec.rpeak_pflops * (nodes / spec.num_nodes) * ettr
+            ),
+        })
+    return {
+        "machine": log.machine,
+        "failures": len(log),
+        "fleet_nodes": spec.num_nodes,
+        "rpeak_pflops": spec.rpeak_pflops,
+        "system_mtbf_hours": system_mtbf,
+        "system_mttr_hours": system_mttr,
+        "checkpoint_cost_hours": checkpoint_cost_hours,
+        "gangs": rows,
+    }

@@ -1,0 +1,99 @@
+"""Cross-registry consistency sweep over every modelled machine.
+
+A machine is only usable when five registries agree: the spec
+(``repro.machines.specs``), the failure taxonomy
+(``repro.core.taxonomy``), the calibrated synth profile
+(``repro.synth.profiles``), the node topology
+(``repro.machines.topology``), and the rack layout
+(``repro.machines.racks``).  This sweep runs every registered machine
+through all five so that adding a machine to one table but not the
+others fails loudly here rather than deep inside a simulation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.taxonomy import categories_for
+from repro.machines.racks import rack_layout_for
+from repro.machines.specs import get_machine, known_machines
+from repro.machines.topology import build_node_topology
+from repro.synth.profiles import profile_for
+
+MACHINES = known_machines()
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+class TestRegistrySweep:
+    def test_spec_is_sane(self, machine):
+        spec = get_machine(machine)
+        assert spec.name == machine
+        assert spec.num_nodes > 0
+        assert spec.gpus_per_node > 0
+        assert spec.rpeak_pflops > 0
+        assert spec.reported_failures > 0
+        assert spec.log_span_hours > 0
+
+    def test_taxonomy_registered(self, machine):
+        categories = categories_for(machine)
+        assert categories
+        names = [category.name for category in categories]
+        assert len(names) == len(set(names))
+
+    def test_profile_category_weights_sum_to_one(self, machine):
+        profile = profile_for(machine)
+        shares = [
+            profile.category_share(name)
+            for name in profile.category_counts
+        ]
+        assert math.isclose(sum(shares), 1.0, rel_tol=1e-9)
+        assert sum(profile.category_counts.values()) == (
+            profile.total_failures
+        )
+
+    def test_profile_rates_strictly_positive(self, machine):
+        profile = profile_for(machine)
+        assert all(
+            count > 0 for count in profile.category_counts.values()
+        )
+        assert profile.tbf_p75_hours > 0
+        assert profile.mttr_target_hours > 0
+        assert profile.tbf_mean_hours > 0
+        assert all(
+            mean > 0
+            for mean in profile.category_ttr_mean_hours.values()
+        )
+        assert all(
+            sigma >= 0
+            for sigma in profile.category_ttr_sigma.values()
+        )
+        assert all(w > 0 for w in profile.gpu_slot_weights)
+        assert all(
+            p > 0 for p in profile.node_count_distribution.values()
+        )
+
+    def test_profile_categories_exist_in_taxonomy(self, machine):
+        profile = profile_for(machine)
+        taxonomy = {c.name for c in categories_for(machine)}
+        assert set(profile.category_counts) <= taxonomy
+
+    def test_placement_can_absorb_the_failure_count(self, machine):
+        # The synth placement stage draws per-affected-node failure
+        # multiplicities from node_count_distribution; its mean bounds
+        # how many failures the fleet can absorb.  Require headroom so
+        # sampling noise cannot push a seed over the node count.
+        profile = profile_for(machine)
+        spec = get_machine(machine)
+        distribution = profile.node_count_distribution
+        mean = sum(k * p for k, p in distribution.items())
+        assert mean * spec.num_nodes > profile.total_failures
+
+    def test_topology_builds(self, machine):
+        topology = build_node_topology(machine)
+        spec = get_machine(machine)
+        assert len(topology.gpu_slots) == spec.gpus_per_node
+
+    def test_rack_layout_registered(self, machine):
+        layout = rack_layout_for(machine)
+        assert layout.nodes_per_rack > 0
+        assert layout.num_racks > 0

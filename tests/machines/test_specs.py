@@ -64,7 +64,9 @@ class TestLogWindows:
 
 class TestRegistry:
     def test_known_machines(self):
-        assert known_machines() == ("tsubame2", "tsubame3")
+        assert known_machines() == (
+            "a100", "h100", "tsubame2", "tsubame3"
+        )
 
     def test_get_machine(self):
         assert get_machine("tsubame2") is TSUBAME2

@@ -10,6 +10,7 @@ from repro.sim.checkpoint import (
     effective_goodput_fraction,
     expected_waste_fraction,
     young_daly_interval,
+    young_daly_policy,
 )
 
 
@@ -92,3 +93,67 @@ class TestWasteModel:
         policy = CheckpointPolicy(interval_hours=10.0, cost_hours=1.0)
         with pytest.raises(ValidationError):
             expected_waste_fraction(policy, mtbf_hours=0.0)
+
+
+class TestEdgeRegimes:
+    """Regression tests: degenerate inputs raise instead of
+    silently producing NaN or negative intervals."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_interval_inputs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            young_daly_interval(bad, 100.0)
+        with pytest.raises(ValidationError):
+            young_daly_interval(0.5, bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_policy_fields_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(interval_hours=bad, cost_hours=0.1)
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(interval_hours=1.0, cost_hours=bad)
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(interval_hours=1.0, cost_hours=0.1,
+                             restart_cost_hours=bad)
+
+    def test_near_zero_cost_rejected_not_nan(self):
+        with pytest.raises(ValidationError):
+            young_daly_interval(0.0, 24.0)
+        with pytest.raises(ValidationError):
+            young_daly_interval(-1e-12, 24.0)
+
+    def test_mtbf_shorter_than_cost_rejected(self):
+        # sqrt(2 * C * M) < C when M < C/2: the "optimum" would
+        # checkpoint slower than it fails.  The whole regime M < C
+        # cannot make progress and must be refused loudly.
+        with pytest.raises(ValidationError) as excinfo:
+            young_daly_interval(2.0, 1.0)
+        assert "cannot make progress" in str(excinfo.value)
+
+    def test_boundary_mtbf_equal_to_cost_is_valid(self):
+        interval = young_daly_interval(1.0, 1.0)
+        assert interval == pytest.approx(math.sqrt(2.0))
+        assert interval > 1.0  # a constructible policy
+
+
+class TestYoungDalyPolicy:
+    def test_returns_policy_at_the_optimum(self):
+        policy = young_daly_policy(0.25, 24.0,
+                                   restart_cost_hours=0.75)
+        assert policy.interval_hours == pytest.approx(
+            young_daly_interval(0.25, 24.0)
+        )
+        assert policy.cost_hours == 0.25
+        assert policy.restart_cost_hours == 0.75
+
+    def test_always_constructible_when_interval_is(self):
+        # M >= C implies sqrt(2CM) >= sqrt(2) C > C, so the returned
+        # policy never trips the interval > cost invariant.
+        for cost, mtbf in [(1.0, 1.0), (0.1, 24.0), (5.0, 5.0)]:
+            policy = young_daly_policy(cost, mtbf)
+            assert policy.interval_hours > policy.cost_hours
+
+    def test_propagates_validation(self):
+        with pytest.raises(ValidationError):
+            young_daly_policy(2.0, 1.0)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.sim import CheckpointPolicy, ClusterSimulator, WorkloadConfig
+from repro.train import TrainingJobConfig
 from repro.trace import record_run, write_trace
 
 GOLDEN_DIR = Path(__file__).parent
@@ -47,6 +48,18 @@ SCENARIOS: dict[str, dict] = {
             "checkpoint_policy": CheckpointPolicy(6.0, 0.2),
         },
         "horizon": 400,
+    },
+    # Gang-scheduled training job on the modern A100 fleet: the
+    # trace carries the training config in its header and the gang's
+    # job lifecycle (jsub/jstart/jkill) in its event stream.
+    "a100_train": {
+        "machine": "a100",
+        "kwargs": {
+            "seed": 7,
+            "checkpoint_policy": CheckpointPolicy(2.0, 0.25),
+            "train": TrainingJobConfig(num_nodes=64),
+        },
+        "horizon": 240,
     },
 }
 

@@ -17,7 +17,7 @@ from repro.trace import read_trace, replay
 
 from tests.trace.conftest import GOLDEN_DIR
 
-GOLDEN_NAMES = ("t2_baseline", "t2_burst", "t3_workload")
+GOLDEN_NAMES = ("a100_train", "t2_baseline", "t2_burst", "t3_workload")
 
 
 @pytest.mark.parametrize("name", GOLDEN_NAMES)
@@ -47,6 +47,15 @@ def test_workload_scenario_exercises_scheduler():
     assert {"jsub", "jstart", "jdone", "jkill"} <= kinds
     assert trace.config.workload is not None
     assert trace.config.checkpoint_policy is not None
+
+
+def test_training_scenario_exercises_gang():
+    trace, _ = read_trace(GOLDEN_DIR / "a100_train.jsonl")
+    kinds = {e["t"] for e in trace.events}
+    assert {"jsub", "jstart", "jkill"} <= kinds
+    assert trace.config.train is not None
+    assert trace.config.train.num_nodes == 64
+    assert trace.report["train"]["interrupts"] > 0
 
 
 def test_goldens_are_canonical_on_disk():

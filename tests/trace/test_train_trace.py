@@ -1,0 +1,89 @@
+"""Record/replay of gang-training runs.
+
+The gang publishes the scheduler's job topics, so the recorder needs
+no training-specific hooks; the trace header carries the training
+config and the footer the :class:`TrainStats`, and replay rebuilds the
+gang instead of a batch scheduler.
+"""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim import ClusterSimulator, young_daly_policy
+from repro.train import TrainingJobConfig
+from repro.trace import record_run, replay
+from repro.trace.format import (
+    config_from_dict,
+    config_to_dict,
+    parse_trace,
+)
+from repro.trace.replay import ReplaySimulator
+
+from tests.trace.conftest import copy_trace
+
+POLICY = young_daly_policy(0.1, 24.0)
+
+
+@pytest.fixture(scope="module")
+def training_run():
+    simulator = ClusterSimulator(
+        "a100",
+        seed=7,
+        checkpoint_policy=POLICY,
+        train=TrainingJobConfig(num_nodes=64),
+    )
+    return record_run(simulator, 240.0)
+
+
+class TestTrainingTrace:
+    def test_header_carries_training_config(self, training_run):
+        _, trace = training_run
+        assert trace.config.train == TrainingJobConfig(num_nodes=64)
+
+    def test_footer_carries_train_stats(self, training_run):
+        report, trace = training_run
+        assert trace.report["train"]["interrupts"] == (
+            report.train.interrupts
+        )
+        assert trace.report["train"]["work_committed_hours"] == (
+            report.train.work_committed_hours
+        )
+
+    def test_job_events_recorded(self, training_run):
+        _, trace = training_run
+        kinds = {event["t"] for event in trace.events}
+        assert {"jsub", "jstart", "jkill"} <= kinds
+
+    def test_replays_bit_exactly(self, training_run):
+        report, trace = training_run
+        result = replay(copy_trace(trace))
+        assert result.bit_exact
+        assert result.report.train.ettr == report.train.ettr
+        assert result.report.train.lost_work_by_category == (
+            report.train.lost_work_by_category
+        )
+
+    def test_round_trips_through_text(self, training_run):
+        _, trace = training_run
+        reparsed, quarantined = parse_trace(trace.dumps())
+        assert not quarantined
+        assert reparsed.dumps() == trace.dumps()
+
+    def test_checkpoint_none_override_rejected(self, training_run):
+        _, trace = training_run
+        with pytest.raises(TraceError):
+            ReplaySimulator(copy_trace(trace), checkpoint_policy=None)
+
+
+class TestConfigDictStability:
+    def test_train_key_absent_without_training(self):
+        simulator = ClusterSimulator("tsubame2", seed=7)
+        data = config_to_dict(simulator.config)
+        assert "train" not in data
+        assert config_from_dict(data).train is None
+
+    def test_train_key_round_trips(self, training_run):
+        _, trace = training_run
+        data = config_to_dict(trace.config)
+        assert data["train"]["num_nodes"] == 64
+        assert config_from_dict(data).train == trace.config.train

@@ -1,0 +1,119 @@
+"""The ``repro-failures train`` command group."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["train", "simulate", "--machine", "a100"],
+            ["train", "compare"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == "train"
+            assert args.train_command == argv[1]
+
+    def test_machine_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "simulate", "--machine", "summit"]
+            )
+
+    def test_compare_defaults_to_all_machines(self):
+        args = build_parser().parse_args(["train", "compare"])
+        assert args.machines == "a100,h100,tsubame2,tsubame3"
+
+
+class TestSimulate:
+    def test_single_run_prints_stats(self, capsys):
+        assert main([
+            "train", "simulate", "--machine", "a100",
+            "--horizon", "240", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ETTR:" in out
+        assert "lost work by category:" in out
+        assert "checkpoint every:" in out
+
+    def test_single_run_json(self, capsys):
+        assert main([
+            "train", "simulate", "--machine", "h100",
+            "--horizon", "120", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "h100"
+        assert 0.0 < payload["ettr"] <= 1.0
+
+    def test_ensemble_prints_summary(self, capsys):
+        assert main([
+            "train", "simulate", "--machine", "tsubame3",
+            "--nodes", "16", "--horizon", "200",
+            "--replications", "2", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 replications" in out
+        assert "ettr:" in out
+
+    def test_explicit_interval_overrides_young_daly(self, capsys):
+        assert main([
+            "train", "simulate", "--machine", "tsubame3",
+            "--horizon", "120", "--checkpoint-interval", "3.5",
+        ]) == 0
+        assert "checkpoint every:   3.50 h" in capsys.readouterr().out
+
+    def test_record_requires_single_replication(self, capsys):
+        assert main([
+            "train", "simulate", "--machine", "a100",
+            "--replications", "2", "--record", "x.jsonl",
+        ]) == 1
+        assert "replications" in capsys.readouterr().err
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        out = tmp_path / "train.trace.jsonl"
+        assert main([
+            "train", "simulate", "--machine", "a100",
+            "--horizon", "240", "--seed", "7",
+            "--record", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main(["trace", "replay", str(out)]) == 0
+        assert "bit-exactly" in capsys.readouterr().out
+        assert main(["trace", "info", str(out)]) == 0
+        assert "training gang:      64 nodes" in (
+            capsys.readouterr().out
+        )
+
+
+class TestCompare:
+    def test_acceptance_table(self, capsys):
+        assert main([
+            "train", "compare",
+            "--machines", "tsubame2,tsubame3,a100,h100",
+            "--horizon", "120", "--replications", "1",
+            "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        for machine in ("tsubame2", "tsubame3", "a100", "h100"):
+            assert machine in out
+        assert "goodput_pf" in out
+        assert "proportionality" in out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "train", "compare", "--machines", "tsubame3",
+            "--horizon", "120", "--replications", "1",
+            "--workers", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["machine"] == "tsubame3"
+
+    def test_unknown_machine_is_domain_error(self, capsys):
+        assert main([
+            "train", "compare", "--machines", "summit",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err

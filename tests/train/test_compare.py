@@ -1,0 +1,88 @@
+"""Cross-machine training study: the generalized proportionality."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.train.compare import compare_training
+
+
+@pytest.fixture(scope="module")
+def study():
+    return compare_training(
+        ("tsubame2", "tsubame3", "a100", "h100"),
+        gang_nodes=64,
+        horizon_hours=240.0,
+        replications=2,
+        seed=3,
+        max_workers=1,
+    )
+
+
+class TestComparison:
+    def test_one_row_per_machine(self, study):
+        assert [row.machine for row in study.rows] == [
+            "tsubame2", "tsubame3", "a100", "h100"
+        ]
+        for row in study.rows:
+            assert row.gang_nodes == 64
+            assert 0.0 < row.ettr_mean <= 1.0
+            assert row.goodput_pflops > 0
+            assert row.pflop_hours_between_interrupts > 0
+
+    def test_paper_proportionality_direction(self, study):
+        # The source paper's Tsubame-2 -> Tsubame-3 claim, in the
+        # generalized training framing: the newer machine banks more
+        # goodput AND more failure-free PFLOP-hours.
+        ratio = study.proportionality_ratio("tsubame3", "tsubame2")
+        assert ratio["goodput_pflops"] > 1.0
+        assert ratio["pflop_hours_between_interrupts"] > 1.0
+
+    def test_modern_fleets_extend_the_direction(self, study):
+        ratio = study.proportionality_ratio("h100", "a100")
+        assert ratio["goodput_pflops"] > 1.0
+
+    def test_modern_fleets_interrupt_more_often(self, study):
+        # The Meta-style regime: far higher goodput, far higher
+        # interruption rate than the Tsubame generations.
+        a100 = study.row_for("a100")
+        t3 = study.row_for("tsubame3")
+        assert a100.interrupts_per_day_mean > t3.interrupts_per_day_mean
+
+    def test_table_renders(self, study):
+        table = study.table()
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(study.rows)
+        for row in study.rows:
+            assert row.machine in table
+        assert "goodput_pf" in lines[0]
+
+    def test_to_dict_round_trips_to_json(self, study):
+        import json
+
+        payload = study.to_dict()
+        encoded = json.dumps(payload, sort_keys=True, allow_nan=False)
+        assert len(json.loads(encoded)["rows"]) == 4
+
+    def test_unknown_row_rejected(self, study):
+        with pytest.raises(ValidationError):
+            study.row_for("tsubame1")
+
+
+class TestValidation:
+    def test_empty_machine_list_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_training(())
+
+    def test_bad_gang_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_training(("tsubame2",), gang_nodes=0)
+
+    def test_gang_clamped_to_fleet(self):
+        study = compare_training(
+            ("tsubame3",),
+            gang_nodes=100_000,
+            horizon_hours=120.0,
+            replications=1,
+            max_workers=1,
+        )
+        assert study.rows[0].gang_nodes == 540

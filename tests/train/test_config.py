@@ -1,0 +1,71 @@
+"""Tests for the training-job configuration."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.train.config import TrainingJobConfig
+
+
+class TestDefaults:
+    def test_default_gang(self):
+        config = TrainingJobConfig()
+        assert config.num_nodes == 64
+        assert config.step_time_hours == pytest.approx(0.01)
+        assert config.detection_delay_hours == pytest.approx(0.05)
+        assert config.total_work_hours is None
+
+
+class TestValidation:
+    def test_gang_size_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            TrainingJobConfig(num_nodes=0)
+        with pytest.raises(ValidationError):
+            TrainingJobConfig(num_nodes=-4)
+
+    @pytest.mark.parametrize(
+        "step", [0.0, -0.1, math.nan, math.inf]
+    )
+    def test_bad_step_time_rejected(self, step):
+        with pytest.raises(ValidationError):
+            TrainingJobConfig(step_time_hours=step)
+
+    @pytest.mark.parametrize("delay", [-0.1, math.nan, math.inf])
+    def test_bad_detection_delay_rejected(self, delay):
+        with pytest.raises(ValidationError):
+            TrainingJobConfig(detection_delay_hours=delay)
+
+    def test_zero_detection_delay_allowed(self):
+        config = TrainingJobConfig(detection_delay_hours=0.0)
+        assert config.detection_delay_hours == 0.0
+
+    @pytest.mark.parametrize(
+        "work", [0.0, -1.0, math.nan, math.inf]
+    )
+    def test_bad_total_work_rejected(self, work):
+        with pytest.raises(ValidationError):
+            TrainingJobConfig(total_work_hours=work)
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        config = TrainingJobConfig(
+            num_nodes=128,
+            step_time_hours=0.02,
+            detection_delay_hours=0.1,
+            total_work_hours=96.0,
+        )
+        assert TrainingJobConfig.from_dict(config.to_dict()) == config
+
+    def test_open_ended_round_trip(self):
+        config = TrainingJobConfig()
+        restored = TrainingJobConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.total_work_hours is None
+
+    def test_missing_key_rejected(self):
+        data = TrainingJobConfig().to_dict()
+        del data["num_nodes"]
+        with pytest.raises(ValidationError):
+            TrainingJobConfig.from_dict(data)

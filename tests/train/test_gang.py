@@ -1,0 +1,259 @@
+"""Unit tests for the gang-scheduled training run.
+
+These drive :class:`GangTrainingRun` directly on an engine + cluster
+(no injector, no repair service), scheduling failures by hand so every
+commit/lost/stall number can be checked against closed-form arithmetic.
+
+The shared geometry: interval 1.0 h, checkpoint cost 0.1 h, restart
+cost 0.2 h, step 0.1 h -> 10 steps per cycle, cycle work 1.0 h, cycle
+wall 1.1 h.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines.specs import get_machine
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+from repro.train.config import TrainingJobConfig
+from repro.train.gang import GANG_JOB_ID, GangTrainingRun
+
+POLICY = CheckpointPolicy(
+    interval_hours=1.0, cost_hours=0.1, restart_cost_hours=0.2
+)
+
+
+def make_gang(total_work=None, num_nodes=4, detection_delay=0.05):
+    engine = SimulationEngine()
+    cluster = Cluster(get_machine("tsubame3"))
+    config = TrainingJobConfig(
+        num_nodes=num_nodes,
+        step_time_hours=0.1,
+        detection_delay_hours=detection_delay,
+        total_work_hours=total_work,
+    )
+    gang = GangTrainingRun(engine, cluster, config, POLICY)
+    return engine, cluster, gang
+
+
+def fail_member(engine, cluster, gang, category="GPU"):
+    """Fail the lowest-numbered current member at engine.now."""
+    node_id = min(gang.members)
+    cluster.fail(node_id, category, engine.now, ())
+    gang.handle_node_failure(node_id, category)
+    return node_id
+
+
+class TestCleanRun:
+    def test_finite_job_completes(self):
+        engine, _, gang = make_gang(total_work=3.0)
+        gang.start()
+        engine.run_until(100.0)
+        stats = gang.finalize(100.0)
+        assert stats.completed
+        # 3 cycles, last one commits at completion with no trailing
+        # checkpoint: 3 * 1.1 - 0.1.
+        assert stats.completed_at_hours == pytest.approx(3.2)
+        assert stats.elapsed_hours == pytest.approx(3.2)
+        assert stats.work_committed_hours == pytest.approx(3.0)
+        assert stats.steps_committed == 30
+        assert stats.checkpoint_overhead_hours == pytest.approx(0.2)
+        assert stats.interrupts == 0
+        assert stats.restarts == 0
+        assert stats.lost_work_hours == 0.0
+        assert stats.ettr == pytest.approx(3.0 / 3.2)
+
+    def test_partial_tail_cycle(self):
+        # 2 full cycles + 0.35 h tail -> tail rounds up to 4 steps.
+        engine, _, gang = make_gang(total_work=2.35)
+        gang.start()
+        engine.run_until(100.0)
+        stats = gang.finalize(100.0)
+        assert stats.completed
+        # 2 * 1.1 (both full cycles checkpoint) + 4 * 0.1 tail steps.
+        assert stats.completed_at_hours == pytest.approx(2.6)
+        assert stats.work_committed_hours == pytest.approx(2.35)
+        assert stats.steps_committed == 24
+        assert stats.checkpoint_overhead_hours == pytest.approx(0.2)
+
+    def test_open_ended_commits_full_cycles_at_horizon(self):
+        engine, _, gang = make_gang(total_work=None)
+        gang.start()
+        engine.run_until(5.75)
+        stats = gang.finalize(5.75)
+        assert not stats.completed
+        # 5.75 / 1.1 -> 5 finished cycles; the in-flight sixth is
+        # neither committed nor lost.
+        assert stats.work_committed_hours == pytest.approx(5.0)
+        assert stats.steps_committed == 50
+        assert stats.lost_work_hours == 0.0
+        assert stats.ettr == pytest.approx(5.0 / 5.75)
+
+
+class TestInterruption:
+    def test_failure_accounting(self):
+        engine, cluster, gang = make_gang(total_work=4.0)
+        gang.start()
+        engine.schedule_at(
+            2.35, lambda: fail_member(engine, cluster, gang)
+        )
+        engine.run_until(100.0)
+        stats = gang.finalize(100.0)
+        # At t=2.35 the segment finished 2 cycles (2.2 h wall); the
+        # 0.15 h since the last checkpoint is lost and attributed.
+        assert stats.interrupts == 1
+        assert stats.lost_work_hours == pytest.approx(0.15)
+        assert stats.lost_work_by_category == {
+            "GPU": pytest.approx(0.15)
+        }
+        # Restart: eligible at 2.40, capacity is plentiful, so stall
+        # is exactly the detection delay; restore costs 0.2 h.
+        assert stats.restarts == 1
+        assert stats.stall_hours == pytest.approx(0.05)
+        assert stats.restart_overhead_hours == pytest.approx(0.2)
+        assert stats.blast_radius_node_hours == pytest.approx(
+            4 * (0.05 + 0.2)
+        )
+        # Remaining 2.0 h resumes at 2.6 and needs 2 * 1.1 - 0.1.
+        assert stats.completed
+        assert stats.completed_at_hours == pytest.approx(4.7)
+        assert stats.work_committed_hours == pytest.approx(4.0)
+        assert stats.steps_committed == 40
+        # 2 committed mid-run + 1 inside the final segment.
+        assert stats.checkpoint_overhead_hours == pytest.approx(0.3)
+        assert stats.ettr == pytest.approx(4.0 / 4.7)
+
+    def test_non_member_failure_ignored(self):
+        engine, cluster, gang = make_gang(total_work=3.0)
+        gang.start()
+
+        def outside_failure():
+            victim = max(cluster.available_nodes())
+            assert victim not in gang.members
+            cluster.fail(victim, "GPU", engine.now, ())
+            gang.handle_node_failure(victim, "GPU")
+
+        engine.schedule_at(1.5, outside_failure)
+        engine.run_until(100.0)
+        stats = gang.finalize(100.0)
+        assert stats.interrupts == 0
+        assert stats.completed_at_hours == pytest.approx(3.2)
+
+    def test_lost_work_never_exceeds_cycle(self):
+        # Fail just before the third checkpoint would commit: the
+        # entire in-flight cycle is lost, but never more.
+        engine, cluster, gang = make_gang(total_work=None)
+        gang.start()
+        engine.schedule_at(
+            3.29, lambda: fail_member(engine, cluster, gang)
+        )
+        engine.run_until(3.5)
+        stats = gang.finalize(3.5)
+        assert stats.lost_work_hours == pytest.approx(1.0, abs=0.02)
+        assert stats.lost_work_hours <= (
+            POLICY.interval_hours + 0.1 + 1e-9
+        )
+
+    def test_queued_gang_accrues_stall_at_horizon(self):
+        # Gang spans the whole fleet: once one member fails there is
+        # never capacity again (no repair service in this harness).
+        engine, cluster, gang = make_gang(
+            total_work=None, num_nodes=cluster_size()
+        )
+        gang.start()
+        engine.schedule_at(
+            2.5, lambda: fail_member(engine, cluster, gang)
+        )
+        engine.run_until(10.0)
+        stats = gang.finalize(10.0)
+        assert not stats.completed
+        assert stats.interrupts == 1
+        assert stats.restarts == 0
+        # Queued from 2.5 to the horizon.
+        assert stats.stall_hours == pytest.approx(7.5)
+        assert stats.work_committed_hours == pytest.approx(2.0)
+
+    def test_failure_after_final_commit_finishes(self):
+        # Tie/tolerance guard: when every useful hour is already
+        # committed as a member fails, the gang finishes rather than
+        # requeueing.  Normal event timing fires the completion one
+        # checkpoint-cost earlier, so drive the committed state
+        # directly to exercise the guard.
+        engine, cluster, gang = make_gang(total_work=2.0)
+        gang.start()
+        engine.run_until(1.0)
+        gang._work_committed = 2.0
+        node_id = min(gang.members)
+        cluster.fail(node_id, "GPU", engine.now, ())
+        gang.handle_node_failure(node_id, "GPU")
+        stats = gang.finalize(10.0)
+        assert stats.completed
+        assert stats.interrupts == 1
+        assert stats.restarts == 0
+        assert stats.lost_work_hours == 0.0
+        assert stats.completed_at_hours == pytest.approx(1.0)
+
+
+def cluster_size() -> int:
+    return get_machine("tsubame3").num_nodes
+
+
+class TestLifecycle:
+    def test_gang_larger_than_cluster_rejected(self):
+        engine = SimulationEngine()
+        cluster = Cluster(get_machine("tsubame3"))
+        config = TrainingJobConfig(num_nodes=cluster.num_nodes + 1)
+        with pytest.raises(SimulationError):
+            GangTrainingRun(engine, cluster, config, POLICY)
+
+    def test_publishes_scheduler_compatible_topics(self):
+        engine, cluster, gang = make_gang(total_work=2.0)
+        seen = []
+        for topic in (
+            "job_submit", "job_start", "job_killed", "job_complete"
+        ):
+            engine.subscribe(
+                topic,
+                lambda topic=topic, **payload: seen.append(
+                    (topic, payload)
+                ),
+            )
+        gang.start()
+        engine.schedule_at(
+            1.5, lambda: fail_member(engine, cluster, gang)
+        )
+        engine.run_until(100.0)
+        kinds = [topic for topic, _ in seen]
+        assert kinds == [
+            "job_submit", "job_start", "job_killed", "job_start",
+            "job_complete",
+        ]
+        submit = dict(seen[0][1])
+        assert submit["job_id"] == GANG_JOB_ID
+        assert submit["num_nodes"] == 4
+        start = dict(seen[1][1])
+        assert len(start["nodes"]) == 4
+
+    def test_repair_hook_retries_queue(self):
+        engine, cluster, gang = make_gang(
+            total_work=None, num_nodes=cluster_size(),
+            detection_delay=0.0,
+        )
+        gang.start()
+
+        def fail_and_recover():
+            node_id = fail_member(engine, cluster, gang)
+            # The gang cannot restart: one node short.
+            assert not gang.running
+            cluster.start_repair(node_id, engine.now)
+            cluster.complete_repair(node_id, engine.now + 1.0)
+
+        engine.schedule_at(1.15, fail_and_recover)
+        engine.schedule_at(
+            2.15, lambda: gang.handle_node_repair(0)
+        )
+        engine.run_until(3.0)
+        stats = gang.finalize(3.0)
+        assert stats.restarts == 1
+        assert stats.stall_hours == pytest.approx(1.0)

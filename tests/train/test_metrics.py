@@ -1,0 +1,65 @@
+"""Log-driven ETTF analytics (the serve endpoint payload)."""
+
+import json
+
+import pytest
+
+from repro.synth import generate_log
+from repro.train.metrics import (
+    DEFAULT_CHECKPOINT_COST_HOURS,
+    DEFAULT_GANG_GRID,
+    ettf_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return ettf_payload(generate_log("a100", seed=5))
+
+
+class TestEttfPayload:
+    def test_headline_fields(self, payload):
+        assert payload["machine"] == "a100"
+        assert payload["fleet_nodes"] == 1024
+        assert payload["system_mtbf_hours"] > 0
+        assert payload["system_mttr_hours"] > 0
+        assert payload["checkpoint_cost_hours"] == (
+            DEFAULT_CHECKPOINT_COST_HOURS
+        )
+
+    def test_one_row_per_gang_size(self, payload):
+        assert [row["gang_nodes"] for row in payload["gangs"]] == (
+            sorted(DEFAULT_GANG_GRID)
+        )
+
+    def test_bigger_gangs_have_worse_ettr(self, payload):
+        estimates = [row["ettr_estimate"] for row in payload["gangs"]]
+        assert estimates == sorted(estimates, reverse=True)
+        assert all(0.0 < e < 1.0 for e in estimates)
+
+    def test_job_mtbf_thinning(self, payload):
+        system = payload["system_mtbf_hours"]
+        fleet = payload["fleet_nodes"]
+        for row in payload["gangs"]:
+            assert row["job_mtbf_hours"] == pytest.approx(
+                system * fleet / row["gang_nodes"]
+            )
+            assert row["interrupts_per_day"] == pytest.approx(
+                24.0 / row["job_mtbf_hours"]
+            )
+
+    def test_useful_pflops_discounted_share_of_rpeak(self, payload):
+        rpeak = payload["rpeak_pflops"]
+        fleet = payload["fleet_nodes"]
+        for row in payload["gangs"]:
+            share = rpeak * row["gang_nodes"] / fleet
+            assert 0.0 < row["useful_pflops"] < share
+
+    def test_grid_clamps_and_dedupes(self):
+        log = generate_log("tsubame3", seed=5)  # 540-node fleet
+        payload = ettf_payload(log, gang_grid=(8, 600, 10_000))
+        assert [r["gang_nodes"] for r in payload["gangs"]] == [8, 540]
+
+    def test_json_safe(self, payload):
+        encoded = json.dumps(payload, sort_keys=True, allow_nan=False)
+        assert json.loads(encoded)["machine"] == "a100"

@@ -1,0 +1,114 @@
+"""Monte-Carlo training ensembles: determinism and reporting."""
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.montecarlo import spawn_seeds
+from repro.sim.simulator import ClusterSimulator
+from repro.train.config import TrainingJobConfig
+from repro.train.montecarlo import (
+    TRAIN_METRICS,
+    run_train_replications,
+    train_ensemble_payload,
+)
+
+POLICY = CheckpointPolicy(
+    interval_hours=2.0, cost_hours=0.1, restart_cost_hours=0.5
+)
+GANG = TrainingJobConfig(num_nodes=32)
+
+
+def run_ensemble(**kwargs):
+    kwargs.setdefault("machine", "tsubame3")
+    kwargs.setdefault("replications", 4)
+    kwargs.setdefault("horizon_hours", 300.0)
+    kwargs.setdefault("checkpoint_policy", POLICY)
+    kwargs.setdefault("train", GANG)
+    kwargs.setdefault("seed", 11)
+    return run_train_replications(**kwargs)
+
+
+class TestEnsembleReport:
+    def test_basic_report(self):
+        ensemble = run_ensemble()
+        assert ensemble.machine == "tsubame3"
+        assert ensemble.gang_nodes == 32
+        assert ensemble.replications == 4
+        assert ensemble.failed_replications == 0
+        assert set(ensemble.metrics) == set(TRAIN_METRICS)
+        assert 0.0 < ensemble.ettr.mean <= 1.0
+        assert "gang of 32 nodes" in ensemble.summary()
+
+    def test_matches_independent_simulator_run(self):
+        ensemble = run_ensemble(replications=1)
+        seed = spawn_seeds(11, 1)[0]
+        simulator = ClusterSimulator(
+            "tsubame3",
+            seed=seed,
+            checkpoint_policy=POLICY,
+            train=GANG,
+            keep_injected_log=False,
+        )
+        report = simulator.run(300.0)
+        assert ensemble.metrics["ettr"].mean == report.train.ettr
+        assert ensemble.metrics["interrupts"].mean == float(
+            report.train.interrupts
+        )
+        assert ensemble.metrics["lost_work_hours"].mean == (
+            report.train.lost_work_hours
+        )
+
+    def test_payload_round_trips_to_json(self):
+        import json
+
+        payload = train_ensemble_payload(run_ensemble())
+        encoded = json.dumps(payload, sort_keys=True, allow_nan=False)
+        assert json.loads(encoded)["gang_nodes"] == 32
+
+
+class TestDeterminism:
+    def test_serial_parallel_parity(self):
+        serial = run_ensemble(max_workers=1)
+        parallel = run_ensemble(max_workers=2)
+        for name in TRAIN_METRICS:
+            a, b = serial.metrics[name], parallel.metrics[name]
+            assert (a.mean, a.std, a.ci_lower, a.ci_upper) == (
+                b.mean, b.std, b.ci_lower, b.ci_upper
+            ), name
+
+    def test_same_seed_reproduces(self):
+        first = run_ensemble()
+        second = run_ensemble()
+        assert first.metrics == second.metrics
+
+    def test_different_seed_differs(self):
+        baseline = run_ensemble()
+        other = run_ensemble(seed=12)
+        assert (
+            baseline.metrics["interrupts"].mean
+            != other.metrics["interrupts"].mean
+            or baseline.metrics["ettr"].mean
+            != other.metrics["ettr"].mean
+        )
+
+
+class TestValidation:
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ValidationError):
+            run_ensemble(replications=0)
+
+    def test_bad_ci_rejected(self):
+        with pytest.raises(ValidationError):
+            run_ensemble(ci=1.0)
+
+    def test_gang_larger_than_fleet_fails_all(self):
+        with pytest.raises(SimulationError):
+            run_ensemble(
+                replications=1,
+                train=TrainingJobConfig(num_nodes=100_000),
+            )
+
+    def test_default_gang_when_train_omitted(self):
+        ensemble = run_ensemble(train=None, replications=1)
+        assert ensemble.gang_nodes == 64

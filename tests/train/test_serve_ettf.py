@@ -1,0 +1,50 @@
+"""The /analyze/{name}/ettf serve endpoint."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import DatasetRegistry, ReproApp
+from repro.serve.http import HttpRequest
+
+
+@pytest.fixture()
+def app():
+    registry = DatasetRegistry()
+    registry.synthesize("h1", "h100", seed=9, failures=400)
+    instance = ReproApp(registry, workers=1)
+    yield instance
+    asyncio.run(instance.close())
+
+
+def get(app, path):
+    request = HttpRequest(
+        method="GET", path=path, query={}, headers={}, body=b""
+    )
+    return asyncio.run(app.dispatch(request))
+
+
+class TestEttfEndpoint:
+    def test_payload_served(self, app):
+        response = get(app, "/analyze/h1/ettf")
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["machine"] == "h100"
+        assert payload["fleet_nodes"] == 512
+        assert [row["gang_nodes"] for row in payload["gangs"]] == [
+            8, 64, 256, 512
+        ]
+        assert all(
+            0.0 < row["ettr_estimate"] < 1.0
+            for row in payload["gangs"]
+        )
+
+    def test_cached_bytes_identical(self, app):
+        first = get(app, "/analyze/h1/ettf")
+        second = get(app, "/analyze/h1/ettf")
+        assert first.body == second.body
+
+    def test_listed_in_index(self, app):
+        response = get(app, "/")
+        assert b"ettf" in response.body

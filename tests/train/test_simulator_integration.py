@@ -1,0 +1,77 @@
+"""Training runs through the full ClusterSimulator pipeline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    CheckpointPolicy,
+    ClusterSimulator,
+    WorkloadConfig,
+)
+from repro.train.config import TrainingJobConfig
+
+POLICY = CheckpointPolicy(
+    interval_hours=2.0, cost_hours=0.1, restart_cost_hours=0.5
+)
+
+
+class TestWiring:
+    def test_report_carries_train_stats(self):
+        simulator = ClusterSimulator(
+            "a100",
+            seed=7,
+            checkpoint_policy=POLICY,
+            train=TrainingJobConfig(num_nodes=64),
+        )
+        report = simulator.run(240.0)
+        stats = report.train
+        assert stats is not None
+        assert stats.job_nodes == 64
+        assert stats.interrupts > 0  # a100 gangs interrupt within 240h
+        assert 0.0 < stats.ettr < 1.0
+        assert stats.lost_work_by_category
+        assert not stats.completed
+
+    def test_headless_report_has_no_train_stats(self):
+        report = ClusterSimulator("tsubame2", seed=7).run(200.0)
+        assert report.train is None
+
+    def test_finite_job_completes_through_simulator(self):
+        simulator = ClusterSimulator(
+            "tsubame3",
+            seed=3,
+            checkpoint_policy=POLICY,
+            train=TrainingJobConfig(
+                num_nodes=16, total_work_hours=48.0
+            ),
+        )
+        report = simulator.run(720.0)
+        assert report.train.completed
+        assert report.train.work_committed_hours == pytest.approx(48.0)
+        assert report.train.completed_at_hours < 720.0
+
+
+class TestValidation:
+    def test_train_requires_checkpoint_policy(self):
+        with pytest.raises(SimulationError) as excinfo:
+            ClusterSimulator(
+                "a100", train=TrainingJobConfig(num_nodes=8)
+            )
+        assert "young_daly_policy" in str(excinfo.value)
+
+    def test_train_and_workload_mutually_exclusive(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(
+                "a100",
+                checkpoint_policy=POLICY,
+                workload=WorkloadConfig(),
+                train=TrainingJobConfig(num_nodes=8),
+            )
+
+    def test_gang_larger_than_fleet_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(
+                "tsubame3",
+                checkpoint_policy=POLICY,
+                train=TrainingJobConfig(num_nodes=1_000),
+            )
